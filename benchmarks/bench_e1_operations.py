@@ -1,0 +1,93 @@
+"""E1 — per-operation cost of the paper's scheme across security levels.
+
+For each algorithm of Section 4.1 (Setup/Extract come from Boneh--Franklin;
+Encrypt1, Decrypt1, Pextract, Preenc and the delegatee decryption are the
+scheme's own), measure wall time on TOY / SS256 / SS512 and report the
+exact group-operation profile (pairings, G1 multiplications, GT
+exponentiations, hash-to-point calls).
+
+The headline shape (matching the construction's arithmetic):
+
+* Encrypt1 / Decrypt1 / Preenc / re-decrypt each cost ~1 pairing;
+* Pextract costs ~1 IBE encryption (1 pairing) plus 2 G1 multiplications;
+* everything scales with the base-field size (pairings dominate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.counters import count_operations
+from repro.bench.report import print_table
+from repro.core.scheme import TypeAndIdentityPre
+from repro.ibe.kgc import KgcRegistry
+from repro.math.drbg import HmacDrbg
+from repro.pairing.group import PairingGroup
+
+LEVELS = ("TOY", "SS256", "SS512")
+_ROUNDS = {"TOY": 20, "SS256": 5, "SS512": 3}
+
+
+def _setting(level: str):
+    group = PairingGroup.shared(level)
+    rng = HmacDrbg("e1-%s" % level)
+    registry = KgcRegistry(group, rng)
+    kgc1, kgc2 = registry.create("KGC1"), registry.create("KGC2")
+    scheme = TypeAndIdentityPre(group)
+    alice, bob = kgc1.extract("alice"), kgc2.extract("bob")
+    message = group.random_gt(rng)
+    ciphertext = scheme.encrypt(kgc1.params, alice, message, "t", rng)
+    proxy_key = scheme.pextract(alice, "bob", "t", kgc2.params, rng)
+    transformed = scheme.preenc(ciphertext, proxy_key)
+    return group, rng, scheme, kgc1, kgc2, alice, bob, message, ciphertext, proxy_key, transformed
+
+
+def _operations(level: str):
+    (group, rng, scheme, kgc1, kgc2, alice, bob, message,
+     ciphertext, proxy_key, transformed) = _setting(level)
+    return {
+        "encrypt": lambda: scheme.encrypt(kgc1.params, alice, message, "t", rng),
+        "decrypt": lambda: scheme.decrypt(ciphertext, alice),
+        "pextract": lambda: scheme.pextract(alice, "bob", "t", kgc2.params, rng),
+        "preenc": lambda: scheme.preenc(ciphertext, proxy_key),
+        "decrypt_reenc": lambda: scheme.decrypt_reencrypted(transformed, bob),
+    }
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("operation", ["encrypt", "decrypt", "pextract", "preenc", "decrypt_reenc"])
+def test_operation_latency(benchmark, level, operation):
+    """One pytest-benchmark series per (security level, algorithm)."""
+    fn = _operations(level)[operation]
+    benchmark.group = "E1 %s" % level
+    benchmark.name = operation
+    benchmark.pedantic(fn, rounds=_ROUNDS[level], iterations=1, warmup_rounds=1)
+
+
+def test_e1_report(benchmark):
+    """Print the E1 table: op profile + |p| scaling (captured in bench logs)."""
+    rows = []
+    for level in LEVELS:
+        operations = _operations(level)
+        for name, fn in operations.items():
+            with count_operations() as counter:
+                fn()
+            rows.append(
+                [
+                    level,
+                    name,
+                    str(counter.get("pairing")),
+                    str(counter.get("g1_mul")),
+                    str(counter.get("gt_exp")),
+                    str(counter.get("hash_to_g1")),
+                ]
+            )
+    print_table(
+        "E1: group-operation profile per algorithm",
+        ["params", "algorithm", "pairings", "G1 mul", "GT exp", "hash-to-G1"],
+        rows,
+    )
+    # Anchor the table-printing test with a tiny benchmark so it runs
+    # under --benchmark-only as well.
+    operations = _operations("TOY")
+    benchmark.pedantic(operations["preenc"], rounds=3, iterations=1)

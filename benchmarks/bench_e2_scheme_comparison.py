@@ -1,0 +1,83 @@
+"""E2 — the paper's scheme vs every baseline PRE scheme.
+
+Same message load through the shared adapter lifecycle on SS256:
+encryption, re-encryption key generation, proxy transformation and
+delegatee decryption, plus the ciphertext/key size table.
+
+Expected shape: the paper's scheme costs within a small constant of
+Green--Ateniese (its closest relative — the delta is one GT exponentiation
+for the type binding), both cost more than raw ElGamal-based schemes
+(pairings vs G1 multiplications), and only the paper's scheme offers
+per-type delegation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.interface import all_adapters
+from repro.bench.report import print_table
+from repro.core.scheme import TypeAndIdentityPre
+from repro.math.drbg import HmacDrbg
+from repro.pairing.group import PairingGroup
+
+_ADAPTER_IDS = [a.name for a in all_adapters(PairingGroup.shared("SS256"))]
+
+
+def _prepared(name: str):
+    group = PairingGroup.shared("SS256")
+    adapter = next(a for a in all_adapters(group) if a.name == name)
+    rng = HmacDrbg("e2-%s" % name)
+    adapter.setup(rng)
+    message = adapter.sample_message(rng)
+    ciphertext = adapter.encrypt(message, rng)
+    rekey = adapter.rekey(rng)
+    transformed = adapter.reencrypt(ciphertext, rekey)
+    return adapter, rng, message, ciphertext, rekey, transformed
+
+
+@pytest.mark.parametrize("name", _ADAPTER_IDS)
+def test_encrypt(benchmark, name):
+    adapter, rng, message, *_ = _prepared(name)
+    benchmark.group = "E2 encrypt"
+    benchmark.pedantic(lambda: adapter.encrypt(message, rng), rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("name", _ADAPTER_IDS)
+def test_reencrypt(benchmark, name):
+    adapter, _, _, ciphertext, rekey, _ = _prepared(name)
+    benchmark.group = "E2 re-encrypt"
+    benchmark.pedantic(lambda: adapter.reencrypt(ciphertext, rekey), rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("name", _ADAPTER_IDS)
+def test_decrypt_reencrypted(benchmark, name):
+    adapter, _, message, _, _, transformed = _prepared(name)
+    benchmark.group = "E2 re-decrypt"
+    result = benchmark.pedantic(
+        lambda: adapter.decrypt_reencrypted(transformed), rounds=5, iterations=1
+    )
+    assert result == message
+
+
+def test_e2_size_report(benchmark):
+    """Ciphertext / proxy-key size table (bytes on the wire, SS256)."""
+    group = PairingGroup.shared("SS256")
+    g1, gt = group.g1_element_size(), group.gt_element_size()
+    scheme = TypeAndIdentityPre(group)
+    rows = [
+        ["type-and-identity (this paper)", str(scheme.ciphertext_size()),
+         str(scheme.reencrypted_size()), str(scheme.proxy_key_size())],
+        ["Green-Ateniese IBP1", str(g1 + gt), str(2 * (g1 + gt)), str(2 * g1 + gt)],
+        ["AFGH (2nd level)", str(g1 + gt), str(2 * gt), str(g1)],
+        ["BBS", str(2 * g1), str(2 * g1), str(group.scalar_size())],
+        ["Dodis-Ivan", str(2 * g1), str(2 * g1), str(2 * group.scalar_size())],
+        ["Matsuo-style (BB1)", str(2 * g1 + gt), str(g1 + 3 * gt + g1),
+         str(2 * g1 + (2 * g1 + gt))],
+    ]
+    print_table(
+        "E2: serialized sizes on SS256 (bytes): original ct / re-encrypted ct / proxy key",
+        ["scheme", "ciphertext", "re-encrypted", "proxy key"],
+        rows,
+    )
+    benchmark.pedantic(lambda: scheme.ciphertext_size(), rounds=3, iterations=1)

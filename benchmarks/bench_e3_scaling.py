@@ -1,0 +1,136 @@
+"""E3 — "one key pair suffices": scaling in #types and #delegatees.
+
+Quantifies Section 1.1's argument against the naive alternative.  For a
+growing number of message types we compare:
+
+* **this paper** — the delegator keeps ONE private key; each new type
+  costs one local ``Pextract`` (no KGC round-trip);
+* **multi-keypair strawman** — one KGC-issued key *per type* (the
+  delegator's secure storage grows linearly and the KGC must answer one
+  Extract query per type), delegated with Green--Ateniese.
+
+Expected shape: per-delegation time is in the same ballpark (both are one
+blinded-key computation + one IBE encryption), but the strawman's key
+storage and KGC load grow linearly with #types while the paper's stay
+constant at 1.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baselines.multi_keypair import MultiKeypairDelegation
+from repro.bench.report import print_table
+from repro.core.scheme import TypeAndIdentityPre
+from repro.ibe.kgc import KgcRegistry
+from repro.math.drbg import HmacDrbg
+from repro.pairing.group import PairingGroup
+
+TYPE_COUNTS = (1, 4, 16, 64)
+DELEGATEE_COUNTS = (1, 8, 32)
+
+
+def _fresh_setting(seed: str):
+    group = PairingGroup.shared("TOY")  # scaling study: counts matter, not ms
+    rng = HmacDrbg(seed)
+    registry = KgcRegistry(group, rng)
+    kgc1, kgc2 = registry.create("KGC1"), registry.create("KGC2")
+    return group, rng, kgc1, kgc2
+
+
+def test_e3_type_scaling_report(benchmark):
+    rows = []
+    for n_types in TYPE_COUNTS:
+        types = ["type-%02d" % i for i in range(n_types)]
+
+        # --- this paper: one key, one Pextract per type -------------------
+        group, rng, kgc1, kgc2 = _fresh_setting("e3-ours-%d" % n_types)
+        scheme = TypeAndIdentityPre(group)
+        alice = kgc1.extract("alice")
+        start = time.perf_counter()
+        for type_label in types:
+            scheme.pextract(alice, "bob", type_label, kgc2.params, rng)
+        ours_ms = (time.perf_counter() - start) * 1000
+        ours_keys = 1
+        ours_extracts = 1  # alice's single Extract at enrolment
+
+        # --- strawman: one keypair per type --------------------------------
+        group, rng, kgc1, kgc2 = _fresh_setting("e3-straw-%d" % n_types)
+        strawman = MultiKeypairDelegation(group=group, kgc=kgc1, base_identity="alice")
+        start = time.perf_counter()
+        for type_label in types:
+            strawman.delegate(type_label, "bob", kgc2.params, rng)
+        straw_ms = (time.perf_counter() - start) * 1000
+        rows.append(
+            [
+                str(n_types),
+                "%d / %d" % (ours_keys, strawman.key_count()),
+                "%d / %d" % (ours_extracts, len(kgc1.issued_identities())),
+                "%.1f / %.1f" % (ours_ms, straw_ms),
+            ]
+        )
+    print_table(
+        "E3: this paper vs multi-keypair strawman (ours / strawman)",
+        ["#types", "delegator keys", "KGC extracts", "delegation ms (total)"],
+        rows,
+    )
+    # Benchmark anchor: a single Pextract at the largest sweep point.
+    group, rng, kgc1, kgc2 = _fresh_setting("e3-anchor")
+    scheme = TypeAndIdentityPre(group)
+    alice = kgc1.extract("alice")
+    benchmark.pedantic(
+        lambda: scheme.pextract(alice, "bob", "anchor-type", kgc2.params, rng),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_e3_delegatee_scaling_report(benchmark):
+    """Delegating one type to N delegatees: linear in N for both, 1 key for us."""
+    rows = []
+    for n_delegatees in DELEGATEE_COUNTS:
+        group, rng, kgc1, kgc2 = _fresh_setting("e3-fan-%d" % n_delegatees)
+        scheme = TypeAndIdentityPre(group)
+        alice = kgc1.extract("alice")
+        start = time.perf_counter()
+        keys = [
+            scheme.pextract(alice, "delegatee-%02d" % i, "labs", kgc2.params, rng)
+            for i in range(n_delegatees)
+        ]
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        proxy_key_bytes = n_delegatees * scheme.proxy_key_size()
+        rows.append(
+            [str(n_delegatees), "1", "%.1f" % elapsed_ms, str(proxy_key_bytes)]
+        )
+        assert len({k.rk_point for k in keys}) == n_delegatees  # all distinct
+    print_table(
+        "E3: fan-out to N delegatees (one type)",
+        ["#delegatees", "delegator keys", "Pextract ms (total)", "proxy-key bytes"],
+        rows,
+    )
+    group, rng, kgc1, kgc2 = _fresh_setting("e3-fan-anchor")
+    scheme = TypeAndIdentityPre(group)
+    alice = kgc1.extract("alice")
+    benchmark.pedantic(
+        lambda: scheme.pextract(alice, "bob", "labs", kgc2.params, rng),
+        rounds=5,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("n_types", [4, 16])
+def test_e3_pextract_independent_of_type_count(benchmark, n_types):
+    """Pextract cost must not grow with how many types already exist."""
+    group, rng, kgc1, kgc2 = _fresh_setting("e3-flat-%d" % n_types)
+    scheme = TypeAndIdentityPre(group)
+    alice = kgc1.extract("alice")
+    for i in range(n_types):  # pre-existing delegations
+        scheme.pextract(alice, "bob", "pre-%d" % i, kgc2.params, rng)
+    benchmark.group = "E3 pextract flatness"
+    benchmark.pedantic(
+        lambda: scheme.pextract(alice, "bob", "fresh", kgc2.params, rng),
+        rounds=8,
+        iterations=1,
+    )

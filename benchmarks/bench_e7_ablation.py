@@ -1,0 +1,136 @@
+"""E7 — ablation of the type-binding design choice.
+
+Section 1.1 motivates the construction against two alternatives; this
+experiment measures all three designs on the same disclosure task
+(delegate category ``food-stats``, keep ``illness-history`` sealed) and
+reports the *isolation violation rate* when the proxy is corrupted:
+
+* **this paper** (``H2(sk||t)`` binding): violation rate 0% — a corrupted
+  proxy applying the wrong-type key produces garbage;
+* **label-only / trusted proxy** (plain Green--Ateniese + policy table):
+  violation rate 100% under a corrupted proxy;
+* **multi-keypair strawman**: violation rate 0%, bought with linear key
+  storage (quantified in E3).
+
+Also benchmarks the per-design re-encryption path so the isolation
+guarantee can be priced.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.multi_keypair import MultiKeypairDelegation
+from repro.bench.report import print_table
+from repro.core.scheme import TypeAndIdentityPre
+from repro.ibe.kgc import KgcRegistry
+from repro.math.drbg import HmacDrbg
+from repro.pairing.group import PairingGroup
+from repro.security.ablation import LabelOnlyPre
+
+N_SECRETS = 10
+
+
+def _kgcs(seed: str):
+    group = PairingGroup.shared("TOY")
+    rng = HmacDrbg(seed)
+    registry = KgcRegistry(group, rng)
+    return group, rng, registry.create("KGC1"), registry.create("KGC2")
+
+
+def _violation_rate_paper(seed: str) -> float:
+    """Corrupted proxy applies the food-stats key to illness ciphertexts."""
+    group, rng, kgc1, kgc2 = _kgcs(seed)
+    scheme = TypeAndIdentityPre(group)
+    alice, bob = kgc1.extract("alice"), kgc2.extract("bob")
+    proxy_key = scheme.pextract(alice, "bob", "food-stats", kgc2.params, rng)
+    violations = 0
+    for _ in range(N_SECRETS):
+        secret = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, secret, "illness-history", rng)
+        mixed = scheme.preenc(ciphertext, proxy_key, unchecked=True)
+        violations += scheme.decrypt_reencrypted(mixed, bob) == secret
+    return violations / N_SECRETS
+
+
+def _violation_rate_label_only(seed: str, corrupt: bool) -> float:
+    group, rng, kgc1, kgc2 = _kgcs(seed)
+    scheme = LabelOnlyPre(group, corrupt_proxy=corrupt)
+    alice, bob = kgc1.extract("alice"), kgc2.extract("bob")
+    scheme.install_delegation(alice, "bob", kgc2.params, ["food-stats"], rng)
+    violations = 0
+    for _ in range(N_SECRETS):
+        secret = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, secret, "alice", "illness-history", rng)
+        try:
+            leaked = scheme.reencrypt(ciphertext, "alice", "bob")
+        except PermissionError:
+            continue  # the honest proxy refused
+        violations += scheme.decrypt_reencrypted(leaked, bob) == secret
+    return violations / N_SECRETS
+
+
+def _violation_rate_multi_keypair(seed: str) -> float:
+    """The strawman's wrong-type key simply doesn't fit: structural refusal."""
+    group, rng, kgc1, kgc2 = _kgcs(seed)
+    strawman = MultiKeypairDelegation(group=group, kgc=kgc1, base_identity="alice")
+    bob = kgc2.extract("bob")
+    food_key = strawman.delegate("food-stats", "bob", kgc2.params, rng)
+    violations = 0
+    for _ in range(N_SECRETS):
+        secret = group.random_gt(rng)
+        ciphertext = strawman.encrypt(secret, "illness-history", rng)
+        try:
+            leaked = strawman.reencrypt(ciphertext, food_key)
+        except ValueError:
+            continue  # identity mismatch: the key cannot even be applied
+        violations += strawman.decrypt_reencrypted(leaked, bob) == secret
+    return violations / N_SECRETS
+
+
+def test_e7_ablation_report(benchmark):
+    rows = [
+        ["this paper (H2(sk||t) binding)", "corrupted",
+         "%.0f%%" % (100 * _violation_rate_paper("e7-paper"))],
+        ["label-only (trusted proxy)", "honest",
+         "%.0f%%" % (100 * _violation_rate_label_only("e7-label-honest", corrupt=False))],
+        ["label-only (trusted proxy)", "corrupted",
+         "%.0f%%" % (100 * _violation_rate_label_only("e7-label-corrupt", corrupt=True))],
+        ["multi-keypair strawman", "corrupted",
+         "%.0f%%" % (100 * _violation_rate_multi_keypair("e7-straw"))],
+    ]
+    print_table(
+        "E7: isolation violation rate (%d sealed secrets per design)" % N_SECRETS,
+        ["design", "proxy behaviour", "violation rate"],
+        rows,
+    )
+    assert _violation_rate_paper("e7-assert-paper") == 0.0
+    assert _violation_rate_label_only("e7-assert-corrupt", corrupt=True) == 1.0
+    assert _violation_rate_label_only("e7-assert-honest", corrupt=False) == 0.0
+    assert _violation_rate_multi_keypair("e7-assert-straw") == 0.0
+
+    # Benchmark anchor: the paper's guarded re-encryption path.
+    group, rng, kgc1, kgc2 = _kgcs("e7-anchor")
+    scheme = TypeAndIdentityPre(group)
+    alice = kgc1.extract("alice")
+    ciphertext = scheme.encrypt(kgc1.params, alice, group.random_gt(rng), "food-stats", rng)
+    proxy_key = scheme.pextract(alice, "bob", "food-stats", kgc2.params, rng)
+    benchmark.pedantic(lambda: scheme.preenc(ciphertext, proxy_key), rounds=5, iterations=1)
+
+
+def test_e7_reencryption_cost_paper(benchmark):
+    group, rng, kgc1, kgc2 = _kgcs("e7-cost-paper")
+    scheme = TypeAndIdentityPre(group)
+    alice = kgc1.extract("alice")
+    ciphertext = scheme.encrypt(kgc1.params, alice, group.random_gt(rng), "t", rng)
+    proxy_key = scheme.pextract(alice, "bob", "t", kgc2.params, rng)
+    benchmark.group = "E7 re-encryption cost"
+    benchmark.pedantic(lambda: scheme.preenc(ciphertext, proxy_key), rounds=5, iterations=1)
+
+
+def test_e7_reencryption_cost_label_only(benchmark):
+    group, rng, kgc1, kgc2 = _kgcs("e7-cost-label")
+    scheme = LabelOnlyPre(group)
+    alice = kgc1.extract("alice")
+    scheme.install_delegation(alice, "bob", kgc2.params, ["t"], rng)
+    ciphertext = scheme.encrypt(kgc1.params, group.random_gt(rng), "alice", "t", rng)
+    benchmark.group = "E7 re-encryption cost"
+    benchmark.pedantic(lambda: scheme.reencrypt(ciphertext, "alice", "bob"), rounds=5, iterations=1)

@@ -1,0 +1,119 @@
+"""E8 — substrate and extension ablations (beyond the paper's text).
+
+Prices the engineering choices DESIGN.md calls out, so the headline
+numbers in E1/E2 are explainable:
+
+* **scalar multiplication**: schoolbook double-and-add vs wNAF vs the
+  fixed-base window table used for the generator;
+* **multi-pairing**: two independent pairings vs one shared final
+  exponentiation (the BB1 decryption path);
+* **threshold extraction**: single-KGC Extract vs t-of-n combination
+  (the escrow mitigation the paper's threat model points to);
+* **epoch-scoped grants**: the per-epoch ``Pextract`` cost that buys
+  deletion-free expiry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import print_table
+from repro.bench.timing import measure
+from repro.core.epochs import EpochSchedule, TemporalPre
+from repro.core.scheme import TypeAndIdentityPre
+from repro.ec.scalarmult import FixedBaseTable, wnaf_mul
+from repro.ibe.kgc import KgcRegistry
+from repro.ibe.threshold import ThresholdKgc
+from repro.math.drbg import HmacDrbg
+from repro.pairing.group import PairingGroup
+from repro.pairing.tate import multi_tate_pairing, tate_pairing
+
+GROUP_NAME = "SS256"
+
+
+def test_e8_scalar_mult_ablation(benchmark):
+    group = PairingGroup.shared(GROUP_NAME)
+    rng = HmacDrbg("e8-mul")
+    scalars = [group.random_scalar(rng) for _ in range(8)]
+    base = group.params.random_point(rng)
+    table = FixedBaseTable(group.generator, group.order.bit_length())
+
+    schoolbook = measure("schoolbook", lambda: [base * s for s in scalars], repeats=3)
+    wnaf = measure("wnaf", lambda: [wnaf_mul(base, s) for s in scalars], repeats=3)
+    fixed = measure("fixed-base", lambda: [table.mul(s) for s in scalars], repeats=3)
+    print_table(
+        "E8: scalar multiplication on %s (8 scalars, median ms)" % GROUP_NAME,
+        ["method", "ms", "note"],
+        [
+            ["schoolbook double-and-add", "%.1f" % schoolbook.median_ms, "reference"],
+            ["wNAF (w=4)", "%.1f" % wnaf.median_ms, "arbitrary points"],
+            ["fixed-base window", "%.1f" % fixed.median_ms,
+             "generator/public keys (table: %d pts)" % table.table_size()],
+        ],
+    )
+    benchmark.group = "E8 scalar mult"
+    benchmark.pedantic(lambda: table.mul(scalars[0]), rounds=5, iterations=1)
+
+
+def test_e8_multi_pairing_ablation(benchmark):
+    group = PairingGroup.shared(GROUP_NAME)
+    rng = HmacDrbg("e8-pair")
+    a, b = group.params.random_point(rng), group.params.random_point(rng)
+    c, d = group.params.random_point(rng), group.params.random_point(rng)
+
+    separate = measure(
+        "separate",
+        lambda: tate_pairing(group.params, a, b) * tate_pairing(group.params, c, d),
+        repeats=3,
+    )
+    shared = measure(
+        "shared",
+        lambda: multi_tate_pairing(group.params, [(a, b), (c, d)]),
+        repeats=3,
+    )
+    print_table(
+        "E8: product of two pairings on %s (median ms)" % GROUP_NAME,
+        ["method", "ms"],
+        [
+            ["two pairings, two final exps", "%.1f" % separate.median_ms],
+            ["multi-pairing, one final exp", "%.1f" % shared.median_ms],
+        ],
+    )
+    benchmark.group = "E8 pairings"
+    benchmark.pedantic(
+        lambda: multi_tate_pairing(group.params, [(a, b), (c, d)]), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("threshold,servers", [(1, 1), (2, 3), (3, 5)])
+def test_e8_threshold_extraction(benchmark, threshold, servers):
+    group = PairingGroup.shared("TOY")
+    kgc = ThresholdKgc(group, "D", threshold, servers, HmacDrbg("e8-thr"))
+    counter = [0]
+
+    def extract():
+        counter[0] += 1
+        kgc.extract("user-%d" % counter[0])
+
+    benchmark.group = "E8 threshold extract"
+    benchmark.name = "%d-of-%d" % (threshold, servers)
+    benchmark.pedantic(extract, rounds=5, iterations=1)
+
+
+def test_e8_epoch_grant_cost(benchmark):
+    """The price of deletion-free expiry: one Pextract per epoch."""
+    group = PairingGroup.shared("TOY")
+    rng = HmacDrbg("e8-epoch")
+    registry = KgcRegistry(group, rng)
+    kgc1, kgc2 = registry.create("KGC1"), registry.create("KGC2")
+    alice = kgc1.extract("alice")
+    temporal = TemporalPre(TypeAndIdentityPre(group), EpochSchedule(86400))
+
+    day = [0]
+
+    def regrant():
+        day[0] += 1
+        temporal.grant(alice, "bob", "labs", day[0] * 86400, kgc2.params, rng)
+
+    benchmark.group = "E8 epoch grants"
+    benchmark.pedantic(regrant, rounds=5, iterations=1)

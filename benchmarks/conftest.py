@@ -1,0 +1,36 @@
+"""Shared fixtures for the experiment benchmarks (E1-E7).
+
+Most experiments run on SS256 (fast enough for statistics, large enough to
+be representative); E1 sweeps TOY/SS256/SS512 to show how costs scale with
+the security level.  Everything is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheme import TypeAndIdentityPre
+from repro.ibe.kgc import KgcRegistry
+from repro.math.drbg import HmacDrbg
+from repro.pairing.group import PairingGroup
+
+@pytest.fixture(scope="session")
+def group() -> PairingGroup:
+    return PairingGroup.shared("SS256")
+
+
+@pytest.fixture()
+def rng() -> HmacDrbg:
+    return HmacDrbg("benchmark-rng")
+
+
+@pytest.fixture(scope="session")
+def delegation_setting(group):
+    """Scheme, KGCs and keys, built once per session."""
+    rng = HmacDrbg("bench-setting")
+    registry = KgcRegistry(group, rng)
+    kgc1, kgc2 = registry.create("KGC1"), registry.create("KGC2")
+    scheme = TypeAndIdentityPre(group)
+    alice = kgc1.extract("alice")
+    bob = kgc2.extract("bob")
+    return scheme, kgc1, kgc2, alice, bob

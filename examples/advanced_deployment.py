@@ -1,0 +1,79 @@
+"""Advanced deployment: threshold KGC + epoch-scoped (expiring) grants.
+
+Two hardening features a real PHR operator would demand, both riding on
+the paper's scheme unchanged:
+
+* the patients' KGC runs as a 3-of-5 **threshold KGC**, so no single
+  server can reconstruct the master key and silently read everything
+  (the escrow mitigation the paper's threat model points to);
+* travel grants are **epoch-scoped**: the epoch is folded into the type
+  label, so last week's proxy key is cryptographically dead on this
+  week's data even if the proxy "forgets" to delete it.
+
+Run:  python examples/advanced_deployment.py
+"""
+
+from repro import HmacDrbg, KgcRegistry, PairingGroup, TypeAndIdentityPre
+from repro.core.epochs import EpochSchedule, ExpiredDelegationError, TemporalPre
+from repro.ibe.threshold import ThresholdKgc
+
+DAY = 86400
+rng = HmacDrbg("advanced-deployment")
+group = PairingGroup("SS256")
+
+# --- a threshold KGC for the patients' domain --------------------------------
+kgc = ThresholdKgc(group, "patients-kgc", threshold=3, server_count=5, rng=rng)
+print("patients' KGC: %d servers, any %d can extract, none holds the master key"
+      % (len(kgc.servers), kgc.threshold))
+
+# Alice's key is combined from three partial extractions...
+alice = kgc.extract("alice", server_indices=[1, 3, 5])
+# ...and is byte-identical no matter which quorum answered.
+assert alice == kgc.extract("alice", server_indices=[2, 4, 5])
+print("alice's key is quorum-independent: OK")
+
+# A rogue pair of servers learns nothing useful:
+from repro.math.shamir import reconstruct_secret
+
+rogue_shares = [server.reveal_share_for_test() for server in kgc.servers[:2]]
+guess = reconstruct_secret(rogue_shares, group.order)
+assert group.g1_mul(group.generator, guess) != kgc.params.public_key
+print("2-of-5 collusion fails to recover the master key: OK")
+
+# --- the delegatee side stays an ordinary single KGC --------------------------
+registry = KgcRegistry(group, rng)
+hospital = registry.create("hospital-kgc")
+doctor = hospital.extract("dr-jansen")
+
+# --- daily-expiring grants -----------------------------------------------------
+temporal = TemporalPre(TypeAndIdentityPre(group), EpochSchedule(epoch_seconds=DAY))
+
+monday, tuesday = 100 * DAY, 101 * DAY
+vitals_monday = group.random_gt(rng)
+ct_monday = temporal.encrypt(kgc.params, alice, vitals_monday, "vitals", monday, rng)
+
+grant_monday = temporal.grant(alice, "dr-jansen", "vitals", monday, hospital.params, rng)
+served = temporal.reencrypt(ct_monday, grant_monday)
+assert temporal.decrypt_reencrypted(served, doctor) == vitals_monday
+print("Monday's grant serves Monday's data: OK")
+
+# Tuesday: new data, old key — refused up front...
+vitals_tuesday = group.random_gt(rng)
+ct_tuesday = temporal.encrypt(kgc.params, alice, vitals_tuesday, "vitals", tuesday, rng)
+try:
+    temporal.reencrypt(ct_tuesday, grant_monday)
+except ExpiredDelegationError as refusal:
+    print("expired grant refused:", refusal)
+
+# ...and even a proxy that skips the check produces garbage, because the
+# epoch lives inside the type exponent.
+mixed = temporal.scheme.preenc(ct_tuesday, grant_monday, unchecked=True)
+assert temporal.scheme.decrypt_reencrypted(mixed, doctor) != vitals_tuesday
+print("expired grant is cryptographically dead (not just policy-dead): OK")
+
+# Alice re-grants for Tuesday in one local call — no KGC, no doctor involved.
+grant_tuesday = temporal.grant(alice, "dr-jansen", "vitals", tuesday, hospital.params, rng)
+assert temporal.decrypt_reencrypted(
+    temporal.reencrypt(ct_tuesday, grant_tuesday), doctor
+) == vitals_tuesday
+print("fresh Tuesday grant restores access: OK")

@@ -1,0 +1,69 @@
+"""Email forwarding with type-scoped delegation (the intro's other use case).
+
+The paper's introduction lists email forwarding among classic PRE
+applications.  With *types*, a vacationing manager can forward only
+work-related mail to a deputy while private mail stays sealed — one key
+pair, one untrusted mail server acting as the proxy, real byte payloads
+via the hybrid layer.
+
+Run:  python examples/email_forwarding.py
+"""
+
+from repro import HmacDrbg, HybridPre, KgcRegistry, PairingGroup
+from repro.core import ProxyService
+
+rng = HmacDrbg("email-forwarding")
+group = PairingGroup("SS256")
+
+registry = KgcRegistry(group, rng)
+corp = registry.create("corp-kgc")
+partner = registry.create("partner-kgc")
+
+manager = corp.extract("manager@corp.example")
+deputy = partner.extract("deputy@partner.example")
+
+hybrid = HybridPre(group)
+mailserver = ProxyService(hybrid.scheme, name="mailserver")
+
+# Incoming mail is filed by folder; the folder is the ciphertext *type*.
+inbox = [
+    ("work", b"Subject: Q3 budget review\n\nNumbers attached."),
+    ("work", b"Subject: customer escalation\n\nPlease respond today."),
+    ("private", b"Subject: dentist appointment\n\nTuesday 10:00."),
+]
+stored = [
+    (folder, hybrid.encrypt(corp.params, manager, body, folder, rng))
+    for folder, body in inbox
+]
+print("mail server stores %d encrypted messages" % len(stored))
+
+# Vacation: forward the *work* folder only. One local Pextract, no
+# interaction with the deputy or either KGC.
+mailserver.install_key(
+    hybrid.scheme.pextract(manager, "deputy@partner.example", "work", partner.params, rng)
+)
+
+forwarded = blocked = 0
+for folder, ciphertext in stored:
+    if mailserver.can_reencrypt(ciphertext.kem, "partner-kgc", "deputy@partner.example"):
+        key = mailserver.get_key(ciphertext.kem, "partner-kgc", "deputy@partner.example")
+        message = hybrid.decrypt_reencrypted(hybrid.reencrypt(ciphertext, key), deputy)
+        print("forwarded to deputy: %s" % message.decode().splitlines()[0])
+        forwarded += 1
+    else:
+        print("kept sealed (%s folder)" % folder)
+        blocked += 1
+
+assert forwarded == 2 and blocked == 1
+
+# The manager reads everything as usual.
+for folder, ciphertext in stored:
+    hybrid.decrypt(ciphertext, manager)
+print("manager still reads all %d messages with the single key pair" % len(stored))
+
+# Vacation over: revoke.
+mailserver.revoke_key(
+    "corp-kgc", "manager@corp.example", "partner-kgc", "deputy@partner.example", "work"
+)
+assert not mailserver.can_reencrypt(stored[0][1].kem, "partner-kgc", "deputy@partner.example")
+print("delegation revoked — the deputy is locked out again")

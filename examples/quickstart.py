@@ -1,0 +1,58 @@
+"""Quickstart: type-and-identity-based proxy re-encryption in ~40 lines.
+
+Alice (registered at KGC1) delegates the decryption right for her
+"illness-history" messages — and only those — to Bob (registered at a
+completely different KGC2), through an untrusted proxy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HmacDrbg, KgcRegistry, PairingGroup, ProxyService, TypeAndIdentityPre
+
+# A deterministic RNG so the walkthrough is reproducible; drop the argument
+# (or pass repro.system_random()) for OS entropy.
+rng = HmacDrbg("quickstart")
+
+# 1. One shared pairing group; two independent key-generation centers.
+group = PairingGroup("SS256")
+registry = KgcRegistry(group, rng)
+kgc1 = registry.create("KGC1")  # alice's domain
+kgc2 = registry.create("KGC2")  # bob's domain
+
+alice = kgc1.extract("alice@example.com")
+bob = kgc2.extract("bob@example.org")
+
+# 2. Alice encrypts two messages of *different types* under her identity.
+scheme = TypeAndIdentityPre(group)
+secret_diagnosis = group.random_gt(rng)  # GT elements; see HybridPre for bytes
+food_note = group.random_gt(rng)
+
+ct_illness = scheme.encrypt(kgc1.params, alice, secret_diagnosis, "illness-history", rng)
+ct_food = scheme.encrypt(kgc1.params, alice, food_note, "food-statistics", rng)
+
+# 3. She delegates only "illness-history" to Bob: one local Pextract call,
+#    no interaction with Bob or either KGC.
+proxy = ProxyService(scheme)
+proxy.install_key(scheme.pextract(alice, "bob@example.org", "illness-history", kgc2.params, rng))
+
+# 4. The proxy can transform exactly the granted type...
+ct_for_bob = proxy.reencrypt(ct_illness, "KGC2", "bob@example.org")
+assert scheme.decrypt_reencrypted(ct_for_bob, bob) == secret_diagnosis
+print("bob decrypted the re-encrypted illness-history message: OK")
+
+# 5. ...and is cryptographically unable to serve the other type.
+try:
+    proxy.reencrypt(ct_food, "KGC2", "bob@example.org")
+except KeyError as refusal:
+    print("proxy refused food-statistics:", refusal)
+
+# Even a *corrupted* proxy that applies the key anyway produces garbage:
+garbled = scheme.preenc(ct_food, proxy.get_key(ct_illness, "KGC2", "bob@example.org"),
+                        unchecked=True)
+assert scheme.decrypt_reencrypted(garbled, bob) != food_note
+print("corrupted-proxy type mixing yields garbage: OK")
+
+# 6. Alice still reads everything herself, with her single key pair.
+assert scheme.decrypt(ct_illness, alice) == secret_diagnosis
+assert scheme.decrypt(ct_food, alice) == food_note
+print("alice decrypts both types with one key pair: OK")

@@ -1,0 +1,59 @@
+"""Compare the paper's scheme against every baseline PRE scheme.
+
+Runs the identical lifecycle (encrypt -> rekey -> re-encrypt -> decrypt)
+through each adapter, printing the property matrix of Section 4.3 /
+Ateniese et al. and measured per-operation costs.
+
+Run:  python examples/scheme_comparison.py
+"""
+
+from repro import HmacDrbg, PairingGroup
+from repro.baselines import PROPERTY_NAMES, all_adapters
+from repro.bench import measure, print_table
+
+group = PairingGroup("SS256")
+rng = HmacDrbg("scheme-comparison")
+
+# --- property matrix ---------------------------------------------------------
+rows = []
+for adapter in all_adapters(group):
+    rows.append(
+        [adapter.name] + ["yes" if adapter.properties[p] else "no" for p in PROPERTY_NAMES]
+    )
+print_table("PRE property matrix", ["scheme"] + list(PROPERTY_NAMES), rows)
+
+# --- per-operation timing ------------------------------------------------------
+rows = []
+for adapter in all_adapters(group):
+    adapter.setup(rng)
+    message = adapter.sample_message(rng)
+    ciphertext = adapter.encrypt(message, rng)
+    rekey = adapter.rekey(rng)
+    transformed = adapter.reencrypt(ciphertext, rekey)
+
+    encrypt = measure("enc", lambda: adapter.encrypt(message, rng), repeats=3)
+    reencrypt = measure("reenc", lambda: adapter.reencrypt(ciphertext, rekey), repeats=3)
+    decrypt = measure(
+        "dec", lambda: adapter.decrypt_reencrypted(transformed), repeats=3
+    )
+    assert adapter.decrypt_reencrypted(transformed) == message
+    rows.append(
+        [
+            adapter.name,
+            "%.1f" % encrypt.median_ms,
+            "%.1f" % reencrypt.median_ms,
+            "%.1f" % decrypt.median_ms,
+            encrypt.operations_summary(),
+        ]
+    )
+print_table(
+    "per-operation cost on %s (ms, median of 3)" % group.params.name,
+    ["scheme", "encrypt", "re-encrypt", "re-decrypt", "encrypt op profile"],
+    rows,
+)
+
+print(
+    "\nNote: the paper's scheme pays one extra GT exponentiation at encryption\n"
+    "time relative to Green-Ateniese — that exponent is exactly what buys the\n"
+    "per-type granularity no baseline offers."
+)

@@ -1,0 +1,41 @@
+"""Run the IND-ID-DR-CPA security game against concrete adversaries.
+
+Reproduces the empirical side of the paper's Theorem 1: every strategy
+the threat model allows — including the type-mixing and collusion attacks
+the construction is designed to defeat — wins with probability ~1/2.
+
+Run:  python examples/security_games.py
+"""
+
+from repro import HmacDrbg, PairingGroup
+from repro.bench import print_table
+from repro.security.adversaries import ALL_DR_CPA_ADVERSARIES
+from repro.security.games import IndIdDrCpaGame
+
+TRIALS = 60
+group = PairingGroup("TOY")  # toy group: the game logic, not the key size
+
+rows = []
+for adversary in ALL_DR_CPA_ADVERSARIES:
+    root = HmacDrbg("security-games-%s" % adversary.name)
+    wins = 0
+    for i in range(TRIALS):
+        rng = root.fork("trial-%d" % i)
+        game = IndIdDrCpaGame(group, rng)
+        wins += adversary(game, group, rng).won
+    rate = wins / TRIALS
+    rows.append(
+        [adversary.name, "%d/%d" % (wins, TRIALS), "%.3f" % abs(rate - 0.5)]
+    )
+
+print_table(
+    "IND-ID-DR-CPA empirical advantage (%d trials each)" % TRIALS,
+    ["adversary strategy", "wins", "|advantage|"],
+    rows,
+)
+
+print(
+    "\nEvery in-model strategy hovers at a coin flip.  For contrast, an\n"
+    "out-of-model adversary holding the delegator's private key wins every\n"
+    "time (see tests/test_security_adversaries.py::test_omniscient_upper_bound)."
+)

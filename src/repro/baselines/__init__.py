@@ -1,0 +1,25 @@
+"""Baseline schemes from the paper's related-work comparison."""
+
+from repro.baselines.afgh import AfghScheme
+from repro.baselines.bb1 import Bb1Ibe
+from repro.baselines.bbs import BbsProxyScheme
+from repro.baselines.dodis_ivan import DodisIvanScheme
+from repro.baselines.elgamal import ElGamal
+from repro.baselines.green_ateniese import GreenAtenieseIbp1
+from repro.baselines.interface import PROPERTY_NAMES, PreAdapter, all_adapters
+from repro.baselines.matsuo import MatsuoStylePre
+from repro.baselines.multi_keypair import MultiKeypairDelegation
+
+__all__ = [
+    "ElGamal",
+    "BbsProxyScheme",
+    "DodisIvanScheme",
+    "AfghScheme",
+    "GreenAtenieseIbp1",
+    "Bb1Ibe",
+    "MatsuoStylePre",
+    "MultiKeypairDelegation",
+    "PreAdapter",
+    "all_adapters",
+    "PROPERTY_NAMES",
+]

@@ -1,0 +1,129 @@
+"""The Ateniese--Fu--Green--Hohenberger (TISSEC'06) pairing-based PRE.
+
+The unidirectional, collusion-safe scheme the paper's related work
+describes, with its characteristic **two encryption levels**:
+
+* **second-level** ciphertexts ``(g^(a*r), m * Z^r)`` (``Z = e(g, g)``) can
+  be re-encrypted by a proxy holding ``rk_{a->b} = g^(b/a)`` into
+* **first-level** ciphertexts ``(Z^(b*r), m * Z^r)`` which only the
+  delegatee can open (and which cannot be re-encrypted again —
+  single-hop).
+
+First-level encryption (:meth:`encrypt_first`) exists directly, too: that
+is the "two levels of encryption" cost the paper cites as the scheme's
+disadvantage.  Collusion safety: proxy + delegatee learn ``g^(b/a)`` and
+``b``, hence only the *weak* secret ``g^(1/a)``, never ``a`` itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ec.curve import Point
+from repro.math.drbg import RandomSource, system_random
+from repro.math.fields import Fp2Element
+from repro.math.ntheory import modinv
+from repro.pairing.group import PairingGroup
+
+__all__ = [
+    "AfghScheme",
+    "AfghKeyPair",
+    "AfghSecondLevelCiphertext",
+    "AfghFirstLevelCiphertext",
+]
+
+
+@dataclass(frozen=True)
+class AfghKeyPair:
+    """``sk = a``, ``pk = g^a``."""
+
+    secret: int
+    public: Point
+
+
+@dataclass(frozen=True)
+class AfghSecondLevelCiphertext:
+    """Re-encryptable ciphertext ``(g^(a*r), m * Z^r)`` for the delegator."""
+
+    owner: str
+    c1: Point
+    c2: Fp2Element
+
+
+@dataclass(frozen=True)
+class AfghFirstLevelCiphertext:
+    """Non-re-encryptable ciphertext ``(Z^(x*r), m * Z^r)``."""
+
+    owner: str
+    c1: Fp2Element
+    c2: Fp2Element
+
+
+class AfghScheme:
+    """AFGH unidirectional single-hop PRE over a symmetric pairing."""
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+
+    def keygen(self, rng: RandomSource | None = None) -> AfghKeyPair:
+        rng = rng or system_random()
+        secret = self.group.random_scalar(rng)
+        return AfghKeyPair(secret=secret, public=self.group.g1_mul(self.group.generator, secret))
+
+    # --------------------------------------------------------- second level
+
+    def encrypt_second(
+        self, owner: str, public: Point, message: Fp2Element, rng: RandomSource | None = None
+    ) -> AfghSecondLevelCiphertext:
+        """``(pk^r, m * Z^r)`` — decryptable by the owner, re-encryptable."""
+        rng = rng or system_random()
+        r = self.group.random_scalar(rng)
+        c1 = self.group.g1_mul(public, r)
+        mask = self.group.gt_exp(self.group.gt_generator(), r)
+        return AfghSecondLevelCiphertext(owner=owner, c1=c1, c2=self.group.gt_mul(message, mask))
+
+    def decrypt_second(self, ciphertext: AfghSecondLevelCiphertext, secret: int) -> Fp2Element:
+        """``m = c2 / e(c1, g)^(1/a)``."""
+        a_inv = modinv(secret, self.group.order)
+        mask = self.group.gt_exp(self.group.pair(ciphertext.c1, self.group.generator), a_inv)
+        return self.group.gt_div(ciphertext.c2, mask)
+
+    # ---------------------------------------------------------- first level
+
+    def encrypt_first(
+        self, owner: str, public: Point, message: Fp2Element, rng: RandomSource | None = None
+    ) -> AfghFirstLevelCiphertext:
+        """``(e(pk, g)^r, m * Z^r)`` — the delegator's *second* key usage."""
+        rng = rng or system_random()
+        r = self.group.random_scalar(rng)
+        c1 = self.group.gt_exp(self.group.pair(public, self.group.generator), r)
+        mask = self.group.gt_exp(self.group.gt_generator(), r)
+        return AfghFirstLevelCiphertext(owner=owner, c1=c1, c2=self.group.gt_mul(message, mask))
+
+    def decrypt_first(self, ciphertext: AfghFirstLevelCiphertext, secret: int) -> Fp2Element:
+        """``m = c2 / c1^(1/x)``."""
+        x_inv = modinv(secret, self.group.order)
+        return self.group.gt_div(ciphertext.c2, self.group.gt_exp(ciphertext.c1, x_inv))
+
+    # ------------------------------------------------------- re-encryption
+
+    def rekey(self, delegator_secret: int, delegatee_public: Point) -> Point:
+        """``rk_{a->b} = (g^b)^(1/a)``.  Non-interactive and unidirectional."""
+        return self.group.g1_mul(delegatee_public, modinv(delegator_secret, self.group.order))
+
+    def reencrypt(
+        self, ciphertext: AfghSecondLevelCiphertext, rk: Point, new_owner: str
+    ) -> AfghFirstLevelCiphertext:
+        """``e(g^(a*r), g^(b/a)) = Z^(b*r)``: second level becomes first level."""
+        c1 = self.group.pair(ciphertext.c1, rk)
+        return AfghFirstLevelCiphertext(owner=new_owner, c1=c1, c2=ciphertext.c2)
+
+    @staticmethod
+    def collusion_view(rk: Point, delegatee_secret: int) -> tuple[Point, int]:
+        """All a colluding proxy + delegatee hold: ``g^(b/a)`` and ``b``.
+
+        From these one derives only the weak secret ``g^(1/a)``; the
+        delegator's ``a`` stays safe (discrete log).  Returned as a pair so
+        property checks can verify no stronger value is derivable.
+        """
+        return rk, delegatee_secret

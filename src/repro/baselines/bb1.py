@@ -1,0 +1,130 @@
+"""The Boneh--Boyen BB1 identity-based encryption scheme (EUROCRYPT'04).
+
+The selective-ID secure IBE *without random oracles* that Matsuo's proxy
+re-encryption system builds on.  Identities are hashed to scalars
+``i = H(id)``; keys and ciphertexts are:
+
+    msk = g2^alpha,    d_id = (g2^alpha * (g1^i * h)^r,  g^r)
+    c   = (m * e(g1, g2)^s,  g^s,  (g1^i * h)^s)
+
+Implemented over the same symmetric pairing group as everything else so
+that the E2 scheme comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ec.curve import Point
+from repro.math.drbg import RandomSource, system_random
+from repro.math.fields import Fp2Element
+from repro.pairing.group import PairingGroup
+
+__all__ = ["Bb1Ibe", "Bb1Params", "Bb1MasterKey", "Bb1PrivateKey", "Bb1Ciphertext"]
+
+
+@dataclass(frozen=True)
+class Bb1Params:
+    """Public parameters ``(g1, g2, h)`` plus the cached ``v = e(g1, g2)``."""
+
+    domain: str
+    g1: Point
+    g2: Point
+    h: Point
+    v: Fp2Element
+
+
+@dataclass(frozen=True)
+class Bb1MasterKey:
+    """``msk = g2^alpha``."""
+
+    domain: str
+    point: Point
+
+
+@dataclass(frozen=True)
+class Bb1PrivateKey:
+    """``(d0, d1) = (g2^alpha * (g1^i * h)^r, g^r)``."""
+
+    domain: str
+    identity: str
+    d0: Point
+    d1: Point
+
+
+@dataclass(frozen=True)
+class Bb1Ciphertext:
+    """``(A, B, C) = (m * v^s, g^s, (g1^i * h)^s)``."""
+
+    domain: str
+    identity: str
+    a: Fp2Element
+    b: Point
+    c: Point
+
+
+class Bb1Ibe:
+    """One BB1 KGC domain over a symmetric pairing group."""
+
+    def __init__(self, group: PairingGroup, domain: str = "BB1"):
+        self.group = group
+        self.domain = domain
+
+    def identity_scalar(self, identity: str) -> int:
+        """``H(id)``: identities map to Z_q scalars (no random oracle in G1)."""
+        return self.group.hash_to_scalar(("bb1|%s|%s" % (self.domain, identity)).encode())
+
+    def setup(self, rng: RandomSource | None = None) -> tuple[Bb1Params, Bb1MasterKey]:
+        rng = rng or system_random()
+        alpha = self.group.random_scalar(rng)
+        g1 = self.group.g1_mul(self.group.generator, alpha)
+        g2 = self.group.random_g1(rng)
+        h = self.group.random_g1(rng)
+        v = self.group.pair(g1, g2)
+        params = Bb1Params(domain=self.domain, g1=g1, g2=g2, h=h, v=v)
+        return params, Bb1MasterKey(domain=self.domain, point=self.group.g1_mul(g2, alpha))
+
+    def _id_base(self, params: Bb1Params, identity: str) -> Point:
+        """``g1^i * h`` for ``i = H(id)``."""
+        i = self.identity_scalar(identity)
+        return self.group.g1_add(self.group.g1_mul(params.g1, i), params.h)
+
+    def extract(
+        self,
+        params: Bb1Params,
+        master: Bb1MasterKey,
+        identity: str,
+        rng: RandomSource | None = None,
+    ) -> Bb1PrivateKey:
+        rng = rng or system_random()
+        r = self.group.random_scalar(rng)
+        d0 = self.group.g1_add(master.point, self.group.g1_mul(self._id_base(params, identity), r))
+        d1 = self.group.g1_mul(self.group.generator, r)
+        return Bb1PrivateKey(domain=self.domain, identity=identity, d0=d0, d1=d1)
+
+    def encrypt(
+        self,
+        params: Bb1Params,
+        message: Fp2Element,
+        identity: str,
+        rng: RandomSource | None = None,
+    ) -> Bb1Ciphertext:
+        rng = rng or system_random()
+        s = self.group.random_scalar(rng)
+        a = self.group.gt_mul(message, self.group.gt_exp(params.v, s))
+        b = self.group.g1_mul(self.group.generator, s)
+        c = self.group.g1_mul(self._id_base(params, identity), s)
+        return Bb1Ciphertext(domain=self.domain, identity=identity, a=a, b=b, c=c)
+
+    def decrypt(self, ciphertext: Bb1Ciphertext, key: Bb1PrivateKey) -> Fp2Element:
+        """``m = A * e(C, d1) / e(B, d0)``.
+
+        Computed as a product of pairings (``e(C, d1) * e(-B, d0)``) so the
+        final exponentiation is paid once, not twice.
+        """
+        if ciphertext.domain != key.domain or ciphertext.identity != key.identity:
+            raise ValueError("ciphertext was not produced for this key")
+        ratio = self.group.multi_pair(
+            [(ciphertext.c, key.d1), (self.group.g1_neg(ciphertext.b), key.d0)]
+        )
+        return self.group.gt_mul(ciphertext.a, ratio)

@@ -1,0 +1,84 @@
+"""The Blaze--Bleumer--Strauss (BBS, EUROCRYPT'98) atomic proxy scheme.
+
+The first proxy re-encryption scheme: ElGamal-like, with re-encryption key
+``pi_{a->b} = b / a (mod q)``.  Its two famous weaknesses are exactly what
+the paper's related-work section recounts and what our property experiments
+(E4) demonstrate executably:
+
+* **bidirectional** — the same proxy key inverted converts ciphertexts from
+  the delegatee back to the delegator;
+* **interactive / not collusion-safe** — producing ``b/a`` requires both
+  secrets (modelled here by a trusted dealer function), and proxy +
+  delegatee together recover the delegator's secret ``a = b / pi``.
+
+Ciphertexts are ``(m * g^k, (g^a)^k)``; re-encryption raises the second
+component to ``pi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.elgamal import ElGamalKeyPair
+from repro.ec.curve import Point
+from repro.math.drbg import RandomSource, system_random
+from repro.math.ntheory import modinv
+from repro.pairing.group import PairingGroup
+
+__all__ = ["BbsProxyScheme", "BbsCiphertext"]
+
+
+@dataclass(frozen=True)
+class BbsCiphertext:
+    """``(c1, c2) = (m * g^k, pk^k)``; ``owner`` names the decrypting party."""
+
+    owner: str
+    c1: Point
+    c2: Point
+
+
+class BbsProxyScheme:
+    """BBS atomic proxy encryption over G1 (written additively)."""
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+
+    def keygen(self, rng: RandomSource | None = None) -> ElGamalKeyPair:
+        rng = rng or system_random()
+        secret = self.group.random_scalar(rng)
+        return ElGamalKeyPair(secret=secret, public=self.group.g1_mul(self.group.generator, secret))
+
+    def encrypt(
+        self, owner: str, keypair_public: Point, message: Point, rng: RandomSource | None = None
+    ) -> BbsCiphertext:
+        """Encrypt a G1 message to the key whose public part is ``keypair_public``."""
+        rng = rng or system_random()
+        k = self.group.random_scalar(rng)
+        c1 = self.group.g1_add(message, self.group.g1_mul(self.group.generator, k))
+        c2 = self.group.g1_mul(keypair_public, k)
+        return BbsCiphertext(owner=owner, c1=c1, c2=c2)
+
+    def decrypt(self, ciphertext: BbsCiphertext, secret: int) -> Point:
+        """``m = c1 - c2 * (1/a)``."""
+        a_inv = modinv(secret, self.group.order)
+        return self.group.g1_add(
+            ciphertext.c1, self.group.g1_neg(self.group.g1_mul(ciphertext.c2, a_inv))
+        )
+
+    def rekey(self, delegator_secret: int, delegatee_secret: int) -> int:
+        """``pi = b / a``.  *Interactive*: needs both secrets (trusted dealer)."""
+        return delegatee_secret * modinv(delegator_secret, self.group.order) % self.group.order
+
+    def reencrypt(self, ciphertext: BbsCiphertext, pi: int, new_owner: str) -> BbsCiphertext:
+        """``(c1, c2) -> (c1, c2 * pi)``: now decryptable with the delegatee key."""
+        return BbsCiphertext(
+            owner=new_owner, c1=ciphertext.c1, c2=self.group.g1_mul(ciphertext.c2, pi)
+        )
+
+    def invert_rekey(self, pi: int) -> int:
+        """The bidirectionality attack surface: ``pi^{-1}`` re-encrypts backwards."""
+        return modinv(pi, self.group.order)
+
+    def collusion_recover_secret(self, pi: int, delegatee_secret: int) -> int:
+        """Proxy + delegatee recover the delegator's secret: ``a = b / pi``."""
+        return delegatee_secret * modinv(pi, self.group.order) % self.group.order

@@ -1,0 +1,86 @@
+"""The Dodis--Ivan (NDSS'03) secret-splitting proxy construction (ElGamal).
+
+The delegator splits his secret ``a`` into ``a1 + a2 = a (mod q)``, hands
+``a1`` to the proxy and ``a2`` to the delegatee.  The proxy *partially
+decrypts* (rather than transforms) the ciphertext, and the delegatee
+finishes with ``a2``.  The two documented disadvantages reproduced here:
+
+* **not collusion-safe** — proxy and delegatee add their shares and recover
+  ``a`` (:meth:`collusion_recover_secret`);
+* **key dedication** — the delegatee's share is specific to the delegator;
+  in the key-pair variant the delegatee's own key pair becomes usable by
+  the delegator.  We model the share-based variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.elgamal import ElGamal, ElGamalCiphertext, ElGamalKeyPair
+from repro.ec.curve import Point
+from repro.math.drbg import RandomSource, system_random
+from repro.pairing.group import PairingGroup
+
+__all__ = ["DodisIvanScheme", "SecretShares", "PartiallyDecrypted"]
+
+
+@dataclass(frozen=True)
+class SecretShares:
+    """The two additive shares of the delegator's secret."""
+
+    proxy_share: int
+    delegatee_share: int
+
+
+@dataclass(frozen=True)
+class PartiallyDecrypted:
+    """A ciphertext after the proxy removed its share of the mask."""
+
+    c1: Point
+    c2: Point
+
+
+class DodisIvanScheme:
+    """Dodis--Ivan proxy cryptography via additive secret splitting."""
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+        self._elgamal = ElGamal(group)
+
+    def keygen(self, rng: RandomSource | None = None) -> ElGamalKeyPair:
+        return self._elgamal.keygen(rng)
+
+    def split(self, secret: int, rng: RandomSource | None = None) -> SecretShares:
+        """Split ``a = a1 + a2`` uniformly."""
+        rng = rng or system_random()
+        a1 = self.group.random_scalar(rng)
+        a2 = (secret - a1) % self.group.order
+        return SecretShares(proxy_share=a1, delegatee_share=a2)
+
+    def encrypt(
+        self, public: Point, message: Point, rng: RandomSource | None = None
+    ) -> ElGamalCiphertext:
+        return self._elgamal.encrypt(public, message, rng)
+
+    def decrypt(self, ciphertext: ElGamalCiphertext, secret: int) -> Point:
+        return self._elgamal.decrypt(ciphertext, secret)
+
+    def proxy_transform(
+        self, ciphertext: ElGamalCiphertext, proxy_share: int
+    ) -> PartiallyDecrypted:
+        """Remove the proxy's half of the mask: ``c2 - a1 * c1``."""
+        partial = self.group.g1_add(
+            ciphertext.c2, self.group.g1_neg(self.group.g1_mul(ciphertext.c1, proxy_share))
+        )
+        return PartiallyDecrypted(c1=ciphertext.c1, c2=partial)
+
+    def delegatee_decrypt(self, partial: PartiallyDecrypted, delegatee_share: int) -> Point:
+        """Finish with the delegatee's share: ``m = c2 - a2 * c1``."""
+        return self.group.g1_add(
+            partial.c2, self.group.g1_neg(self.group.g1_mul(partial.c1, delegatee_share))
+        )
+
+    @staticmethod
+    def collusion_recover_secret(shares: SecretShares, order: int) -> int:
+        """Proxy + delegatee trivially reassemble the delegator's secret."""
+        return (shares.proxy_share + shares.delegatee_share) % order

@@ -1,0 +1,61 @@
+"""ElGamal encryption over the pairing group G1.
+
+This is the substrate for the discrete-log baselines (Blaze--Bleumer--Strauss
+and Dodis--Ivan).  Messages are G1 points; the scheme is the textbook one:
+``pk = g^a``, ``Enc(m) = (g^r, m * pk^r)``, ``Dec(c) = c2 / c1^a``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ec.curve import Point
+from repro.math.drbg import RandomSource, system_random
+from repro.pairing.group import PairingGroup
+
+__all__ = ["ElGamal", "ElGamalKeyPair", "ElGamalCiphertext"]
+
+
+@dataclass(frozen=True)
+class ElGamalKeyPair:
+    """An ElGamal key pair over G1."""
+
+    secret: int
+    public: Point
+
+
+@dataclass(frozen=True)
+class ElGamalCiphertext:
+    """``(c1, c2) = (g^r, m * pk^r)`` with both components in G1."""
+
+    c1: Point
+    c2: Point
+
+
+class ElGamal:
+    """Textbook ElGamal over the G1 subgroup of a pairing group."""
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+
+    def keygen(self, rng: RandomSource | None = None) -> ElGamalKeyPair:
+        rng = rng or system_random()
+        secret = self.group.random_scalar(rng)
+        return ElGamalKeyPair(secret=secret, public=self.group.g1_mul(self.group.generator, secret))
+
+    def random_message(self, rng: RandomSource | None = None) -> Point:
+        """A uniform G1 plaintext."""
+        return self.group.random_g1(rng or system_random())
+
+    def encrypt(
+        self, public: Point, message: Point, rng: RandomSource | None = None
+    ) -> ElGamalCiphertext:
+        rng = rng or system_random()
+        r = self.group.random_scalar(rng)
+        c1 = self.group.g1_mul(self.group.generator, r)
+        c2 = self.group.g1_add(message, self.group.g1_mul(public, r))
+        return ElGamalCiphertext(c1=c1, c2=c2)
+
+    def decrypt(self, ciphertext: ElGamalCiphertext, secret: int) -> Point:
+        shared = self.group.g1_mul(ciphertext.c1, secret)
+        return self.group.g1_add(ciphertext.c2, self.group.g1_neg(shared))

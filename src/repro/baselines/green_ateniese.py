@@ -1,0 +1,126 @@
+"""The Green--Ateniese identity-based PRE (ACNS'07), scheme IBP1 (CPA).
+
+This is the closest prior work to the paper: an IBE-to-IBE proxy
+re-encryption over Boneh--Franklin where the re-encryption key blinds the
+delegator's private key with a hashed random GT element that travels to
+the delegatee encrypted under her identity:
+
+    rk_{id1 -> id2} = ( sk_id1^{-1} * H3(X),  Encrypt(X, id2) ).
+
+The crucial *difference* from the paper's scheme — and the reason the
+paper exists — is that the re-encryption key works for **all** of the
+delegator's ciphertexts: there is no type exponent, so one corrupted proxy
+key exposes every message.  Experiment E7 demonstrates this contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ec.curve import Point
+from repro.ibe.boneh_franklin import BonehFranklinIbe
+from repro.ibe.keys import IbeCiphertext, IbeParams, IbePrivateKey
+from repro.math.drbg import RandomSource, system_random
+from repro.math.fields import Fp2Element
+from repro.pairing.group import PairingGroup
+
+__all__ = ["GreenAtenieseIbp1", "GaProxyKey", "GaReEncryptedCiphertext"]
+
+
+@dataclass(frozen=True)
+class GaProxyKey:
+    """``(sk_id1^{-1} * H3(X), Encrypt2(X, id2))`` — valid for *all* types."""
+
+    delegator_domain: str
+    delegator: str
+    delegatee_domain: str
+    delegatee: str
+    rk_point: Point
+    encrypted_blind: IbeCiphertext
+
+
+@dataclass(frozen=True)
+class GaReEncryptedCiphertext:
+    """``(c1, c2 * e(c1, rk), Encrypt2(X, id2))``."""
+
+    delegatee_domain: str
+    delegatee: str
+    c1: Point
+    c2: Fp2Element
+    encrypted_blind: IbeCiphertext
+
+
+class GreenAtenieseIbp1:
+    """Green--Ateniese IBP1 over the multiplicative Boneh--Franklin variant."""
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+
+    def _blind_point(self, blind: Fp2Element) -> Point:
+        """``H3: GT -> G1`` (domain-separated from the paper's H1)."""
+        return self.group.hash_to_g1(b"ga-ibp1-blind|" + self.group.serialize_gt(blind))
+
+    def encrypt(
+        self,
+        params: IbeParams,
+        message: Fp2Element,
+        identity: str,
+        rng: RandomSource | None = None,
+    ) -> IbeCiphertext:
+        """Plain Boneh--Franklin encryption — anyone can encrypt to id1."""
+        return BonehFranklinIbe(self.group, params.domain).encrypt(params, message, identity, rng)
+
+    def decrypt(self, ciphertext: IbeCiphertext, key: IbePrivateKey) -> Fp2Element:
+        return BonehFranklinIbe(self.group, key.domain).decrypt(ciphertext, key)
+
+    def rkgen(
+        self,
+        delegator_key: IbePrivateKey,
+        delegatee_identity: str,
+        delegatee_params: IbeParams,
+        rng: RandomSource | None = None,
+    ) -> GaProxyKey:
+        """Non-interactive re-encryption key generation by the delegator."""
+        rng = rng or system_random()
+        blind = self.group.random_gt(rng)
+        rk_point = self.group.g1_add(
+            self.group.g1_neg(delegator_key.point), self._blind_point(blind)
+        )
+        encrypted_blind = BonehFranklinIbe(self.group, delegatee_params.domain).encrypt(
+            delegatee_params, blind, delegatee_identity, rng
+        )
+        return GaProxyKey(
+            delegator_domain=delegator_key.domain,
+            delegator=delegator_key.identity,
+            delegatee_domain=delegatee_params.domain,
+            delegatee=delegatee_identity,
+            rk_point=rk_point,
+            encrypted_blind=encrypted_blind,
+        )
+
+    def reencrypt(self, ciphertext: IbeCiphertext, key: GaProxyKey) -> GaReEncryptedCiphertext:
+        """Works on *every* ciphertext of the delegator — no type check possible."""
+        if ciphertext.domain != key.delegator_domain or ciphertext.identity != key.delegator:
+            raise ValueError("proxy key does not match the ciphertext's delegator")
+        c2 = self.group.gt_mul(ciphertext.c2, self.group.pair(ciphertext.c1, key.rk_point))
+        return GaReEncryptedCiphertext(
+            delegatee_domain=key.delegatee_domain,
+            delegatee=key.delegatee,
+            c1=ciphertext.c1,
+            c2=c2,
+            encrypted_blind=key.encrypted_blind,
+        )
+
+    def decrypt_reencrypted(
+        self, ciphertext: GaReEncryptedCiphertext, delegatee_key: IbePrivateKey
+    ) -> Fp2Element:
+        if (
+            ciphertext.delegatee_domain != delegatee_key.domain
+            or ciphertext.delegatee != delegatee_key.identity
+        ):
+            raise ValueError("re-encrypted ciphertext was not produced for this key")
+        blind = BonehFranklinIbe(self.group, delegatee_key.domain).decrypt(
+            ciphertext.encrypted_blind, delegatee_key
+        )
+        mask = self.group.pair(ciphertext.c1, self._blind_point(blind))
+        return self.group.gt_div(ciphertext.c2, mask)

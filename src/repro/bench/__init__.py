@@ -1,0 +1,15 @@
+"""Benchmark instrumentation: operation counters, timers, table rendering."""
+
+from repro.bench.counters import OperationCounter, count_operations, record_operation
+from repro.bench.report import print_table, render_table
+from repro.bench.timing import TimedResult, measure
+
+__all__ = [
+    "OperationCounter",
+    "count_operations",
+    "record_operation",
+    "TimedResult",
+    "measure",
+    "render_table",
+    "print_table",
+]

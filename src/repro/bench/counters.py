@@ -1,0 +1,61 @@
+"""Group-operation counting for cost accounting in benchmarks.
+
+The pairing and group layers call :func:`record_operation` on every
+expensive primitive (pairing, G1 scalar multiplication, GT exponentiation,
+hash-to-point).  Benchmarks activate an :class:`OperationCounter` context to
+attribute those costs to a scheme operation, producing the per-operation
+cost tables of experiment E1 without instrument-specific code in the
+schemes themselves.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+
+__all__ = ["OperationCounter", "record_operation", "count_operations"]
+
+_ACTIVE: list["OperationCounter"] = []
+
+
+class OperationCounter:
+    """A tally of expensive group operations."""
+
+    def __init__(self):
+        self.counts: Counter[str] = Counter()
+
+    def record(self, kind: str, amount: int = 1) -> None:
+        self.counts[kind] += amount
+
+    def get(self, kind: str) -> int:
+        return self.counts.get(kind, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.counts)
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def __repr__(self) -> str:
+        inner = ", ".join("%s=%d" % (k, v) for k, v in sorted(self.counts.items()))
+        return "OperationCounter(%s)" % inner
+
+
+def record_operation(kind: str, amount: int = 1) -> None:
+    """Record an operation against every active counter (no-op otherwise)."""
+    for counter in _ACTIVE:
+        counter.record(kind, amount)
+
+
+@contextmanager
+def count_operations():
+    """Context manager yielding a fresh counter active for its duration.
+
+    Counters nest: inner contexts do not steal counts from outer ones.
+    """
+    counter = OperationCounter()
+    _ACTIVE.append(counter)
+    try:
+        yield counter
+    finally:
+        _ACTIVE.remove(counter)

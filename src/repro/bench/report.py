@@ -1,0 +1,28 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every bench prints its results as an aligned table (the "same rows the
+paper would report"); EXPERIMENTS.md embeds the captured output.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "print_table"]
+
+
+def render_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """Render an aligned monospace table with a title rule."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must match the header width")
+    columns = [headers] + rows
+    widths = [max(len(str(row[i])) for row in columns) for i in range(len(headers))]
+    def fmt(row):
+        return "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)).rstrip()
+    rule = "-" * min(96, sum(widths) + 2 * (len(widths) - 1))
+    lines = ["", "== %s ==" % title, fmt(headers), rule]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: list[str], rows: list[list[str]]) -> None:
+    """Print a table to stdout (captured by ``pytest -s`` / tee)."""
+    print(render_table(title, headers, rows))

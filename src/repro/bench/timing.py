@@ -1,0 +1,61 @@
+"""Timing helpers for the experiment harness.
+
+``pytest-benchmark`` drives the statistical measurement in
+``benchmarks/``; these helpers serve the *tables* — quick wall-clock
+medians and operation counts printed in the paper-style rows that
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.bench.counters import count_operations
+
+__all__ = ["TimedResult", "measure"]
+
+
+@dataclass(frozen=True)
+class TimedResult:
+    """Median wall time plus the group-operation profile of one callable."""
+
+    label: str
+    median_ms: float
+    min_ms: float
+    repeats: int
+    operations: dict[str, int]
+
+    def operations_summary(self) -> str:
+        """Compact ``pairing=2 g1_mul=1`` style summary."""
+        if not self.operations:
+            return "-"
+        return " ".join("%s=%d" % (k, v) for k, v in sorted(self.operations.items()))
+
+
+def measure(label: str, fn, repeats: int = 5) -> TimedResult:
+    """Run ``fn`` ``repeats`` times; report median/min time and op counts.
+
+    The operation counter is active only on the first run (the counts are
+    deterministic), so counting overhead does not pollute the timings.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    with count_operations() as counter:
+        start = time.perf_counter()
+        fn()
+        first = (time.perf_counter() - start) * 1000.0
+    times = [first]
+    for _ in range(repeats - 1):
+        start = time.perf_counter()
+        fn()
+        times.append((time.perf_counter() - start) * 1000.0)
+    times.sort()
+    median = times[len(times) // 2]
+    return TimedResult(
+        label=label,
+        median_ms=median,
+        min_ms=times[0],
+        repeats=repeats,
+        operations=counter.as_dict(),
+    )

@@ -1,0 +1,230 @@
+"""Command-line interface: the full delegation lifecycle over files.
+
+Every artifact (params, keys, ciphertexts, proxy keys) lives on disk in
+the library's JSON envelope format, so the CLI doubles as an
+interoperability test of :mod:`repro.serialization`.  The seven
+subcommands mirror the scheme's algorithms:
+
+    setup      create a KGC domain (params + master key files)
+    extract    issue a user private key
+    encrypt    hybrid-encrypt a file under a type label
+    decrypt    delegator-side decryption
+    pextract   create a proxy re-encryption key
+    preenc     proxy transformation
+    redecrypt  delegatee-side decryption
+
+Example round trip::
+
+    repro-pre setup --group TOY --domain KGC1 --out kgc1
+    repro-pre setup --group TOY --domain KGC2 --out kgc2
+    repro-pre extract --kgc kgc1 --identity alice --out alice.key
+    repro-pre extract --kgc kgc2 --identity bob --out bob.key
+    repro-pre encrypt --params kgc1/params.json --key alice.key \
+        --type labs --in report.txt --out report.ct
+    repro-pre pextract --key alice.key --delegatee bob \
+        --delegatee-params kgc2/params.json --type labs --out labs.rk
+    repro-pre preenc --rk labs.rk --in report.ct --out report.re
+    repro-pre redecrypt --key bob.key --in report.re --out report.out
+
+The master-key file is written in the clear — this CLI is a research
+demonstrator, not a key-management product.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.scheme import TypeAndIdentityPre
+from repro.hybrid.kem import HybridPre
+from repro.ibe.boneh_franklin import BonehFranklinIbe
+from repro.ibe.keys import IbeMasterKey
+from repro.math.drbg import HmacDrbg, system_random
+from repro.pairing.group import PairingGroup
+from repro.serialization.containers import (
+    deserialize_hybrid,
+    deserialize_hybrid_reencrypted,
+    deserialize_params,
+    deserialize_private_key,
+    deserialize_proxy_key,
+    from_json_envelope,
+    serialize_hybrid,
+    serialize_hybrid_reencrypted,
+    serialize_params,
+    serialize_private_key,
+    serialize_proxy_key,
+    to_json_envelope,
+)
+
+__all__ = ["main"]
+
+
+def _rng(args):
+    return HmacDrbg(args.seed) if args.seed else system_random()
+
+
+def _write_envelope(group: PairingGroup, blob: bytes, path: Path) -> None:
+    path.write_text(to_json_envelope(group, blob))
+
+
+def _read_envelope(group: PairingGroup, path: Path) -> bytes:
+    return from_json_envelope(group, path.read_text())
+
+
+def _group_of(path: Path) -> PairingGroup:
+    """Infer the pairing group from any envelope file."""
+    envelope = json.loads(path.read_text())
+    return PairingGroup.shared(envelope["group"])
+
+
+def _cmd_setup(args) -> int:
+    group = PairingGroup.shared(args.group)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    params, master = BonehFranklinIbe(group, args.domain).setup(_rng(args))
+    _write_envelope(group, serialize_params(group, params), out / "params.json")
+    (out / "master.json").write_text(
+        json.dumps({"domain": master.domain, "group": group.params.name, "alpha": master.alpha})
+    )
+    print("created domain %r on %s in %s" % (args.domain, args.group, out))
+    return 0
+
+
+def _cmd_extract(args) -> int:
+    kgc_dir = Path(args.kgc)
+    master_data = json.loads((kgc_dir / "master.json").read_text())
+    group = PairingGroup.shared(master_data["group"])
+    master = IbeMasterKey(domain=master_data["domain"], alpha=master_data["alpha"])
+    key = BonehFranklinIbe(group, master.domain).extract(master, args.identity)
+    _write_envelope(group, serialize_private_key(group, key), Path(args.out))
+    print("extracted key for %r in domain %r" % (args.identity, master.domain))
+    return 0
+
+
+def _cmd_encrypt(args) -> int:
+    group = _group_of(Path(args.params))
+    params = deserialize_params(group, _read_envelope(group, Path(args.params)))
+    key = deserialize_private_key(group, _read_envelope(group, Path(args.key)))
+    payload = Path(args.infile).read_bytes()
+    ciphertext = HybridPre(group).encrypt(params, key, payload, args.type, _rng(args))
+    _write_envelope(group, serialize_hybrid(group, ciphertext), Path(args.out))
+    print("encrypted %d bytes under type %r" % (len(payload), args.type))
+    return 0
+
+
+def _cmd_decrypt(args) -> int:
+    group = _group_of(Path(args.infile))
+    key = deserialize_private_key(group, _read_envelope(group, Path(args.key)))
+    ciphertext = deserialize_hybrid(group, _read_envelope(group, Path(args.infile)))
+    payload = HybridPre(group).decrypt(ciphertext, key)
+    Path(args.out).write_bytes(payload)
+    print("decrypted %d bytes (type %r)" % (len(payload), ciphertext.type_label))
+    return 0
+
+
+def _cmd_pextract(args) -> int:
+    group = _group_of(Path(args.key))
+    key = deserialize_private_key(group, _read_envelope(group, Path(args.key)))
+    delegatee_params = deserialize_params(
+        group, _read_envelope(group, Path(args.delegatee_params))
+    )
+    proxy_key = TypeAndIdentityPre(group).pextract(
+        key, args.delegatee, args.type, delegatee_params, _rng(args)
+    )
+    _write_envelope(group, serialize_proxy_key(group, proxy_key), Path(args.out))
+    print(
+        "proxy key: %s -> %s for type %r" % (key.identity, args.delegatee, args.type)
+    )
+    return 0
+
+
+def _cmd_preenc(args) -> int:
+    group = _group_of(Path(args.infile))
+    proxy_key = deserialize_proxy_key(group, _read_envelope(group, Path(args.rk)))
+    ciphertext = deserialize_hybrid(group, _read_envelope(group, Path(args.infile)))
+    transformed = HybridPre(group).reencrypt(ciphertext, proxy_key)
+    _write_envelope(group, serialize_hybrid_reencrypted(group, transformed), Path(args.out))
+    print("re-encrypted for %r (type %r)" % (proxy_key.delegatee, proxy_key.type_label))
+    return 0
+
+
+def _cmd_redecrypt(args) -> int:
+    group = _group_of(Path(args.infile))
+    key = deserialize_private_key(group, _read_envelope(group, Path(args.key)))
+    ciphertext = deserialize_hybrid_reencrypted(group, _read_envelope(group, Path(args.infile)))
+    payload = HybridPre(group).decrypt_reencrypted(ciphertext, key)
+    Path(args.out).write_bytes(payload)
+    print("decrypted %d bytes as delegatee %r" % (len(payload), key.identity))
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pre",
+        description="Type-and-identity-based proxy re-encryption over files.",
+    )
+    parser.add_argument("--seed", help="deterministic RNG seed (testing only)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("setup", help="create a KGC domain")
+    p.add_argument("--group", default="SS256", help="parameter set (TOY/SS256/SS512/SS1024)")
+    p.add_argument("--domain", required=True)
+    p.add_argument("--out", required=True, help="output directory")
+    p.set_defaults(func=_cmd_setup)
+
+    p = sub.add_parser("extract", help="issue a user private key")
+    p.add_argument("--kgc", required=True, help="KGC directory from `setup`")
+    p.add_argument("--identity", required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_extract)
+
+    p = sub.add_parser("encrypt", help="hybrid-encrypt a file under a type")
+    p.add_argument("--params", required=True)
+    p.add_argument("--key", required=True, help="the delegator's own private key")
+    p.add_argument("--type", required=True)
+    p.add_argument("--in", dest="infile", required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_encrypt)
+
+    p = sub.add_parser("decrypt", help="delegator-side decryption")
+    p.add_argument("--key", required=True)
+    p.add_argument("--in", dest="infile", required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_decrypt)
+
+    p = sub.add_parser("pextract", help="create a proxy re-encryption key")
+    p.add_argument("--key", required=True)
+    p.add_argument("--delegatee", required=True)
+    p.add_argument("--delegatee-params", required=True)
+    p.add_argument("--type", required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_pextract)
+
+    p = sub.add_parser("preenc", help="proxy transformation")
+    p.add_argument("--rk", required=True)
+    p.add_argument("--in", dest="infile", required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_preenc)
+
+    p = sub.add_parser("redecrypt", help="delegatee-side decryption")
+    p.add_argument("--key", required=True)
+    p.add_argument("--in", dest="infile", required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_redecrypt)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError, OSError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

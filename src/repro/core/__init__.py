@@ -1,0 +1,21 @@
+"""The paper's core contribution: type-and-identity-based proxy re-encryption."""
+
+from repro.core.ciphertexts import ProxyKey, ReEncryptedCiphertext, TypedCiphertext
+from repro.core.epochs import EpochSchedule, ExpiredDelegationError, TemporalPre
+from repro.core.proxy import NoProxyKeyError, ProxyService, ReEncryptionLogEntry
+from repro.core.scheme import DelegationError, TypeAndIdentityPre, TypeMismatchError
+
+__all__ = [
+    "TypeAndIdentityPre",
+    "TypedCiphertext",
+    "ProxyKey",
+    "ReEncryptedCiphertext",
+    "ProxyService",
+    "NoProxyKeyError",
+    "ReEncryptionLogEntry",
+    "TypeMismatchError",
+    "DelegationError",
+    "EpochSchedule",
+    "TemporalPre",
+    "ExpiredDelegationError",
+]

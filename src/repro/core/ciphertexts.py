@@ -1,0 +1,80 @@
+"""Value objects for the type-and-identity-based PRE scheme.
+
+Field names follow Section 4.1 of the paper:
+
+* :class:`TypedCiphertext` is ``c = (c1, c2, c3)`` with ``c1 = g^r``,
+  ``c2 = m * e(pk_id, pk)^(r * H2(sk_id || t))`` and ``c3 = t``;
+* :class:`ProxyKey` is ``rk_{id_i -> id_j} = (t, sk_i^{-H2(sk_i||t)} * H1(X),
+  Encrypt2(X, id_j))``;
+* :class:`ReEncryptedCiphertext` is ``c_j = (c_j1, c_j2, c_j3)`` where
+  ``c_j3`` carries the encrypted blinding element to the delegatee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ec.curve import Point
+from repro.ibe.keys import IbeCiphertext
+from repro.math.fields import Fp2Element
+
+__all__ = ["TypedCiphertext", "ProxyKey", "ReEncryptedCiphertext"]
+
+
+@dataclass(frozen=True)
+class TypedCiphertext:
+    """A type-tagged ciphertext under the delegator's identity.
+
+    ``type_label`` is stored in the clear (it is ``c3`` in the paper); the
+    confidentiality goal covers the payload only.
+    """
+
+    domain: str
+    identity: str
+    c1: Point
+    c2: Fp2Element
+    type_label: str
+
+    def header(self) -> tuple[str, str, str]:
+        """Routing metadata the proxy may look at: (domain, identity, type)."""
+        return (self.domain, self.identity, self.type_label)
+
+
+@dataclass(frozen=True)
+class ProxyKey:
+    """A re-encryption key for exactly one (delegator, delegatee, type) triple.
+
+    ``rk_point`` is the G1 element ``sk_i^{-H2(sk_i||t)} * H1(X)``; the
+    blinding element ``X`` travels to the delegatee inside
+    ``encrypted_blind`` and never appears in the clear.
+    """
+
+    delegator_domain: str
+    delegator: str
+    delegatee_domain: str
+    delegatee: str
+    type_label: str
+    rk_point: Point
+    encrypted_blind: IbeCiphertext
+
+    def matches(self, ciphertext: TypedCiphertext) -> bool:
+        """True when this key is allowed to transform ``ciphertext``."""
+        return (
+            self.delegator_domain == ciphertext.domain
+            and self.delegator == ciphertext.identity
+            and self.type_label == ciphertext.type_label
+        )
+
+
+@dataclass(frozen=True)
+class ReEncryptedCiphertext:
+    """The output of ``Preenc``: decryptable only by the delegatee."""
+
+    delegator_domain: str
+    delegator: str
+    delegatee_domain: str
+    delegatee: str
+    type_label: str
+    c1: Point
+    c2: Fp2Element
+    encrypted_blind: IbeCiphertext

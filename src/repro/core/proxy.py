@@ -1,0 +1,143 @@
+"""The proxy actor: a semi-trusted re-encryption service.
+
+The proxy of the paper holds re-encryption keys and transforms ciphertexts
+on request.  It never sees a private key or a plaintext; its entire state
+is the table of :class:`~repro.core.ciphertexts.ProxyKey` objects installed
+by delegators.  The class enforces the scheme's fine-grained policy
+mechanically: a transformation happens only when a key exists for exactly
+the (delegator, delegatee, type) triple of the request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ciphertexts import ProxyKey, ReEncryptedCiphertext, TypedCiphertext
+from repro.core.scheme import TypeAndIdentityPre
+
+__all__ = ["ProxyService", "NoProxyKeyError", "ReEncryptionLogEntry"]
+
+
+class NoProxyKeyError(KeyError):
+    """Raised when the proxy holds no key for the requested transformation."""
+
+
+@dataclass(frozen=True)
+class ReEncryptionLogEntry:
+    """One entry of the proxy's transformation log."""
+
+    delegator: str
+    delegatee: str
+    type_label: str
+    sequence: int
+
+
+@dataclass
+class ProxyService:
+    """A re-encryption proxy holding keys for (delegator, delegatee, type) triples."""
+
+    scheme: TypeAndIdentityPre
+    name: str = "proxy"
+    _keys: dict[tuple[str, str, str, str, str], ProxyKey] = field(default_factory=dict)
+    _log: list[ReEncryptionLogEntry] = field(default_factory=list)
+
+    @staticmethod
+    def _index(key: ProxyKey) -> tuple[str, str, str, str, str]:
+        return (
+            key.delegator_domain,
+            key.delegator,
+            key.delegatee_domain,
+            key.delegatee,
+            key.type_label,
+        )
+
+    def install_key(self, key: ProxyKey) -> None:
+        """Install (or replace) a re-encryption key."""
+        self._keys[self._index(key)] = key
+
+    def revoke_key(
+        self,
+        delegator_domain: str,
+        delegator: str,
+        delegatee_domain: str,
+        delegatee: str,
+        type_label: str,
+    ) -> bool:
+        """Remove a key; returns False when no such key was installed."""
+        return (
+            self._keys.pop(
+                (delegator_domain, delegator, delegatee_domain, delegatee, type_label), None
+            )
+            is not None
+        )
+
+    def key_count(self) -> int:
+        return len(self._keys)
+
+    def delegations_for(self, delegator: str) -> list[tuple[str, str]]:
+        """All (delegatee, type) pairs this proxy can serve for a delegator."""
+        return sorted(
+            (key.delegatee, key.type_label)
+            for key in self._keys.values()
+            if key.delegator == delegator
+        )
+
+    def can_reencrypt(
+        self, ciphertext: TypedCiphertext, delegatee_domain: str, delegatee: str
+    ) -> bool:
+        index = (
+            ciphertext.domain,
+            ciphertext.identity,
+            delegatee_domain,
+            delegatee,
+            ciphertext.type_label,
+        )
+        return index in self._keys
+
+    def get_key(
+        self, ciphertext: TypedCiphertext, delegatee_domain: str, delegatee: str
+    ) -> ProxyKey:
+        """Look up the key that would transform ``ciphertext`` for a delegatee.
+
+        Raises :class:`NoProxyKeyError` when no matching key is installed.
+        """
+        index = (
+            ciphertext.domain,
+            ciphertext.identity,
+            delegatee_domain,
+            delegatee,
+            ciphertext.type_label,
+        )
+        key = self._keys.get(index)
+        if key is None:
+            raise NoProxyKeyError(
+                "no proxy key for delegator=%r delegatee=%r type=%r"
+                % (ciphertext.identity, delegatee, ciphertext.type_label)
+            )
+        return key
+
+    def reencrypt(
+        self, ciphertext: TypedCiphertext, delegatee_domain: str, delegatee: str
+    ) -> ReEncryptedCiphertext:
+        """Transform ``ciphertext`` for the named delegatee.
+
+        Raises :class:`NoProxyKeyError` when the delegator never delegated
+        this ciphertext's type to that delegatee — the fine-grained control
+        the paper's construction provides.
+        """
+        key = self.get_key(ciphertext, delegatee_domain, delegatee)
+        result = self.scheme.preenc(ciphertext, key)
+        self._log.append(
+            ReEncryptionLogEntry(
+                delegator=ciphertext.identity,
+                delegatee=delegatee,
+                type_label=ciphertext.type_label,
+                sequence=len(self._log),
+            )
+        )
+        return result
+
+    @property
+    def log(self) -> list[ReEncryptionLogEntry]:
+        """The transformation log (copy)."""
+        return list(self._log)

@@ -1,0 +1,14 @@
+"""Elliptic-curve substrate: curves, points, and type-A pairing parameters."""
+
+from repro.ec.curve import EllipticCurve, Point
+from repro.ec.params import available_parameter_sets, generate_parameters, get_params
+from repro.ec.supersingular import SupersingularCurve
+
+__all__ = [
+    "EllipticCurve",
+    "Point",
+    "SupersingularCurve",
+    "get_params",
+    "generate_parameters",
+    "available_parameter_sets",
+]

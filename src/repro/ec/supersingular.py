@@ -1,0 +1,161 @@
+"""Type-A (supersingular) pairing groups: E: y^2 = x^3 + x over F_p.
+
+For a prime ``p = 3 (mod 4)`` the curve ``y^2 = x^3 + x`` is supersingular
+with ``#E(F_p) = p + 1`` and embedding degree 2.  Taking a prime ``q``
+dividing ``p + 1`` gives a subgroup G1 of order ``q`` on which the
+distortion map
+
+    phi(x, y) = (-x, i*y),   i^2 = -1 in F_{p^2}
+
+yields a symmetric pairing ``e(P, Q) = tate(P, phi(Q))`` with values in the
+order-``q`` subgroup GT of F_{p^2}^*.  This is exactly the structure of the
+PBC / charm-crypto "type A" groups (e.g. SS512) that pairing papers of the
+Boneh--Franklin era ran on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.ec.curve import EllipticCurve, Point
+from repro.math.fields import Fp2Element, PrimeField, QuadraticExtField
+from repro.math.ntheory import bytes_to_int
+
+__all__ = ["SupersingularCurve"]
+
+_HASH_TO_POINT_TRIES = 256
+
+
+@dataclass(frozen=True)
+class SupersingularCurve:
+    """A complete type-A pairing group description.
+
+    Attributes:
+        name: human-readable parameter-set name (e.g. ``"SS512"``).
+        p: base-field characteristic, ``p = 3 (mod 4)``.
+        q: prime order of G1 and GT, with ``q | p + 1``.
+        h: cofactor, ``p + 1 = h * q``.
+        generator: a fixed generator of G1.
+    """
+
+    name: str
+    p: int
+    q: int
+    h: int
+    generator_x: int
+    generator_y: int
+    base_field: PrimeField = field(init=False, repr=False, compare=False)
+    ext_field: QuadraticExtField = field(init=False, repr=False, compare=False)
+    curve: EllipticCurve = field(init=False, repr=False, compare=False)
+    ext_curve: EllipticCurve = field(init=False, repr=False, compare=False)
+    generator: Point = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.p % 4 != 3:
+            raise ValueError("supersingular y^2 = x^3 + x needs p = 3 (mod 4)")
+        if (self.p + 1) != self.h * self.q:
+            raise ValueError("cofactor mismatch: p + 1 != h * q")
+        base = PrimeField(self.p)
+        ext = QuadraticExtField(base)
+        object.__setattr__(self, "base_field", base)
+        object.__setattr__(self, "ext_field", ext)
+        object.__setattr__(self, "curve", EllipticCurve(base, base(1), base(0)))
+        object.__setattr__(self, "ext_curve", EllipticCurve(ext, ext(1), ext(0)))
+        gen = self.curve.point(self.generator_x, self.generator_y)
+        object.__setattr__(self, "generator", gen)
+
+    # ------------------------------------------------------------------ G1
+
+    def random_point(self, rng) -> Point:
+        """Uniform element of G1 (a random multiple of the generator)."""
+        return self.generator * rng.rand_nonzero_below(self.q)
+
+    def random_scalar(self, rng) -> int:
+        """Uniform element of Z_q^*."""
+        return rng.rand_nonzero_below(self.q)
+
+    def is_in_subgroup(self, point: Point) -> bool:
+        """Check membership of the order-``q`` subgroup G1."""
+        return self.curve.contains(point) and (point * self.q).is_infinity()
+
+    def hash_to_group(self, data: bytes | str) -> Point:
+        """Hash arbitrary data onto G1 (try-and-increment + cofactor clear).
+
+        This realises the random oracle H1: {0,1}* -> G1 of Boneh--Franklin.
+        """
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        p_bytes = (self.p.bit_length() + 7) // 8
+        for counter in range(_HASH_TO_POINT_TRIES):
+            digest = b""
+            block = 0
+            while len(digest) < p_bytes + 8:
+                digest += hashlib.sha256(
+                    b"repro-h2p" + counter.to_bytes(2, "big") + block.to_bytes(2, "big") + data
+                ).digest()
+                block += 1
+            x = self.base_field(bytes_to_int(digest[: p_bytes + 8]))
+            candidate = self.curve.lift_x(x, y_parity=digest[-1] & 1)
+            if candidate is None:
+                continue
+            point = candidate * self.h
+            if not point.is_infinity():
+                return point
+        raise RuntimeError("hash_to_group failed after %d tries" % _HASH_TO_POINT_TRIES)
+
+    # ------------------------------------------------------------- distortion
+
+    def distort(self, point: Point) -> Point:
+        """Apply the distortion map phi(x, y) = (-x, i*y) into E(F_{p^2})."""
+        if point.is_infinity():
+            return self.ext_curve.infinity()
+        ext = self.ext_field
+        x = ext(-int(point.x) % self.p, 0)
+        y = ext(0, int(point.y))
+        return Point(self.ext_curve, x, y)
+
+    def lift_to_ext(self, point: Point) -> Point:
+        """Embed a base-field point into E(F_{p^2}) without distortion."""
+        if point.is_infinity():
+            return self.ext_curve.infinity()
+        ext = self.ext_field
+        return Point(self.ext_curve, ext(int(point.x), 0), ext(int(point.y), 0))
+
+    # ------------------------------------------------------------------- GT
+
+    def gt_exponent(self) -> int:
+        """The final-exponentiation power ``(p^2 - 1) / q``."""
+        return (self.p * self.p - 1) // self.q
+
+    def gt_identity(self) -> Fp2Element:
+        return self.ext_field.one()
+
+    def is_in_gt(self, value: Fp2Element) -> bool:
+        """Check membership of the order-``q`` subgroup of F_{p^2}^*."""
+        return not value.is_zero() and (value**self.q).is_one()
+
+    def random_gt(self, rng) -> Fp2Element:
+        """Uniform element of GT (random power of a fixed GT generator)."""
+        base = self.ext_field.random(rng)
+        while True:
+            candidate = base ** self.gt_exponent()
+            if not candidate.is_one():
+                return candidate ** rng.rand_nonzero_below(self.q)
+            base = self.ext_field.random(rng)
+
+    def security_bits(self) -> int:
+        """Rough symmetric-security estimate: min(q/2, field-size heuristic)."""
+        dlog_group = self.q.bit_length() // 2
+        # Embedding degree 2 => GT lives in a field of size p^2; use the
+        # standard subexponential heuristic table.
+        modulus_bits = 2 * self.p.bit_length()
+        if modulus_bits >= 3072:
+            dlog_field = 128
+        elif modulus_bits >= 2048:
+            dlog_field = 112
+        elif modulus_bits >= 1024:
+            dlog_field = 80
+        else:
+            dlog_field = max(16, modulus_bits // 16)
+        return min(dlog_group, dlog_field)

@@ -1,0 +1,27 @@
+"""Hybrid (KEM/DEM) encryption: GT-element KEM + hash-based authenticated DEM."""
+
+from repro.hybrid.kdf import hkdf, hkdf_expand, hkdf_extract
+from repro.hybrid.kem import HybridCiphertext, HybridPre, HybridReEncrypted
+from repro.hybrid.symmetric import (
+    KEY_LEN,
+    NONCE_LEN,
+    TAG_LEN,
+    AuthenticationError,
+    open_sealed,
+    seal,
+)
+
+__all__ = [
+    "HybridPre",
+    "HybridCiphertext",
+    "HybridReEncrypted",
+    "seal",
+    "open_sealed",
+    "AuthenticationError",
+    "hkdf",
+    "hkdf_extract",
+    "hkdf_expand",
+    "KEY_LEN",
+    "NONCE_LEN",
+    "TAG_LEN",
+]

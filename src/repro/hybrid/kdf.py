@@ -1,0 +1,34 @@
+"""HKDF-SHA256 (RFC 5869) for deriving DEM keys from GT elements."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+__all__ = ["hkdf_extract", "hkdf_expand", "hkdf"]
+
+_HASH_LEN = 32
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """Extract a pseudorandom key from input keying material."""
+    return hmac.new(salt or b"\x00" * _HASH_LEN, ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """Expand a pseudorandom key to ``length`` output bytes."""
+    if length > 255 * _HASH_LEN:
+        raise ValueError("HKDF output too long")
+    output = b""
+    block = b""
+    counter = 1
+    while len(output) < length:
+        block = hmac.new(prk, block + info + bytes([counter]), hashlib.sha256).digest()
+        output += block
+        counter += 1
+    return output[:length]
+
+
+def hkdf(ikm: bytes, info: bytes, length: int, salt: bytes = b"") -> bytes:
+    """The composed extract-then-expand HKDF."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

@@ -1,0 +1,98 @@
+"""Hybrid (KEM/DEM) encryption over the type-and-identity PRE scheme.
+
+The paper's PHR application stores real byte payloads (lab reports,
+medication lists), while the scheme encrypts GT elements.  The standard
+bridge is a KEM/DEM hybrid: a uniformly random GT element is encrypted
+with the PRE scheme (the KEM), its serialisation is fed through HKDF to a
+DEM key, and the payload travels under the authenticated symmetric cipher.
+
+Because the KEM ciphertext is an ordinary :class:`TypedCiphertext`, the
+proxy can re-encrypt it with the usual ``Preenc`` — the DEM part is
+untouched — so hybrid ciphertexts inherit all the delegation machinery,
+including type granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ciphertexts import ReEncryptedCiphertext, TypedCiphertext
+from repro.core.scheme import TypeAndIdentityPre
+from repro.hybrid.kdf import hkdf
+from repro.hybrid.symmetric import KEY_LEN, open_sealed, seal
+from repro.ibe.keys import IbeParams, IbePrivateKey
+from repro.math.drbg import RandomSource, system_random
+from repro.math.fields import Fp2Element
+from repro.pairing.group import PairingGroup
+
+__all__ = ["HybridPre", "HybridCiphertext", "HybridReEncrypted"]
+
+_KDF_INFO = b"tipre-hybrid-v1"
+
+
+@dataclass(frozen=True)
+class HybridCiphertext:
+    """``(KEM: TypedCiphertext, DEM: sealed bytes)``."""
+
+    kem: TypedCiphertext
+    dem: bytes
+
+    @property
+    def type_label(self) -> str:
+        return self.kem.type_label
+
+
+@dataclass(frozen=True)
+class HybridReEncrypted:
+    """The re-encrypted form: KEM transformed, DEM untouched."""
+
+    kem: ReEncryptedCiphertext
+    dem: bytes
+
+
+class HybridPre:
+    """KEM/DEM wrapper around :class:`TypeAndIdentityPre` for byte payloads."""
+
+    def __init__(self, group: PairingGroup, scheme: TypeAndIdentityPre | None = None):
+        self.group = group
+        self.scheme = scheme or TypeAndIdentityPre(group)
+
+    def _dem_key(self, shared: Fp2Element) -> bytes:
+        return hkdf(self.group.serialize_gt(shared), _KDF_INFO, KEY_LEN)
+
+    def encrypt(
+        self,
+        delegator_params: IbeParams,
+        delegator_key: IbePrivateKey,
+        payload: bytes,
+        type_label: str,
+        rng: RandomSource | None = None,
+    ) -> HybridCiphertext:
+        """Encrypt arbitrary bytes under a type label."""
+        rng = rng or system_random()
+        shared = self.group.random_gt(rng)
+        kem = self.scheme.encrypt(delegator_params, delegator_key, shared, type_label, rng)
+        dem = seal(self._dem_key(shared), payload, type_label.encode("utf-8"), rng)
+        return HybridCiphertext(kem=kem, dem=dem)
+
+    def decrypt(self, ciphertext: HybridCiphertext, delegator_key: IbePrivateKey) -> bytes:
+        """Delegator-side decryption."""
+        shared = self.scheme.decrypt(ciphertext.kem, delegator_key)
+        return open_sealed(
+            self._dem_key(shared), ciphertext.dem, ciphertext.kem.type_label.encode("utf-8")
+        )
+
+    def reencrypt(self, ciphertext: HybridCiphertext, proxy_key) -> HybridReEncrypted:
+        """Proxy transformation: only the KEM component changes."""
+        return HybridReEncrypted(
+            kem=self.scheme.preenc(ciphertext.kem, proxy_key), dem=ciphertext.dem
+        )
+
+    def decrypt_reencrypted(
+        self, ciphertext: HybridReEncrypted, delegatee_key: IbePrivateKey
+    ) -> bytes:
+        """Delegatee-side decryption of a re-encrypted hybrid ciphertext."""
+        shared = self.scheme.decrypt_reencrypted(ciphertext.kem, delegatee_key)
+        return open_sealed(
+            self._dem_key(shared), ciphertext.dem, ciphertext.kem.type_label.encode("utf-8")
+        )

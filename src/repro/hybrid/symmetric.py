@@ -1,0 +1,91 @@
+"""An authenticated symmetric cipher built from SHA-256 primitives.
+
+The sandbox has no AES implementation available, so the DEM is a
+hash-based construction: SHA-256 in counter mode as the keystream and
+HMAC-SHA256 in encrypt-then-MAC composition.  This mirrors the standard
+KEM/DEM hybrid structure; the construction is IND-CPA/INT-CTXT under the
+usual PRF assumptions on HMAC, and is clearly labelled as a research
+artefact (see DESIGN.md's security caveat).
+
+Wire format of :func:`seal`: ``nonce (16) || ciphertext || tag (32)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.hybrid.kdf import hkdf
+from repro.math.drbg import RandomSource, system_random
+
+__all__ = ["seal", "open_sealed", "AuthenticationError", "NONCE_LEN", "TAG_LEN", "KEY_LEN"]
+
+NONCE_LEN = 16
+TAG_LEN = 32
+KEY_LEN = 32
+_BLOCK = 32
+
+
+class AuthenticationError(ValueError):
+    """The ciphertext failed integrity verification."""
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """SHA-256 counter-mode keystream."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out.extend(hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest())
+        counter += 1
+    return bytes(out[:length])
+
+
+def _split_keys(key: bytes) -> tuple[bytes, bytes]:
+    """Derive independent encryption and MAC keys."""
+    if len(key) != KEY_LEN:
+        raise ValueError("key must be %d bytes" % KEY_LEN)
+    material = hkdf(key, b"repro-dem-v1", 2 * KEY_LEN)
+    return material[:KEY_LEN], material[KEY_LEN:]
+
+
+def seal(
+    key: bytes,
+    plaintext: bytes,
+    associated_data: bytes = b"",
+    rng: RandomSource | None = None,
+) -> bytes:
+    """Encrypt-then-MAC: returns ``nonce || ciphertext || tag``.
+
+    ``associated_data`` is authenticated but not encrypted (used to bind
+    the DEM to its KEM header).
+    """
+    rng = rng or system_random()
+    enc_key, mac_key = _split_keys(key)
+    nonce = rng.randbytes(NONCE_LEN)
+    stream = _keystream(enc_key, nonce, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac.new(
+        mac_key,
+        nonce + len(associated_data).to_bytes(8, "big") + associated_data + ciphertext,
+        hashlib.sha256,
+    ).digest()
+    return nonce + ciphertext + tag
+
+
+def open_sealed(key: bytes, sealed: bytes, associated_data: bytes = b"") -> bytes:
+    """Verify-then-decrypt; raises :class:`AuthenticationError` on tamper."""
+    if len(sealed) < NONCE_LEN + TAG_LEN:
+        raise AuthenticationError("sealed blob too short")
+    enc_key, mac_key = _split_keys(key)
+    nonce = sealed[:NONCE_LEN]
+    ciphertext = sealed[NONCE_LEN:-TAG_LEN]
+    tag = sealed[-TAG_LEN:]
+    expected = hmac.new(
+        mac_key,
+        nonce + len(associated_data).to_bytes(8, "big") + associated_data + ciphertext,
+        hashlib.sha256,
+    ).digest()
+    if not hmac.compare_digest(tag, expected):
+        raise AuthenticationError("authentication tag mismatch")
+    stream = _keystream(enc_key, nonce, len(ciphertext))
+    return bytes(c ^ s for c, s in zip(ciphertext, stream))

@@ -1,0 +1,30 @@
+"""Boneh--Franklin identity-based encryption and KGC infrastructure."""
+
+from repro.ibe.boneh_franklin import BonehFranklinIbe
+from repro.ibe.full_ident import DecryptionError, FullIdentCiphertext, FullIdentIbe
+from repro.ibe.threshold import KeyShareServer, PartialKey, ThresholdKgc
+from repro.ibe.kgc import KeyGenerationCenter, KgcRegistry
+from repro.ibe.keys import (
+    IbeByteCiphertext,
+    IbeCiphertext,
+    IbeMasterKey,
+    IbeParams,
+    IbePrivateKey,
+)
+
+__all__ = [
+    "BonehFranklinIbe",
+    "KeyGenerationCenter",
+    "KgcRegistry",
+    "IbeParams",
+    "IbeMasterKey",
+    "IbePrivateKey",
+    "IbeCiphertext",
+    "IbeByteCiphertext",
+    "FullIdentIbe",
+    "FullIdentCiphertext",
+    "DecryptionError",
+    "ThresholdKgc",
+    "KeyShareServer",
+    "PartialKey",
+]

@@ -1,0 +1,74 @@
+"""Key and ciphertext containers for the Boneh--Franklin IBE layer.
+
+These are plain frozen dataclasses: all behaviour lives in
+:mod:`repro.ibe.boneh_franklin`.  Each container knows which KGC domain it
+belongs to (``domain`` is a human-readable label such as ``"KGC1"``) so that
+multi-authority protocols — the paper's delegator and delegatee live under
+*different* KGCs — can detect cross-domain key misuse early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ec.curve import Point
+from repro.math.fields import Fp2Element
+
+__all__ = ["IbeParams", "IbeMasterKey", "IbePrivateKey", "IbeCiphertext", "IbeByteCiphertext"]
+
+
+@dataclass(frozen=True)
+class IbeParams:
+    """Public parameters of one Boneh--Franklin KGC domain.
+
+    Attributes:
+        group_name: name of the pairing parameter set (e.g. ``"SS512"``).
+        domain: label of the KGC that generated these parameters.
+        public_key: the KGC public key ``pk = g^alpha``.
+    """
+
+    group_name: str
+    domain: str
+    public_key: Point
+
+
+@dataclass(frozen=True)
+class IbeMasterKey:
+    """The KGC master secret ``alpha`` (never leaves the KGC)."""
+
+    domain: str
+    alpha: int
+
+
+@dataclass(frozen=True)
+class IbePrivateKey:
+    """A user private key ``sk_id = H1(id)^alpha``."""
+
+    domain: str
+    identity: str
+    point: Point
+
+
+@dataclass(frozen=True)
+class IbeCiphertext:
+    """Multiplicative-variant ciphertext ``(c1, c2) = (g^r, m * e(pk_id, pk)^r)``.
+
+    The message is an element of GT; this is the variant the paper (and
+    Green--Ateniese) need so that ciphertexts can be mauled homomorphically
+    by the proxy.
+    """
+
+    domain: str
+    identity: str
+    c1: Point
+    c2: Fp2Element
+
+
+@dataclass(frozen=True)
+class IbeByteCiphertext:
+    """Original BasicIdent ciphertext ``(g^r, m XOR H2(e(pk_id, pk)^r))``."""
+
+    domain: str
+    identity: str
+    c1: Point
+    c2: bytes

@@ -1,0 +1,75 @@
+"""Key Generation Centers and the multi-domain registry.
+
+The paper's delegation crosses trust domains: the delegator is registered at
+KGC1 and the delegatee at KGC2, and the two KGCs share only the group
+description.  :class:`KeyGenerationCenter` is a stateful wrapper around one
+Boneh--Franklin domain (it owns the master key and answers Extract
+requests); :class:`KgcRegistry` manages several such domains over a shared
+:class:`~repro.pairing.group.PairingGroup`, mirroring the paper's setting.
+"""
+
+from __future__ import annotations
+
+from repro.ibe.boneh_franklin import BonehFranklinIbe
+from repro.ibe.keys import IbeParams, IbePrivateKey
+from repro.math.drbg import RandomSource, system_random
+from repro.pairing.group import PairingGroup
+
+__all__ = ["KeyGenerationCenter", "KgcRegistry"]
+
+
+class KeyGenerationCenter:
+    """A live KGC: holds the master key, issues private keys, keeps an audit."""
+
+    def __init__(self, group: PairingGroup, domain: str, rng: RandomSource | None = None):
+        self.scheme = BonehFranklinIbe(group, domain)
+        self.domain = domain
+        self._params, self._master = self.scheme.setup(rng or system_random())
+        self._issued: dict[str, IbePrivateKey] = {}
+
+    @property
+    def params(self) -> IbeParams:
+        """Public parameters (safe to publish)."""
+        return self._params
+
+    def extract(self, identity: str) -> IbePrivateKey:
+        """Issue (or re-issue, deterministically) the key for ``identity``."""
+        if identity not in self._issued:
+            self._issued[identity] = self.scheme.extract(self._master, identity)
+        return self._issued[identity]
+
+    def has_issued(self, identity: str) -> bool:
+        return identity in self._issued
+
+    def issued_identities(self) -> list[str]:
+        """Identities that have requested keys (the KGC's audit view)."""
+        return sorted(self._issued)
+
+
+class KgcRegistry:
+    """Several KGC domains sharing one pairing group (the paper's setting)."""
+
+    def __init__(self, group: PairingGroup, rng: RandomSource | None = None):
+        self.group = group
+        self._rng = rng or system_random()
+        self._centers: dict[str, KeyGenerationCenter] = {}
+
+    def create(self, domain: str) -> KeyGenerationCenter:
+        """Create a new KGC domain; raises if the name is taken."""
+        if domain in self._centers:
+            raise ValueError("domain %r already exists" % domain)
+        rng = self._rng.fork(domain) if hasattr(self._rng, "fork") else self._rng
+        center = KeyGenerationCenter(self.group, domain, rng)
+        self._centers[domain] = center
+        return center
+
+    def get(self, domain: str) -> KeyGenerationCenter:
+        if domain not in self._centers:
+            raise KeyError("no KGC domain %r; create it first" % domain)
+        return self._centers[domain]
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._centers
+
+    def domains(self) -> list[str]:
+        return sorted(self._centers)

@@ -1,0 +1,330 @@
+"""Finite fields F_p and F_{p^2} = F_p[i] with i^2 = -1.
+
+The quadratic extension uses ``x^2 + 1`` as the reduction polynomial, which
+is irreducible exactly when ``p = 3 (mod 4)`` — the congruence our
+supersingular curve parameters satisfy.  Elements are immutable value
+objects; arithmetic between elements of different fields raises
+:class:`ValueError` rather than silently coercing.
+"""
+
+from __future__ import annotations
+
+from repro.math.ntheory import is_quadratic_residue, modinv, sqrt_mod
+
+__all__ = ["PrimeField", "FpElement", "QuadraticExtField", "Fp2Element"]
+
+
+class PrimeField:
+    """The prime field F_p.  Acts as a factory for :class:`FpElement`."""
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: int):
+        if p < 2:
+            raise ValueError("field characteristic must be at least 2")
+        self.p = p
+
+    def __call__(self, value: int) -> "FpElement":
+        return FpElement(self, value % self.p)
+
+    def zero(self) -> "FpElement":
+        return FpElement(self, 0)
+
+    def one(self) -> "FpElement":
+        return FpElement(self, 1)
+
+    def random(self, rng) -> "FpElement":
+        """Uniform element of F_p."""
+        return FpElement(self, rng.randbelow(self.p))
+
+    def random_nonzero(self, rng) -> "FpElement":
+        """Uniform element of F_p^*."""
+        return FpElement(self, rng.rand_nonzero_below(self.p))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PrimeField) and self.p == other.p
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.p))
+
+    def __repr__(self) -> str:
+        return "PrimeField(p=%d bits)" % self.p.bit_length()
+
+
+class FpElement:
+    """An element of F_p; immutable."""
+
+    __slots__ = ("field", "value")
+
+    def __init__(self, field: PrimeField, value: int):
+        object.__setattr__(self, "field", field)
+        object.__setattr__(self, "value", value % field.p)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("FpElement is immutable")
+
+    def _coerce(self, other) -> "FpElement":
+        if isinstance(other, FpElement):
+            if other.field != self.field:
+                raise ValueError("elements belong to different fields")
+            return other
+        if isinstance(other, int):
+            return FpElement(self.field, other)
+        return NotImplemented
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, self.value + other.value)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, self.value - other.value)
+
+    def __rsub__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, other.value - self.value)
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return FpElement(self.field, self.value * other.value)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self * other.inverse()
+
+    def __rtruediv__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return other * self.inverse()
+
+    def __neg__(self):
+        return FpElement(self.field, -self.value)
+
+    def __pow__(self, exponent: int):
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        return FpElement(self.field, pow(self.value, exponent, self.field.p))
+
+    def inverse(self) -> "FpElement":
+        return FpElement(self.field, modinv(self.value, self.field.p))
+
+    def square(self) -> "FpElement":
+        return FpElement(self.field, self.value * self.value)
+
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def is_square(self) -> bool:
+        """True when the element is zero or a quadratic residue."""
+        return self.value == 0 or is_quadratic_residue(self.value, self.field.p)
+
+    def sqrt(self) -> "FpElement":
+        """One square root (the other is its negation)."""
+        return FpElement(self.field, sqrt_mod(self.value, self.field.p))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, int):
+            return self.value == other % self.field.p
+        return (
+            isinstance(other, FpElement)
+            and self.field == other.field
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field.p, self.value))
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return "Fp(%d)" % self.value
+
+
+class QuadraticExtField:
+    """The field F_{p^2} = F_p[i] / (i^2 + 1), valid for p = 3 (mod 4)."""
+
+    __slots__ = ("base", "p")
+
+    def __init__(self, base: PrimeField):
+        if base.p % 4 != 3:
+            raise ValueError("x^2 + 1 is reducible unless p = 3 (mod 4)")
+        self.base = base
+        self.p = base.p
+
+    def __call__(self, a: int | FpElement, b: int | FpElement = 0) -> "Fp2Element":
+        a_val = int(a) if isinstance(a, FpElement) else a
+        b_val = int(b) if isinstance(b, FpElement) else b
+        return Fp2Element(self, a_val % self.p, b_val % self.p)
+
+    def zero(self) -> "Fp2Element":
+        return Fp2Element(self, 0, 0)
+
+    def one(self) -> "Fp2Element":
+        return Fp2Element(self, 1, 0)
+
+    def i(self) -> "Fp2Element":
+        """The square root of -1 used to build the extension."""
+        return Fp2Element(self, 0, 1)
+
+    def from_base(self, element: FpElement) -> "Fp2Element":
+        if element.field != self.base:
+            raise ValueError("element is not from the base field")
+        return Fp2Element(self, element.value, 0)
+
+    def random(self, rng) -> "Fp2Element":
+        return Fp2Element(self, rng.randbelow(self.p), rng.randbelow(self.p))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, QuadraticExtField) and self.p == other.p
+
+    def __hash__(self) -> int:
+        return hash(("QuadraticExtField", self.p))
+
+    def __repr__(self) -> str:
+        return "QuadraticExtField(p=%d bits)" % self.p.bit_length()
+
+
+class Fp2Element:
+    """An element ``a + b*i`` of F_{p^2}; immutable."""
+
+    __slots__ = ("field", "a", "b")
+
+    def __init__(self, field: QuadraticExtField, a: int, b: int):
+        object.__setattr__(self, "field", field)
+        object.__setattr__(self, "a", a % field.p)
+        object.__setattr__(self, "b", b % field.p)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Fp2Element is immutable")
+
+    def _coerce(self, other) -> "Fp2Element":
+        if isinstance(other, Fp2Element):
+            if other.field != self.field:
+                raise ValueError("elements belong to different fields")
+            return other
+        if isinstance(other, int):
+            return Fp2Element(self.field, other, 0)
+        if isinstance(other, FpElement):
+            return self.field.from_base(other)
+        return NotImplemented
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return Fp2Element(self.field, self.a + other.a, self.b + other.b)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return Fp2Element(self.field, self.a - other.a, self.b - other.b)
+
+    def __rsub__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return other - self
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        p = self.field.p
+        # (a + bi)(c + di) = (ac - bd) + (ad + bc)i
+        ac = self.a * other.a
+        bd = self.b * other.b
+        # Karatsuba-style: ad + bc = (a+b)(c+d) - ac - bd
+        cross = (self.a + self.b) * (other.a + other.b) - ac - bd
+        return Fp2Element(self.field, (ac - bd) % p, cross % p)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self * other.inverse()
+
+    def __rtruediv__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return other * self.inverse()
+
+    def __neg__(self):
+        return Fp2Element(self.field, -self.a, -self.b)
+
+    def __pow__(self, exponent: int) -> "Fp2Element":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = self.field.one()
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base * base
+            exponent >>= 1
+        return result
+
+    def conjugate(self) -> "Fp2Element":
+        """The Frobenius conjugate ``a - b*i`` (equals Frobenius for p=3 mod 4)."""
+        return Fp2Element(self.field, self.a, -self.b)
+
+    def norm(self) -> int:
+        """The field norm ``a^2 + b^2`` as an integer mod p."""
+        return (self.a * self.a + self.b * self.b) % self.field.p
+
+    def inverse(self) -> "Fp2Element":
+        n = self.norm()
+        if n == 0:
+            raise ZeroDivisionError("0 has no inverse in F_p^2")
+        n_inv = modinv(n, self.field.p)
+        return Fp2Element(self.field, self.a * n_inv, -self.b * n_inv)
+
+    def square(self) -> "Fp2Element":
+        p = self.field.p
+        # (a + bi)^2 = (a-b)(a+b) + 2abi
+        return Fp2Element(
+            self.field, (self.a - self.b) * (self.a + self.b) % p, 2 * self.a * self.b % p
+        )
+
+    def is_zero(self) -> bool:
+        return self.a == 0 and self.b == 0
+
+    def is_one(self) -> bool:
+        return self.a == 1 and self.b == 0
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, int):
+            return self.b == 0 and self.a == other % self.field.p
+        return (
+            isinstance(other, Fp2Element)
+            and self.field == other.field
+            and self.a == other.a
+            and self.b == other.b
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field.p, self.a, self.b))
+
+    def __repr__(self) -> str:
+        return "Fp2(%d + %d*i)" % (self.a, self.b)

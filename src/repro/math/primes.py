@@ -1,0 +1,98 @@
+"""Primality testing and prime generation.
+
+Miller--Rabin with a deterministic witness set for small inputs and random
+witnesses (from a caller-supplied RNG) for large ones.  Prime generation is
+only used by the offline parameter-generation tool in :mod:`repro.ec.params`;
+the library itself ships pinned parameter sets.
+"""
+
+from __future__ import annotations
+
+from repro.math.drbg import RandomSource, system_random
+
+__all__ = [
+    "is_probable_prime",
+    "random_prime",
+    "next_prime",
+    "SMALL_PRIMES",
+]
+
+# Primes below 1000: used for cheap trial division before Miller--Rabin.
+_SMALL_PRIME_BOUND = 1000
+
+
+def _sieve(bound: int) -> list[int]:
+    flags = bytearray([1]) * bound
+    flags[0:2] = b"\x00\x00"
+    for i in range(2, int(bound**0.5) + 1):
+        if flags[i]:
+            flags[i * i :: i] = b"\x00" * len(flags[i * i :: i])
+    return [i for i in range(bound) if flags[i]]
+
+
+SMALL_PRIMES: list[int] = _sieve(_SMALL_PRIME_BOUND)
+
+# Deterministic witness set proving primality for all n < 3.3 * 10^24
+# (Sorenson & Webster).
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+_DETERMINISTIC_BOUND = 3317044064679887385961981
+
+
+def _miller_rabin_round(n: int, d: int, s: int, a: int) -> bool:
+    """Return True when witness ``a`` says ``n`` is (probably) prime."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(s - 1):
+        x = x * x % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: RandomSource | None = None) -> bool:
+    """Miller--Rabin primality test.
+
+    Deterministic (and exact) for ``n`` below ~3.3e24; otherwise ``rounds``
+    random witnesses give error probability at most ``4**-rounds``.
+    """
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    if n < _DETERMINISTIC_BOUND:
+        witnesses = [a for a in _DETERMINISTIC_WITNESSES if a < n - 1]
+    else:
+        rng = rng or system_random()
+        witnesses = [rng.randint(2, n - 2) for _ in range(rounds)]
+    return all(_miller_rabin_round(n, d, s, a) for a in witnesses)
+
+
+def random_prime(bits: int, rng: RandomSource | None = None) -> int:
+    """Return a random prime with exactly ``bits`` bits (top bit set)."""
+    if bits < 2:
+        raise ValueError("a prime needs at least 2 bits")
+    rng = rng or system_random()
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_probable_prime(candidate):
+        candidate += 2
+    return candidate

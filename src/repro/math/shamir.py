@@ -1,0 +1,84 @@
+"""Shamir secret sharing over Z_q.
+
+Substrate for the threshold KGC (:mod:`repro.ibe.threshold`): the paper's
+threat model notes that IBE key escrow "can be avoided by applying some
+standard techniques (such as secret sharing) to the underlying scheme" —
+this is that standard technique.
+
+A secret ``s`` is split into ``n`` shares of which any ``t`` reconstruct
+it via Lagrange interpolation at zero; fewer than ``t`` shares are
+information-theoretically independent of ``s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.math.drbg import RandomSource, system_random
+from repro.math.ntheory import modinv
+
+__all__ = ["Share", "split_secret", "reconstruct_secret", "lagrange_coefficient_at_zero"]
+
+
+@dataclass(frozen=True)
+class Share:
+    """One evaluation point ``(x, f(x))`` of the sharing polynomial."""
+
+    index: int  # x-coordinate, 1-based (0 would leak the secret)
+    value: int
+
+
+def split_secret(
+    secret: int,
+    threshold: int,
+    share_count: int,
+    modulus: int,
+    rng: RandomSource | None = None,
+) -> list[Share]:
+    """Split ``secret`` into ``share_count`` shares, any ``threshold`` recover.
+
+    The modulus must be prime (it is always the group order ``q`` here).
+    """
+    if threshold < 1 or share_count < threshold:
+        raise ValueError("need 1 <= threshold <= share_count")
+    if share_count >= modulus:
+        raise ValueError("too many shares for the field size")
+    rng = rng or system_random()
+    coefficients = [secret % modulus] + [
+        rng.randbelow(modulus) for _ in range(threshold - 1)
+    ]
+    shares = []
+    for x in range(1, share_count + 1):
+        # Horner evaluation of the degree-(t-1) polynomial at x.
+        value = 0
+        for coefficient in reversed(coefficients):
+            value = (value * x + coefficient) % modulus
+        shares.append(Share(index=x, value=value))
+    return shares
+
+
+def lagrange_coefficient_at_zero(indices: list[int], target: int, modulus: int) -> int:
+    """The Lagrange basis coefficient ``l_target(0)`` for the given index set."""
+    if target not in indices:
+        raise ValueError("target index must be part of the interpolation set")
+    numerator, denominator = 1, 1
+    for index in indices:
+        if index == target:
+            continue
+        numerator = numerator * (-index) % modulus
+        denominator = denominator * (target - index) % modulus
+    return numerator * modinv(denominator, modulus) % modulus
+
+
+def reconstruct_secret(shares: list[Share], modulus: int) -> int:
+    """Interpolate at zero; needs at least ``threshold`` *distinct* shares."""
+    indices = [share.index for share in shares]
+    if len(set(indices)) != len(indices):
+        raise ValueError("duplicate share indices")
+    if not shares:
+        raise ValueError("no shares given")
+    secret = 0
+    for share in shares:
+        coefficient = lagrange_coefficient_at_zero(indices, share.index, modulus)
+        secret = (secret + coefficient * share.value) % modulus
+    return secret

@@ -1,0 +1,6 @@
+"""Pairing layer: Miller loop, reduced Tate pairing, and the group facade."""
+
+from repro.pairing.group import PairingGroup
+from repro.pairing.tate import miller_loop, multi_tate_pairing, tate_pairing
+
+__all__ = ["PairingGroup", "tate_pairing", "multi_tate_pairing", "miller_loop"]

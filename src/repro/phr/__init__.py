@@ -1,0 +1,48 @@
+"""The fine-grained PHR disclosure application (paper Section 5)."""
+
+from repro.phr.actors import AccessDeniedError, CategoryProxy, Patient, Requester
+from repro.phr.bundle import BundleError, export_bundle, import_bundle
+from repro.phr.recovery import (
+    KeyCustodianShare,
+    backup_private_key,
+    recover_private_key,
+)
+from repro.phr.audit import AuditEvent, AuditLog
+from repro.phr.generator import PhrGenerator, WorkloadMix
+from repro.phr.policy import DisclosurePolicy, Grant
+from repro.phr.records import DEFAULT_TAXONOMY, PhrCategory, PhrEntry, Sensitivity
+from repro.phr.store import (
+    EncryptedPhrStore,
+    EntryNotFoundError,
+    FilePhrStore,
+    StoredRecord,
+)
+from repro.phr.workflow import PhrSystem
+
+__all__ = [
+    "PhrSystem",
+    "Patient",
+    "Requester",
+    "CategoryProxy",
+    "AccessDeniedError",
+    "PhrEntry",
+    "PhrCategory",
+    "DEFAULT_TAXONOMY",
+    "Sensitivity",
+    "DisclosurePolicy",
+    "Grant",
+    "EncryptedPhrStore",
+    "FilePhrStore",
+    "StoredRecord",
+    "EntryNotFoundError",
+    "AuditLog",
+    "AuditEvent",
+    "PhrGenerator",
+    "WorkloadMix",
+    "export_bundle",
+    "import_bundle",
+    "BundleError",
+    "backup_private_key",
+    "recover_private_key",
+    "KeyCustodianShare",
+]

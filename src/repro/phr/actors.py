@@ -1,0 +1,168 @@
+"""The actors of the fine-grained PHR disclosure scheme (Section 5).
+
+* :class:`Patient` — the delegator: owns one key pair, categorises and
+  encrypts her PHR, and produces per-(requester, category) proxy keys
+  locally (``Pextract``) without contacting anyone.
+* :class:`Requester` — a delegatee (doctor, insurer, emergency service)
+  registered at *their own* KGC; decrypts re-encrypted records.
+* :class:`CategoryProxy` — the per-category semi-trusted proxy the paper
+  prescribes ("For each type of PHR, Alice finds a proxy"): a
+  :class:`~repro.core.proxy.ProxyService` bound to one category plus a
+  ciphertext store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ciphertexts import ProxyKey
+from repro.core.proxy import NoProxyKeyError, ProxyService
+from repro.core.scheme import TypeAndIdentityPre
+from repro.hybrid.kem import HybridPre, HybridReEncrypted
+from repro.ibe.keys import IbeParams, IbePrivateKey
+from repro.math.drbg import RandomSource, system_random
+from repro.pairing.group import PairingGroup
+from repro.phr.policy import DisclosurePolicy
+from repro.phr.records import PhrEntry
+from repro.phr.store import EncryptedPhrStore
+from repro.serialization.containers import (
+    deserialize_hybrid,
+    serialize_hybrid,
+)
+
+__all__ = ["Patient", "Requester", "CategoryProxy", "AccessDeniedError"]
+
+
+class AccessDeniedError(PermissionError):
+    """The proxy refused a request that no grant covers."""
+
+
+@dataclass
+class Patient:
+    """The PHR owner; the scheme's delegator."""
+
+    name: str
+    params: IbeParams
+    private_key: IbePrivateKey
+    group: PairingGroup
+    rng: RandomSource = field(default_factory=system_random)
+    policy: DisclosurePolicy = field(init=False)
+    _hybrid: HybridPre = field(init=False)
+
+    def __post_init__(self):
+        self.policy = DisclosurePolicy(patient=self.name)
+        self._hybrid = HybridPre(self.group)
+
+    @property
+    def scheme(self) -> TypeAndIdentityPre:
+        return self._hybrid.scheme
+
+    def encrypt_entry(self, entry: PhrEntry) -> bytes:
+        """Encrypt one PHR entry under its category; returns storage bytes."""
+        ciphertext = self._hybrid.encrypt(
+            self.params, self.private_key, entry.to_bytes(), entry.category, self.rng
+        )
+        return serialize_hybrid(self.group, ciphertext)
+
+    def decrypt_entry(self, blob: bytes) -> PhrEntry:
+        """Read back one of her own stored entries."""
+        ciphertext = deserialize_hybrid(self.group, blob)
+        return PhrEntry.from_bytes(self._hybrid.decrypt(ciphertext, self.private_key))
+
+    def make_grant(
+        self, requester: "Requester", category: str
+    ) -> ProxyKey:
+        """``Pextract`` for (requester, category) and record the policy row.
+
+        Purely local: uses only the requester's *identity* and her KGC's
+        *public* parameters.
+        """
+        proxy_key = self.scheme.pextract(
+            self.private_key, requester.name, category, requester.params, self.rng
+        )
+        self.policy.grant(requester.name, requester.params.domain, category)
+        return proxy_key
+
+    def record_revocation(self, requester: "Requester", category: str) -> bool:
+        return self.policy.revoke(requester.name, requester.params.domain, category)
+
+
+@dataclass
+class Requester:
+    """A delegatee: doctor, insurer, researcher or emergency service."""
+
+    name: str
+    role: str
+    params: IbeParams  # the requester's own KGC's public parameters
+    private_key: IbePrivateKey
+    group: PairingGroup
+    _hybrid: HybridPre = field(init=False)
+
+    def __post_init__(self):
+        self._hybrid = HybridPre(self.group)
+
+    def read_entry(self, reencrypted: HybridReEncrypted) -> PhrEntry:
+        """Decrypt a re-encrypted PHR record."""
+        payload = self._hybrid.decrypt_reencrypted(reencrypted, self.private_key)
+        return PhrEntry.from_bytes(payload)
+
+
+@dataclass
+class CategoryProxy:
+    """One proxy serving exactly one category of one or more patients."""
+
+    category: str
+    group: PairingGroup
+    scheme: TypeAndIdentityPre
+    store: EncryptedPhrStore = field(default_factory=EncryptedPhrStore)
+    _service: ProxyService = field(init=False)
+    _hybrid: HybridPre = field(init=False)
+
+    def __post_init__(self):
+        self._service = ProxyService(self.scheme, name="proxy-%s" % self.category)
+        self._hybrid = HybridPre(self.group, self.scheme)
+
+    def accept_record(self, patient: str, entry_id: str, blob: bytes) -> None:
+        """Store an encrypted record (category checked against the label)."""
+        ciphertext = deserialize_hybrid(self.group, blob)
+        if ciphertext.type_label != self.category:
+            raise ValueError(
+                "this proxy stores category %r, record is %r"
+                % (self.category, ciphertext.type_label)
+            )
+        self.store.put(patient, self.category, entry_id, blob)
+
+    def install_grant(self, proxy_key: ProxyKey) -> None:
+        if proxy_key.type_label != self.category:
+            raise ValueError(
+                "proxy key is for type %r, this proxy serves %r"
+                % (proxy_key.type_label, self.category)
+            )
+        self._service.install_key(proxy_key)
+
+    def revoke_grant(
+        self, patient_domain: str, patient: str, requester_domain: str, requester: str
+    ) -> bool:
+        return self._service.revoke_key(
+            patient_domain, patient, requester_domain, requester, self.category
+        )
+
+    def serve(
+        self, patient: str, entry_id: str, requester_domain: str, requester: str
+    ) -> HybridReEncrypted:
+        """Fetch + re-encrypt one record for a requester.
+
+        Raises :class:`AccessDeniedError` when no grant (= proxy key)
+        exists; the proxy cannot transform without one even if it wanted
+        to serve the request.
+        """
+        record = self.store.get(patient, entry_id)
+        ciphertext = deserialize_hybrid(self.group, record.blob)
+        try:
+            key = self._service.get_key(ciphertext.kem, requester_domain, requester)
+        except NoProxyKeyError as exc:
+            raise AccessDeniedError(str(exc)) from exc
+        return self._hybrid.reencrypt(ciphertext, key)
+
+    def grant_count(self) -> int:
+        return self._service.key_count()

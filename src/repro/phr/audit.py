@@ -1,0 +1,86 @@
+"""Append-only audit log for the PHR system.
+
+Every security-relevant action — uploads, grants, revocations,
+re-encryption requests (served or refused) — is recorded.  The log is a
+hash chain: each event carries the SHA-256 of its predecessor, so tests
+can verify tamper-evidence (:meth:`AuditLog.verify_chain`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["AuditEvent", "AuditLog"]
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One immutable audit record."""
+
+    sequence: int
+    action: str
+    actor: str
+    subject: str
+    detail: dict
+    prev_digest: str
+
+    def digest(self) -> str:
+        """The event's chained SHA-256 digest."""
+        body = json.dumps(
+            {
+                "sequence": self.sequence,
+                "action": self.action,
+                "actor": self.actor,
+                "subject": self.subject,
+                "detail": self.detail,
+                "prev": self.prev_digest,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        return hashlib.sha256(body).hexdigest()
+
+
+_GENESIS = "0" * 64
+
+
+@dataclass
+class AuditLog:
+    """A hash-chained, append-only event log."""
+
+    _events: list[AuditEvent] = field(default_factory=list)
+
+    def record(self, action: str, actor: str, subject: str, **detail) -> AuditEvent:
+        prev = self._events[-1].digest() if self._events else _GENESIS
+        event = AuditEvent(
+            sequence=len(self._events),
+            action=action,
+            actor=actor,
+            subject=subject,
+            detail=detail,
+            prev_digest=prev,
+        )
+        self._events.append(event)
+        return event
+
+    def events(self, action: str | None = None, actor: str | None = None) -> list[AuditEvent]:
+        """Filtered copy of the log."""
+        selected = self._events
+        if action is not None:
+            selected = [e for e in selected if e.action == action]
+        if actor is not None:
+            selected = [e for e in selected if e.actor == actor]
+        return list(selected)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def verify_chain(self) -> bool:
+        """Recompute the hash chain; False indicates tampering."""
+        prev = _GENESIS
+        for index, event in enumerate(self._events):
+            if event.sequence != index or event.prev_digest != prev:
+                return False
+            prev = event.digest()
+        return True

@@ -1,0 +1,113 @@
+"""FHIR-flavoured bundle import/export for PHR entries.
+
+Provider systems exchange health records as JSON bundles (FHIR's
+``Bundle`` resource being the de-facto shape).  This module maps a
+minimal, FHIR-inspired bundle format onto :class:`~repro.phr.records.PhrEntry`
+objects, so a hospital export can be ingested straight into the encrypted
+store and a granted requester can re-export what they were allowed to
+read.
+
+The mapping is intentionally small (this is a crypto reproduction, not a
+FHIR engine): each bundle entry carries a ``resourceType`` mapped to our
+category taxonomy, an id, an author, a date and a free-form payload.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.phr.records import PhrEntry
+
+__all__ = ["export_bundle", "import_bundle", "RESOURCE_TYPE_BY_CATEGORY", "BundleError"]
+
+
+class BundleError(ValueError):
+    """Malformed bundle document."""
+
+
+RESOURCE_TYPE_BY_CATEGORY = {
+    "illness-history": "Condition",
+    "medication": "MedicationStatement",
+    "lab-results": "Observation",
+    "vaccinations": "Immunization",
+    "allergies": "AllergyIntolerance",
+    "vitals": "Observation.vital-signs",
+    "food-statistics": "NutritionIntake",
+    "emergency-profile": "Patient.emergency",
+}
+
+_CATEGORY_BY_RESOURCE_TYPE = {v: k for k, v in RESOURCE_TYPE_BY_CATEGORY.items()}
+
+
+def export_bundle(patient: str, entries: list[PhrEntry]) -> str:
+    """Serialise entries as a FHIR-flavoured JSON bundle."""
+    resources = []
+    for entry in entries:
+        resource_type = RESOURCE_TYPE_BY_CATEGORY.get(entry.category)
+        if resource_type is None:
+            raise BundleError("category %r has no resource mapping" % entry.category)
+        resources.append(
+            {
+                "resource": {
+                    "resourceType": resource_type,
+                    "id": entry.entry_id,
+                    "subject": patient,
+                    "recorder": entry.author,
+                    "effectiveDateTime": entry.created_at,
+                    "payload": entry.content,
+                }
+            }
+        )
+    bundle = {
+        "resourceType": "Bundle",
+        "type": "collection",
+        "total": len(resources),
+        "entry": resources,
+    }
+    return json.dumps(bundle, sort_keys=True, indent=2)
+
+
+def import_bundle(document: str) -> tuple[str, list[PhrEntry]]:
+    """Parse a bundle; returns ``(patient, entries)``.
+
+    Raises :class:`BundleError` for structurally invalid documents or
+    unknown resource types — never silently drops records.
+    """
+    try:
+        bundle = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise BundleError("bundle is not valid JSON") from exc
+    if bundle.get("resourceType") != "Bundle":
+        raise BundleError("document is not a Bundle resource")
+    raw_entries = bundle.get("entry")
+    if not isinstance(raw_entries, list):
+        raise BundleError("Bundle.entry must be a list")
+    if bundle.get("total") != len(raw_entries):
+        raise BundleError("Bundle.total disagrees with the entry count")
+
+    patients = set()
+    entries = []
+    for wrapper in raw_entries:
+        resource = wrapper.get("resource") if isinstance(wrapper, dict) else None
+        if not isinstance(resource, dict):
+            raise BundleError("every bundle entry needs a resource object")
+        category = _CATEGORY_BY_RESOURCE_TYPE.get(resource.get("resourceType"))
+        if category is None:
+            raise BundleError("unknown resourceType %r" % resource.get("resourceType"))
+        for field in ("id", "subject", "recorder", "effectiveDateTime"):
+            if field not in resource:
+                raise BundleError("resource missing %r" % field)
+        patients.add(resource["subject"])
+        entries.append(
+            PhrEntry(
+                entry_id=resource["id"],
+                category=category,
+                author=resource["recorder"],
+                created_at=resource["effectiveDateTime"],
+                content=resource.get("payload", {}),
+            )
+        )
+    if len(patients) > 1:
+        raise BundleError("bundle mixes records of multiple patients")
+    patient = patients.pop() if patients else ""
+    return patient, entries

@@ -1,0 +1,198 @@
+"""Synthetic PHR data for tests, examples and the E5 workload benchmark.
+
+Real patient traces are obviously unavailable (and would be unusable in a
+public reproduction); per DESIGN.md's substitution table we generate
+realistic-looking entries per category.  The generator is deterministic
+given a seeded RNG, so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.math.drbg import RandomSource
+from repro.phr.records import DEFAULT_TAXONOMY, PhrEntry
+
+__all__ = ["PhrGenerator", "WorkloadMix"]
+
+_DIAGNOSES = (
+    "hypertension", "type-2-diabetes", "asthma", "migraine", "hypothyroidism",
+    "atrial-fibrillation", "osteoarthritis", "depression", "GERD", "anemia",
+)
+_MEDICATIONS = (
+    "lisinopril 10mg", "metformin 500mg", "salbutamol inhaler", "levothyroxine 50ug",
+    "atorvastatin 20mg", "omeprazole 20mg", "sertraline 50mg", "warfarin 3mg",
+)
+_LAB_TESTS = (
+    "HbA1c", "fasting-glucose", "LDL-cholesterol", "TSH", "creatinine",
+    "hemoglobin", "ALT", "CRP",
+)
+_VACCINES = ("influenza", "tetanus", "hepatitis-B", "MMR", "COVID-19", "pneumococcal")
+_ALLERGENS = ("penicillin", "peanuts", "latex", "shellfish", "pollen", "sulfa-drugs")
+_FOODS = ("oatmeal", "chicken-salad", "pasta", "salmon", "rice-bowl", "yogurt", "apple")
+_BLOOD_GROUPS = ("A+", "A-", "B+", "B-", "AB+", "AB-", "O+", "O-")
+_PROVIDERS = ("dr-jansen", "dr-smit", "st-mary-hospital", "city-lab", "self")
+
+
+class PhrGenerator:
+    """Deterministic synthetic PHR entries, one generator method per category."""
+
+    def __init__(self, rng: RandomSource, patient: str):
+        self._rng = rng
+        self._patient = patient
+        self._counter = 0
+
+    def _next_id(self, category: str) -> str:
+        self._counter += 1
+        return "%s-%s-%04d" % (self._patient, category, self._counter)
+
+    def _date(self) -> str:
+        year = 2000 + self._rng.randbelow(9)
+        month = 1 + self._rng.randbelow(12)
+        day = 1 + self._rng.randbelow(28)
+        return "%04d-%02d-%02d" % (year, month, day)
+
+    def _entry(self, category: str, content: dict, author: str | None = None) -> PhrEntry:
+        return PhrEntry(
+            entry_id=self._next_id(category),
+            category=category,
+            author=author or self._rng.choice(_PROVIDERS),
+            created_at=self._date(),
+            content=content,
+        )
+
+    # ------------------------------------------------------- per category
+
+    def illness_history(self) -> PhrEntry:
+        return self._entry(
+            "illness-history",
+            {
+                "diagnosis": self._rng.choice(_DIAGNOSES),
+                "severity": self._rng.choice(["mild", "moderate", "severe"]),
+                "notes": "diagnosed during routine examination",
+            },
+        )
+
+    def medication(self) -> PhrEntry:
+        return self._entry(
+            "medication",
+            {
+                "drug": self._rng.choice(_MEDICATIONS),
+                "frequency": self._rng.choice(["1x daily", "2x daily", "as needed"]),
+                "adverse_reaction": self._rng.choice(["none", "nausea", "dizziness"]),
+            },
+        )
+
+    def lab_result(self) -> PhrEntry:
+        return self._entry(
+            "lab-results",
+            {
+                "test": self._rng.choice(_LAB_TESTS),
+                "value": round(1 + self._rng.randbelow(2000) / 100.0, 2),
+                "unit": "mmol/L",
+                "flag": self._rng.choice(["normal", "high", "low"]),
+            },
+        )
+
+    def vaccination(self) -> PhrEntry:
+        return self._entry(
+            "vaccinations",
+            {"vaccine": self._rng.choice(_VACCINES), "dose": 1 + self._rng.randbelow(3)},
+        )
+
+    def allergy(self) -> PhrEntry:
+        return self._entry(
+            "allergies",
+            {
+                "allergen": self._rng.choice(_ALLERGENS),
+                "reaction": self._rng.choice(["rash", "anaphylaxis", "swelling"]),
+            },
+        )
+
+    def vitals(self) -> PhrEntry:
+        return self._entry(
+            "vitals",
+            {
+                "weight_kg": 50 + self._rng.randbelow(60),
+                "systolic": 100 + self._rng.randbelow(60),
+                "diastolic": 60 + self._rng.randbelow(40),
+                "pulse": 55 + self._rng.randbelow(50),
+            },
+            author="self",
+        )
+
+    def food_statistics(self) -> PhrEntry:
+        return self._entry(
+            "food-statistics",
+            {
+                "meal": self._rng.choice(_FOODS),
+                "calories": 150 + self._rng.randbelow(700),
+            },
+            author="self",
+        )
+
+    def emergency_profile(self) -> PhrEntry:
+        return self._entry(
+            "emergency-profile",
+            {
+                "blood_group": self._rng.choice(_BLOOD_GROUPS),
+                "organ_donor": bool(self._rng.randbelow(2)),
+                "critical_conditions": [self._rng.choice(_DIAGNOSES)],
+                "emergency_contact": "next-of-kin",
+            },
+        )
+
+    _BY_CATEGORY = {
+        "illness-history": illness_history,
+        "medication": medication,
+        "lab-results": lab_result,
+        "vaccinations": vaccination,
+        "allergies": allergy,
+        "vitals": vitals,
+        "food-statistics": food_statistics,
+        "emergency-profile": emergency_profile,
+    }
+
+    def entry_for(self, category: str) -> PhrEntry:
+        """Generate one entry of the named category."""
+        method = self._BY_CATEGORY.get(category)
+        if method is None:
+            raise KeyError("no generator for category %r" % category)
+        return method(self)
+
+    def history(self, entries_per_category: int = 3) -> list[PhrEntry]:
+        """A full synthetic history across the default taxonomy."""
+        entries = []
+        for category in DEFAULT_TAXONOMY:
+            for _ in range(entries_per_category):
+                entries.append(self.entry_for(category.label))
+        return entries
+
+
+class WorkloadMix:
+    """A request mix for the E5 workload bench: weighted category draws."""
+
+    def __init__(self, weights: dict[str, int]):
+        if not weights:
+            raise ValueError("workload mix needs at least one category")
+        if any(w <= 0 for w in weights.values()):
+            raise ValueError("weights must be positive")
+        self._population = [c for c, w in sorted(weights.items()) for _ in range(w)]
+
+    def draw(self, rng: RandomSource) -> str:
+        """Sample one category according to the weights."""
+        return rng.choice(self._population)
+
+    @classmethod
+    def clinical_default(cls) -> "WorkloadMix":
+        """A plausible mix: doctors mostly read labs/medication, few emergencies."""
+        return cls(
+            {
+                "lab-results": 35,
+                "medication": 25,
+                "illness-history": 15,
+                "vitals": 10,
+                "vaccinations": 7,
+                "allergies": 5,
+                "emergency-profile": 2,
+                "food-statistics": 1,
+            }
+        )

@@ -1,0 +1,80 @@
+"""The patient's disclosure policy.
+
+The policy is the patient's *intent*: which requester may see which
+categories.  In the paper's design the policy is enforced
+cryptographically — a proxy key exists exactly for the granted
+(requester, category) pairs — so :class:`DisclosurePolicy` is both a
+record of intent and the driver for ``Pextract`` calls in
+:mod:`repro.phr.workflow`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.phr.records import PhrCategory
+
+__all__ = ["DisclosurePolicy", "Grant"]
+
+
+@dataclass(frozen=True)
+class Grant:
+    """One policy row: a requester may read one category."""
+
+    requester: str
+    requester_domain: str
+    category: str
+
+
+@dataclass
+class DisclosurePolicy:
+    """The set of grants a patient has decided on.
+
+    The policy object is pure bookkeeping — revoking here must be paired
+    with removing the proxy key (the workflow layer does both).
+    """
+
+    patient: str
+    _grants: set[Grant] = field(default_factory=set)
+
+    def grant(self, requester: str, requester_domain: str, category: str) -> Grant:
+        entry = Grant(requester=requester, requester_domain=requester_domain, category=category)
+        self._grants.add(entry)
+        return entry
+
+    def revoke(self, requester: str, requester_domain: str, category: str) -> bool:
+        entry = Grant(requester=requester, requester_domain=requester_domain, category=category)
+        if entry in self._grants:
+            self._grants.remove(entry)
+            return True
+        return False
+
+    def allows(self, requester: str, requester_domain: str, category: str) -> bool:
+        return (
+            Grant(requester=requester, requester_domain=requester_domain, category=category)
+            in self._grants
+        )
+
+    def categories_for(self, requester: str, requester_domain: str) -> list[str]:
+        return sorted(
+            g.category
+            for g in self._grants
+            if g.requester == requester and g.requester_domain == requester_domain
+        )
+
+    def requesters_for(self, category: str) -> list[str]:
+        return sorted({g.requester for g in self._grants if g.category == category})
+
+    def all_grants(self) -> list[Grant]:
+        return sorted(
+            self._grants, key=lambda g: (g.category, g.requester_domain, g.requester)
+        )
+
+    def grant_count(self) -> int:
+        return len(self._grants)
+
+    @staticmethod
+    def max_sensitivity_granted(grants: list[Grant], taxonomy: dict[str, PhrCategory]) -> int:
+        """Highest sensitivity level among granted categories (audit helper)."""
+        levels = [taxonomy[g.category].sensitivity for g in grants if g.category in taxonomy]
+        return max(levels, default=-1)

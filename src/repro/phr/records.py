@@ -1,0 +1,106 @@
+"""The Personal Health Record data model.
+
+Following the paper's Section 5 (and its citation of Tang et al., JAMIA
+2006): a PHR aggregates provider-sourced medical data (surgery, illness
+history, lab results, vaccinations, allergies, drug reactions) and
+patient-collected data (weight, food statistics).  Each entry belongs to
+exactly one **category**, and categories are what the patient maps to the
+scheme's *types* — the unit of disclosure.
+
+The default taxonomy models the paper's examples: ``illness-history`` is
+the patient's "top secret", ``food-statistics`` is low-sensitivity, and
+``emergency-profile`` is the data disclosed "in case of emergency" (the
+paper's type ``t3``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["PhrCategory", "PhrEntry", "DEFAULT_TAXONOMY", "Sensitivity"]
+
+
+class Sensitivity:
+    """Named sensitivity levels (ascending)."""
+
+    LOW = 0
+    MEDIUM = 1
+    HIGH = 2
+    TOP_SECRET = 3
+
+    NAMES = {0: "low", 1: "medium", 2: "high", 3: "top-secret"}
+
+
+@dataclass(frozen=True)
+class PhrCategory:
+    """One disclosure category (= one scheme type).
+
+    Attributes:
+        label: the type label used on the wire (stable identifier).
+        description: human-readable meaning.
+        sensitivity: one of the :class:`Sensitivity` levels.
+    """
+
+    label: str
+    description: str
+    sensitivity: int
+
+    def __post_init__(self):
+        if self.sensitivity not in Sensitivity.NAMES:
+            raise ValueError("unknown sensitivity level %r" % self.sensitivity)
+        if not self.label or any(c.isspace() for c in self.label):
+            raise ValueError("category labels must be non-empty and whitespace-free")
+
+
+DEFAULT_TAXONOMY: tuple[PhrCategory, ...] = (
+    PhrCategory("illness-history", "diagnoses, surgeries, family history", Sensitivity.TOP_SECRET),
+    PhrCategory("medication", "prescriptions and drug reactions", Sensitivity.HIGH),
+    PhrCategory("lab-results", "laboratory test results", Sensitivity.HIGH),
+    PhrCategory("vaccinations", "immunisation records", Sensitivity.MEDIUM),
+    PhrCategory("allergies", "known allergies", Sensitivity.MEDIUM),
+    PhrCategory("vitals", "self-measured weight, blood pressure, pulse", Sensitivity.LOW),
+    PhrCategory("food-statistics", "self-collected diet statistics", Sensitivity.LOW),
+    PhrCategory("emergency-profile", "blood group, implants, critical conditions", Sensitivity.MEDIUM),
+)
+
+
+@dataclass(frozen=True)
+class PhrEntry:
+    """One record in a patient's PHR.
+
+    ``content`` is an arbitrary JSON-serialisable mapping; entries are
+    value objects and serialise canonically via :meth:`to_bytes` (the form
+    that gets encrypted).
+    """
+
+    entry_id: str
+    category: str
+    author: str
+    created_at: str  # ISO-8601; kept as text to stay timezone-agnostic
+    content: dict = field(hash=False)
+
+    def to_bytes(self) -> bytes:
+        """Canonical byte form (sorted-key JSON) — the encryption plaintext."""
+        return json.dumps(
+            {
+                "entry_id": self.entry_id,
+                "category": self.category,
+                "author": self.author,
+                "created_at": self.created_at,
+                "content": self.content,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PhrEntry":
+        """Parse the canonical byte form back into an entry."""
+        decoded = json.loads(data.decode("utf-8"))
+        return cls(
+            entry_id=decoded["entry_id"],
+            category=decoded["category"],
+            author=decoded["author"],
+            created_at=decoded["created_at"],
+            content=decoded["content"],
+        )

@@ -1,0 +1,100 @@
+"""Patient key backup and recovery via Shamir sharing.
+
+The paper's architecture hinges on the patient's single key pair — losing
+the private key would orphan every ciphertext.  Real PHR deployments pair
+the scheme with *social backup*: the serialized private key is
+Shamir-shared among ``n`` custodians (family doctor, notary, relatives)
+so that any ``t`` of them can restore it, while ``t - 1`` learn nothing.
+
+The share field is chosen per key: the serialized key bytes are read as
+an integer and shared over the smallest pinned prime field exceeding it,
+reusing :mod:`repro.math.shamir` unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ibe.keys import IbePrivateKey
+from repro.math.drbg import RandomSource, system_random
+from repro.math.ntheory import bytes_to_int, int_to_bytes
+from repro.math.primes import next_prime
+from repro.math.shamir import Share, reconstruct_secret, split_secret
+from repro.pairing.group import PairingGroup
+from repro.serialization.containers import deserialize_private_key, serialize_private_key
+
+__all__ = ["KeyCustodianShare", "backup_private_key", "recover_private_key"]
+
+_FIELD_CACHE: dict[int, int] = {}
+
+
+def _share_field(byte_length: int) -> int:
+    """The smallest cached prime above ``2^(8*byte_length)``."""
+    if byte_length not in _FIELD_CACHE:
+        _FIELD_CACHE[byte_length] = next_prime(1 << (8 * byte_length))
+    return _FIELD_CACHE[byte_length]
+
+
+@dataclass(frozen=True)
+class KeyCustodianShare:
+    """One custodian's share of a patient's private key.
+
+    ``byte_length`` and ``threshold`` ride along so recovery needs no
+    out-of-band metadata; the share value alone is useless below the
+    threshold.
+    """
+
+    custodian: str
+    identity: str
+    threshold: int
+    byte_length: int
+    share: Share
+
+
+def backup_private_key(
+    group: PairingGroup,
+    key: IbePrivateKey,
+    custodians: list[str],
+    threshold: int,
+    rng: RandomSource | None = None,
+) -> list[KeyCustodianShare]:
+    """Split a private key among named custodians (t-of-n)."""
+    if len(set(custodians)) != len(custodians):
+        raise ValueError("custodian names must be distinct")
+    blob = serialize_private_key(group, key)
+    modulus = _share_field(len(blob))
+    shares = split_secret(
+        bytes_to_int(blob), threshold, len(custodians), modulus, rng or system_random()
+    )
+    return [
+        KeyCustodianShare(
+            custodian=name,
+            identity=key.identity,
+            threshold=threshold,
+            byte_length=len(blob),
+            share=share,
+        )
+        for name, share in zip(custodians, shares)
+    ]
+
+
+def recover_private_key(
+    group: PairingGroup, shares: list[KeyCustodianShare]
+) -> IbePrivateKey:
+    """Reassemble the key from at least ``threshold`` custodian shares."""
+    if not shares:
+        raise ValueError("no shares provided")
+    threshold = shares[0].threshold
+    byte_length = shares[0].byte_length
+    identity = shares[0].identity
+    if any(
+        s.threshold != threshold or s.byte_length != byte_length or s.identity != identity
+        for s in shares
+    ):
+        raise ValueError("shares belong to different backups")
+    if len(shares) < threshold:
+        raise ValueError("need %d shares, got %d" % (threshold, len(shares)))
+    modulus = _share_field(byte_length)
+    secret = reconstruct_secret([s.share for s in shares[:threshold]], modulus)
+    blob = int_to_bytes(secret, byte_length)
+    return deserialize_private_key(group, blob)

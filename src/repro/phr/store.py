@@ -1,0 +1,170 @@
+"""Encrypted PHR storage.
+
+The store is the paper's semi-trusted database: it holds only *serialized
+ciphertext bytes* and routing metadata (patient, category, entry id).  It
+never receives keys or plaintext objects — the type system here mirrors
+the trust boundary, which is why the interface traffics in ``bytes``
+rather than ciphertext dataclasses.
+
+Two implementations share the interface: the in-memory
+:class:`EncryptedPhrStore` (tests, benchmarks) and the durable
+:class:`FilePhrStore` (one blob file per record plus a JSON index), which
+a :class:`~repro.phr.actors.CategoryProxy` can use unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["StoredRecord", "EncryptedPhrStore", "FilePhrStore", "EntryNotFoundError"]
+
+
+class EntryNotFoundError(KeyError):
+    """No stored ciphertext matches the requested entry."""
+
+
+@dataclass(frozen=True)
+class StoredRecord:
+    """One opaque ciphertext plus its routing metadata."""
+
+    patient: str
+    category: str
+    entry_id: str
+    blob: bytes
+
+
+@dataclass
+class EncryptedPhrStore:
+    """An in-memory ciphertext store keyed by (patient, entry_id)."""
+
+    name: str = "phr-store"
+    _records: dict[tuple[str, str], StoredRecord] = field(default_factory=dict)
+
+    def put(self, patient: str, category: str, entry_id: str, blob: bytes) -> None:
+        """Store (or overwrite) one ciphertext."""
+        if not isinstance(blob, bytes):
+            raise TypeError("the store accepts only serialized bytes")
+        self._records[(patient, entry_id)] = StoredRecord(
+            patient=patient, category=category, entry_id=entry_id, blob=blob
+        )
+
+    def get(self, patient: str, entry_id: str) -> StoredRecord:
+        record = self._records.get((patient, entry_id))
+        if record is None:
+            raise EntryNotFoundError("no entry %r for patient %r" % (entry_id, patient))
+        return record
+
+    def delete(self, patient: str, entry_id: str) -> bool:
+        return self._records.pop((patient, entry_id), None) is not None
+
+    def entries_for(self, patient: str, category: str | None = None) -> list[StoredRecord]:
+        """All records of a patient, optionally filtered by category."""
+        return sorted(
+            (
+                record
+                for record in self._records.values()
+                if record.patient == patient
+                and (category is None or record.category == category)
+            ),
+            key=lambda record: record.entry_id,
+        )
+
+    def patients(self) -> list[str]:
+        return sorted({record.patient for record in self._records.values()})
+
+    def record_count(self) -> int:
+        return len(self._records)
+
+    def size_bytes(self) -> int:
+        """Total ciphertext bytes held (for the E3/E5 storage accounting)."""
+        return sum(len(record.blob) for record in self._records.values())
+
+
+class FilePhrStore:
+    """A durable ciphertext store: one blob file per record + a JSON index.
+
+    Layout under ``root``::
+
+        index.json                   {"patient|entry_id": "category", ...}
+        blobs/<patient>/<entry_id>.bin
+
+    The index is rewritten atomically-enough for a research store (write
+    then rename).  The interface matches :class:`EncryptedPhrStore`, so
+    proxies work with either backend.
+    """
+
+    def __init__(self, root: str | Path, name: str = "phr-file-store"):
+        self.name = name
+        self._root = Path(root)
+        self._blob_dir = self._root / "blobs"
+        self._blob_dir.mkdir(parents=True, exist_ok=True)
+        self._index_path = self._root / "index.json"
+        self._index: dict[str, str] = {}
+        if self._index_path.exists():
+            self._index = json.loads(self._index_path.read_text())
+
+    @staticmethod
+    def _index_key(patient: str, entry_id: str) -> str:
+        if "|" in patient:
+            raise ValueError("patient names must not contain '|'")
+        return "%s|%s" % (patient, entry_id)
+
+    def _blob_path(self, patient: str, entry_id: str) -> Path:
+        # Entry ids come from our generator / callers; guard path traversal.
+        safe_patient = patient.replace("/", "_").replace("..", "_")
+        safe_entry = entry_id.replace("/", "_").replace("..", "_")
+        return self._blob_dir / safe_patient / ("%s.bin" % safe_entry)
+
+    def _flush_index(self) -> None:
+        tmp = self._index_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(self._index, sort_keys=True))
+        tmp.replace(self._index_path)
+
+    def put(self, patient: str, category: str, entry_id: str, blob: bytes) -> None:
+        if not isinstance(blob, bytes):
+            raise TypeError("the store accepts only serialized bytes")
+        path = self._blob_path(patient, entry_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(blob)
+        self._index[self._index_key(patient, entry_id)] = category
+        self._flush_index()
+
+    def get(self, patient: str, entry_id: str) -> StoredRecord:
+        category = self._index.get(self._index_key(patient, entry_id))
+        if category is None:
+            raise EntryNotFoundError("no entry %r for patient %r" % (entry_id, patient))
+        blob = self._blob_path(patient, entry_id).read_bytes()
+        return StoredRecord(patient=patient, category=category, entry_id=entry_id, blob=blob)
+
+    def delete(self, patient: str, entry_id: str) -> bool:
+        key = self._index_key(patient, entry_id)
+        if key not in self._index:
+            return False
+        del self._index[key]
+        self._flush_index()
+        self._blob_path(patient, entry_id).unlink(missing_ok=True)
+        return True
+
+    def entries_for(self, patient: str, category: str | None = None) -> list[StoredRecord]:
+        records = []
+        for key, stored_category in self._index.items():
+            record_patient, entry_id = key.split("|", 1)
+            if record_patient != patient:
+                continue
+            if category is not None and stored_category != category:
+                continue
+            records.append(self.get(patient, entry_id))
+        return sorted(records, key=lambda record: record.entry_id)
+
+    def patients(self) -> list[str]:
+        return sorted({key.split("|", 1)[0] for key in self._index})
+
+    def record_count(self) -> int:
+        return len(self._index)
+
+    def size_bytes(self) -> int:
+        return sum(
+            self._blob_path(*key.split("|", 1)).stat().st_size for key in self._index
+        )

@@ -1,0 +1,216 @@
+"""End-to-end orchestration of the fine-grained PHR disclosure scheme.
+
+:class:`PhrSystem` wires together every piece the paper's Section 5
+describes: a patients' KGC, per-role requester KGCs, one
+:class:`~repro.phr.actors.CategoryProxy` per PHR category (the paper's
+"for each type of PHR, Alice finds a proxy"), the hash-chained audit log,
+and the grant/request/revoke flows.
+
+The class is deliberately the *only* stateful entry point the examples
+and benchmarks need — it is the "application" a downstream user would
+embed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.scheme import TypeAndIdentityPre
+from repro.phr.store import EncryptedPhrStore, FilePhrStore
+from repro.ibe.kgc import KgcRegistry
+from repro.math.drbg import RandomSource, system_random
+from repro.pairing.group import PairingGroup
+from repro.phr.actors import AccessDeniedError, CategoryProxy, Patient, Requester
+from repro.phr.audit import AuditLog
+from repro.phr.records import DEFAULT_TAXONOMY, PhrCategory, PhrEntry
+
+__all__ = ["PhrSystem", "AccessDeniedError"]
+
+_PATIENT_DOMAIN = "patients-kgc"
+
+
+@dataclass
+class PhrSystem:
+    """A complete deployment of the paper's PHR disclosure architecture.
+
+    ``store_root`` switches the per-category proxies from in-memory stores
+    to durable :class:`~repro.phr.store.FilePhrStore` backends (one
+    subdirectory per category), so ciphertexts survive process restarts.
+    """
+
+    group: PairingGroup
+    taxonomy: tuple[PhrCategory, ...] = DEFAULT_TAXONOMY
+    rng: RandomSource = field(default_factory=system_random)
+    audit: AuditLog = field(default_factory=AuditLog)
+    store_root: str | None = None
+    _registry: KgcRegistry = field(init=False)
+    _scheme: TypeAndIdentityPre = field(init=False)
+    _patients: dict[str, Patient] = field(default_factory=dict)
+    _requesters: dict[str, Requester] = field(default_factory=dict)
+    _proxies: dict[str, CategoryProxy] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self._registry = KgcRegistry(self.group, self.rng)
+        self._registry.create(_PATIENT_DOMAIN)
+        self._scheme = TypeAndIdentityPre(self.group)
+        for category in self.taxonomy:
+            if self.store_root is None:
+                store = EncryptedPhrStore(name="store-%s" % category.label)
+            else:
+                store = FilePhrStore(
+                    Path(self.store_root) / category.label,
+                    name="store-%s" % category.label,
+                )
+            self._proxies[category.label] = CategoryProxy(
+                category=category.label, group=self.group, scheme=self._scheme, store=store
+            )
+
+    # ---------------------------------------------------------- registration
+
+    def register_patient(self, name: str) -> Patient:
+        """Enroll a patient at the patients' KGC (one key pair, total)."""
+        if name in self._patients:
+            raise ValueError("patient %r already registered" % name)
+        kgc = self._registry.get(_PATIENT_DOMAIN)
+        patient = Patient(
+            name=name,
+            params=kgc.params,
+            private_key=kgc.extract(name),
+            group=self.group,
+            rng=self.rng.fork("patient-%s" % name) if hasattr(self.rng, "fork") else self.rng,
+        )
+        self._patients[name] = patient
+        self.audit.record("register-patient", actor=name, subject=_PATIENT_DOMAIN)
+        return patient
+
+    def register_requester(self, name: str, role: str, domain: str) -> Requester:
+        """Enroll a requester (doctor/insurer/...) at their own KGC domain."""
+        if name in self._requesters:
+            raise ValueError("requester %r already registered" % name)
+        if domain == _PATIENT_DOMAIN:
+            raise ValueError("requesters must live in their own domain")
+        kgc = self._registry.create(domain) if domain not in self._registry else self._registry.get(domain)
+        requester = Requester(
+            name=name,
+            role=role,
+            params=kgc.params,
+            private_key=kgc.extract(name),
+            group=self.group,
+        )
+        self._requesters[name] = requester
+        self.audit.record("register-requester", actor=name, subject=domain, role=role)
+        return requester
+
+    def patient(self, name: str) -> Patient:
+        return self._patients[name]
+
+    def requester(self, name: str) -> Requester:
+        return self._requesters[name]
+
+    def proxy_for(self, category: str) -> CategoryProxy:
+        if category not in self._proxies:
+            raise KeyError("no proxy for category %r (not in the taxonomy)" % category)
+        return self._proxies[category]
+
+    def categories(self) -> list[str]:
+        return [category.label for category in self.taxonomy]
+
+    # ---------------------------------------------------------------- upload
+
+    def store_entry(self, patient_name: str, entry: PhrEntry) -> None:
+        """Patient-side encryption + upload to the category's proxy store."""
+        patient = self._patients[patient_name]
+        blob = patient.encrypt_entry(entry)
+        self.proxy_for(entry.category).accept_record(patient_name, entry.entry_id, blob)
+        self.audit.record(
+            "upload",
+            actor=patient_name,
+            subject=entry.entry_id,
+            category=entry.category,
+            bytes=len(blob),
+        )
+
+    # ----------------------------------------------------------------- grant
+
+    def grant(self, patient_name: str, requester_name: str, category: str) -> None:
+        """The paper's delegation step: Pextract + install at the proxy."""
+        patient = self._patients[patient_name]
+        requester = self._requesters[requester_name]
+        proxy_key = patient.make_grant(requester, category)
+        self.proxy_for(category).install_grant(proxy_key)
+        self.audit.record(
+            "grant", actor=patient_name, subject=requester_name, category=category
+        )
+
+    def revoke(self, patient_name: str, requester_name: str, category: str) -> bool:
+        """Remove the proxy key and the policy row."""
+        patient = self._patients[patient_name]
+        requester = self._requesters[requester_name]
+        removed = self.proxy_for(category).revoke_grant(
+            patient.private_key.domain, patient_name, requester.params.domain, requester_name
+        )
+        patient.record_revocation(requester, category)
+        self.audit.record(
+            "revoke",
+            actor=patient_name,
+            subject=requester_name,
+            category=category,
+            removed=removed,
+        )
+        return removed
+
+    # --------------------------------------------------------------- request
+
+    def request_entry(
+        self, requester_name: str, patient_name: str, category: str, entry_id: str
+    ) -> PhrEntry:
+        """A requester fetches one record: proxy re-encrypts, requester decrypts."""
+        requester = self._requesters[requester_name]
+        proxy = self.proxy_for(category)
+        try:
+            reencrypted = proxy.serve(
+                patient_name, entry_id, requester.params.domain, requester_name
+            )
+        except AccessDeniedError:
+            self.audit.record(
+                "request-denied",
+                actor=requester_name,
+                subject=entry_id,
+                patient=patient_name,
+                category=category,
+            )
+            raise
+        entry = requester.read_entry(reencrypted)
+        self.audit.record(
+            "request-served",
+            actor=requester_name,
+            subject=entry_id,
+            patient=patient_name,
+            category=category,
+        )
+        return entry
+
+    def request_category(
+        self, requester_name: str, patient_name: str, category: str
+    ) -> list[PhrEntry]:
+        """Fetch and decrypt every record of one category."""
+        proxy = self.proxy_for(category)
+        records = proxy.store.entries_for(patient_name, category)
+        return [
+            self.request_entry(requester_name, patient_name, category, record.entry_id)
+            for record in records
+        ]
+
+    # ------------------------------------------------------------- emergency
+
+    def emergency_access(
+        self, responder_name: str, patient_name: str
+    ) -> list[PhrEntry]:
+        """The paper's travel scenario: the emergency profile on demand.
+
+        Works only if the patient granted ``emergency-profile`` to the
+        responder ahead of time (e.g. when arriving in a new country).
+        """
+        self.audit.record("emergency-access", actor=responder_name, subject=patient_name)
+        return self.request_category(responder_name, patient_name, "emergency-profile")

@@ -1,0 +1,61 @@
+"""Security games, adversary strategies, and executable property checks."""
+
+from repro.security.ablation import LabelOnlyPre, LabelledCiphertext, PolicyViolationError
+from repro.security.adversaries import (
+    ALL_DR_CPA_ADVERSARIES,
+    ColludingDelegateeAdversary,
+    PreencObserverAdversary,
+    RandomGuessAdversary,
+    SideDomainAdversary,
+    TypeMixingAdversary,
+)
+from repro.security.games import (
+    GameResult,
+    IllegalQueryError,
+    IndIdCpaGame,
+    IndIdDrCpaGame,
+    OneWaynessGame,
+    estimate_advantage,
+)
+from repro.security.stats import (
+    AdvantageEstimate,
+    binomial_confidence_interval,
+    estimate_from_wins,
+)
+from repro.security.properties import (
+    bbs_collusion_recovers_secret,
+    bbs_is_bidirectional,
+    dodis_ivan_collusion_recovers_secret,
+    tipre_collusion_recovers_only_type_key,
+    tipre_delegation_is_unidirectional,
+    tipre_is_non_interactive,
+    tipre_type_isolation_holds,
+)
+
+__all__ = [
+    "IndIdCpaGame",
+    "OneWaynessGame",
+    "IndIdDrCpaGame",
+    "GameResult",
+    "IllegalQueryError",
+    "estimate_advantage",
+    "RandomGuessAdversary",
+    "TypeMixingAdversary",
+    "ColludingDelegateeAdversary",
+    "PreencObserverAdversary",
+    "SideDomainAdversary",
+    "ALL_DR_CPA_ADVERSARIES",
+    "LabelOnlyPre",
+    "LabelledCiphertext",
+    "PolicyViolationError",
+    "bbs_is_bidirectional",
+    "bbs_collusion_recovers_secret",
+    "dodis_ivan_collusion_recovers_secret",
+    "tipre_collusion_recovers_only_type_key",
+    "tipre_type_isolation_holds",
+    "tipre_is_non_interactive",
+    "tipre_delegation_is_unidirectional",
+    "AdvantageEstimate",
+    "binomial_confidence_interval",
+    "estimate_from_wins",
+]

@@ -1,0 +1,118 @@
+"""Deliberately weakened designs for the E7 ablation study.
+
+The paper's introduction (Section 1.1) contrasts its construction with two
+alternatives a system designer might reach for.  Both are implemented here
+so the ablation benchmark can *measure* the failure the paper predicts:
+
+* :class:`LabelOnlyPre` — "trust the proxy": ciphertexts are plain
+  (type-less) Green--Ateniese; the type is a metadata label and the proxy
+  is supposed to check a policy table before transforming.  With
+  ``corrupt_proxy=True`` the check is skipped, and every message of every
+  type leaks to any delegatee with a key installed — the violation rate
+  jumps from 0% to 100%.
+* The per-type-keypair strawman lives in
+  :class:`repro.baselines.multi_keypair.MultiKeypairDelegation` (secure but
+  expensive; E3 measures the cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.green_ateniese import (
+    GaProxyKey,
+    GaReEncryptedCiphertext,
+    GreenAtenieseIbp1,
+)
+from repro.ibe.keys import IbeCiphertext, IbeParams, IbePrivateKey
+from repro.math.drbg import RandomSource, system_random
+from repro.math.fields import Fp2Element
+from repro.pairing.group import PairingGroup
+
+__all__ = ["LabelOnlyPre", "LabelledCiphertext", "PolicyViolationError"]
+
+
+class PolicyViolationError(PermissionError):
+    """An honest proxy refused a transformation the policy forbids."""
+
+
+@dataclass(frozen=True)
+class LabelledCiphertext:
+    """A type-less Green--Ateniese ciphertext with a cleartext type label."""
+
+    type_label: str
+    inner: IbeCiphertext
+
+
+@dataclass
+class LabelOnlyPre:
+    """The "trust the proxy to enforce types" design (ablation baseline).
+
+    The delegator installs *one* proxy key (valid for everything) plus a
+    policy table saying which (delegatee, type) pairs are allowed.  The
+    cryptography cannot enforce the table; only the proxy's goodwill does.
+    """
+
+    group: PairingGroup
+    corrupt_proxy: bool = False
+    _scheme: GreenAtenieseIbp1 = field(init=False)
+    _keys: dict[tuple[str, str], GaProxyKey] = field(default_factory=dict)
+    _policy: set[tuple[str, str, str]] = field(default_factory=set)
+
+    def __post_init__(self):
+        self._scheme = GreenAtenieseIbp1(self.group)
+
+    # ----------------------------------------------------------- delegator
+
+    def encrypt(
+        self,
+        params: IbeParams,
+        message: Fp2Element,
+        identity: str,
+        type_label: str,
+        rng: RandomSource | None = None,
+    ) -> LabelledCiphertext:
+        inner = self._scheme.encrypt(params, message, identity, rng or system_random())
+        return LabelledCiphertext(type_label=type_label, inner=inner)
+
+    def decrypt(self, ciphertext: LabelledCiphertext, key: IbePrivateKey) -> Fp2Element:
+        return self._scheme.decrypt(ciphertext.inner, key)
+
+    def install_delegation(
+        self,
+        delegator_key: IbePrivateKey,
+        delegatee: str,
+        delegatee_params: IbeParams,
+        allowed_types: list[str],
+        rng: RandomSource | None = None,
+    ) -> None:
+        """One all-powerful key + a policy row per allowed type."""
+        proxy_key = self._scheme.rkgen(
+            delegator_key, delegatee, delegatee_params, rng or system_random()
+        )
+        self._keys[(delegator_key.identity, delegatee)] = proxy_key
+        for type_label in allowed_types:
+            self._policy.add((delegator_key.identity, delegatee, type_label))
+
+    # --------------------------------------------------------------- proxy
+
+    def reencrypt(
+        self, ciphertext: LabelledCiphertext, delegator: str, delegatee: str
+    ) -> GaReEncryptedCiphertext:
+        """Honest proxies check the policy; corrupt ones transform anyway."""
+        key = self._keys.get((delegator, delegatee))
+        if key is None:
+            raise KeyError("no delegation installed for (%s, %s)" % (delegator, delegatee))
+        allowed = (delegator, delegatee, ciphertext.type_label) in self._policy
+        if not allowed and not self.corrupt_proxy:
+            raise PolicyViolationError(
+                "policy forbids type %r for delegatee %r" % (ciphertext.type_label, delegatee)
+            )
+        return self._scheme.reencrypt(ciphertext.inner, key)
+
+    # ------------------------------------------------------------ delegatee
+
+    def decrypt_reencrypted(
+        self, ciphertext: GaReEncryptedCiphertext, delegatee_key: IbePrivateKey
+    ) -> Fp2Element:
+        return self._scheme.decrypt_reencrypted(ciphertext, delegatee_key)

@@ -1,0 +1,185 @@
+"""Adversary strategies for the security games.
+
+Each adversary is a callable taking a fresh game (challenger) and a
+:class:`~repro.math.drbg.RandomSource` and returning its guess result.  The
+strategies implement the concrete attack ideas the threat model (Section
+4.2) allows — plus the ones the scheme is *supposed* to defeat, so that
+experiment E6 can measure their advantage staying at ~0:
+
+* :class:`RandomGuessAdversary` — the baseline, advantage exactly ~0.
+* :class:`TypeMixingAdversary` — obtains a legitimate proxy key for a
+  *different* type, applies it to the challenge ciphertext (bypassing the
+  proxy's metadata check, as a corrupted proxy would) and decrypts with a
+  legitimately extracted delegatee key.  Defeating this is the paper's
+  headline claim.
+* :class:`ColludingDelegateeAdversary` — proxy + delegatee pool their
+  material for type ``t != t*`` (recovering the per-type key, which the
+  paper concedes) and attack the challenge of type ``t*`` with it.
+* :class:`PreencObserverAdversary` — exercises the ``Preenc+`` oracle
+  (the curious delegatee's view) before guessing.
+* :class:`SideDomainAdversary` — extracts arbitrary other identities in
+  both domains, checking that unrelated keys carry no information.
+"""
+
+from __future__ import annotations
+
+from repro.math.drbg import RandomSource
+from repro.pairing.group import PairingGroup
+from repro.security.games import GameResult, IndIdDrCpaGame
+
+__all__ = [
+    "RandomGuessAdversary",
+    "TypeMixingAdversary",
+    "ColludingDelegateeAdversary",
+    "PreencObserverAdversary",
+    "SideDomainAdversary",
+    "ALL_DR_CPA_ADVERSARIES",
+]
+
+_TARGET_ID = "alice@kgc1"
+_DELEGATEE_ID = "bob@kgc2"
+_CHALLENGE_TYPE = "illness-history"
+_OTHER_TYPE = "food-statistics"
+
+
+class RandomGuessAdversary:
+    """Ignores everything and flips a coin: the advantage-zero baseline."""
+
+    name = "random-guess"
+
+    def __call__(self, game: IndIdDrCpaGame, group: PairingGroup, rng: RandomSource) -> GameResult:
+        m0, m1 = group.random_gt(rng), group.random_gt(rng)
+        game.challenge(m0, m1, _CHALLENGE_TYPE, _TARGET_ID)
+        return game.finish(rng.randbelow(2))
+
+
+class TypeMixingAdversary:
+    """Applies a wrong-type proxy key to the challenge ciphertext.
+
+    All queries are legal: ``Pextract(id*, id', t')`` with ``t' != t*`` does
+    not trigger constraint (b), so ``Extract2(id')`` is allowed.  The attack
+    then replays the proxy computation (``c2 * e(c1, rk)``) itself — a
+    corrupted proxy ignoring the type label — and decrypts as the delegatee.
+    If the result matches ``m0`` or ``m1``, guess accordingly.
+    """
+
+    name = "type-mixing"
+
+    def __call__(self, game: IndIdDrCpaGame, group: PairingGroup, rng: RandomSource) -> GameResult:
+        proxy_key = game.pextract(_TARGET_ID, _DELEGATEE_ID, _OTHER_TYPE)
+        delegatee_key = game.extract2(_DELEGATEE_ID)
+        m0, m1 = group.random_gt(rng), group.random_gt(rng)
+        challenge = game.challenge(m0, m1, _CHALLENGE_TYPE, _TARGET_ID)
+        mixed = game.scheme.preenc(challenge, proxy_key, unchecked=True)
+        recovered = game.scheme.decrypt_reencrypted(
+            type(mixed)(
+                delegator_domain=mixed.delegator_domain,
+                delegator=mixed.delegator,
+                delegatee_domain=mixed.delegatee_domain,
+                delegatee=mixed.delegatee,
+                type_label=mixed.type_label,
+                c1=mixed.c1,
+                c2=mixed.c2,
+                encrypted_blind=mixed.encrypted_blind,
+            ),
+            delegatee_key,
+        )
+        if recovered == m0:
+            return game.finish(0)
+        if recovered == m1:
+            return game.finish(1)
+        return game.finish(rng.randbelow(2))
+
+
+class ColludingDelegateeAdversary:
+    """Proxy + delegatee recover the type-``t'`` key, then attack type ``t*``.
+
+    The colluders compute ``K = sk_i^{H2(sk_i||t')} = H1(X) - rk`` (the
+    delegatee knows ``X``), which decrypts any type-``t'`` ciphertext.  The
+    game verifies the challenge of type ``t*`` stays hidden from ``K``.
+    """
+
+    name = "collusion-other-type"
+
+    def __call__(self, game: IndIdDrCpaGame, group: PairingGroup, rng: RandomSource) -> GameResult:
+        proxy_key = game.pextract(_TARGET_ID, _DELEGATEE_ID, _OTHER_TYPE)
+        delegatee_key = game.extract2(_DELEGATEE_ID)
+        # Collusion: delegatee decrypts X, and with the proxy's rk they get
+        # K = H1(X) - rk = sk^{H2(sk||t')}.
+        from repro.ibe.boneh_franklin import BonehFranklinIbe
+
+        blind = BonehFranklinIbe(group, delegatee_key.domain).decrypt(
+            proxy_key.encrypted_blind, delegatee_key
+        )
+        blind_point = group.hash_to_g1(b"tipre-blind|" + group.serialize_gt(blind))
+        type_key = group.g1_add(blind_point, group.g1_neg(proxy_key.rk_point))
+        m0, m1 = group.random_gt(rng), group.random_gt(rng)
+        challenge = game.challenge(m0, m1, _CHALLENGE_TYPE, _TARGET_ID)
+        # Attempt direct decryption of the t* challenge with the t' key:
+        # m' = c2 / e(K, c1); correct only if the type exponents matched.
+        recovered = group.gt_div(challenge.c2, group.pair(type_key, challenge.c1))
+        if recovered == m0:
+            return game.finish(0)
+        if recovered == m1:
+            return game.finish(1)
+        return game.finish(rng.randbelow(2))
+
+
+class PreencObserverAdversary:
+    """Uses the ``Preenc+`` oracle on chosen plaintexts before guessing.
+
+    A curious delegatee sees re-encryptions of the delegator's plaintexts;
+    the strategy checks those views leak nothing about the fresh challenge
+    randomness.
+    """
+
+    name = "preenc-observer"
+
+    def __call__(self, game: IndIdDrCpaGame, group: PairingGroup, rng: RandomSource) -> GameResult:
+        m0, m1 = group.random_gt(rng), group.random_gt(rng)
+        observed = [
+            game.preenc_dagger(m, _CHALLENGE_TYPE, _TARGET_ID, _DELEGATEE_ID) for m in (m0, m1)
+        ]
+        delegatee_key = game.extract2(_DELEGATEE_ID)
+        # The delegatee really can read the oracle outputs...
+        seen = {game.scheme.decrypt_reencrypted(c, delegatee_key) for c in observed}
+        assert seen == {m0, m1}, "Preenc+ oracle must be functionally correct"
+        # ...but the challenge uses fresh randomness, so nothing carries over.
+        challenge = game.challenge(m0, m1, _CHALLENGE_TYPE, _TARGET_ID)
+        for candidate, guess in ((m0, 0), (m1, 1)):
+            for prior in observed:
+                if challenge.c2 == prior.c2 and candidate in seen:
+                    return game.finish(guess)
+        return game.finish(rng.randbelow(2))
+
+
+class SideDomainAdversary:
+    """Extracts many unrelated identities in both domains before guessing."""
+
+    name = "side-domain-extractor"
+
+    def __call__(self, game: IndIdDrCpaGame, group: PairingGroup, rng: RandomSource) -> GameResult:
+        for i in range(3):
+            game.extract1("other-%d@kgc1" % i)
+            game.extract2("other-%d@kgc2" % i)
+        m0, m1 = group.random_gt(rng), group.random_gt(rng)
+        challenge = game.challenge(m0, m1, _CHALLENGE_TYPE, _TARGET_ID)
+        # Unrelated keys decrypt the challenge to garbage; check and guess.
+        stray = game.extract1("other-0@kgc1")
+        exponent = game.scheme.type_exponent(stray, _CHALLENGE_TYPE)
+        mask = group.gt_exp(group.pair(stray.point, challenge.c1), exponent)
+        recovered = group.gt_div(challenge.c2, mask)
+        if recovered == m0:
+            return game.finish(0)
+        if recovered == m1:
+            return game.finish(1)
+        return game.finish(rng.randbelow(2))
+
+
+ALL_DR_CPA_ADVERSARIES = (
+    RandomGuessAdversary(),
+    TypeMixingAdversary(),
+    ColludingDelegateeAdversary(),
+    PreencObserverAdversary(),
+    SideDomainAdversary(),
+)

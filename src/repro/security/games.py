@@ -1,0 +1,268 @@
+"""Executable security games for the IBE and PRE schemes.
+
+The paper's security argument (Sections 3.2 and 4.2) is formulated as
+attack games.  This module implements the **challengers** of those games —
+oracle bookkeeping, constraint enforcement, challenge generation — so that
+adversary *strategies* (:mod:`repro.security.adversaries`) can be run
+against them and their empirical advantage measured (experiment E6).
+
+Games:
+
+* :class:`IndIdCpaGame` — IND-ID-CPA for Boneh--Franklin (Definition 5).
+* :class:`OneWaynessGame` — one-wayness for Boneh--Franklin (Definition 6).
+* :class:`IndIdDrCpaGame` — IND-ID-DR-CPA for the paper's scheme
+  (Section 4.2), with all three Phase-1/Phase-2 constraints enforced:
+
+  (a) ``id*`` is never the input of an ``Extract1`` query;
+  (b) if ``(id*, id', t*)`` was ``Pextract``-ed then ``id'`` is never
+      ``Extract2``-ed;
+  (c) a ``Preenc+`` query for ``(m, t, id, id')`` excludes a ``Pextract``
+      query for ``(id, id', t)`` (and vice versa).
+
+Violations raise :class:`IllegalQueryError` — an adversary that *needs* an
+illegal query to win has, by definition, stepped outside the threat model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ciphertexts import ProxyKey, ReEncryptedCiphertext, TypedCiphertext
+from repro.core.scheme import TypeAndIdentityPre
+from repro.ibe.kgc import KgcRegistry
+from repro.ibe.keys import IbeCiphertext, IbeParams, IbePrivateKey
+from repro.math.drbg import HmacDrbg, RandomSource
+from repro.math.fields import Fp2Element
+from repro.pairing.group import PairingGroup
+
+__all__ = [
+    "IllegalQueryError",
+    "GameResult",
+    "IndIdCpaGame",
+    "OneWaynessGame",
+    "IndIdDrCpaGame",
+    "estimate_advantage",
+]
+
+
+class IllegalQueryError(RuntimeError):
+    """The adversary issued a query the game's constraints forbid."""
+
+
+@dataclass(frozen=True)
+class GameResult:
+    """Outcome of one game run."""
+
+    won: bool
+    challenge_bit: int
+    guess: int
+
+
+class IndIdCpaGame:
+    """IND-ID-CPA challenger for one Boneh--Franklin domain."""
+
+    def __init__(self, group: PairingGroup, rng: RandomSource):
+        self._rng = rng
+        registry = KgcRegistry(group, rng)
+        self._kgc = registry.create("KGC")
+        self._group = group
+        self._extracted: set[str] = set()
+        self._challenged: str | None = None
+        self._bit: int | None = None
+
+    @property
+    def params(self) -> IbeParams:
+        return self._kgc.params
+
+    def extract(self, identity: str) -> IbePrivateKey:
+        """Extract oracle; forbidden on the challenge identity."""
+        if identity == self._challenged:
+            raise IllegalQueryError("Extract on the challenge identity is forbidden")
+        self._extracted.add(identity)
+        return self._kgc.extract(identity)
+
+    def challenge(self, m0: Fp2Element, m1: Fp2Element, identity: str) -> IbeCiphertext:
+        if self._challenged is not None:
+            raise IllegalQueryError("only one challenge per game")
+        if identity in self._extracted:
+            raise IllegalQueryError("challenge identity was already extracted")
+        self._challenged = identity
+        self._bit = self._rng.randbelow(2)
+        message = m1 if self._bit else m0
+        return self._kgc.scheme.encrypt(self._kgc.params, message, identity, self._rng)
+
+    def finish(self, guess: int) -> GameResult:
+        if self._bit is None:
+            raise IllegalQueryError("finish called before challenge")
+        return GameResult(won=guess == self._bit, challenge_bit=self._bit, guess=guess)
+
+
+class OneWaynessGame:
+    """One-wayness challenger for Boneh--Franklin (Definition 6)."""
+
+    def __init__(self, group: PairingGroup, rng: RandomSource):
+        self._rng = rng
+        self._group = group
+        registry = KgcRegistry(group, rng)
+        self._kgc = registry.create("KGC")
+        self._extracted: set[str] = set()
+        self._challenged: str | None = None
+        self._message: Fp2Element | None = None
+
+    @property
+    def params(self) -> IbeParams:
+        return self._kgc.params
+
+    def extract(self, identity: str) -> IbePrivateKey:
+        if identity == self._challenged:
+            raise IllegalQueryError("Extract on the challenge identity is forbidden")
+        self._extracted.add(identity)
+        return self._kgc.extract(identity)
+
+    def challenge(self, identity: str) -> IbeCiphertext:
+        if self._challenged is not None:
+            raise IllegalQueryError("only one challenge per game")
+        if identity in self._extracted:
+            raise IllegalQueryError("challenge identity was already extracted")
+        self._challenged = identity
+        self._message = self._group.random_gt(self._rng)
+        return self._kgc.scheme.encrypt(self._kgc.params, self._message, identity, self._rng)
+
+    def finish(self, guess: Fp2Element) -> bool:
+        if self._message is None:
+            raise IllegalQueryError("finish called before challenge")
+        return guess == self._message
+
+
+class IndIdDrCpaGame:
+    """The paper's IND-ID-DR-CPA challenger (Section 4.2).
+
+    The adversary drives the game through the four oracle methods, then
+    calls :meth:`challenge` and :meth:`finish`.  Constraints are enforced
+    bidirectionally and in both phases.
+    """
+
+    def __init__(self, group: PairingGroup, rng: RandomSource):
+        self._rng = rng
+        self._group = group
+        registry = KgcRegistry(group, rng)
+        self._kgc1 = registry.create("KGC1")
+        self._kgc2 = registry.create("KGC2")
+        self._scheme = TypeAndIdentityPre(group)
+        self._extract1_queries: set[str] = set()
+        self._extract2_queries: set[str] = set()
+        self._pextract_queries: set[tuple[str, str, str]] = set()
+        self._preenc_queries: set[tuple[str, str, str]] = set()
+        self._challenge_tuple: tuple[str, str] | None = None  # (id*, t*)
+        self._bit: int | None = None
+
+    # ------------------------------------------------------ public params
+
+    @property
+    def params1(self) -> IbeParams:
+        return self._kgc1.params
+
+    @property
+    def params2(self) -> IbeParams:
+        return self._kgc2.params
+
+    @property
+    def scheme(self) -> TypeAndIdentityPre:
+        return self._scheme
+
+    # ----------------------------------------------------------- oracles
+
+    def extract1(self, identity: str) -> IbePrivateKey:
+        """Extract at KGC1; constraint (a)."""
+        if self._challenge_tuple is not None and identity == self._challenge_tuple[0]:
+            raise IllegalQueryError("Extract1 on id* is forbidden")
+        self._extract1_queries.add(identity)
+        return self._kgc1.extract(identity)
+
+    def extract2(self, identity: str) -> IbePrivateKey:
+        """Extract at KGC2; constraint (b) when the challenge is set."""
+        if self._challenge_tuple is not None:
+            id_star, t_star = self._challenge_tuple
+            if (id_star, identity, t_star) in self._pextract_queries:
+                raise IllegalQueryError(
+                    "Extract2 on a delegatee holding a proxy key for (id*, t*)"
+                )
+        self._extract2_queries.add(identity)
+        return self._kgc2.extract(identity)
+
+    def pextract(self, identity: str, delegatee: str, type_label: str) -> ProxyKey:
+        """Proxy-key oracle; constraints (b) and (c)."""
+        if (identity, delegatee, type_label) in self._preenc_queries:
+            raise IllegalQueryError("Pextract after a Preenc+ query on the same triple")
+        if self._challenge_tuple is not None:
+            id_star, t_star = self._challenge_tuple
+            if identity == id_star and type_label == t_star and delegatee in self._extract2_queries:
+                raise IllegalQueryError(
+                    "Pextract(id*, id', t*) for an already-extracted delegatee"
+                )
+        self._pextract_queries.add((identity, delegatee, type_label))
+        delegator_key = self._kgc1.extract(identity)
+        return self._scheme.pextract(delegator_key, delegatee, type_label, self._kgc2.params, self._rng)
+
+    def preenc_dagger(
+        self, message: Fp2Element, type_label: str, identity: str, delegatee: str
+    ) -> ReEncryptedCiphertext:
+        """The Preenc+ oracle: encrypt-then-re-encrypt without revealing the key.
+
+        Models the curious delegatee's view of the delegator's plaintexts.
+        """
+        if (identity, delegatee, type_label) in self._pextract_queries:
+            raise IllegalQueryError("Preenc+ after a Pextract query on the same triple")
+        self._preenc_queries.add((identity, delegatee, type_label))
+        delegator_key = self._kgc1.extract(identity)
+        ciphertext = self._scheme.encrypt(
+            self._kgc1.params, delegator_key, message, type_label, self._rng
+        )
+        proxy_key = self._scheme.pextract(
+            delegator_key, delegatee, type_label, self._kgc2.params, self._rng
+        )
+        return self._scheme.preenc(ciphertext, proxy_key)
+
+    # ---------------------------------------------------------- challenge
+
+    def challenge(
+        self, m0: Fp2Element, m1: Fp2Element, type_label: str, identity: str
+    ) -> TypedCiphertext:
+        if self._challenge_tuple is not None:
+            raise IllegalQueryError("only one challenge per game")
+        if identity in self._extract1_queries:
+            raise IllegalQueryError("id* was already the input of an Extract1 query")
+        for (d, delegatee, t) in self._pextract_queries:
+            if d == identity and t == type_label and delegatee in self._extract2_queries:
+                raise IllegalQueryError(
+                    "challenge (id*, t*) conflicts with an issued proxy key + Extract2"
+                )
+        self._challenge_tuple = (identity, type_label)
+        self._bit = self._rng.randbelow(2)
+        message = m1 if self._bit else m0
+        delegator_key = self._kgc1.extract(identity)
+        return self._scheme.encrypt(
+            self._kgc1.params, delegator_key, message, type_label, self._rng
+        )
+
+    def finish(self, guess: int) -> GameResult:
+        if self._bit is None:
+            raise IllegalQueryError("finish called before challenge")
+        return GameResult(won=guess == self._bit, challenge_bit=self._bit, guess=guess)
+
+
+def estimate_advantage(
+    run_one_game,
+    trials: int,
+    seed: str = "advantage-estimate",
+) -> float:
+    """Empirical advantage ``|wins/trials - 1/2|`` over seeded trials.
+
+    ``run_one_game(rng) -> bool`` plays a full game and reports a win.  The
+    per-trial RNGs are forked from one DRBG so the estimate is reproducible.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    root = HmacDrbg(seed)
+    wins = sum(1 for i in range(trials) if run_one_game(root.fork("trial-%d" % i)))
+    return abs(wins / trials - 0.5)

@@ -1,0 +1,95 @@
+"""Statistics for the empirical security experiments (E6).
+
+A raw win rate from N game trials is noisy; reviewers rightly ask for
+error bars.  This module provides exact (Clopper--Pearson) binomial
+confidence intervals and a summary object the E6 bench and tests use to
+decide whether an adversary's measured advantage is consistent with zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import stats as _scipy_stats
+
+__all__ = ["binomial_confidence_interval", "AdvantageEstimate", "estimate_from_wins"]
+
+
+def binomial_confidence_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Exact Clopper--Pearson interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    alpha = 1 - confidence
+    lower = (
+        0.0
+        if successes == 0
+        else float(_scipy_stats.beta.ppf(alpha / 2, successes, trials - successes + 1))
+    )
+    upper = (
+        1.0
+        if successes == trials
+        else float(_scipy_stats.beta.ppf(1 - alpha / 2, successes + 1, trials - successes))
+    )
+    return lower, upper
+
+
+@dataclass(frozen=True)
+class AdvantageEstimate:
+    """A win rate with its exact confidence interval, read as an advantage."""
+
+    strategy: str
+    wins: int
+    trials: int
+    confidence: float
+    rate_low: float
+    rate_high: float
+
+    @property
+    def rate(self) -> float:
+        return self.wins / self.trials
+
+    @property
+    def advantage(self) -> float:
+        """Point estimate ``|rate - 1/2|``."""
+        return abs(self.rate - 0.5)
+
+    @property
+    def advantage_upper_bound(self) -> float:
+        """The largest ``|p - 1/2|`` consistent with the interval."""
+        return max(abs(self.rate_low - 0.5), abs(self.rate_high - 0.5))
+
+    def consistent_with_zero_advantage(self) -> bool:
+        """True when the interval contains the fair-coin rate 1/2."""
+        return self.rate_low <= 0.5 <= self.rate_high
+
+    def __str__(self) -> str:
+        return "%s: %d/%d wins, advantage %.3f (%.0f%% CI rate [%.3f, %.3f])" % (
+            self.strategy,
+            self.wins,
+            self.trials,
+            self.advantage,
+            100 * self.confidence,
+            self.rate_low,
+            self.rate_high,
+        )
+
+
+def estimate_from_wins(
+    strategy: str, wins: int, trials: int, confidence: float = 0.95
+) -> AdvantageEstimate:
+    """Build an :class:`AdvantageEstimate` from raw win counts."""
+    low, high = binomial_confidence_interval(wins, trials, confidence)
+    return AdvantageEstimate(
+        strategy=strategy,
+        wins=wins,
+        trials=trials,
+        confidence=confidence,
+        rate_low=low,
+        rate_high=high,
+    )

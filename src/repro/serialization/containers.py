@@ -1,0 +1,281 @@
+"""Canonical serialization of every key and ciphertext container.
+
+Each container gets a kind byte, a ``serialize_*`` function producing
+canonical bytes and a ``deserialize_*`` function that needs the
+:class:`~repro.pairing.group.PairingGroup` (group elements cannot be
+decoded without their group).  A JSON envelope (base64 payload + readable
+metadata) is provided for interoperability and debugging.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+from repro.core.ciphertexts import ProxyKey, ReEncryptedCiphertext, TypedCiphertext
+from repro.hybrid.kem import HybridCiphertext, HybridReEncrypted
+from repro.ibe.keys import IbeCiphertext, IbeParams, IbePrivateKey
+from repro.pairing.group import PairingGroup
+from repro.serialization.encoding import EncodingError, Reader, Writer
+
+__all__ = [
+    "KIND_TYPED_CIPHERTEXT",
+    "KIND_PROXY_KEY",
+    "KIND_REENCRYPTED",
+    "KIND_IBE_CIPHERTEXT",
+    "KIND_PRIVATE_KEY",
+    "KIND_PARAMS",
+    "KIND_HYBRID",
+    "KIND_HYBRID_REENCRYPTED",
+    "serialize_typed_ciphertext",
+    "deserialize_typed_ciphertext",
+    "serialize_proxy_key",
+    "deserialize_proxy_key",
+    "serialize_reencrypted",
+    "deserialize_reencrypted",
+    "serialize_ibe_ciphertext",
+    "deserialize_ibe_ciphertext",
+    "serialize_private_key",
+    "deserialize_private_key",
+    "serialize_params",
+    "deserialize_params",
+    "serialize_hybrid",
+    "deserialize_hybrid",
+    "serialize_hybrid_reencrypted",
+    "deserialize_hybrid_reencrypted",
+    "to_json_envelope",
+    "from_json_envelope",
+]
+
+KIND_TYPED_CIPHERTEXT = 1
+KIND_PROXY_KEY = 2
+KIND_REENCRYPTED = 3
+KIND_IBE_CIPHERTEXT = 4
+KIND_PRIVATE_KEY = 5
+KIND_PARAMS = 6
+KIND_HYBRID = 7
+KIND_HYBRID_REENCRYPTED = 8
+
+
+# ------------------------------------------------------------- IBE objects
+
+
+def serialize_ibe_ciphertext(group: PairingGroup, ct: IbeCiphertext) -> bytes:
+    writer = Writer(KIND_IBE_CIPHERTEXT)
+    writer.write_str(ct.domain).write_str(ct.identity)
+    writer.write_bytes(group.serialize_g1(ct.c1))
+    writer.write_bytes(group.serialize_gt(ct.c2))
+    return writer.getvalue()
+
+
+def deserialize_ibe_ciphertext(group: PairingGroup, data: bytes) -> IbeCiphertext:
+    reader = Reader(data, KIND_IBE_CIPHERTEXT)
+    domain = reader.read_str()
+    identity = reader.read_str()
+    c1 = group.deserialize_g1(reader.read_bytes())
+    c2 = group.deserialize_gt(reader.read_bytes())
+    reader.finish()
+    return IbeCiphertext(domain=domain, identity=identity, c1=c1, c2=c2)
+
+
+def serialize_private_key(group: PairingGroup, key: IbePrivateKey) -> bytes:
+    writer = Writer(KIND_PRIVATE_KEY)
+    writer.write_str(key.domain).write_str(key.identity)
+    writer.write_bytes(group.serialize_g1(key.point))
+    return writer.getvalue()
+
+
+def deserialize_private_key(group: PairingGroup, data: bytes) -> IbePrivateKey:
+    reader = Reader(data, KIND_PRIVATE_KEY)
+    domain = reader.read_str()
+    identity = reader.read_str()
+    point = group.deserialize_g1(reader.read_bytes())
+    reader.finish()
+    return IbePrivateKey(domain=domain, identity=identity, point=point)
+
+
+def serialize_params(group: PairingGroup, params: IbeParams) -> bytes:
+    writer = Writer(KIND_PARAMS)
+    writer.write_str(params.group_name).write_str(params.domain)
+    writer.write_bytes(group.serialize_g1(params.public_key))
+    return writer.getvalue()
+
+
+def deserialize_params(group: PairingGroup, data: bytes) -> IbeParams:
+    reader = Reader(data, KIND_PARAMS)
+    group_name = reader.read_str()
+    if group_name != group.params.name:
+        raise EncodingError(
+            "params are for group %r, not %r" % (group_name, group.params.name)
+        )
+    domain = reader.read_str()
+    public_key = group.deserialize_g1(reader.read_bytes())
+    reader.finish()
+    return IbeParams(group_name=group_name, domain=domain, public_key=public_key)
+
+
+# ------------------------------------------------------------- PRE objects
+
+
+def serialize_typed_ciphertext(group: PairingGroup, ct: TypedCiphertext) -> bytes:
+    writer = Writer(KIND_TYPED_CIPHERTEXT)
+    writer.write_str(ct.domain).write_str(ct.identity).write_str(ct.type_label)
+    writer.write_bytes(group.serialize_g1(ct.c1))
+    writer.write_bytes(group.serialize_gt(ct.c2))
+    return writer.getvalue()
+
+
+def deserialize_typed_ciphertext(group: PairingGroup, data: bytes) -> TypedCiphertext:
+    reader = Reader(data, KIND_TYPED_CIPHERTEXT)
+    domain = reader.read_str()
+    identity = reader.read_str()
+    type_label = reader.read_str()
+    c1 = group.deserialize_g1(reader.read_bytes())
+    c2 = group.deserialize_gt(reader.read_bytes())
+    reader.finish()
+    return TypedCiphertext(domain=domain, identity=identity, c1=c1, c2=c2, type_label=type_label)
+
+
+def serialize_proxy_key(group: PairingGroup, key: ProxyKey) -> bytes:
+    writer = Writer(KIND_PROXY_KEY)
+    writer.write_str(key.delegator_domain).write_str(key.delegator)
+    writer.write_str(key.delegatee_domain).write_str(key.delegatee)
+    writer.write_str(key.type_label)
+    writer.write_bytes(group.serialize_g1(key.rk_point))
+    writer.write_bytes(serialize_ibe_ciphertext(group, key.encrypted_blind))
+    return writer.getvalue()
+
+
+def deserialize_proxy_key(group: PairingGroup, data: bytes) -> ProxyKey:
+    reader = Reader(data, KIND_PROXY_KEY)
+    delegator_domain = reader.read_str()
+    delegator = reader.read_str()
+    delegatee_domain = reader.read_str()
+    delegatee = reader.read_str()
+    type_label = reader.read_str()
+    rk_point = group.deserialize_g1(reader.read_bytes())
+    encrypted_blind = deserialize_ibe_ciphertext(group, reader.read_bytes())
+    reader.finish()
+    return ProxyKey(
+        delegator_domain=delegator_domain,
+        delegator=delegator,
+        delegatee_domain=delegatee_domain,
+        delegatee=delegatee,
+        type_label=type_label,
+        rk_point=rk_point,
+        encrypted_blind=encrypted_blind,
+    )
+
+
+def serialize_reencrypted(group: PairingGroup, ct: ReEncryptedCiphertext) -> bytes:
+    writer = Writer(KIND_REENCRYPTED)
+    writer.write_str(ct.delegator_domain).write_str(ct.delegator)
+    writer.write_str(ct.delegatee_domain).write_str(ct.delegatee)
+    writer.write_str(ct.type_label)
+    writer.write_bytes(group.serialize_g1(ct.c1))
+    writer.write_bytes(group.serialize_gt(ct.c2))
+    writer.write_bytes(serialize_ibe_ciphertext(group, ct.encrypted_blind))
+    return writer.getvalue()
+
+
+def deserialize_reencrypted(group: PairingGroup, data: bytes) -> ReEncryptedCiphertext:
+    reader = Reader(data, KIND_REENCRYPTED)
+    delegator_domain = reader.read_str()
+    delegator = reader.read_str()
+    delegatee_domain = reader.read_str()
+    delegatee = reader.read_str()
+    type_label = reader.read_str()
+    c1 = group.deserialize_g1(reader.read_bytes())
+    c2 = group.deserialize_gt(reader.read_bytes())
+    encrypted_blind = deserialize_ibe_ciphertext(group, reader.read_bytes())
+    reader.finish()
+    return ReEncryptedCiphertext(
+        delegator_domain=delegator_domain,
+        delegator=delegator,
+        delegatee_domain=delegatee_domain,
+        delegatee=delegatee,
+        type_label=type_label,
+        c1=c1,
+        c2=c2,
+        encrypted_blind=encrypted_blind,
+    )
+
+
+# ---------------------------------------------------------- hybrid objects
+
+
+def serialize_hybrid(group: PairingGroup, ct: HybridCiphertext) -> bytes:
+    writer = Writer(KIND_HYBRID)
+    writer.write_bytes(serialize_typed_ciphertext(group, ct.kem))
+    writer.write_bytes(ct.dem)
+    return writer.getvalue()
+
+
+def deserialize_hybrid(group: PairingGroup, data: bytes) -> HybridCiphertext:
+    reader = Reader(data, KIND_HYBRID)
+    kem = deserialize_typed_ciphertext(group, reader.read_bytes())
+    dem = reader.read_bytes()
+    reader.finish()
+    return HybridCiphertext(kem=kem, dem=dem)
+
+
+def serialize_hybrid_reencrypted(group: PairingGroup, ct: HybridReEncrypted) -> bytes:
+    writer = Writer(KIND_HYBRID_REENCRYPTED)
+    writer.write_bytes(serialize_reencrypted(group, ct.kem))
+    writer.write_bytes(ct.dem)
+    return writer.getvalue()
+
+
+def deserialize_hybrid_reencrypted(group: PairingGroup, data: bytes) -> HybridReEncrypted:
+    reader = Reader(data, KIND_HYBRID_REENCRYPTED)
+    kem = deserialize_reencrypted(group, reader.read_bytes())
+    dem = reader.read_bytes()
+    reader.finish()
+    return HybridReEncrypted(kem=kem, dem=dem)
+
+
+# ----------------------------------------------------------- JSON envelope
+
+_KIND_NAMES = {
+    KIND_TYPED_CIPHERTEXT: "typed-ciphertext",
+    KIND_PROXY_KEY: "proxy-key",
+    KIND_REENCRYPTED: "reencrypted-ciphertext",
+    KIND_IBE_CIPHERTEXT: "ibe-ciphertext",
+    KIND_PRIVATE_KEY: "private-key",
+    KIND_PARAMS: "params",
+    KIND_HYBRID: "hybrid-ciphertext",
+    KIND_HYBRID_REENCRYPTED: "hybrid-reencrypted",
+}
+
+
+def to_json_envelope(group: PairingGroup, blob: bytes) -> str:
+    """Wrap canonical bytes in a readable JSON envelope."""
+    if len(blob) < 6 or blob[5] not in _KIND_NAMES:
+        raise EncodingError("not a recognised container")
+    envelope = {
+        "format": "tipre/v1",
+        "kind": _KIND_NAMES[blob[5]],
+        "group": group.params.name,
+        "payload": base64.b64encode(blob).decode("ascii"),
+    }
+    return json.dumps(envelope, sort_keys=True)
+
+
+def from_json_envelope(group: PairingGroup, text: str) -> bytes:
+    """Unwrap a JSON envelope back to canonical bytes (validating the group)."""
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise EncodingError("invalid JSON envelope") from exc
+    if not isinstance(envelope, dict):
+        raise EncodingError("envelope must be a JSON object")
+    if envelope.get("format") != "tipre/v1":
+        raise EncodingError("unknown envelope format")
+    if envelope.get("group") != group.params.name:
+        raise EncodingError(
+            "envelope is for group %r, not %r" % (envelope.get("group"), group.params.name)
+        )
+    try:
+        return base64.b64decode(envelope["payload"], validate=True)
+    except (KeyError, ValueError) as exc:
+        raise EncodingError("invalid payload") from exc

@@ -1,0 +1,85 @@
+"""Low-level canonical binary encoding: length-prefixed records.
+
+A tiny, dependency-free format used by :mod:`repro.serialization.containers`:
+every serialized object starts with the 4-byte magic ``TIPR``, a version
+byte and a kind byte, followed by length-prefixed fields.  The format is
+canonical (no optional whitespace, fixed field order), so byte equality of
+encodings is element equality — which the tests rely on.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Writer", "Reader", "MAGIC", "VERSION", "EncodingError"]
+
+MAGIC = b"TIPR"
+VERSION = 1
+
+
+class EncodingError(ValueError):
+    """Malformed, truncated, or wrong-kind serialized data."""
+
+
+class Writer:
+    """Append-only canonical encoder."""
+
+    def __init__(self, kind: int):
+        if not 0 <= kind <= 255:
+            raise ValueError("kind must be a byte")
+        self._chunks: list[bytes] = [MAGIC, bytes([VERSION, kind])]
+
+    def write_bytes(self, data: bytes) -> "Writer":
+        if len(data) > 0xFFFFFFFF:
+            raise EncodingError("field too long")
+        self._chunks.append(len(data).to_bytes(4, "big"))
+        self._chunks.append(data)
+        return self
+
+    def write_str(self, text: str) -> "Writer":
+        return self.write_bytes(text.encode("utf-8"))
+
+    def write_int(self, value: int) -> "Writer":
+        if value < 0:
+            raise EncodingError("negative integers are not encodable")
+        length = max(1, (value.bit_length() + 7) // 8)
+        return self.write_bytes(value.to_bytes(length, "big"))
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class Reader:
+    """Sequential decoder; validates magic, version and kind up front."""
+
+    def __init__(self, data: bytes, expect_kind: int):
+        if len(data) < 6:
+            raise EncodingError("blob too short")
+        if data[:4] != MAGIC:
+            raise EncodingError("bad magic")
+        if data[4] != VERSION:
+            raise EncodingError("unsupported version %d" % data[4])
+        if data[5] != expect_kind:
+            raise EncodingError("expected kind %d, found %d" % (expect_kind, data[5]))
+        self._data = data
+        self._pos = 6
+
+    def read_bytes(self) -> bytes:
+        if self._pos + 4 > len(self._data):
+            raise EncodingError("truncated length prefix")
+        length = int.from_bytes(self._data[self._pos : self._pos + 4], "big")
+        self._pos += 4
+        if self._pos + length > len(self._data):
+            raise EncodingError("truncated field")
+        field = self._data[self._pos : self._pos + length]
+        self._pos += length
+        return field
+
+    def read_str(self) -> str:
+        return self.read_bytes().decode("utf-8")
+
+    def read_int(self) -> int:
+        return int.from_bytes(self.read_bytes(), "big")
+
+    def finish(self) -> None:
+        """Assert all bytes were consumed (canonical form has no trailer)."""
+        if self._pos != len(self._data):
+            raise EncodingError("%d trailing bytes" % (len(self._data) - self._pos))

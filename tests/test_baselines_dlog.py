@@ -1,0 +1,138 @@
+"""Tests for the discrete-log baselines: ElGamal, BBS, Dodis--Ivan."""
+
+import pytest
+
+from repro.baselines.bbs import BbsProxyScheme
+from repro.baselines.dodis_ivan import DodisIvanScheme
+from repro.baselines.elgamal import ElGamal
+
+
+class TestElGamal:
+    def test_round_trip(self, group, rng):
+        scheme = ElGamal(group)
+        keys = scheme.keygen(rng)
+        message = scheme.random_message(rng)
+        assert scheme.decrypt(scheme.encrypt(keys.public, message, rng), keys.secret) == message
+
+    def test_wrong_key_fails(self, group, rng):
+        scheme = ElGamal(group)
+        keys, other = scheme.keygen(rng), scheme.keygen(rng)
+        message = scheme.random_message(rng)
+        ciphertext = scheme.encrypt(keys.public, message, rng)
+        assert scheme.decrypt(ciphertext, other.secret) != message
+
+    def test_randomised(self, group, rng):
+        scheme = ElGamal(group)
+        keys = scheme.keygen(rng)
+        message = scheme.random_message(rng)
+        c1 = scheme.encrypt(keys.public, message, rng)
+        c2 = scheme.encrypt(keys.public, message, rng)
+        assert c1.c1 != c2.c1
+
+    def test_homomorphic_structure(self, group, rng):
+        """ElGamal over G1 is additively homomorphic (sanity of substrate)."""
+        scheme = ElGamal(group)
+        keys = scheme.keygen(rng)
+        m1, m2 = scheme.random_message(rng), scheme.random_message(rng)
+        c1 = scheme.encrypt(keys.public, m1, rng)
+        c2 = scheme.encrypt(keys.public, m2, rng)
+        from repro.baselines.elgamal import ElGamalCiphertext
+
+        summed = ElGamalCiphertext(c1=c1.c1 + c2.c1, c2=c1.c2 + c2.c2)
+        assert scheme.decrypt(summed, keys.secret) == m1 + m2
+
+
+class TestBbs:
+    def test_owner_round_trip(self, group, rng):
+        scheme = BbsProxyScheme(group)
+        alice = scheme.keygen(rng)
+        message = group.random_g1(rng)
+        ciphertext = scheme.encrypt("alice", alice.public, message, rng)
+        assert scheme.decrypt(ciphertext, alice.secret) == message
+
+    def test_reencryption_round_trip(self, group, rng):
+        scheme = BbsProxyScheme(group)
+        alice, bob = scheme.keygen(rng), scheme.keygen(rng)
+        message = group.random_g1(rng)
+        ciphertext = scheme.encrypt("alice", alice.public, message, rng)
+        pi = scheme.rekey(alice.secret, bob.secret)
+        transformed = scheme.reencrypt(ciphertext, pi, "bob")
+        assert transformed.owner == "bob"
+        assert scheme.decrypt(transformed, bob.secret) == message
+
+    def test_bidirectionality(self, group, rng):
+        """The documented weakness: pi^-1 converts in the other direction."""
+        scheme = BbsProxyScheme(group)
+        alice, bob = scheme.keygen(rng), scheme.keygen(rng)
+        pi = scheme.rekey(alice.secret, bob.secret)
+        message = group.random_g1(rng)
+        bob_ciphertext = scheme.encrypt("bob", bob.public, message, rng)
+        back = scheme.reencrypt(bob_ciphertext, scheme.invert_rekey(pi), "alice")
+        assert scheme.decrypt(back, alice.secret) == message
+
+    def test_collusion_recovers_delegator_secret(self, group, rng):
+        scheme = BbsProxyScheme(group)
+        alice, bob = scheme.keygen(rng), scheme.keygen(rng)
+        pi = scheme.rekey(alice.secret, bob.secret)
+        assert scheme.collusion_recover_secret(pi, bob.secret) == alice.secret
+
+    def test_third_party_cannot_decrypt(self, group, rng):
+        scheme = BbsProxyScheme(group)
+        alice, eve = scheme.keygen(rng), scheme.keygen(rng)
+        message = group.random_g1(rng)
+        ciphertext = scheme.encrypt("alice", alice.public, message, rng)
+        assert scheme.decrypt(ciphertext, eve.secret) != message
+
+
+class TestDodisIvan:
+    def test_owner_round_trip(self, group, rng):
+        scheme = DodisIvanScheme(group)
+        alice = scheme.keygen(rng)
+        message = group.random_g1(rng)
+        ciphertext = scheme.encrypt(alice.public, message, rng)
+        assert scheme.decrypt(ciphertext, alice.secret) == message
+
+    def test_split_shares_sum_to_secret(self, group, rng):
+        scheme = DodisIvanScheme(group)
+        alice = scheme.keygen(rng)
+        shares = scheme.split(alice.secret, rng)
+        assert (shares.proxy_share + shares.delegatee_share) % group.order == alice.secret
+
+    def test_two_step_decryption(self, group, rng):
+        scheme = DodisIvanScheme(group)
+        alice = scheme.keygen(rng)
+        shares = scheme.split(alice.secret, rng)
+        message = group.random_g1(rng)
+        ciphertext = scheme.encrypt(alice.public, message, rng)
+        partial = scheme.proxy_transform(ciphertext, shares.proxy_share)
+        assert scheme.delegatee_decrypt(partial, shares.delegatee_share) == message
+
+    def test_proxy_share_alone_insufficient(self, group, rng):
+        scheme = DodisIvanScheme(group)
+        alice = scheme.keygen(rng)
+        shares = scheme.split(alice.secret, rng)
+        message = group.random_g1(rng)
+        ciphertext = scheme.encrypt(alice.public, message, rng)
+        partial = scheme.proxy_transform(ciphertext, shares.proxy_share)
+        assert partial.c2 != message  # still masked by the delegatee share
+
+    def test_delegatee_share_alone_insufficient(self, group, rng):
+        scheme = DodisIvanScheme(group)
+        alice = scheme.keygen(rng)
+        shares = scheme.split(alice.secret, rng)
+        message = group.random_g1(rng)
+        ciphertext = scheme.encrypt(alice.public, message, rng)
+        wrong = scheme.proxy_transform(ciphertext, shares.delegatee_share)
+        assert scheme.delegatee_decrypt(wrong, shares.delegatee_share) != message
+
+    def test_splits_are_randomised(self, group, rng):
+        scheme = DodisIvanScheme(group)
+        alice = scheme.keygen(rng)
+        s1, s2 = scheme.split(alice.secret, rng), scheme.split(alice.secret, rng)
+        assert s1.proxy_share != s2.proxy_share
+
+    def test_collusion(self, group, rng):
+        scheme = DodisIvanScheme(group)
+        alice = scheme.keygen(rng)
+        shares = scheme.split(alice.secret, rng)
+        assert scheme.collusion_recover_secret(shares, group.order) == alice.secret

@@ -1,0 +1,105 @@
+"""Tests for the adapter interface and the multi-keypair strawman."""
+
+import pytest
+
+from repro.baselines.interface import PROPERTY_NAMES, all_adapters
+from repro.baselines.multi_keypair import MultiKeypairDelegation
+from repro.ibe.kgc import KgcRegistry
+
+
+class TestAdapters:
+    def test_every_adapter_full_lifecycle(self, group, rng):
+        for adapter in all_adapters(group):
+            adapter.setup(rng)
+            message = adapter.sample_message(rng)
+            ciphertext = adapter.encrypt(message, rng)
+            assert adapter.decrypt_original(ciphertext) == message, adapter.name
+            rk = adapter.rekey(rng)
+            transformed = adapter.reencrypt(ciphertext, rk)
+            assert adapter.decrypt_reencrypted(transformed) == message, adapter.name
+
+    def test_property_matrices_complete(self, group):
+        for adapter in all_adapters(group):
+            assert set(adapter.properties) == set(PROPERTY_NAMES), adapter.name
+            assert all(isinstance(v, bool) for v in adapter.properties.values())
+
+    def test_paper_scheme_is_first_and_unique_in_type_granularity(self, group):
+        adapters = all_adapters(group)
+        assert "this paper" in adapters[0].name
+        granular = [a.name for a in adapters if a.properties["type_granular"]]
+        assert granular == [adapters[0].name]
+
+    def test_bbs_flagged_bidirectional_and_interactive(self, group):
+        bbs = next(a for a in all_adapters(group) if "BBS" in a.name)
+        assert not bbs.properties["unidirectional"]
+        assert not bbs.properties["non_interactive"]
+        assert not bbs.properties["collusion_safe"]
+
+    def test_identity_based_flags(self, group):
+        by_name = {a.name: a for a in all_adapters(group)}
+        assert by_name["Green-Ateniese IBP1"].properties["identity_based"]
+        assert not by_name["AFGH (TISSEC'06)"].properties["identity_based"]
+
+    def test_ciphertext_components_positive(self, group, rng):
+        for adapter in all_adapters(group):
+            adapter.setup(rng)
+            ciphertext = adapter.encrypt(adapter.sample_message(rng), rng)
+            assert adapter.ciphertext_components(ciphertext) >= 2
+
+
+class TestMultiKeypair:
+    @pytest.fixture()
+    def setting(self, group, rng):
+        registry = KgcRegistry(group, rng)
+        kgc1, kgc2 = registry.create("KGC1"), registry.create("KGC2")
+        strawman = MultiKeypairDelegation(group=group, kgc=kgc1, base_identity="alice")
+        return strawman, kgc1, kgc2
+
+    def test_keys_grow_with_types(self, setting, group, rng):
+        strawman, _, _ = setting
+        assert strawman.key_count() == 0
+        for i in range(5):
+            strawman.encrypt(group.random_gt(rng), "type-%d" % i, rng)
+        assert strawman.key_count() == 5
+        assert strawman.key_storage_bytes() == 5 * group.g1_element_size()
+
+    def test_reusing_a_type_does_not_add_keys(self, setting, group, rng):
+        strawman, _, _ = setting
+        strawman.encrypt(group.random_gt(rng), "t", rng)
+        strawman.encrypt(group.random_gt(rng), "t", rng)
+        assert strawman.key_count() == 1
+
+    def test_kgc_sees_one_extract_per_type(self, setting, group, rng):
+        strawman, kgc1, _ = setting
+        for label in ("a", "b", "c"):
+            strawman.encrypt(group.random_gt(rng), label, rng)
+        assert kgc1.issued_identities() == ["alice#a", "alice#b", "alice#c"]
+
+    def test_round_trip(self, setting, group, rng):
+        strawman, _, _ = setting
+        message = group.random_gt(rng)
+        ciphertext = strawman.encrypt(message, "t", rng)
+        assert strawman.decrypt(ciphertext, "t") == message
+
+    def test_delegation_round_trip(self, setting, group, rng):
+        strawman, _, kgc2 = setting
+        bob = kgc2.extract("bob")
+        message = group.random_gt(rng)
+        ciphertext = strawman.encrypt(message, "t", rng)
+        rk = strawman.delegate("t", "bob", kgc2.params, rng)
+        transformed = strawman.reencrypt(ciphertext, rk)
+        assert strawman.decrypt_reencrypted(transformed, bob) == message
+
+    def test_per_type_isolation_via_key_separation(self, setting, group, rng):
+        """The strawman does achieve isolation — at linear key cost."""
+        strawman, _, kgc2 = setting
+        bob = kgc2.extract("bob")
+        message = group.random_gt(rng)
+        ciphertext_other = strawman.encrypt(message, "t2", rng)
+        rk_t1 = strawman.delegate("t1", "bob", kgc2.params, rng)
+        with pytest.raises(ValueError):
+            strawman.reencrypt(ciphertext_other, rk_t1)
+
+    def test_type_identity_format(self, setting):
+        strawman, _, _ = setting
+        assert strawman.type_identity("labs") == "alice#labs"

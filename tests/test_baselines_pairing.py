@@ -1,0 +1,202 @@
+"""Tests for the pairing-based baselines: AFGH, Green--Ateniese, BB1, Matsuo."""
+
+import pytest
+
+from repro.baselines.afgh import AfghScheme
+from repro.baselines.bb1 import Bb1Ibe
+from repro.baselines.green_ateniese import GreenAtenieseIbp1
+from repro.baselines.matsuo import MatsuoStylePre
+from repro.ibe.kgc import KgcRegistry
+
+
+class TestAfgh:
+    @pytest.fixture()
+    def setting(self, group, rng):
+        scheme = AfghScheme(group)
+        return scheme, scheme.keygen(rng), scheme.keygen(rng)
+
+    def test_second_level_round_trip(self, setting, group, rng):
+        scheme, alice, _ = setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt_second("alice", alice.public, message, rng)
+        assert scheme.decrypt_second(ciphertext, alice.secret) == message
+
+    def test_first_level_round_trip(self, setting, group, rng):
+        scheme, alice, _ = setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt_first("alice", alice.public, message, rng)
+        assert scheme.decrypt_first(ciphertext, alice.secret) == message
+
+    def test_reencryption_round_trip(self, setting, group, rng):
+        scheme, alice, bob = setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt_second("alice", alice.public, message, rng)
+        rk = scheme.rekey(alice.secret, bob.public)
+        transformed = scheme.reencrypt(ciphertext, rk, "bob")
+        assert scheme.decrypt_first(transformed, bob.secret) == message
+
+    def test_reencrypted_not_decryptable_by_delegator_path(self, setting, group, rng):
+        scheme, alice, bob = setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt_second("alice", alice.public, message, rng)
+        rk = scheme.rekey(alice.secret, bob.public)
+        transformed = scheme.reencrypt(ciphertext, rk, "bob")
+        assert scheme.decrypt_first(transformed, alice.secret) != message
+
+    def test_rekey_non_interactive(self, setting, group):
+        """rekey needs only the delegator secret and delegatee *public* key."""
+        scheme, alice, bob = setting
+        rk = scheme.rekey(alice.secret, bob.public)
+        assert group.params.is_in_subgroup(rk)
+
+    def test_collusion_view_is_weak(self, setting, group, rng):
+        """Colluders hold g^(b/a) and b; neither equals the delegator secret."""
+        scheme, alice, bob = setting
+        rk = scheme.rekey(alice.secret, bob.public)
+        view_rk, view_b = scheme.collusion_view(rk, bob.secret)
+        assert view_b != alice.secret
+        # The weak secret g^(1/a) is derivable; a itself is not a component.
+        from repro.math.ntheory import modinv
+
+        weak = group.g1_mul(view_rk, modinv(view_b, group.order))
+        assert weak == group.g1_mul(group.generator, modinv(alice.secret, group.order))
+
+
+class TestGreenAteniese:
+    @pytest.fixture()
+    def setting(self, group, rng):
+        registry = KgcRegistry(group, rng)
+        kgc1, kgc2 = registry.create("KGC1"), registry.create("KGC2")
+        scheme = GreenAtenieseIbp1(group)
+        return scheme, kgc1, kgc2, kgc1.extract("alice"), kgc2.extract("bob")
+
+    def test_ibe_round_trip(self, setting, group, rng):
+        scheme, kgc1, _, alice, _ = setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, message, "alice", rng)
+        assert scheme.decrypt(ciphertext, alice) == message
+
+    def test_delegation_round_trip(self, setting, group, rng):
+        scheme, kgc1, kgc2, alice, bob = setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, message, "alice", rng)
+        rk = scheme.rkgen(alice, "bob", kgc2.params, rng)
+        transformed = scheme.reencrypt(ciphertext, rk)
+        assert scheme.decrypt_reencrypted(transformed, bob) == message
+
+    def test_one_key_reencrypts_everything(self, setting, group, rng):
+        """The contrast with the paper: no type granularity at all."""
+        scheme, kgc1, kgc2, alice, bob = setting
+        rk = scheme.rkgen(alice, "bob", kgc2.params, rng)
+        for _ in range(3):
+            message = group.random_gt(rng)
+            ciphertext = scheme.encrypt(kgc1.params, message, "alice", rng)
+            assert scheme.decrypt_reencrypted(scheme.reencrypt(ciphertext, rk), bob) == message
+
+    def test_wrong_delegator_rejected(self, setting, group, rng):
+        scheme, kgc1, kgc2, alice, _ = setting
+        rk = scheme.rkgen(alice, "bob", kgc2.params, rng)
+        other = scheme.encrypt(kgc1.params, group.random_gt(rng), "carol", rng)
+        with pytest.raises(ValueError):
+            scheme.reencrypt(other, rk)
+
+    def test_wrong_delegatee_rejected(self, setting, group, rng):
+        scheme, kgc1, kgc2, alice, bob = setting
+        carol = kgc2.extract("carol")
+        ciphertext = scheme.encrypt(kgc1.params, group.random_gt(rng), "alice", rng)
+        rk = scheme.rkgen(alice, "bob", kgc2.params, rng)
+        transformed = scheme.reencrypt(ciphertext, rk)
+        with pytest.raises(ValueError):
+            scheme.decrypt_reencrypted(transformed, carol)
+
+
+class TestBb1:
+    @pytest.fixture()
+    def setting(self, group, rng):
+        ibe = Bb1Ibe(group)
+        params, master = ibe.setup(rng)
+        return ibe, params, master
+
+    def test_round_trip(self, setting, group, rng):
+        ibe, params, master = setting
+        key = ibe.extract(params, master, "alice", rng)
+        message = group.random_gt(rng)
+        assert ibe.decrypt(ibe.encrypt(params, message, "alice", rng), key) == message
+
+    def test_key_randomisation(self, setting, group, rng):
+        """BB1 keys are randomised but both decrypt."""
+        ibe, params, master = setting
+        k1 = ibe.extract(params, master, "alice", rng)
+        k2 = ibe.extract(params, master, "alice", rng)
+        assert k1.d0 != k2.d0
+        message = group.random_gt(rng)
+        ciphertext = ibe.encrypt(params, message, "alice", rng)
+        assert ibe.decrypt(ciphertext, k1) == message
+        assert ibe.decrypt(ciphertext, k2) == message
+
+    def test_wrong_identity_rejected(self, setting, group, rng):
+        ibe, params, master = setting
+        bob_key = ibe.extract(params, master, "bob", rng)
+        ciphertext = ibe.encrypt(params, group.random_gt(rng), "alice", rng)
+        with pytest.raises(ValueError):
+            ibe.decrypt(ciphertext, bob_key)
+
+    def test_identity_scalar_stable(self, setting):
+        ibe = setting[0]
+        assert ibe.identity_scalar("alice") == ibe.identity_scalar("alice")
+        assert ibe.identity_scalar("alice") != ibe.identity_scalar("bob")
+
+    def test_v_is_pairing_of_g1_g2(self, setting, group):
+        _, params, _ = setting
+        assert params.v == group.pair(params.g1, params.g2)
+
+
+class TestMatsuo:
+    @pytest.fixture()
+    def setting(self, group, rng):
+        ibe = Bb1Ibe(group)
+        scheme = MatsuoStylePre(group, ibe)
+        params, master = ibe.setup(rng)
+        alice = ibe.extract(params, master, "alice", rng)
+        bob = ibe.extract(params, master, "bob", rng)
+        return scheme, params, alice, bob
+
+    def test_delegation_round_trip(self, setting, group, rng):
+        scheme, params, alice, bob = setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(params, message, "alice", rng)
+        rk = scheme.rkgen(params, alice, "bob", rng)
+        transformed = scheme.reencrypt(ciphertext, rk)
+        assert scheme.decrypt_reencrypted(transformed, bob) == message
+
+    def test_same_kgc_constraint_is_natural(self, setting, group, rng):
+        """Both parties share params — the same-KGC setting of Matsuo."""
+        scheme, params, alice, bob = setting
+        assert alice.domain == bob.domain
+
+    def test_wrong_delegator_rejected(self, setting, group, rng):
+        scheme, params, alice, _ = setting
+        rk = scheme.rkgen(params, alice, "bob", rng)
+        other = scheme.encrypt(params, group.random_gt(rng), "carol", rng)
+        with pytest.raises(ValueError):
+            scheme.reencrypt(other, rk)
+
+    def test_wrong_delegatee_rejected(self, setting, group, rng):
+        scheme, params, alice, bob = setting
+        ciphertext = scheme.encrypt(params, group.random_gt(rng), "alice", rng)
+        rk = scheme.rkgen(params, alice, "bob", rng)
+        transformed = scheme.reencrypt(ciphertext, rk)
+        import dataclasses
+
+        forged = dataclasses.replace(transformed, delegatee="carol")
+        with pytest.raises(ValueError):
+            scheme.decrypt_reencrypted(forged, bob)
+
+    def test_no_type_granularity(self, setting, group, rng):
+        """Like GA: one key transforms all of the delegator's ciphertexts."""
+        scheme, params, alice, bob = setting
+        rk = scheme.rkgen(params, alice, "bob", rng)
+        for _ in range(3):
+            message = group.random_gt(rng)
+            ciphertext = scheme.encrypt(params, message, "alice", rng)
+            assert scheme.decrypt_reencrypted(scheme.reencrypt(ciphertext, rk), bob) == message

@@ -1,0 +1,64 @@
+"""Tests for the bench instrumentation helpers (timing, tables)."""
+
+import pytest
+
+from repro.bench.report import print_table, render_table
+from repro.bench.timing import measure
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table("title", ["col-a", "b"], [["1", "22"], ["333", "4"]])
+        lines = text.strip().splitlines()
+        assert lines[0] == "== title =="
+        assert "col-a" in lines[1]
+        assert set(lines[2]) == {"-"}
+        assert "333" in text
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            render_table("t", ["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table("t", ["a"], [])
+        assert "== t ==" in text
+
+    def test_print_table_goes_to_stdout(self, capsys):
+        print_table("hello", ["x"], [["y"]])
+        captured = capsys.readouterr().out
+        assert "hello" in captured and "y" in captured
+
+    def test_wide_cells_set_column_width(self):
+        text = render_table("t", ["h"], [["a-very-long-cell-value"]])
+        header_line = text.strip().splitlines()[1]
+        assert header_line == "h"
+
+
+class TestMeasure:
+    def test_basic_measurement(self):
+        result = measure("noop", lambda: None, repeats=5)
+        assert result.label == "noop"
+        assert result.repeats == 5
+        assert result.min_ms <= result.median_ms
+        assert result.median_ms < 50  # a no-op cannot take 50ms
+
+    def test_counts_operations_once(self, group):
+        result = measure("mul", lambda: group.g1_mul(group.generator, 7), repeats=3)
+        assert result.operations.get("g1_mul") == 1
+
+    def test_operations_summary(self, group):
+        result = measure("pair", lambda: group.pair(group.generator, group.generator), repeats=1)
+        assert "pairing=1" in result.operations_summary()
+
+    def test_empty_summary(self):
+        result = measure("noop", lambda: None, repeats=1)
+        assert result.operations_summary() == "-"
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError):
+            measure("x", lambda: None, repeats=0)
+
+    def test_function_actually_runs(self):
+        calls = []
+        measure("count", lambda: calls.append(1), repeats=4)
+        assert len(calls) == 4

@@ -1,0 +1,122 @@
+"""Tests for the file-based CLI: the full lifecycle over on-disk envelopes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    """Two KGC domains plus alice/bob keys, all via the CLI."""
+    assert main(["--seed", "cli-test", "setup", "--group", "TOY",
+                 "--domain", "KGC1", "--out", str(tmp_path / "kgc1")]) == 0
+    assert main(["--seed", "cli-test", "setup", "--group", "TOY",
+                 "--domain", "KGC2", "--out", str(tmp_path / "kgc2")]) == 0
+    assert main(["extract", "--kgc", str(tmp_path / "kgc1"),
+                 "--identity", "alice", "--out", str(tmp_path / "alice.key")]) == 0
+    assert main(["extract", "--kgc", str(tmp_path / "kgc2"),
+                 "--identity", "bob", "--out", str(tmp_path / "bob.key")]) == 0
+    return tmp_path
+
+
+class TestSetupExtract:
+    def test_setup_writes_params_and_master(self, workspace):
+        params = json.loads((workspace / "kgc1" / "params.json").read_text())
+        assert params["kind"] == "params"
+        assert params["group"] == "TOY"
+        master = json.loads((workspace / "kgc1" / "master.json").read_text())
+        assert master["domain"] == "KGC1"
+        assert isinstance(master["alpha"], int)
+
+    def test_extract_writes_key_envelope(self, workspace):
+        key = json.loads((workspace / "alice.key").read_text())
+        assert key["kind"] == "private-key"
+
+    def test_setup_deterministic_with_seed(self, tmp_path):
+        main(["--seed", "s", "setup", "--group", "TOY", "--domain", "D",
+              "--out", str(tmp_path / "a")])
+        main(["--seed", "s", "setup", "--group", "TOY", "--domain", "D",
+              "--out", str(tmp_path / "b")])
+        assert (tmp_path / "a" / "params.json").read_text() == (
+            tmp_path / "b" / "params.json"
+        ).read_text()
+
+
+class TestLifecycle:
+    def test_full_delegation_round_trip(self, workspace):
+        message = b"HbA1c: 6.1 mmol/mol -- confidential lab report\n"
+        (workspace / "report.txt").write_bytes(message)
+
+        assert main(["--seed", "enc", "encrypt",
+                     "--params", str(workspace / "kgc1" / "params.json"),
+                     "--key", str(workspace / "alice.key"),
+                     "--type", "labs",
+                     "--in", str(workspace / "report.txt"),
+                     "--out", str(workspace / "report.ct")]) == 0
+
+        # Alice reads her own ciphertext back.
+        assert main(["decrypt", "--key", str(workspace / "alice.key"),
+                     "--in", str(workspace / "report.ct"),
+                     "--out", str(workspace / "self.out")]) == 0
+        assert (workspace / "self.out").read_bytes() == message
+
+        assert main(["--seed", "rk", "pextract",
+                     "--key", str(workspace / "alice.key"),
+                     "--delegatee", "bob",
+                     "--delegatee-params", str(workspace / "kgc2" / "params.json"),
+                     "--type", "labs",
+                     "--out", str(workspace / "labs.rk")]) == 0
+
+        assert main(["preenc", "--rk", str(workspace / "labs.rk"),
+                     "--in", str(workspace / "report.ct"),
+                     "--out", str(workspace / "report.re")]) == 0
+
+        assert main(["redecrypt", "--key", str(workspace / "bob.key"),
+                     "--in", str(workspace / "report.re"),
+                     "--out", str(workspace / "bob.out")]) == 0
+        assert (workspace / "bob.out").read_bytes() == message
+
+    def test_wrong_type_proxy_key_refused(self, workspace):
+        (workspace / "m.txt").write_bytes(b"secret")
+        main(["--seed", "e", "encrypt",
+              "--params", str(workspace / "kgc1" / "params.json"),
+              "--key", str(workspace / "alice.key"), "--type", "illness",
+              "--in", str(workspace / "m.txt"), "--out", str(workspace / "m.ct")])
+        main(["--seed", "r", "pextract", "--key", str(workspace / "alice.key"),
+              "--delegatee", "bob",
+              "--delegatee-params", str(workspace / "kgc2" / "params.json"),
+              "--type", "food", "--out", str(workspace / "food.rk")])
+        # preenc must fail: the key names a different type.
+        assert main(["preenc", "--rk", str(workspace / "food.rk"),
+                     "--in", str(workspace / "m.ct"),
+                     "--out", str(workspace / "m.re")]) == 1
+
+    def test_wrong_key_decrypt_fails_cleanly(self, workspace):
+        (workspace / "m.txt").write_bytes(b"secret")
+        main(["--seed", "e", "encrypt",
+              "--params", str(workspace / "kgc1" / "params.json"),
+              "--key", str(workspace / "alice.key"), "--type", "t",
+              "--in", str(workspace / "m.txt"), "--out", str(workspace / "m.ct")])
+        assert main(["decrypt", "--key", str(workspace / "bob.key"),
+                     "--in", str(workspace / "m.ct"),
+                     "--out", str(workspace / "x.out")]) == 1
+
+
+class TestErrorHandling:
+    def test_missing_file(self, tmp_path):
+        assert main(["decrypt", "--key", str(tmp_path / "no.key"),
+                     "--in", str(tmp_path / "no.ct"),
+                     "--out", str(tmp_path / "x")]) == 1
+
+    def test_corrupt_envelope(self, workspace):
+        bad = workspace / "bad.json"
+        bad.write_text('{"format": "tipre/v1", "group": "TOY", "payload": "AAAA"}')
+        assert main(["preenc", "--rk", str(bad),
+                     "--in", str(bad), "--out", str(workspace / "x")]) == 1
+
+    def test_unknown_group_in_setup(self, tmp_path, capsys):
+        assert main(["setup", "--group", "NOPE", "--domain", "D",
+                     "--out", str(tmp_path / "d")]) == 1
+        assert "error" in capsys.readouterr().err

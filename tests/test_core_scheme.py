@@ -1,0 +1,186 @@
+"""Tests for the paper's type-and-identity-based PRE scheme (Section 4.1)."""
+
+import pytest
+
+from repro.core.ciphertexts import ProxyKey, ReEncryptedCiphertext, TypedCiphertext
+from repro.core.scheme import DelegationError, TypeAndIdentityPre, TypeMismatchError
+from repro.ibe.keys import IbeParams
+
+
+class TestEncryptDecrypt:
+    def test_round_trip(self, pre_setting, group, rng):
+        scheme, kgc1, _, alice, _ = pre_setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, "illness-history", rng)
+        assert scheme.decrypt(ciphertext, alice) == message
+
+    def test_round_trip_many_types(self, pre_setting, group, rng):
+        scheme, kgc1, _, alice, _ = pre_setting
+        message = group.random_gt(rng)
+        for type_label in ("t1", "t2", "a-much-longer-type-label", ""):
+            ciphertext = scheme.encrypt(kgc1.params, alice, message, type_label, rng)
+            assert ciphertext.type_label == type_label
+            assert scheme.decrypt(ciphertext, alice) == message
+
+    def test_ciphertext_structure(self, pre_setting, group, rng):
+        scheme, kgc1, _, alice, _ = pre_setting
+        ciphertext = scheme.encrypt(kgc1.params, alice, group.random_gt(rng), "t", rng)
+        assert group.params.is_in_subgroup(ciphertext.c1)
+        assert ciphertext.domain == "KGC1" and ciphertext.identity == "alice"
+        assert ciphertext.header() == ("KGC1", "alice", "t")
+
+    def test_encryption_randomised(self, pre_setting, group, rng):
+        scheme, kgc1, _, alice, _ = pre_setting
+        message = group.random_gt(rng)
+        c1 = scheme.encrypt(kgc1.params, alice, message, "t", rng)
+        c2 = scheme.encrypt(kgc1.params, alice, message, "t", rng)
+        assert c1.c1 != c2.c1 and c1.c2 != c2.c2
+
+    def test_type_changes_ciphertext_mask(self, pre_setting, group, rng):
+        """Decrypting with the wrong declared type yields garbage."""
+        scheme, kgc1, _, alice, _ = pre_setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, "t1", rng)
+        forged = TypedCiphertext(
+            domain=ciphertext.domain,
+            identity=ciphertext.identity,
+            c1=ciphertext.c1,
+            c2=ciphertext.c2,
+            type_label="t2",
+        )
+        assert scheme.decrypt(forged, alice) != message
+
+    def test_params_key_domain_mismatch(self, pre_setting, group, rng):
+        scheme, kgc1, kgc2, alice, _ = pre_setting
+        with pytest.raises(DelegationError):
+            scheme.encrypt(kgc2.params, alice, group.random_gt(rng), "t", rng)
+
+    def test_decrypt_with_wrong_identity_key(self, pre_setting, group, rng):
+        scheme, kgc1, _, alice, _ = pre_setting
+        eve = kgc1.extract("eve")
+        ciphertext = scheme.encrypt(kgc1.params, alice, group.random_gt(rng), "t", rng)
+        with pytest.raises(DelegationError):
+            scheme.decrypt(ciphertext, eve)
+
+    def test_type_exponent_deterministic_and_distinct(self, pre_setting):
+        scheme, _, _, alice, _ = pre_setting
+        e1 = scheme.type_exponent(alice, "t1")
+        assert e1 == scheme.type_exponent(alice, "t1")
+        assert e1 != scheme.type_exponent(alice, "t2")
+
+    def test_type_exponent_key_bound(self, pre_setting, two_kgcs):
+        """H2(sk||t) depends on the private key, not only the type."""
+        scheme, kgc1, _, alice, _ = pre_setting
+        eve = kgc1.extract("eve")
+        assert scheme.type_exponent(alice, "t") != scheme.type_exponent(eve, "t")
+
+
+class TestDelegation:
+    def test_full_delegation_round_trip(self, pre_setting, group, rng):
+        scheme, kgc1, kgc2, alice, bob = pre_setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, "t", rng)
+        proxy_key = scheme.pextract(alice, "bob", "t", kgc2.params, rng)
+        transformed = scheme.preenc(ciphertext, proxy_key)
+        assert scheme.decrypt_reencrypted(transformed, bob) == message
+
+    def test_proxy_key_metadata(self, pre_setting, rng):
+        scheme, _, kgc2, alice, _ = pre_setting
+        proxy_key = scheme.pextract(alice, "bob", "t", kgc2.params, rng)
+        assert proxy_key.delegator == "alice"
+        assert proxy_key.delegatee == "bob"
+        assert proxy_key.type_label == "t"
+        assert proxy_key.delegator_domain == "KGC1"
+        assert proxy_key.delegatee_domain == "KGC2"
+
+    def test_proxy_keys_randomised(self, pre_setting, rng):
+        """Two keys for the same triple use independent blinds."""
+        scheme, _, kgc2, alice, _ = pre_setting
+        k1 = scheme.pextract(alice, "bob", "t", kgc2.params, rng)
+        k2 = scheme.pextract(alice, "bob", "t", kgc2.params, rng)
+        assert k1.rk_point != k2.rk_point
+
+    def test_both_key_generations_decrypt(self, pre_setting, group, rng):
+        scheme, kgc1, kgc2, alice, bob = pre_setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, "t", rng)
+        for _ in range(2):
+            proxy_key = scheme.pextract(alice, "bob", "t", kgc2.params, rng)
+            transformed = scheme.preenc(ciphertext, proxy_key)
+            assert scheme.decrypt_reencrypted(transformed, bob) == message
+
+    def test_type_mismatch_raises(self, pre_setting, group, rng):
+        scheme, kgc1, kgc2, alice, _ = pre_setting
+        ciphertext = scheme.encrypt(kgc1.params, alice, group.random_gt(rng), "t1", rng)
+        proxy_key = scheme.pextract(alice, "bob", "t2", kgc2.params, rng)
+        with pytest.raises(TypeMismatchError):
+            scheme.preenc(ciphertext, proxy_key)
+
+    def test_wrong_delegator_raises(self, pre_setting, group, rng):
+        scheme, kgc1, kgc2, alice, _ = pre_setting
+        eve = kgc1.extract("eve")
+        ciphertext = scheme.encrypt(kgc1.params, eve, group.random_gt(rng), "t", rng)
+        proxy_key = scheme.pextract(alice, "bob", "t", kgc2.params, rng)
+        with pytest.raises(DelegationError):
+            scheme.preenc(ciphertext, proxy_key)
+
+    def test_unchecked_type_mix_garbles(self, pre_setting, group, rng):
+        """The crypto, not the metadata check, provides isolation."""
+        scheme, kgc1, kgc2, alice, bob = pre_setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, "t1", rng)
+        proxy_key = scheme.pextract(alice, "bob", "t2", kgc2.params, rng)
+        mixed = scheme.preenc(ciphertext, proxy_key, unchecked=True)
+        assert scheme.decrypt_reencrypted(mixed, bob) != message
+
+    def test_wrong_delegatee_key_fails(self, pre_setting, group, rng):
+        scheme, kgc1, kgc2, alice, bob = pre_setting
+        carol = kgc2.extract("carol")
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, "t", rng)
+        proxy_key = scheme.pextract(alice, "bob", "t", kgc2.params, rng)
+        transformed = scheme.preenc(ciphertext, proxy_key)
+        with pytest.raises(DelegationError):
+            scheme.decrypt_reencrypted(transformed, carol)
+
+    def test_same_domain_delegation_works(self, pre_setting, group, rng):
+        """Delegator and delegatee may share a KGC (KGC1 == KGC2 case)."""
+        scheme, kgc1, _, alice, _ = pre_setting
+        dave = kgc1.extract("dave")
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, "t", rng)
+        proxy_key = scheme.pextract(alice, "dave", "t", kgc1.params, rng)
+        transformed = scheme.preenc(ciphertext, proxy_key)
+        assert scheme.decrypt_reencrypted(transformed, dave) == message
+
+    def test_delegatee_cannot_decrypt_original(self, pre_setting, group, rng):
+        """Without re-encryption, bob learns nothing from alice's ciphertext."""
+        scheme, kgc1, kgc2, alice, bob = pre_setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, "t", rng)
+        exponent = scheme.type_exponent(bob, "t")
+        mask = group.gt_exp(group.pair(bob.point, ciphertext.c1), exponent)
+        assert group.gt_div(ciphertext.c2, mask) != message
+
+    def test_reencrypted_metadata(self, pre_setting, group, rng):
+        scheme, kgc1, kgc2, alice, _ = pre_setting
+        ciphertext = scheme.encrypt(kgc1.params, alice, group.random_gt(rng), "t", rng)
+        proxy_key = scheme.pextract(alice, "bob", "t", kgc2.params, rng)
+        transformed = scheme.preenc(ciphertext, proxy_key)
+        assert transformed.delegator == "alice"
+        assert transformed.delegatee == "bob"
+        assert transformed.type_label == "t"
+        assert transformed.c1 == ciphertext.c1  # c1 passes through unchanged
+
+
+class TestSizes:
+    def test_size_accounting(self, pre_setting, group):
+        scheme = pre_setting[0]
+        g1, gt = group.g1_element_size(), group.gt_element_size()
+        assert scheme.ciphertext_size() == g1 + gt
+        assert scheme.reencrypted_size() == 2 * (g1 + gt)
+        assert scheme.proxy_key_size() == 2 * g1 + gt
+
+    def test_reencryption_grows_ciphertext(self, pre_setting):
+        scheme = pre_setting[0]
+        assert scheme.reencrypted_size() > scheme.ciphertext_size()

@@ -1,0 +1,140 @@
+"""Tests for the HMAC-DRBG and the RandomSource interface."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.math.drbg import HmacDrbg, SystemRandomSource, system_random
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = HmacDrbg("seed"), HmacDrbg("seed")
+        assert a.randbytes(64) == b.randbytes(64)
+        assert a.randbelow(10**9) == b.randbelow(10**9)
+
+    def test_different_seeds_differ(self):
+        assert HmacDrbg("one").randbytes(32) != HmacDrbg("two").randbytes(32)
+
+    def test_seed_types(self):
+        # str seeds are their UTF-8 bytes; int seeds use big-endian encoding.
+        assert HmacDrbg("7").randbytes(16) == HmacDrbg(b"7").randbytes(16)
+        assert HmacDrbg(7).randbytes(16) == HmacDrbg(b"\x07").randbytes(16)
+        assert HmacDrbg(7).randbytes(16) != HmacDrbg("7").randbytes(16)
+
+    def test_reseed_changes_stream(self):
+        a, b = HmacDrbg("seed"), HmacDrbg("seed")
+        b.reseed("extra")
+        assert a.randbytes(32) != b.randbytes(32)
+
+    def test_fork_independence(self):
+        parent = HmacDrbg("seed")
+        child1 = parent.fork("a")
+        child2 = parent.fork("a")
+        # Forks consume parent state, so successive forks differ...
+        assert child1.randbytes(16) != child2.randbytes(16)
+        # ...but the construction is reproducible from the same start.
+        again = HmacDrbg("seed").fork("a")
+        assert again.randbytes(16) == HmacDrbg("seed").fork("a").randbytes(16)
+
+
+class TestInterface:
+    def test_randbytes_length(self):
+        rng = HmacDrbg("x")
+        for n in (0, 1, 31, 32, 33, 100):
+            assert len(rng.randbytes(n)) == n
+
+    def test_randbytes_negative_raises(self):
+        with pytest.raises(ValueError):
+            HmacDrbg("x").randbytes(-1)
+
+    def test_getrandbits_range(self):
+        rng = HmacDrbg("x")
+        for bits in (1, 7, 8, 9, 63, 257):
+            for _ in range(20):
+                assert 0 <= rng.getrandbits(bits) < (1 << bits)
+
+    def test_getrandbits_invalid(self):
+        with pytest.raises(ValueError):
+            HmacDrbg("x").getrandbits(0)
+
+    def test_randbelow_range_and_coverage(self):
+        rng = HmacDrbg("x")
+        seen = {rng.randbelow(4) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_randbelow_invalid(self):
+        with pytest.raises(ValueError):
+            HmacDrbg("x").randbelow(0)
+
+    def test_randint_inclusive(self):
+        rng = HmacDrbg("x")
+        values = {rng.randint(5, 7) for _ in range(100)}
+        assert values == {5, 6, 7}
+
+    def test_randint_empty_range(self):
+        with pytest.raises(ValueError):
+            HmacDrbg("x").randint(5, 4)
+
+    def test_rand_nonzero_below(self):
+        rng = HmacDrbg("x")
+        assert all(1 <= rng.rand_nonzero_below(5) < 5 for _ in range(100))
+        with pytest.raises(ValueError):
+            rng.rand_nonzero_below(1)
+
+    def test_choice(self):
+        rng = HmacDrbg("x")
+        assert rng.choice([42]) == 42
+        assert {rng.choice("abc") for _ in range(60)} == {"a", "b", "c"}
+        with pytest.raises(IndexError):
+            rng.choice([])
+
+    def test_shuffle_is_permutation(self):
+        rng = HmacDrbg("x")
+        data = list(range(20))
+        shuffled = list(data)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == data
+
+    def test_sample(self):
+        rng = HmacDrbg("x")
+        population = list(range(10))
+        picked = rng.sample(population, 4)
+        assert len(picked) == 4
+        assert len(set(picked)) == 4
+        assert all(p in population for p in picked)
+        with pytest.raises(ValueError):
+            rng.sample([1, 2], 3)
+
+    @given(st.integers(min_value=2, max_value=2**64))
+    def test_randbelow_bound_property(self, bound):
+        assert 0 <= HmacDrbg(bound).randbelow(bound) < bound
+
+
+class TestSystemSource:
+    def test_singleton(self):
+        assert system_random() is system_random()
+
+    def test_produces_bytes(self):
+        assert len(SystemRandomSource().randbytes(16)) == 16
+
+    def test_not_obviously_constant(self):
+        source = SystemRandomSource()
+        assert source.randbytes(16) != source.randbytes(16)
+
+
+class TestDistribution:
+    def test_byte_histogram_roughly_uniform(self):
+        # 16k bytes: every value should occur, none wildly over-represented.
+        data = HmacDrbg("hist").randbytes(16384)
+        counts = [0] * 256
+        for byte in data:
+            counts[byte] += 1
+        assert min(counts) > 0
+        assert max(counts) < 64 * 4  # mean is 64; allow generous slack
+
+    def test_randbelow_mean(self):
+        rng = HmacDrbg("mean")
+        n = 2000
+        mean = sum(rng.randbelow(1000) for _ in range(n)) / n
+        assert 450 < mean < 550

@@ -1,0 +1,119 @@
+"""Tests for epoch-scoped (time-bounded) delegation."""
+
+import pytest
+
+from repro.core.epochs import EpochSchedule, ExpiredDelegationError, TemporalPre
+
+DAY = 86400
+
+
+@pytest.fixture()
+def temporal(pre_setting):
+    scheme = pre_setting[0]
+    return TemporalPre(scheme, EpochSchedule(epoch_seconds=DAY))
+
+
+class TestEpochSchedule:
+    def test_epoch_boundaries(self):
+        schedule = EpochSchedule(DAY)
+        assert schedule.epoch_of(0) == 0
+        assert schedule.epoch_of(DAY - 1) == 0
+        assert schedule.epoch_of(DAY) == 1
+        assert schedule.epoch_of(10 * DAY + 5) == 10
+
+    def test_label_and_split(self):
+        schedule = EpochSchedule(DAY)
+        label = schedule.label("lab-results", 3 * DAY)
+        assert label == "lab-results@epoch-3"
+        assert EpochSchedule.split(label) == ("lab-results", 3)
+
+    def test_category_with_separator_rejected(self):
+        with pytest.raises(ValueError):
+            EpochSchedule(DAY).label("bad@category", 0)
+
+    def test_split_rejects_plain_labels(self):
+        with pytest.raises(ValueError):
+            EpochSchedule.split("no-epoch-here")
+        with pytest.raises(ValueError):
+            EpochSchedule.split("@epoch-1")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EpochSchedule(0)
+        with pytest.raises(ValueError):
+            EpochSchedule(DAY).epoch_of(-1)
+
+
+class TestTemporalDelegation:
+    def test_same_epoch_round_trip(self, temporal, pre_setting, group, rng):
+        _, kgc1, kgc2, alice, bob = pre_setting
+        now = 5 * DAY + 100
+        message = group.random_gt(rng)
+        ciphertext = temporal.encrypt(kgc1.params, alice, message, "labs", now, rng)
+        proxy_key = temporal.grant(alice, "bob", "labs", now, kgc2.params, rng)
+        transformed = temporal.reencrypt(ciphertext, proxy_key)
+        assert temporal.decrypt_reencrypted(transformed, bob) == message
+
+    def test_expired_key_refused(self, temporal, pre_setting, group, rng):
+        _, kgc1, kgc2, alice, _ = pre_setting
+        yesterday, today = 4 * DAY, 5 * DAY
+        proxy_key = temporal.grant(alice, "bob", "labs", yesterday, kgc2.params, rng)
+        ciphertext = temporal.encrypt(
+            kgc1.params, alice, group.random_gt(rng), "labs", today, rng
+        )
+        with pytest.raises(ExpiredDelegationError):
+            temporal.reencrypt(ciphertext, proxy_key)
+
+    def test_expired_key_is_cryptographically_dead(
+        self, temporal, pre_setting, group, rng
+    ):
+        """Even bypassing the check, yesterday's key garbles today's data."""
+        scheme, kgc1, kgc2, alice, bob = pre_setting
+        proxy_key = temporal.grant(alice, "bob", "labs", 4 * DAY, kgc2.params, rng)
+        message = group.random_gt(rng)
+        ciphertext = temporal.encrypt(kgc1.params, alice, message, "labs", 5 * DAY, rng)
+        mixed = scheme.preenc(ciphertext, proxy_key, unchecked=True)
+        assert scheme.decrypt_reencrypted(mixed, bob) != message
+
+    def test_epoch_does_not_leak_across_categories(
+        self, temporal, pre_setting, group, rng
+    ):
+        """Same epoch, different category: still isolated."""
+        _, kgc1, kgc2, alice, bob = pre_setting
+        now = 7 * DAY
+        proxy_key = temporal.grant(alice, "bob", "food", now, kgc2.params, rng)
+        ciphertext = temporal.encrypt(
+            kgc1.params, alice, group.random_gt(rng), "illness", now, rng
+        )
+        # Different category, same epoch: the scheme's usual guard fires.
+        from repro.core.scheme import TypeMismatchError
+
+        with pytest.raises(TypeMismatchError):
+            temporal.reencrypt(ciphertext, proxy_key)
+
+    def test_delegator_reads_across_epochs(self, temporal, pre_setting, group, rng):
+        _, kgc1, _, alice, _ = pre_setting
+        message = group.random_gt(rng)
+        for day in (0, 3, 10):
+            ciphertext = temporal.encrypt(
+                kgc1.params, alice, message, "labs", day * DAY, rng
+            )
+            assert temporal.decrypt(ciphertext, alice) == message
+
+    def test_category_of(self, temporal, pre_setting, group, rng):
+        _, kgc1, _, alice, _ = pre_setting
+        ciphertext = temporal.encrypt(
+            kgc1.params, alice, group.random_gt(rng), "labs", 2 * DAY, rng
+        )
+        assert temporal.category_of(ciphertext) == "labs"
+
+    def test_fresh_grant_restores_access(self, temporal, pre_setting, group, rng):
+        """The intended workflow: re-grant each epoch while trust lasts."""
+        _, kgc1, kgc2, alice, bob = pre_setting
+        message = group.random_gt(rng)
+        for day in (1, 2):
+            now = day * DAY
+            ciphertext = temporal.encrypt(kgc1.params, alice, message, "labs", now, rng)
+            proxy_key = temporal.grant(alice, "bob", "labs", now, kgc2.params, rng)
+            transformed = temporal.reencrypt(ciphertext, proxy_key)
+            assert temporal.decrypt_reencrypted(transformed, bob) == message

@@ -1,0 +1,33 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Each example is executed in a subprocess exactly as the README instructs,
+so documentation and code cannot drift apart.  Marked slow (SS256 ops).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, "%s failed:\n%s" % (script, result.stderr[-2000:])
+    assert result.stdout.strip(), "%s printed nothing" % script
+    assert "Traceback" not in result.stderr

@@ -1,0 +1,187 @@
+"""Field-axiom and behaviour tests for F_p and F_{p^2} (hypothesis-heavy)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.math.drbg import HmacDrbg
+from repro.math.fields import Fp2Element, FpElement, PrimeField, QuadraticExtField
+
+P = 2**89 - 1  # prime, = 3 (mod 4)
+F = PrimeField(P)
+F2 = QuadraticExtField(F)
+
+fp_elements = st.integers(min_value=0, max_value=P - 1).map(F)
+fp2_elements = st.tuples(
+    st.integers(min_value=0, max_value=P - 1), st.integers(min_value=0, max_value=P - 1)
+).map(lambda ab: F2(ab[0], ab[1]))
+
+
+class TestPrimeFieldConstruction:
+    def test_rejects_tiny_characteristic(self):
+        with pytest.raises(ValueError):
+            PrimeField(1)
+
+    def test_call_reduces(self):
+        assert F(P + 5) == F(5)
+        assert F(-1) == F(P - 1)
+
+    def test_zero_one(self):
+        assert F.zero().is_zero()
+        assert F.one() == 1
+
+    def test_random_in_range(self):
+        rng = HmacDrbg("f")
+        assert 0 <= int(F.random(rng)) < P
+        assert int(F.random_nonzero(rng)) != 0
+
+    def test_equality_and_hash(self):
+        assert PrimeField(7) == PrimeField(7)
+        assert PrimeField(7) != PrimeField(11)
+        assert hash(PrimeField(7)) == hash(PrimeField(7))
+
+
+class TestFpAxioms:
+    @given(fp_elements, fp_elements, fp_elements)
+    def test_ring_axioms(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+        assert a + b == b + a
+        assert (a * b) * c == a * (b * c)
+        assert a * b == b * a
+        assert a * (b + c) == a * b + a * c
+
+    @given(fp_elements)
+    def test_identities(self, a):
+        assert a + F.zero() == a
+        assert a * F.one() == a
+        assert a - a == F.zero()
+        assert -(-a) == a
+
+    @given(fp_elements)
+    def test_multiplicative_inverse(self, a):
+        if a.is_zero():
+            with pytest.raises(ZeroDivisionError):
+                a.inverse()
+        else:
+            assert a * a.inverse() == F.one()
+            assert (F.one() / a) == a.inverse()
+
+    @given(fp_elements)
+    def test_square_and_sqrt(self, a):
+        square = a.square()
+        assert square == a * a
+        assert square.is_square()
+        root = square.sqrt()
+        assert root * root == square
+
+    @given(fp_elements, st.integers(min_value=-20, max_value=40))
+    def test_pow_matches_repeated_multiplication(self, a, e):
+        if a.is_zero() and e < 0:
+            return
+        expected = F.one()
+        base = a if e >= 0 else a.inverse()
+        for _ in range(abs(e)):
+            expected = expected * base
+        assert a**e == expected
+
+    def test_int_coercion(self):
+        assert F(3) + 4 == F(7)
+        assert 4 + F(3) == F(7)
+        assert 10 - F(3) == F(7)
+        assert F(3) * 5 == F(15)
+        assert 30 / F(2) == F(15)
+
+    def test_cross_field_rejected(self):
+        other = PrimeField(1000003)
+        with pytest.raises(ValueError):
+            F(1) + other(1)
+
+    def test_immutability(self):
+        a = F(1)
+        with pytest.raises(AttributeError):
+            a.value = 2
+
+    def test_repr_and_int(self):
+        assert int(F(5)) == 5
+        assert "5" in repr(F(5))
+
+
+class TestFp2Construction:
+    def test_requires_3_mod_4(self):
+        with pytest.raises(ValueError):
+            QuadraticExtField(PrimeField(13))  # 13 = 1 (mod 4)
+
+    def test_i_squares_to_minus_one(self):
+        assert F2.i() * F2.i() == F2(-1 % P)
+
+    def test_from_base(self):
+        assert F2.from_base(F(5)) == F2(5)
+        with pytest.raises(ValueError):
+            F2.from_base(PrimeField(1000003)(1))
+
+    def test_zero_one(self):
+        assert F2.zero().is_zero()
+        assert F2.one().is_one()
+
+
+class TestFp2Axioms:
+    @given(fp2_elements, fp2_elements, fp2_elements)
+    def test_ring_axioms(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+        assert a * b == b * a
+        assert (a * b) * c == a * (b * c)
+        assert a * (b + c) == a * b + a * c
+
+    @given(fp2_elements)
+    def test_inverse(self, a):
+        if a.is_zero():
+            with pytest.raises(ZeroDivisionError):
+                a.inverse()
+        else:
+            assert a * a.inverse() == F2.one()
+
+    @given(fp2_elements)
+    def test_square_consistency(self, a):
+        assert a.square() == a * a
+
+    @given(fp2_elements)
+    def test_conjugate_is_frobenius(self, a):
+        # For p = 3 (mod 4), x -> x^p is exactly conjugation.
+        assert a.conjugate() == a**P
+
+    @given(fp2_elements)
+    def test_norm_multiplicative(self, a):
+        assert a.norm() == (a * a.conjugate()).a
+        assert (a * a).norm() == a.norm() * a.norm() % P
+
+    @given(fp2_elements, st.integers(min_value=0, max_value=100))
+    def test_pow_small_exponents(self, a, e):
+        expected = F2.one()
+        for _ in range(e):
+            expected = expected * a
+        assert a**e == expected
+
+    @given(fp2_elements)
+    def test_negative_pow(self, a):
+        if not a.is_zero():
+            assert a**-3 == (a**3).inverse()
+
+    def test_mixed_coercion(self):
+        assert F2(2, 3) + 1 == F2(3, 3)
+        assert F2(2, 3) * F(2) == F2(4, 6)
+        assert 1 - F2(2, 0) == F2(-1 % P, 0)
+        assert 1 / F2(2, 0) == F2(2, 0).inverse()
+
+    def test_cross_field_rejected(self):
+        other = QuadraticExtField(PrimeField(1000003))
+        with pytest.raises(ValueError):
+            F2(1) * other(1)
+
+    def test_immutability(self):
+        a = F2(1, 2)
+        with pytest.raises(AttributeError):
+            a.a = 3
+
+    def test_equality_with_int(self):
+        assert F2(5, 0) == 5
+        assert F2(5, 1) != 5

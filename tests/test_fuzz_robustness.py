@@ -1,0 +1,144 @@
+"""Fuzz and failure-injection tests: malformed inputs must fail *cleanly*.
+
+A deployed proxy or PHR store feeds attacker-controlled bytes into the
+deserializers and decryptors; none of that may crash with an unexpected
+exception type, loop, or — worst — silently succeed.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hybrid.symmetric import AuthenticationError, open_sealed, seal
+from repro.math.drbg import HmacDrbg
+from repro.serialization.containers import (
+    deserialize_hybrid,
+    deserialize_proxy_key,
+    deserialize_typed_ciphertext,
+    from_json_envelope,
+    serialize_typed_ciphertext,
+)
+from repro.serialization.encoding import MAGIC, EncodingError
+
+
+class TestDeserializerFuzz:
+    @given(st.binary(max_size=300))
+    def test_random_bytes_never_crash_typed_ciphertext(self, group, data):
+        try:
+            deserialize_typed_ciphertext(group, data)
+        except (EncodingError, ValueError):
+            pass  # the only acceptable outcomes
+
+    @given(st.binary(max_size=300))
+    def test_random_bytes_never_crash_proxy_key(self, group, data):
+        try:
+            deserialize_proxy_key(group, data)
+        except (EncodingError, ValueError):
+            pass
+
+    @given(st.binary(max_size=300))
+    def test_random_bytes_never_crash_hybrid(self, group, data):
+        try:
+            deserialize_hybrid(group, data)
+        except (EncodingError, ValueError):
+            pass
+
+    @given(st.binary(min_size=6, max_size=200))
+    def test_valid_header_garbage_body(self, group, body):
+        data = MAGIC + bytes([1, 1]) + body
+        try:
+            deserialize_typed_ciphertext(group, data)
+        except (EncodingError, ValueError):
+            pass
+
+    @given(st.text(max_size=200))
+    def test_random_text_never_crashes_envelope(self, group, text):
+        try:
+            from_json_envelope(group, text)
+        except EncodingError:
+            pass
+
+    def test_truncation_sweep(self, pre_setting, group, rng):
+        """Every strict prefix of a valid encoding is rejected."""
+        scheme, kgc1, _, alice, _ = pre_setting
+        ciphertext = scheme.encrypt(kgc1.params, alice, group.random_gt(rng), "t", rng)
+        blob = serialize_typed_ciphertext(group, ciphertext)
+        for cut in range(len(blob)):
+            with pytest.raises((EncodingError, ValueError)):
+                deserialize_typed_ciphertext(group, blob[:cut])
+
+    def test_single_byte_corruption_sweep(self, pre_setting, group, rng):
+        """Flipping any byte either fails to parse or changes the object."""
+        scheme, kgc1, _, alice, _ = pre_setting
+        original = scheme.encrypt(kgc1.params, alice, group.random_gt(rng), "t", rng)
+        blob = bytearray(serialize_typed_ciphertext(group, original))
+        for position in range(0, len(blob), 7):  # stride keeps the test fast
+            mutated = bytearray(blob)
+            mutated[position] ^= 0xFF
+            try:
+                parsed = deserialize_typed_ciphertext(group, bytes(mutated))
+            except (EncodingError, ValueError):
+                continue
+            assert parsed != original, "corruption at byte %d went unnoticed" % position
+
+
+class TestDemFuzz:
+    KEY = bytes(32)
+
+    @given(st.binary(max_size=200))
+    def test_random_blobs_never_open(self, data):
+        with pytest.raises(AuthenticationError):
+            open_sealed(self.KEY, data)
+
+    @given(st.binary(min_size=1, max_size=128), st.integers(min_value=0, max_value=10**6))
+    def test_bitflip_anywhere_rejected(self, plaintext, position_seed):
+        rng = HmacDrbg(plaintext)
+        sealed = bytearray(seal(self.KEY, plaintext, rng=rng))
+        position = position_seed % len(sealed)
+        sealed[position] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            open_sealed(self.KEY, bytes(sealed))
+
+
+class TestSchemeInputFuzz:
+    @given(st.text(max_size=64))
+    def test_arbitrary_type_labels_round_trip(self, group, type_label):
+        rng = HmacDrbg("fuzz-types|" + type_label)
+        from repro.core.scheme import TypeAndIdentityPre
+        from repro.ibe.kgc import KgcRegistry
+
+        registry = KgcRegistry(group, rng)
+        kgc = registry.create("K")
+        alice = kgc.extract("alice")
+        scheme = TypeAndIdentityPre(group)
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc.params, alice, message, type_label, rng)
+        assert scheme.decrypt(ciphertext, alice) == message
+
+    @given(st.text(min_size=1, max_size=64))
+    def test_arbitrary_identities_work(self, group, identity):
+        rng = HmacDrbg("fuzz-ids|" + identity)
+        from repro.ibe.kgc import KgcRegistry
+
+        registry = KgcRegistry(group, rng)
+        kgc = registry.create("K")
+        key = kgc.extract(identity)
+        assert group.params.is_in_subgroup(key.point)
+
+    @given(st.text(max_size=32), st.text(max_size=32))
+    def test_distinct_types_always_isolated(self, group, type_a, type_b):
+        if type_a == type_b:
+            return
+        rng = HmacDrbg("fuzz-iso|%s|%s" % (type_a, type_b))
+        from repro.core.scheme import TypeAndIdentityPre
+        from repro.ibe.kgc import KgcRegistry
+
+        registry = KgcRegistry(group, rng)
+        kgc1, kgc2 = registry.create("K1"), registry.create("K2")
+        alice, bob = kgc1.extract("alice"), kgc2.extract("bob")
+        scheme = TypeAndIdentityPre(group)
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, type_a, rng)
+        proxy_key = scheme.pextract(alice, "bob", type_b, kgc2.params, rng)
+        mixed = scheme.preenc(ciphertext, proxy_key, unchecked=True)
+        assert scheme.decrypt_reencrypted(mixed, bob) != message

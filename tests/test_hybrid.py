@@ -1,0 +1,172 @@
+"""Tests for HKDF, the authenticated DEM, and hybrid PRE encryption."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hybrid.kdf import hkdf, hkdf_expand, hkdf_extract
+from repro.hybrid.kem import HybridPre
+from repro.hybrid.symmetric import (
+    KEY_LEN,
+    NONCE_LEN,
+    TAG_LEN,
+    AuthenticationError,
+    open_sealed,
+    seal,
+)
+from repro.math.drbg import HmacDrbg
+
+
+class TestHkdf:
+    def test_rfc5869_test_case_1(self):
+        """RFC 5869 Appendix A.1 known-answer test."""
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk == bytes.fromhex(
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_composed(self):
+        assert hkdf(b"ikm", b"info", 32, b"salt") == hkdf_expand(
+            hkdf_extract(b"salt", b"ikm"), b"info", 32
+        )
+
+    def test_lengths(self):
+        for n in (1, 16, 32, 33, 64, 255):
+            assert len(hkdf(b"x", b"y", n)) == n
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            hkdf_expand(b"\x00" * 32, b"", 256 * 32)
+
+    def test_info_separates(self):
+        assert hkdf(b"k", b"a", 32) != hkdf(b"k", b"b", 32)
+
+
+class TestSymmetricCipher:
+    KEY = bytes(range(KEY_LEN))
+
+    def test_round_trip(self, rng):
+        sealed = seal(self.KEY, b"attack at dawn", rng=rng)
+        assert open_sealed(self.KEY, sealed) == b"attack at dawn"
+
+    def test_empty_plaintext(self, rng):
+        assert open_sealed(self.KEY, seal(self.KEY, b"", rng=rng)) == b""
+
+    def test_overhead_is_nonce_plus_tag(self, rng):
+        sealed = seal(self.KEY, b"12345", rng=rng)
+        assert len(sealed) == 5 + NONCE_LEN + TAG_LEN
+
+    def test_wrong_key_rejected(self, rng):
+        sealed = seal(self.KEY, b"secret", rng=rng)
+        with pytest.raises(AuthenticationError):
+            open_sealed(bytes(KEY_LEN), sealed)
+
+    def test_tampered_ciphertext_rejected(self, rng):
+        sealed = bytearray(seal(self.KEY, b"secret-data", rng=rng))
+        sealed[NONCE_LEN] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            open_sealed(self.KEY, bytes(sealed))
+
+    def test_tampered_tag_rejected(self, rng):
+        sealed = bytearray(seal(self.KEY, b"secret-data", rng=rng))
+        sealed[-1] ^= 0x80
+        with pytest.raises(AuthenticationError):
+            open_sealed(self.KEY, bytes(sealed))
+
+    def test_tampered_nonce_rejected(self, rng):
+        sealed = bytearray(seal(self.KEY, b"secret-data", rng=rng))
+        sealed[0] ^= 0xFF
+        with pytest.raises(AuthenticationError):
+            open_sealed(self.KEY, bytes(sealed))
+
+    def test_associated_data_binding(self, rng):
+        sealed = seal(self.KEY, b"payload", b"header-A", rng=rng)
+        assert open_sealed(self.KEY, sealed, b"header-A") == b"payload"
+        with pytest.raises(AuthenticationError):
+            open_sealed(self.KEY, sealed, b"header-B")
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(AuthenticationError):
+            open_sealed(self.KEY, b"short")
+
+    def test_bad_key_length(self, rng):
+        with pytest.raises(ValueError):
+            seal(b"short-key", b"x", rng=rng)
+
+    def test_nonces_fresh(self, rng):
+        s1 = seal(self.KEY, b"m", rng=rng)
+        s2 = seal(self.KEY, b"m", rng=rng)
+        assert s1[:NONCE_LEN] != s2[:NONCE_LEN]
+
+    @given(st.binary(max_size=512), st.binary(max_size=64))
+    def test_round_trip_property(self, plaintext, associated):
+        rng = HmacDrbg(plaintext + b"|" + associated)
+        sealed = seal(self.KEY, plaintext, associated, rng)
+        assert open_sealed(self.KEY, sealed, associated) == plaintext
+
+
+class TestHybridPre:
+    @pytest.fixture()
+    def setting(self, pre_setting, group):
+        scheme, kgc1, kgc2, alice, bob = pre_setting
+        return HybridPre(group, scheme), kgc1, kgc2, alice, bob
+
+    def test_round_trip(self, setting, rng):
+        hybrid, kgc1, _, alice, _ = setting
+        payload = b"blood pressure 120/80, pulse 64"
+        ciphertext = hybrid.encrypt(kgc1.params, alice, payload, "vitals", rng)
+        assert hybrid.decrypt(ciphertext, alice) == payload
+
+    def test_reencryption_round_trip(self, setting, rng):
+        hybrid, kgc1, kgc2, alice, bob = setting
+        payload = b"HbA1c = 6.1%"
+        ciphertext = hybrid.encrypt(kgc1.params, alice, payload, "lab-results", rng)
+        proxy_key = hybrid.scheme.pextract(alice, "bob", "lab-results", kgc2.params, rng)
+        transformed = hybrid.reencrypt(ciphertext, proxy_key)
+        assert hybrid.decrypt_reencrypted(transformed, bob) == payload
+        assert transformed.dem == ciphertext.dem  # DEM untouched by the proxy
+
+    def test_large_payload(self, setting, rng):
+        hybrid, kgc1, _, alice, _ = setting
+        payload = bytes(range(256)) * 64  # 16 KiB
+        ciphertext = hybrid.encrypt(kgc1.params, alice, payload, "imaging", rng)
+        assert hybrid.decrypt(ciphertext, alice) == payload
+
+    def test_type_label_bound_into_dem(self, setting, rng):
+        """Relabelling the KEM breaks DEM authentication, not just the KEM."""
+        import dataclasses
+
+        hybrid, kgc1, _, alice, _ = setting
+        ciphertext = hybrid.encrypt(kgc1.params, alice, b"data", "t1", rng)
+        relabelled = dataclasses.replace(
+            ciphertext, kem=dataclasses.replace(ciphertext.kem, type_label="t2")
+        )
+        with pytest.raises(AuthenticationError):
+            hybrid.decrypt(relabelled, alice)
+
+    def test_wrong_type_proxy_key_fails_authentication(self, setting, rng):
+        hybrid, kgc1, kgc2, alice, bob = setting
+        ciphertext = hybrid.encrypt(kgc1.params, alice, b"secret", "t1", rng)
+        wrong_key = hybrid.scheme.pextract(alice, "bob", "t2", kgc2.params, rng)
+        mixed = hybrid.scheme.preenc(ciphertext.kem, wrong_key, unchecked=True)
+        from repro.hybrid.kem import HybridReEncrypted
+
+        with pytest.raises(AuthenticationError):
+            hybrid.decrypt_reencrypted(
+                HybridReEncrypted(kem=mixed, dem=ciphertext.dem), bob
+            )
+
+    def test_dem_keys_fresh_per_message(self, setting, rng):
+        hybrid, kgc1, _, alice, _ = setting
+        c1 = hybrid.encrypt(kgc1.params, alice, b"same", "t", rng)
+        c2 = hybrid.encrypt(kgc1.params, alice, b"same", "t", rng)
+        assert c1.dem != c2.dem
+        assert c1.kem.c2 != c2.kem.c2

@@ -1,0 +1,147 @@
+"""Tests for Boneh--Franklin IBE (both variants) and the KGC registry."""
+
+import pytest
+
+from repro.ibe.boneh_franklin import BonehFranklinIbe
+from repro.ibe.kgc import KeyGenerationCenter, KgcRegistry
+from repro.ibe.keys import IbeMasterKey, IbeParams
+from repro.math.drbg import HmacDrbg
+
+
+@pytest.fixture()
+def ibe(group):
+    return BonehFranklinIbe(group, "KGC-A")
+
+
+@pytest.fixture()
+def setup(ibe, rng):
+    return ibe.setup(rng)
+
+
+class TestSetupExtract:
+    def test_setup_outputs(self, ibe, setup, group):
+        params, master = setup
+        assert params.domain == "KGC-A"
+        assert params.group_name == group.params.name
+        assert group.params.is_in_subgroup(params.public_key)
+        assert 1 <= master.alpha < group.order
+
+    def test_public_key_matches_master(self, ibe, setup, group):
+        params, master = setup
+        assert params.public_key == group.g1_mul(group.generator, master.alpha)
+
+    def test_extract_is_h1_to_alpha(self, ibe, setup, group):
+        params, master = setup
+        key = ibe.extract(master, "alice")
+        assert key.point == group.g1_mul(ibe.public_key_of("alice"), master.alpha)
+        assert key.identity == "alice"
+
+    def test_extract_wrong_domain_rejected(self, ibe, setup):
+        with pytest.raises(ValueError):
+            ibe.extract(IbeMasterKey(domain="KGC-B", alpha=1), "alice")
+
+    def test_identity_keys_domain_separated(self, group, rng):
+        ibe_a = BonehFranklinIbe(group, "KGC-A")
+        ibe_b = BonehFranklinIbe(group, "KGC-B")
+        assert ibe_a.public_key_of("alice") != ibe_b.public_key_of("alice")
+
+
+class TestMultiplicativeVariant:
+    def test_round_trip(self, ibe, setup, group, rng):
+        params, master = setup
+        message = group.random_gt(rng)
+        ciphertext = ibe.encrypt(params, message, "alice", rng)
+        assert ibe.decrypt(ciphertext, ibe.extract(master, "alice")) == message
+
+    def test_wrong_identity_key_fails(self, ibe, setup, group, rng):
+        params, master = setup
+        message = group.random_gt(rng)
+        ciphertext = ibe.encrypt(params, message, "alice", rng)
+        assert ibe.decrypt(ciphertext, ibe.extract(master, "bob")) != message
+
+    def test_randomised(self, ibe, setup, group, rng):
+        params, _ = setup
+        message = group.random_gt(rng)
+        c1 = ibe.encrypt(params, message, "alice", rng)
+        c2 = ibe.encrypt(params, message, "alice", rng)
+        assert c1.c1 != c2.c1 and c1.c2 != c2.c2
+
+    def test_cross_domain_params_rejected(self, group, setup, rng):
+        params, _ = setup
+        other = BonehFranklinIbe(group, "KGC-B")
+        with pytest.raises(ValueError):
+            other.encrypt(params, group.random_gt(rng), "alice", rng)
+
+    def test_cross_domain_ciphertext_rejected(self, ibe, setup, group, rng):
+        params, master = setup
+        ciphertext = ibe.encrypt(params, group.random_gt(rng), "alice", rng)
+        other = BonehFranklinIbe(group, "KGC-B")
+        other_params, other_master = other.setup(rng)
+        with pytest.raises(ValueError):
+            other.decrypt(ciphertext, other.extract(other_master, "alice"))
+
+    def test_wrong_group_params_rejected(self, ibe, rng, group):
+        fake = IbeParams(group_name="SS512", domain="KGC-A", public_key=group.generator)
+        with pytest.raises(ValueError):
+            ibe.encrypt(fake, group.random_gt(rng), "alice", rng)
+
+
+class TestXorVariant:
+    def test_round_trip(self, ibe, setup, rng):
+        params, master = setup
+        message = b"the illness history of alice"
+        ciphertext = ibe.encrypt_bytes(params, message, "alice", rng)
+        assert ibe.decrypt_bytes(ciphertext, ibe.extract(master, "alice")) == message
+
+    def test_empty_message(self, ibe, setup, rng):
+        params, master = setup
+        ciphertext = ibe.encrypt_bytes(params, b"", "alice", rng)
+        assert ibe.decrypt_bytes(ciphertext, ibe.extract(master, "alice")) == b""
+
+    def test_long_message(self, ibe, setup, rng):
+        params, master = setup
+        message = bytes(range(256)) * 5
+        ciphertext = ibe.encrypt_bytes(params, message, "alice", rng)
+        assert ibe.decrypt_bytes(ciphertext, ibe.extract(master, "alice")) == message
+
+    def test_wrong_key_garbles(self, ibe, setup, rng):
+        params, master = setup
+        message = b"secret"
+        ciphertext = ibe.encrypt_bytes(params, message, "alice", rng)
+        assert ibe.decrypt_bytes(ciphertext, ibe.extract(master, "eve")) != message
+
+    def test_ciphertext_hides_message_length_only(self, ibe, setup, rng):
+        params, _ = setup
+        ciphertext = ibe.encrypt_bytes(params, b"12345", "alice", rng)
+        assert len(ciphertext.c2) == 5  # XOR pad: same length as plaintext
+
+
+class TestKgc:
+    def test_extract_idempotent(self, group, rng):
+        kgc = KeyGenerationCenter(group, "KGC-X", rng)
+        assert kgc.extract("alice") is kgc.extract("alice")
+        assert kgc.has_issued("alice")
+        assert not kgc.has_issued("bob")
+        assert kgc.issued_identities() == ["alice"]
+
+    def test_registry_create_get(self, group, rng):
+        registry = KgcRegistry(group, rng)
+        kgc = registry.create("D1")
+        assert registry.get("D1") is kgc
+        assert "D1" in registry
+        assert registry.domains() == ["D1"]
+
+    def test_registry_duplicate_rejected(self, group, rng):
+        registry = KgcRegistry(group, rng)
+        registry.create("D1")
+        with pytest.raises(ValueError):
+            registry.create("D1")
+
+    def test_registry_missing_domain(self, group, rng):
+        with pytest.raises(KeyError):
+            KgcRegistry(group, rng).get("nope")
+
+    def test_domains_have_distinct_masters(self, group, rng):
+        registry = KgcRegistry(group, rng)
+        d1, d2 = registry.create("D1"), registry.create("D2")
+        assert d1.params.public_key != d2.params.public_key

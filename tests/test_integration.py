@@ -1,0 +1,129 @@
+"""Cross-module integration tests: the full stack in realistic flows."""
+
+import pytest
+
+from repro.core.scheme import TypeAndIdentityPre
+from repro.hybrid.kem import HybridPre
+from repro.ibe.kgc import KgcRegistry
+from repro.math.drbg import HmacDrbg
+from repro.pairing.group import PairingGroup
+from repro.phr.generator import PhrGenerator
+from repro.phr.workflow import PhrSystem
+from repro.serialization.containers import (
+    deserialize_hybrid_reencrypted,
+    deserialize_proxy_key,
+    deserialize_typed_ciphertext,
+    serialize_hybrid_reencrypted,
+    serialize_proxy_key,
+    serialize_typed_ciphertext,
+)
+
+
+class TestWireProtocol:
+    """Every artifact crosses a byte boundary, as in a real deployment."""
+
+    def test_delegation_over_the_wire(self, pre_setting, group, rng):
+        scheme, kgc1, kgc2, alice, bob = pre_setting
+        message = group.random_gt(rng)
+
+        # Alice -> store: serialized ciphertext.
+        wire_ct = serialize_typed_ciphertext(
+            group, scheme.encrypt(kgc1.params, alice, message, "labs", rng)
+        )
+        # Alice -> proxy: serialized proxy key.
+        wire_rk = serialize_proxy_key(
+            group, scheme.pextract(alice, "bob", "labs", kgc2.params, rng)
+        )
+        # Proxy: deserialize both, transform, serialize for Bob.
+        hybrid = HybridPre(group, scheme)
+        transformed = scheme.preenc(
+            deserialize_typed_ciphertext(group, wire_ct),
+            deserialize_proxy_key(group, wire_rk),
+        )
+        assert scheme.decrypt_reencrypted(transformed, bob) == message
+
+    def test_hybrid_over_the_wire(self, pre_setting, group, rng):
+        scheme, kgc1, kgc2, alice, bob = pre_setting
+        hybrid = HybridPre(group, scheme)
+        payload = b'{"test": "HbA1c", "value": 6.1}'
+        ciphertext = hybrid.encrypt(kgc1.params, alice, payload, "labs", rng)
+        proxy_key = scheme.pextract(alice, "bob", "labs", kgc2.params, rng)
+        wire = serialize_hybrid_reencrypted(group, hybrid.reencrypt(ciphertext, proxy_key))
+        received = deserialize_hybrid_reencrypted(group, wire)
+        assert hybrid.decrypt_reencrypted(received, bob) == payload
+
+
+class TestPaperScenario:
+    """The complete Section-5 story as a single narrative test."""
+
+    def test_alice_travels_to_the_us(self, group):
+        system = PhrSystem(group=group, rng=HmacDrbg("travel"))
+        system.register_patient("alice")
+        generator = PhrGenerator(HmacDrbg("alice-history"), "alice")
+
+        # 1. Alice categorises her PHR (t1 illness, t2 food, t3 emergency).
+        for entry in generator.history(entries_per_category=1):
+            system.store_entry("alice", entry)
+
+        # 2. Travelling to the US, she finds a proxy there and delegates t3.
+        system.register_requester("us-er-team", role="emergency", domain="us-ems")
+        system.grant("alice", "us-er-team", "emergency-profile")
+
+        # 3. Emergency: the ER reads her blood group on demand...
+        profile = system.emergency_access("us-er-team", "alice")
+        assert profile[0].content["blood_group"]
+
+        # 4. ...but her illness history (top secret) stays sealed.
+        from repro.phr.actors import AccessDeniedError
+
+        with pytest.raises(AccessDeniedError):
+            system.request_category("us-er-team", "alice", "illness-history")
+
+        # 5. Back home, she revokes the US grant.
+        assert system.revoke("alice", "us-er-team", "emergency-profile")
+        with pytest.raises(AccessDeniedError):
+            system.emergency_access("us-er-team", "alice")
+
+        assert system.audit.verify_chain()
+
+
+class TestCrossGroupGuards:
+    def test_objects_do_not_mix_across_groups(self, rng):
+        toy, ss256 = PairingGroup("TOY"), PairingGroup("SS256")
+        registry = KgcRegistry(toy, rng)
+        kgc1 = registry.create("KGC1")
+        alice = kgc1.extract("alice")
+        scheme_toy = TypeAndIdentityPre(toy)
+        ciphertext = scheme_toy.encrypt(kgc1.params, alice, toy.random_gt(rng), "t", rng)
+        scheme_big = TypeAndIdentityPre(ss256)
+        with pytest.raises(Exception):
+            scheme_big.decrypt(ciphertext, alice)
+
+
+@pytest.mark.slow
+class TestLargerParameters:
+    """One full delegation on SS256 — catches TOY-only accidents."""
+
+    def test_ss256_full_delegation(self):
+        group = PairingGroup("SS256")
+        rng = HmacDrbg("ss256-integration")
+        registry = KgcRegistry(group, rng)
+        kgc1, kgc2 = registry.create("KGC1"), registry.create("KGC2")
+        alice, bob = kgc1.extract("alice"), kgc2.extract("bob")
+        scheme = TypeAndIdentityPre(group)
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, "labs", rng)
+        assert scheme.decrypt(ciphertext, alice) == message
+        proxy_key = scheme.pextract(alice, "bob", "labs", kgc2.params, rng)
+        transformed = scheme.preenc(ciphertext, proxy_key)
+        assert scheme.decrypt_reencrypted(transformed, bob) == message
+
+    def test_ss256_hybrid(self):
+        group = PairingGroup("SS256")
+        rng = HmacDrbg("ss256-hybrid")
+        registry = KgcRegistry(group, rng)
+        kgc1 = registry.create("KGC1")
+        alice = kgc1.extract("alice")
+        hybrid = HybridPre(group)
+        ciphertext = hybrid.encrypt(kgc1.params, alice, b"payload", "t", rng)
+        assert hybrid.decrypt(ciphertext, alice) == b"payload"

@@ -1,0 +1,108 @@
+"""Bilinearity and edge-case tests for the reduced Tate pairing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ec.params import get_params
+from repro.math.drbg import HmacDrbg
+from repro.pairing.tate import miller_loop, tate_pairing
+
+PARAMS = get_params("TOY")
+G = PARAMS.generator
+Q = PARAMS.q
+
+scalars = st.integers(min_value=1, max_value=Q - 1)
+
+
+class TestBilinearity:
+    @given(scalars, scalars)
+    def test_bilinear_in_both_arguments(self, a, b):
+        lhs = tate_pairing(PARAMS, G * a, G * b)
+        rhs = tate_pairing(PARAMS, G, G) ** (a * b % Q)
+        assert lhs == rhs
+
+    @given(scalars)
+    def test_left_linearity(self, a):
+        assert tate_pairing(PARAMS, G * a, G) == tate_pairing(PARAMS, G, G) ** a
+
+    @given(scalars)
+    def test_right_linearity(self, a):
+        assert tate_pairing(PARAMS, G, G * a) == tate_pairing(PARAMS, G, G) ** a
+
+    def test_non_degenerate(self):
+        assert not tate_pairing(PARAMS, G, G).is_one()
+
+    def test_symmetric(self):
+        p1, p2 = G * 3, G * 11
+        assert tate_pairing(PARAMS, p1, p2) == tate_pairing(PARAMS, p2, p1)
+
+    def test_inverse_argument(self):
+        e = tate_pairing(PARAMS, G, G)
+        assert tate_pairing(PARAMS, -G, G) == e.inverse()
+
+    def test_product_rule(self):
+        # e(P1 + P2, Q) = e(P1, Q) * e(P2, Q)
+        p1, p2, q_point = G * 5, G * 9, G * 13
+        combined = tate_pairing(PARAMS, p1 + p2, q_point)
+        split = tate_pairing(PARAMS, p1, q_point) * tate_pairing(PARAMS, p2, q_point)
+        assert combined == split
+
+
+class TestOutputStructure:
+    def test_output_in_gt(self):
+        value = tate_pairing(PARAMS, G * 7, G * 3)
+        assert PARAMS.is_in_gt(value)
+
+    def test_order_divides_q(self):
+        value = tate_pairing(PARAMS, G, G)
+        assert (value**Q).is_one()
+
+    def test_gt_generator_consistency(self):
+        # e(G, G) generates GT: its powers cover at least a few distinct values.
+        base = tate_pairing(PARAMS, G, G)
+        powers = {base**i for i in range(1, 6)}
+        assert len(powers) == 5
+
+
+class TestEdgeCases:
+    def test_infinity_left(self):
+        assert tate_pairing(PARAMS, PARAMS.curve.infinity(), G).is_one()
+
+    def test_infinity_right(self):
+        assert tate_pairing(PARAMS, G, PARAMS.curve.infinity()).is_one()
+
+    def test_both_infinity(self):
+        infinity = PARAMS.curve.infinity()
+        assert tate_pairing(PARAMS, infinity, infinity).is_one()
+
+    def test_same_point(self):
+        assert not tate_pairing(PARAMS, G, G).is_one()
+
+    def test_wrong_curve_rejected(self):
+        other = get_params("SS256")
+        with pytest.raises(ValueError):
+            tate_pairing(PARAMS, other.generator, G)
+
+    def test_non_order_q_point_rejected(self):
+        # A point of cofactor order breaks the Miller loop invariant.
+        rng = HmacDrbg("bad-order")
+        while True:
+            x = PARAMS.base_field.random(rng)
+            candidate = PARAMS.curve.lift_x(x)
+            if candidate is not None and not (candidate * PARAMS.q).is_infinity():
+                with pytest.raises(ArithmeticError):
+                    miller_loop(
+                        PARAMS, candidate, int(G.x), int(G.y)
+                    )
+                return
+
+
+class TestAgainstLargerGroup:
+    def test_ss256_bilinearity_single_case(self):
+        params = get_params("SS256")
+        g = params.generator
+        a, b = 1234567, 7654321
+        lhs = tate_pairing(params, g * a, g * b)
+        rhs = tate_pairing(params, g, g) ** (a * b % params.q)
+        assert lhs == rhs

@@ -1,0 +1,182 @@
+"""Tests for the PairingGroup facade and the operation counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.counters import OperationCounter, count_operations, record_operation
+from repro.math.drbg import HmacDrbg
+from repro.pairing.group import PairingGroup
+
+
+@pytest.fixture(scope="module")
+def g():
+    return PairingGroup("TOY")
+
+
+class TestConstruction:
+    def test_from_name_or_params(self, g):
+        from repro.ec.params import get_params
+
+        assert PairingGroup(get_params("TOY")).order == g.order
+
+    def test_repr(self, g):
+        assert "TOY" in repr(g)
+
+
+class TestSampling:
+    def test_random_scalar_nonzero(self, g):
+        rng = HmacDrbg("s")
+        for _ in range(30):
+            assert 1 <= g.random_scalar(rng) < g.order
+
+    def test_random_g1_in_subgroup(self, g):
+        point = g.random_g1(HmacDrbg("p"))
+        assert g.params.is_in_subgroup(point)
+
+    def test_random_gt_in_subgroup(self, g):
+        element = g.random_gt(HmacDrbg("t"))
+        assert g.params.is_in_gt(element)
+
+    def test_deterministic_with_seeded_rng(self, g):
+        assert g.random_g1(HmacDrbg("d")) == g.random_g1(HmacDrbg("d"))
+
+
+class TestHashing:
+    def test_hash_to_scalar_range(self, g):
+        for data in (b"", b"a", b"hello world", bytes(100)):
+            assert 1 <= g.hash_to_scalar(data) < g.order
+
+    def test_hash_to_scalar_deterministic(self, g):
+        assert g.hash_to_scalar("x") == g.hash_to_scalar(b"x")
+
+    def test_hash_to_scalar_distinct(self, g):
+        values = {g.hash_to_scalar(bytes([i])) for i in range(50)}
+        assert len(values) == 50
+
+    def test_hash_to_g1(self, g):
+        point = g.hash_to_g1(b"identity")
+        assert g.params.is_in_subgroup(point)
+
+    def test_hash_gt_to_bytes_length_and_determinism(self, g):
+        element = g.random_gt(HmacDrbg("h"))
+        for length in (1, 16, 32, 64, 100):
+            pad = g.hash_gt_to_bytes(element, length)
+            assert len(pad) == length
+        assert g.hash_gt_to_bytes(element) == g.hash_gt_to_bytes(element)
+
+
+class TestGroupOperations:
+    def test_g1_mul_reduces_scalar(self, g):
+        point = g.random_g1(HmacDrbg("m"))
+        assert g.g1_mul(point, g.order + 3) == g.g1_mul(point, 3)
+
+    def test_g1_identity(self, g):
+        assert g.g1_identity().is_infinity()
+        point = g.random_g1(HmacDrbg("m"))
+        assert g.g1_add(point, g.g1_identity()) == point
+        assert g.g1_add(point, g.g1_neg(point)).is_infinity()
+
+    def test_gt_generator_cached_and_nontrivial(self, g):
+        gen = g.gt_generator()
+        assert gen is g.gt_generator()
+        assert not gen.is_one()
+        assert g.params.is_in_gt(gen)
+
+    def test_gt_operations(self, g):
+        rng = HmacDrbg("gt-ops")
+        x, y = g.random_gt(rng), g.random_gt(rng)
+        assert g.gt_div(g.gt_mul(x, y), y) == x
+        assert g.gt_mul(x, g.gt_inverse(x)) == g.gt_identity()
+        assert g.gt_exp(x, g.order + 2) == g.gt_exp(x, 2)
+
+    @given(st.integers(min_value=1, max_value=10**6), st.integers(min_value=1, max_value=10**6))
+    def test_pair_bilinearity_via_facade(self, a, b):
+        group = PairingGroup("TOY")
+        lhs = group.pair(group.g1_mul(group.generator, a), group.g1_mul(group.generator, b))
+        rhs = group.gt_exp(group.pair(group.generator, group.generator), a * b)
+        assert lhs == rhs
+
+
+class TestSerialization:
+    def test_g1_round_trip(self, g):
+        rng = HmacDrbg("ser")
+        for _ in range(10):
+            point = g.random_g1(rng)
+            blob = g.serialize_g1(point)
+            assert len(blob) == g.g1_element_size()
+            assert g.deserialize_g1(blob) == point
+
+    def test_g1_infinity_round_trip(self, g):
+        blob = g.serialize_g1(g.g1_identity())
+        assert g.deserialize_g1(blob).is_infinity()
+
+    def test_g1_bad_length(self, g):
+        with pytest.raises(ValueError):
+            g.deserialize_g1(b"\x00" * 3)
+
+    def test_g1_bad_tag(self, g):
+        blob = bytearray(g.serialize_g1(g.generator))
+        blob[0] = 9
+        with pytest.raises(ValueError):
+            g.deserialize_g1(bytes(blob))
+
+    def test_g1_off_curve_x(self, g):
+        size = g.g1_element_size() - 1
+        # Find an x that is not on the curve.
+        for x in range(2, 300):
+            if g.params.curve.lift_x(g.params.base_field(x)) is None:
+                blob = bytes([0]) + x.to_bytes(size, "big")
+                with pytest.raises(ValueError):
+                    g.deserialize_g1(blob)
+                return
+        pytest.fail("no off-curve x found")
+
+    def test_gt_round_trip(self, g):
+        element = g.random_gt(HmacDrbg("ser-gt"))
+        blob = g.serialize_gt(element)
+        assert len(blob) == g.gt_element_size()
+        assert g.deserialize_gt(blob) == element
+
+    def test_gt_bad_length(self, g):
+        with pytest.raises(ValueError):
+            g.deserialize_gt(b"\x01\x02")
+
+    def test_scalar_size(self, g):
+        assert g.scalar_size() == (g.order.bit_length() + 7) // 8
+
+
+class TestCounters:
+    def test_pairing_recorded(self, g):
+        with count_operations() as counter:
+            g.pair(g.generator, g.generator)
+        assert counter.get("pairing") == 1
+
+    def test_mul_and_exp_recorded(self, g):
+        rng = HmacDrbg("c")
+        with count_operations() as counter:
+            point = g.g1_mul(g.generator, 5)
+            g.gt_exp(g.gt_generator(), 3)
+        assert counter.get("g1_mul") >= 1
+        assert counter.get("gt_exp") >= 1
+        assert counter.total() >= 2
+
+    def test_nested_counters(self, g):
+        with count_operations() as outer:
+            g.g1_mul(g.generator, 2)
+            with count_operations() as inner:
+                g.g1_mul(g.generator, 3)
+        assert inner.get("g1_mul") == 1
+        assert outer.get("g1_mul") == 2
+
+    def test_no_active_counter_is_noop(self):
+        record_operation("anything")  # must not raise
+
+    def test_counter_api(self):
+        counter = OperationCounter()
+        counter.record("x")
+        counter.record("x", 4)
+        assert counter.get("x") == 5
+        assert counter.get("missing") == 0
+        assert counter.as_dict() == {"x": 5}
+        assert "x=5" in repr(counter)

@@ -1,0 +1,107 @@
+"""Direct unit tests for the PHR actors (below the workflow layer)."""
+
+import pytest
+
+from repro.math.drbg import HmacDrbg
+from repro.phr.actors import AccessDeniedError, CategoryProxy, Patient, Requester
+from repro.phr.generator import PhrGenerator
+
+
+@pytest.fixture()
+def actors(pre_setting, group, rng):
+    scheme, kgc1, kgc2, alice_key, bob_key = pre_setting
+    patient = Patient(
+        name="alice", params=kgc1.params, private_key=alice_key, group=group, rng=rng
+    )
+    requester = Requester(
+        name="bob", role="doctor", params=kgc2.params, private_key=bob_key, group=group
+    )
+    proxy = CategoryProxy(category="lab-results", group=group, scheme=scheme)
+    return patient, requester, proxy
+
+
+class TestPatient:
+    def test_encrypt_entry_produces_wire_bytes(self, actors):
+        patient, _, _ = actors
+        entry = PhrGenerator(HmacDrbg("a"), "alice").entry_for("lab-results")
+        blob = patient.encrypt_entry(entry)
+        assert isinstance(blob, bytes)
+        assert entry.to_bytes() not in blob  # actually encrypted
+
+    def test_self_decrypt(self, actors):
+        patient, _, _ = actors
+        entry = PhrGenerator(HmacDrbg("a"), "alice").entry_for("vitals")
+        assert patient.decrypt_entry(patient.encrypt_entry(entry)) == entry
+
+    def test_make_grant_records_policy(self, actors):
+        patient, requester, _ = actors
+        proxy_key = patient.make_grant(requester, "lab-results")
+        assert proxy_key.delegatee == "bob"
+        assert patient.policy.allows("bob", "KGC2", "lab-results")
+
+    def test_record_revocation(self, actors):
+        patient, requester, _ = actors
+        patient.make_grant(requester, "labs")
+        assert patient.record_revocation(requester, "labs")
+        assert not patient.policy.allows("bob", "KGC2", "labs")
+
+
+class TestCategoryProxy:
+    def test_accept_record_validates_category(self, actors):
+        patient, _, proxy = actors
+        wrong = PhrGenerator(HmacDrbg("w"), "alice").entry_for("vitals")
+        with pytest.raises(ValueError):
+            proxy.accept_record("alice", wrong.entry_id, patient.encrypt_entry(wrong))
+
+    def test_install_grant_validates_category(self, actors):
+        patient, requester, proxy = actors
+        wrong_key = patient.make_grant(requester, "vitals")
+        with pytest.raises(ValueError):
+            proxy.install_grant(wrong_key)
+        assert proxy.grant_count() == 0
+
+    def test_serve_round_trip(self, actors):
+        patient, requester, proxy = actors
+        entry = PhrGenerator(HmacDrbg("s"), "alice").entry_for("lab-results")
+        proxy.accept_record("alice", entry.entry_id, patient.encrypt_entry(entry))
+        proxy.install_grant(patient.make_grant(requester, "lab-results"))
+        served = proxy.serve("alice", entry.entry_id, "KGC2", "bob")
+        assert requester.read_entry(served) == entry
+
+    def test_serve_without_grant_denied(self, actors):
+        patient, _, proxy = actors
+        entry = PhrGenerator(HmacDrbg("d"), "alice").entry_for("lab-results")
+        proxy.accept_record("alice", entry.entry_id, patient.encrypt_entry(entry))
+        with pytest.raises(AccessDeniedError):
+            proxy.serve("alice", entry.entry_id, "KGC2", "bob")
+
+    def test_revoke_grant(self, actors):
+        patient, requester, proxy = actors
+        proxy.install_grant(patient.make_grant(requester, "lab-results"))
+        assert proxy.revoke_grant("KGC1", "alice", "KGC2", "bob")
+        assert proxy.grant_count() == 0
+        assert not proxy.revoke_grant("KGC1", "alice", "KGC2", "bob")
+
+    def test_proxy_store_never_sees_plaintext(self, actors):
+        patient, _, proxy = actors
+        entry = PhrGenerator(HmacDrbg("p"), "alice").entry_for("lab-results")
+        proxy.accept_record("alice", entry.entry_id, patient.encrypt_entry(entry))
+        stored = proxy.store.get("alice", entry.entry_id)
+        for sensitive in (b"value", entry.to_bytes()):
+            assert sensitive not in stored.blob
+
+
+class TestRequester:
+    def test_read_entry_requires_matching_key(self, actors, pre_setting, group, rng):
+        scheme, kgc1, kgc2, alice_key, _ = pre_setting
+        patient, requester, proxy = actors
+        carol_key = kgc2.extract("carol")
+        carol = Requester(
+            name="carol", role="doctor", params=kgc2.params, private_key=carol_key, group=group
+        )
+        entry = PhrGenerator(HmacDrbg("r"), "alice").entry_for("lab-results")
+        proxy.accept_record("alice", entry.entry_id, patient.encrypt_entry(entry))
+        proxy.install_grant(patient.make_grant(requester, "lab-results"))
+        served = proxy.serve("alice", entry.entry_id, "KGC2", "bob")
+        with pytest.raises(Exception):
+            carol.read_entry(served)

@@ -1,0 +1,50 @@
+"""Tests for PhrSystem with durable (file-backed) category stores."""
+
+import pytest
+
+from repro.math.drbg import HmacDrbg
+from repro.phr.generator import PhrGenerator
+from repro.phr.workflow import PhrSystem
+
+
+class TestDurablePhrSystem:
+    def test_records_persist_across_system_instances(self, group, tmp_path):
+        first = PhrSystem(group=group, rng=HmacDrbg("durable"), store_root=str(tmp_path))
+        first.register_patient("alice")
+        entry = PhrGenerator(HmacDrbg("gen"), "alice").entry_for("lab-results")
+        first.store_entry("alice", entry)
+
+        # A new system instance over the same directory sees the blob...
+        second = PhrSystem(group=group, rng=HmacDrbg("durable-2"), store_root=str(tmp_path))
+        stored = second.proxy_for("lab-results").store.get("alice", entry.entry_id)
+        assert stored.category == "lab-results"
+
+        # ...and alice (re-extracting the *same* key from her KGC in the
+        # first system) can still decrypt it.
+        assert first.patient("alice").decrypt_entry(stored.blob) == entry
+
+    def test_grants_and_requests_on_durable_store(self, group, tmp_path):
+        system = PhrSystem(group=group, rng=HmacDrbg("durable-3"), store_root=str(tmp_path))
+        system.register_patient("alice")
+        system.register_requester("dr", role="doctor", domain="hospital")
+        entry = PhrGenerator(HmacDrbg("g"), "alice").entry_for("medication")
+        system.store_entry("alice", entry)
+        system.grant("alice", "dr", "medication")
+        assert system.request_category("dr", "alice", "medication") == [entry]
+        # The blob really lives on disk.
+        blobs = list((tmp_path / "medication" / "blobs").rglob("*.bin"))
+        assert len(blobs) == 1
+
+    def test_category_directories_isolated(self, group, tmp_path):
+        system = PhrSystem(group=group, rng=HmacDrbg("durable-4"), store_root=str(tmp_path))
+        system.register_patient("alice")
+        generator = PhrGenerator(HmacDrbg("g"), "alice")
+        system.store_entry("alice", generator.entry_for("vitals"))
+        system.store_entry("alice", generator.entry_for("allergies"))
+        assert (tmp_path / "vitals" / "index.json").exists()
+        assert (tmp_path / "allergies" / "index.json").exists()
+        assert system.proxy_for("vitals").store.record_count() == 1
+
+    def test_in_memory_default_unchanged(self, group):
+        system = PhrSystem(group=group, rng=HmacDrbg("mem"))
+        assert system.proxy_for("vitals").store.record_count() == 0

@@ -1,0 +1,117 @@
+"""Tests for the durable file-backed PHR store."""
+
+import pytest
+
+from repro.math.drbg import HmacDrbg
+from repro.phr.generator import PhrGenerator
+from repro.phr.store import EntryNotFoundError, FilePhrStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return FilePhrStore(tmp_path / "store")
+
+
+class TestBasicOperations:
+    def test_put_get(self, store):
+        store.put("alice", "labs", "e1", b"ciphertext")
+        record = store.get("alice", "e1")
+        assert record.blob == b"ciphertext"
+        assert record.category == "labs"
+        assert record.patient == "alice"
+
+    def test_missing(self, store):
+        with pytest.raises(EntryNotFoundError):
+            store.get("alice", "nope")
+
+    def test_bytes_only(self, store):
+        with pytest.raises(TypeError):
+            store.put("alice", "labs", "e1", "text")
+
+    def test_overwrite(self, store):
+        store.put("alice", "labs", "e1", b"v1")
+        store.put("alice", "labs", "e1", b"v2")
+        assert store.get("alice", "e1").blob == b"v2"
+        assert store.record_count() == 1
+
+    def test_delete(self, store):
+        store.put("alice", "labs", "e1", b"x")
+        assert store.delete("alice", "e1")
+        assert not store.delete("alice", "e1")
+        with pytest.raises(EntryNotFoundError):
+            store.get("alice", "e1")
+
+    def test_filters_and_accounting(self, store):
+        store.put("alice", "labs", "e1", b"aaaa")
+        store.put("alice", "vitals", "e2", b"bb")
+        store.put("bob", "labs", "e3", b"c")
+        assert [r.entry_id for r in store.entries_for("alice")] == ["e1", "e2"]
+        assert [r.entry_id for r in store.entries_for("alice", "labs")] == ["e1"]
+        assert store.patients() == ["alice", "bob"]
+        assert store.record_count() == 3
+        assert store.size_bytes() == 7
+
+    def test_pipe_in_patient_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put("a|b", "labs", "e1", b"x")
+
+    def test_path_traversal_neutralised(self, store, tmp_path):
+        store.put("alice", "labs", "../escape", b"x")
+        # The blob must stay inside the store root.
+        stray = tmp_path / "escape.bin"
+        assert not stray.exists()
+        assert store.get("alice", "../escape").blob == b"x"
+
+
+class TestDurability:
+    def test_reopen_preserves_records(self, tmp_path):
+        first = FilePhrStore(tmp_path / "store")
+        first.put("alice", "labs", "e1", b"persisted")
+        second = FilePhrStore(tmp_path / "store")
+        assert second.get("alice", "e1").blob == b"persisted"
+        assert second.record_count() == 1
+
+    def test_reopen_after_delete(self, tmp_path):
+        first = FilePhrStore(tmp_path / "store")
+        first.put("alice", "labs", "e1", b"x")
+        first.delete("alice", "e1")
+        second = FilePhrStore(tmp_path / "store")
+        assert second.record_count() == 0
+
+
+class TestProxyIntegration:
+    def test_category_proxy_over_file_store(self, tmp_path, pre_setting, group, rng):
+        """A CategoryProxy backed by the durable store serves requests."""
+        from repro.phr.actors import CategoryProxy, Patient, Requester
+
+        scheme, kgc1, kgc2, alice_key, bob_key = pre_setting
+        alice = Patient(
+            name="alice", params=kgc1.params, private_key=alice_key, group=group, rng=rng
+        )
+        bob = Requester(
+            name="bob", role="doctor", params=kgc2.params, private_key=bob_key, group=group
+        )
+        proxy = CategoryProxy(
+            category="lab-results",
+            group=group,
+            scheme=scheme,
+            store=FilePhrStore(tmp_path / "labs"),
+        )
+        entry = PhrGenerator(HmacDrbg("file-store"), "alice").entry_for("lab-results")
+        proxy.accept_record("alice", entry.entry_id, alice.encrypt_entry(entry))
+        proxy.install_grant(alice.make_grant(bob, "lab-results"))
+
+        served = proxy.serve("alice", entry.entry_id, "KGC2", "bob")
+        assert bob.read_entry(served) == entry
+
+        # The durable copy survives a "restart" of the proxy.
+        reopened = CategoryProxy(
+            category="lab-results",
+            group=group,
+            scheme=scheme,
+            store=FilePhrStore(tmp_path / "labs"),
+        )
+        reopened.install_grant(alice.make_grant(bob, "lab-results"))
+        assert bob.read_entry(
+            reopened.serve("alice", entry.entry_id, "KGC2", "bob")
+        ) == entry

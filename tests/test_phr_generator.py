@@ -1,0 +1,81 @@
+"""Tests for the synthetic PHR generator and workload mixes."""
+
+import pytest
+
+from repro.math.drbg import HmacDrbg
+from repro.phr.generator import PhrGenerator, WorkloadMix
+from repro.phr.records import DEFAULT_TAXONOMY, PhrEntry
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = PhrGenerator(HmacDrbg("seed"), "alice").history(2)
+        b = PhrGenerator(HmacDrbg("seed"), "alice").history(2)
+        assert a == b
+
+    def test_history_covers_all_categories(self):
+        entries = PhrGenerator(HmacDrbg("s"), "alice").history(entries_per_category=2)
+        assert len(entries) == 2 * len(DEFAULT_TAXONOMY)
+        categories = {entry.category for entry in entries}
+        assert categories == {c.label for c in DEFAULT_TAXONOMY}
+
+    def test_entry_ids_unique(self):
+        entries = PhrGenerator(HmacDrbg("s"), "alice").history(3)
+        ids = [e.entry_id for e in entries]
+        assert len(ids) == len(set(ids))
+
+    def test_entries_serialise(self):
+        for entry in PhrGenerator(HmacDrbg("s"), "alice").history(1):
+            assert PhrEntry.from_bytes(entry.to_bytes()) == entry
+
+    def test_entry_for_each_category(self):
+        generator = PhrGenerator(HmacDrbg("s"), "p")
+        for category in DEFAULT_TAXONOMY:
+            entry = generator.entry_for(category.label)
+            assert entry.category == category.label
+            assert entry.content  # non-empty payload
+
+    def test_unknown_category(self):
+        with pytest.raises(KeyError):
+            PhrGenerator(HmacDrbg("s"), "p").entry_for("x-rays")
+
+    def test_self_reported_categories_authored_by_self(self):
+        generator = PhrGenerator(HmacDrbg("s"), "p")
+        assert generator.vitals().author == "self"
+        assert generator.food_statistics().author == "self"
+
+    def test_dates_plausible(self):
+        generator = PhrGenerator(HmacDrbg("s"), "p")
+        for _ in range(20):
+            date = generator.illness_history().created_at
+            year, month, day = map(int, date.split("-"))
+            assert 2000 <= year <= 2008
+            assert 1 <= month <= 12
+            assert 1 <= day <= 28
+
+
+class TestWorkloadMix:
+    def test_draws_respect_support(self):
+        mix = WorkloadMix({"a": 1, "b": 3})
+        rng = HmacDrbg("w")
+        draws = [mix.draw(rng) for _ in range(200)]
+        assert set(draws) == {"a", "b"}
+        assert draws.count("b") > draws.count("a")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadMix({})
+        with pytest.raises(ValueError):
+            WorkloadMix({"a": 0})
+
+    def test_clinical_default_valid(self):
+        mix = WorkloadMix.clinical_default()
+        rng = HmacDrbg("c")
+        taxonomy = {c.label for c in DEFAULT_TAXONOMY}
+        for _ in range(50):
+            assert mix.draw(rng) in taxonomy
+
+    def test_deterministic_draws(self):
+        mix = WorkloadMix({"a": 1, "b": 1})
+        r1, r2 = HmacDrbg("d"), HmacDrbg("d")
+        assert [mix.draw(r1) for _ in range(5)] == [mix.draw(r2) for _ in range(5)]

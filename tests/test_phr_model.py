@@ -1,0 +1,180 @@
+"""Tests for the PHR data model, policy, store and audit log."""
+
+import pytest
+
+from repro.phr.audit import AuditLog
+from repro.phr.policy import DisclosurePolicy
+from repro.phr.records import DEFAULT_TAXONOMY, PhrCategory, PhrEntry, Sensitivity
+from repro.phr.store import EncryptedPhrStore, EntryNotFoundError
+
+
+class TestCategories:
+    def test_default_taxonomy_covers_paper_examples(self):
+        labels = {c.label for c in DEFAULT_TAXONOMY}
+        # Section 5: illness history (t1), food statistics (t2), emergency (t3).
+        assert {"illness-history", "food-statistics", "emergency-profile"} <= labels
+
+    def test_sensitivity_ordering(self):
+        by_label = {c.label: c for c in DEFAULT_TAXONOMY}
+        assert by_label["illness-history"].sensitivity == Sensitivity.TOP_SECRET
+        assert by_label["food-statistics"].sensitivity == Sensitivity.LOW
+        assert (
+            by_label["illness-history"].sensitivity > by_label["food-statistics"].sensitivity
+        )
+
+    def test_invalid_sensitivity_rejected(self):
+        with pytest.raises(ValueError):
+            PhrCategory("x", "desc", 99)
+
+    def test_whitespace_label_rejected(self):
+        with pytest.raises(ValueError):
+            PhrCategory("has space", "desc", Sensitivity.LOW)
+        with pytest.raises(ValueError):
+            PhrCategory("", "desc", Sensitivity.LOW)
+
+    def test_labels_unique(self):
+        labels = [c.label for c in DEFAULT_TAXONOMY]
+        assert len(labels) == len(set(labels))
+
+
+class TestEntries:
+    def test_round_trip(self):
+        entry = PhrEntry(
+            entry_id="e1",
+            category="lab-results",
+            author="city-lab",
+            created_at="2007-05-01",
+            content={"test": "HbA1c", "value": 6.2},
+        )
+        assert PhrEntry.from_bytes(entry.to_bytes()) == entry
+
+    def test_canonical_bytes_stable(self):
+        entry = PhrEntry("e1", "vitals", "self", "2007-01-01", {"b": 2, "a": 1})
+        assert entry.to_bytes() == entry.to_bytes()
+        # Key order in the content dict must not matter.
+        entry2 = PhrEntry("e1", "vitals", "self", "2007-01-01", {"a": 1, "b": 2})
+        assert entry.to_bytes() == entry2.to_bytes()
+
+    def test_nested_content(self):
+        entry = PhrEntry(
+            "e2", "illness-history", "dr", "2007-01-01",
+            {"conditions": ["a", "b"], "meta": {"severity": "high"}},
+        )
+        assert PhrEntry.from_bytes(entry.to_bytes()).content["meta"]["severity"] == "high"
+
+
+class TestPolicy:
+    def test_grant_revoke_cycle(self):
+        policy = DisclosurePolicy("alice")
+        policy.grant("bob", "hospital", "labs")
+        assert policy.allows("bob", "hospital", "labs")
+        assert not policy.allows("bob", "hospital", "illness")
+        assert not policy.allows("bob", "clinic", "labs")  # domain matters
+        assert policy.revoke("bob", "hospital", "labs")
+        assert not policy.allows("bob", "hospital", "labs")
+        assert not policy.revoke("bob", "hospital", "labs")  # already gone
+
+    def test_grant_idempotent(self):
+        policy = DisclosurePolicy("alice")
+        policy.grant("bob", "hospital", "labs")
+        policy.grant("bob", "hospital", "labs")
+        assert policy.grant_count() == 1
+
+    def test_queries(self):
+        policy = DisclosurePolicy("alice")
+        policy.grant("bob", "hospital", "labs")
+        policy.grant("bob", "hospital", "medication")
+        policy.grant("carol", "insurer", "labs")
+        assert policy.categories_for("bob", "hospital") == ["labs", "medication"]
+        assert policy.requesters_for("labs") == ["bob", "carol"]
+        assert len(policy.all_grants()) == 3
+
+    def test_max_sensitivity(self):
+        taxonomy = {c.label: c for c in DEFAULT_TAXONOMY}
+        policy = DisclosurePolicy("alice")
+        policy.grant("bob", "h", "food-statistics")
+        grants = policy.all_grants()
+        assert DisclosurePolicy.max_sensitivity_granted(grants, taxonomy) == Sensitivity.LOW
+        policy.grant("bob", "h", "illness-history")
+        grants = policy.all_grants()
+        assert (
+            DisclosurePolicy.max_sensitivity_granted(grants, taxonomy)
+            == Sensitivity.TOP_SECRET
+        )
+        assert DisclosurePolicy.max_sensitivity_granted([], taxonomy) == -1
+
+
+class TestStore:
+    def test_put_get(self):
+        store = EncryptedPhrStore()
+        store.put("alice", "labs", "e1", b"ciphertext-bytes")
+        record = store.get("alice", "e1")
+        assert record.blob == b"ciphertext-bytes"
+        assert record.category == "labs"
+
+    def test_missing_entry(self):
+        with pytest.raises(EntryNotFoundError):
+            EncryptedPhrStore().get("alice", "nope")
+
+    def test_only_bytes_accepted(self):
+        with pytest.raises(TypeError):
+            EncryptedPhrStore().put("alice", "labs", "e1", "not-bytes")
+
+    def test_filtering_and_accounting(self):
+        store = EncryptedPhrStore()
+        store.put("alice", "labs", "e1", b"aaaa")
+        store.put("alice", "vitals", "e2", b"bb")
+        store.put("bob", "labs", "e3", b"c")
+        assert [r.entry_id for r in store.entries_for("alice")] == ["e1", "e2"]
+        assert [r.entry_id for r in store.entries_for("alice", "labs")] == ["e1"]
+        assert store.patients() == ["alice", "bob"]
+        assert store.record_count() == 3
+        assert store.size_bytes() == 7
+
+    def test_overwrite_and_delete(self):
+        store = EncryptedPhrStore()
+        store.put("alice", "labs", "e1", b"v1")
+        store.put("alice", "labs", "e1", b"v2")
+        assert store.get("alice", "e1").blob == b"v2"
+        assert store.record_count() == 1
+        assert store.delete("alice", "e1")
+        assert not store.delete("alice", "e1")
+
+
+class TestAuditLog:
+    def test_append_and_query(self):
+        log = AuditLog()
+        log.record("upload", actor="alice", subject="e1", category="labs")
+        log.record("grant", actor="alice", subject="bob")
+        log.record("upload", actor="carol", subject="e2")
+        assert len(log) == 3
+        assert len(log.events(action="upload")) == 2
+        assert len(log.events(actor="alice")) == 2
+        assert len(log.events(action="upload", actor="alice")) == 1
+
+    def test_chain_valid(self):
+        log = AuditLog()
+        for i in range(5):
+            log.record("a", actor="x", subject=str(i))
+        assert log.verify_chain()
+
+    def test_empty_chain_valid(self):
+        assert AuditLog().verify_chain()
+
+    def test_tamper_detected(self):
+        from repro.phr.audit import AuditEvent
+
+        log = AuditLog()
+        log.record("a", actor="x", subject="1")
+        log.record("a", actor="x", subject="2")
+        # Tamper: replace the first event (test-only access to internals).
+        log._events[0] = AuditEvent(
+            sequence=0, action="a", actor="EVE", subject="1", detail={},
+            prev_digest="0" * 64,
+        )
+        assert not log.verify_chain()
+
+    def test_detail_recorded(self):
+        log = AuditLog()
+        event = log.record("upload", actor="a", subject="s", bytes=123)
+        assert event.detail == {"bytes": 123}

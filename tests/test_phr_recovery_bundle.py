@@ -1,0 +1,139 @@
+"""Tests for key recovery (social backup) and FHIR-bundle import/export."""
+
+import pytest
+
+from repro.math.drbg import HmacDrbg
+from repro.phr.bundle import (
+    RESOURCE_TYPE_BY_CATEGORY,
+    BundleError,
+    export_bundle,
+    import_bundle,
+)
+from repro.phr.generator import PhrGenerator
+from repro.phr.recovery import backup_private_key, recover_private_key
+
+CUSTODIANS = ["family-doctor", "notary", "sister", "best-friend"]
+
+
+class TestKeyRecovery:
+    @pytest.fixture()
+    def alice_key(self, two_kgcs):
+        return two_kgcs[0].extract("alice")
+
+    def test_round_trip(self, group, alice_key, rng):
+        shares = backup_private_key(group, alice_key, CUSTODIANS, threshold=2, rng=rng)
+        assert len(shares) == 4
+        recovered = recover_private_key(group, shares[:2])
+        assert recovered == alice_key
+
+    def test_any_quorum_works(self, group, alice_key, rng):
+        shares = backup_private_key(group, alice_key, CUSTODIANS, threshold=3, rng=rng)
+        import itertools
+
+        for subset in itertools.combinations(shares, 3):
+            assert recover_private_key(group, list(subset)) == alice_key
+
+    def test_below_threshold_fails(self, group, alice_key, rng):
+        shares = backup_private_key(group, alice_key, CUSTODIANS, threshold=3, rng=rng)
+        with pytest.raises(ValueError):
+            recover_private_key(group, shares[:2])
+
+    def test_recovered_key_decrypts(self, group, pre_setting, rng):
+        """The restored key is functionally the original."""
+        scheme, kgc1, _, alice, _ = pre_setting
+        shares = backup_private_key(group, alice, CUSTODIANS, threshold=2, rng=rng)
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, "t", rng)
+        restored = recover_private_key(group, shares[1:3])
+        assert scheme.decrypt(ciphertext, restored) == message
+
+    def test_mixed_backups_rejected(self, group, two_kgcs, rng):
+        kgc1, _ = two_kgcs
+        shares_a = backup_private_key(group, kgc1.extract("a"), CUSTODIANS, 2, rng)
+        shares_b = backup_private_key(group, kgc1.extract("b"), CUSTODIANS, 2, rng)
+        with pytest.raises(ValueError):
+            recover_private_key(group, [shares_a[0], shares_b[1]])
+
+    def test_duplicate_custodians_rejected(self, group, alice_key, rng):
+        with pytest.raises(ValueError):
+            backup_private_key(group, alice_key, ["x", "x"], threshold=2, rng=rng)
+
+    def test_empty_shares_rejected(self, group):
+        with pytest.raises(ValueError):
+            recover_private_key(group, [])
+
+    def test_share_metadata(self, group, alice_key, rng):
+        shares = backup_private_key(group, alice_key, CUSTODIANS, threshold=2, rng=rng)
+        assert [s.custodian for s in shares] == CUSTODIANS
+        assert all(s.identity == "alice" for s in shares)
+        assert all(s.threshold == 2 for s in shares)
+
+
+class TestBundles:
+    @pytest.fixture()
+    def entries(self):
+        generator = PhrGenerator(HmacDrbg("bundle"), "alice")
+        return generator.history(entries_per_category=1)
+
+    def test_round_trip(self, entries):
+        document = export_bundle("alice", entries)
+        patient, imported = import_bundle(document)
+        assert patient == "alice"
+        assert sorted(imported, key=lambda e: e.entry_id) == sorted(
+            entries, key=lambda e: e.entry_id
+        )
+
+    def test_every_category_mapped(self, entries):
+        categories = {entry.category for entry in entries}
+        assert categories <= set(RESOURCE_TYPE_BY_CATEGORY)
+
+    def test_empty_bundle(self):
+        patient, imported = import_bundle(export_bundle("alice", []))
+        assert imported == [] and patient == ""
+
+    def test_invalid_json(self):
+        with pytest.raises(BundleError):
+            import_bundle("{broken")
+
+    def test_wrong_resource_type(self):
+        with pytest.raises(BundleError):
+            import_bundle('{"resourceType": "Patient"}')
+
+    def test_total_mismatch(self, entries):
+        import json
+
+        bundle = json.loads(export_bundle("alice", entries[:2]))
+        bundle["total"] = 99
+        with pytest.raises(BundleError):
+            import_bundle(json.dumps(bundle))
+
+    def test_unknown_inner_resource(self):
+        document = (
+            '{"resourceType": "Bundle", "type": "collection", "total": 1,'
+            ' "entry": [{"resource": {"resourceType": "Starship", "id": "x",'
+            ' "subject": "a", "recorder": "r", "effectiveDateTime": "2007"}}]}'
+        )
+        with pytest.raises(BundleError):
+            import_bundle(document)
+
+    def test_multi_patient_rejected(self, entries):
+        import json
+
+        bundle = json.loads(export_bundle("alice", entries[:2]))
+        bundle["entry"][0]["resource"]["subject"] = "mallory"
+        with pytest.raises(BundleError):
+            import_bundle(json.dumps(bundle))
+
+    def test_bundle_to_encrypted_store(self, group, entries):
+        """Hospital export -> bundle -> encrypted PHR, end to end."""
+        from repro.phr.workflow import PhrSystem
+
+        system = PhrSystem(group=group, rng=HmacDrbg("bundle-sys"))
+        system.register_patient("alice")
+        patient, imported = import_bundle(export_bundle("alice", entries))
+        for entry in imported:
+            system.store_entry(patient, entry)
+        total = sum(
+            system.proxy_for(c).store.record_count() for c in system.categories()
+        )
+        assert total == len(entries)

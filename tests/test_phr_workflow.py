@@ -1,0 +1,203 @@
+"""End-to-end tests for the PHR disclosure system (paper Section 5)."""
+
+import pytest
+
+from repro.math.drbg import HmacDrbg
+from repro.phr.actors import AccessDeniedError
+from repro.phr.generator import PhrGenerator
+from repro.phr.records import PhrEntry
+from repro.phr.workflow import PhrSystem
+
+
+@pytest.fixture()
+def system(group):
+    return PhrSystem(group=group, rng=HmacDrbg("phr-system"))
+
+
+@pytest.fixture()
+def populated(system):
+    """Alice with a small history, one doctor, one emergency service."""
+    system.register_patient("alice")
+    system.register_requester("dr-bob", role="doctor", domain="hospital")
+    system.register_requester("ems", role="emergency", domain="ems-kgc")
+    generator = PhrGenerator(HmacDrbg("gen"), "alice")
+    entries = generator.history(entries_per_category=2)
+    for entry in entries:
+        system.store_entry("alice", entry)
+    return system, entries
+
+
+class TestRegistration:
+    def test_duplicate_patient_rejected(self, system):
+        system.register_patient("alice")
+        with pytest.raises(ValueError):
+            system.register_patient("alice")
+
+    def test_duplicate_requester_rejected(self, system):
+        system.register_requester("bob", role="doctor", domain="hospital")
+        with pytest.raises(ValueError):
+            system.register_requester("bob", role="doctor", domain="hospital")
+
+    def test_requesters_cannot_join_patient_domain(self, system):
+        with pytest.raises(ValueError):
+            system.register_requester("eve", role="doctor", domain="patients-kgc")
+
+    def test_requesters_share_domains(self, system):
+        r1 = system.register_requester("d1", role="doctor", domain="hospital")
+        r2 = system.register_requester("d2", role="doctor", domain="hospital")
+        assert r1.params.public_key == r2.params.public_key
+
+    def test_one_key_pair_per_patient(self, system):
+        """The paper's headline: one key pair regardless of category count."""
+        alice = system.register_patient("alice")
+        assert alice.private_key.identity == "alice"
+        assert len(system.categories()) > 1  # many categories, one key
+
+
+class TestUploadAndSelfAccess:
+    def test_entries_land_at_category_proxies(self, populated):
+        system, entries = populated
+        labs = system.proxy_for("lab-results").store
+        assert labs.record_count() == 2
+        assert all(r.category == "lab-results" for r in labs.entries_for("alice"))
+
+    def test_patient_reads_own_entry(self, populated):
+        system, entries = populated
+        alice = system.patient("alice")
+        record = system.proxy_for(entries[0].category).store.get("alice", entries[0].entry_id)
+        assert alice.decrypt_entry(record.blob) == entries[0]
+
+    def test_store_holds_only_ciphertext(self, populated):
+        system, entries = populated
+        record = system.proxy_for(entries[0].category).store.get("alice", entries[0].entry_id)
+        assert entries[0].to_bytes() not in record.blob
+
+    def test_unknown_category_rejected(self, system):
+        system.register_patient("alice")
+        entry = PhrEntry("e", "x-rays", "dr", "2007-01-01", {})
+        with pytest.raises(KeyError):
+            system.store_entry("alice", entry)
+
+
+class TestGrantAndRequest:
+    def test_granted_category_readable(self, populated):
+        system, entries = populated
+        system.grant("alice", "dr-bob", "lab-results")
+        results = system.request_category("dr-bob", "alice", "lab-results")
+        expected = [e for e in entries if e.category == "lab-results"]
+        assert sorted(results, key=lambda e: e.entry_id) == sorted(
+            expected, key=lambda e: e.entry_id
+        )
+
+    def test_ungranted_category_denied(self, populated):
+        system, _ = populated
+        system.grant("alice", "dr-bob", "lab-results")
+        with pytest.raises(AccessDeniedError):
+            system.request_category("dr-bob", "alice", "illness-history")
+
+    def test_grants_are_per_requester(self, populated):
+        system, _ = populated
+        system.grant("alice", "dr-bob", "lab-results")
+        with pytest.raises(AccessDeniedError):
+            system.request_category("ems", "alice", "lab-results")
+
+    def test_single_entry_request(self, populated):
+        system, entries = populated
+        target = next(e for e in entries if e.category == "medication")
+        system.grant("alice", "dr-bob", "medication")
+        entry = system.request_entry("dr-bob", "alice", "medication", target.entry_id)
+        assert entry == target
+
+    def test_policy_tracks_grants(self, populated):
+        system, _ = populated
+        system.grant("alice", "dr-bob", "lab-results")
+        system.grant("alice", "dr-bob", "medication")
+        policy = system.patient("alice").policy
+        assert policy.categories_for("dr-bob", "hospital") == ["lab-results", "medication"]
+
+
+class TestRevocation:
+    def test_revoke_blocks_future_requests(self, populated):
+        system, _ = populated
+        system.grant("alice", "dr-bob", "lab-results")
+        system.request_category("dr-bob", "alice", "lab-results")
+        assert system.revoke("alice", "dr-bob", "lab-results")
+        with pytest.raises(AccessDeniedError):
+            system.request_category("dr-bob", "alice", "lab-results")
+
+    def test_revoke_nonexistent_grant(self, populated):
+        system, _ = populated
+        assert not system.revoke("alice", "dr-bob", "vitals")
+
+    def test_revoke_is_category_scoped(self, populated):
+        system, _ = populated
+        system.grant("alice", "dr-bob", "lab-results")
+        system.grant("alice", "dr-bob", "medication")
+        system.revoke("alice", "dr-bob", "lab-results")
+        assert system.request_category("dr-bob", "alice", "medication")
+
+
+class TestEmergency:
+    def test_emergency_access(self, populated):
+        system, entries = populated
+        system.grant("alice", "ems", "emergency-profile")
+        profile = system.emergency_access("ems", "alice")
+        assert len(profile) == 2
+        assert all(e.category == "emergency-profile" for e in profile)
+
+    def test_emergency_without_grant_denied(self, populated):
+        system, _ = populated
+        with pytest.raises(AccessDeniedError):
+            system.emergency_access("ems", "alice")
+
+    def test_emergency_grant_does_not_expose_secrets(self, populated):
+        """The travel scenario: EMS sees t3 (emergency), never t1 (illness)."""
+        system, _ = populated
+        system.grant("alice", "ems", "emergency-profile")
+        system.emergency_access("ems", "alice")
+        with pytest.raises(AccessDeniedError):
+            system.request_category("ems", "alice", "illness-history")
+
+
+class TestAuditTrail:
+    def test_all_actions_audited(self, populated):
+        system, entries = populated
+        system.grant("alice", "dr-bob", "lab-results")
+        system.request_category("dr-bob", "alice", "lab-results")
+        system.revoke("alice", "dr-bob", "lab-results")
+        try:
+            system.request_category("dr-bob", "alice", "lab-results")
+        except AccessDeniedError:
+            pass
+        assert len(system.audit.events(action="upload")) == len(entries)
+        assert len(system.audit.events(action="grant")) == 1
+        assert len(system.audit.events(action="request-served")) == 2
+        assert len(system.audit.events(action="revoke")) == 1
+        assert len(system.audit.events(action="request-denied")) == 1
+        assert system.audit.verify_chain()
+
+
+class TestMultiPatient:
+    def test_isolation_between_patients(self, system):
+        system.register_patient("alice")
+        system.register_patient("carol")
+        system.register_requester("dr-bob", role="doctor", domain="hospital")
+        generator_a = PhrGenerator(HmacDrbg("a"), "alice")
+        generator_c = PhrGenerator(HmacDrbg("c"), "carol")
+        system.store_entry("alice", generator_a.entry_for("lab-results"))
+        system.store_entry("carol", generator_c.entry_for("lab-results"))
+        system.grant("alice", "dr-bob", "lab-results")
+        assert len(system.request_category("dr-bob", "alice", "lab-results")) == 1
+        # Carol never granted anything: her records stay closed.
+        with pytest.raises(AccessDeniedError):
+            system.request_category("dr-bob", "carol", "lab-results")
+
+    def test_patients_cannot_read_each_other(self, system):
+        alice = system.register_patient("alice")
+        carol = system.register_patient("carol")
+        entry = PhrGenerator(HmacDrbg("a"), "alice").entry_for("vitals")
+        system.store_entry("alice", entry)
+        record = system.proxy_for("vitals").store.get("alice", entry.entry_id)
+        assert alice.decrypt_entry(record.blob) == entry
+        with pytest.raises(Exception):
+            carol.decrypt_entry(record.blob)

@@ -1,0 +1,79 @@
+"""Tests for Miller--Rabin and prime generation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.math.drbg import HmacDrbg
+from repro.math.primes import SMALL_PRIMES, is_probable_prime, next_prime, random_prime
+
+# Carmichael numbers fool Fermat tests; Miller--Rabin must reject them.
+CARMICHAEL = (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265)
+
+KNOWN_PRIMES = (2, 3, 5, 7, 101, 104729, 2**31 - 1, 2**61 - 1)
+KNOWN_COMPOSITES = (1, 4, 100, 104730, (2**31 - 1) * 3, 2**32 + 1)
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_accepts_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_rejects_composites(self, n):
+        assert not is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", CARMICHAEL)
+    def test_rejects_carmichael_numbers(self, n):
+        assert not is_probable_prime(n)
+
+    def test_negative_and_small(self):
+        assert not is_probable_prime(-7)
+        assert not is_probable_prime(0)
+        assert not is_probable_prime(1)
+
+    def test_large_prime_probabilistic_path(self):
+        # Above the deterministic bound: uses random witnesses.
+        p = 2**89 - 1  # Mersenne prime
+        assert is_probable_prime(p, rng=HmacDrbg("witnesses"))
+        assert not is_probable_prime(p * (2**61 - 1), rng=HmacDrbg("witnesses"))
+
+    def test_sieve_consistency(self):
+        assert SMALL_PRIMES[:10] == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+        assert all(is_probable_prime(p) for p in SMALL_PRIMES)
+
+    @given(st.integers(min_value=2, max_value=5000))
+    def test_matches_trial_division(self, n):
+        by_trial = n > 1 and all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_probable_prime(n) == by_trial
+
+
+class TestRandomPrime:
+    def test_exact_bit_length(self):
+        rng = HmacDrbg("prime-gen")
+        for bits in (8, 16, 32, 64):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_deterministic_with_seed(self):
+        assert random_prime(32, HmacDrbg("s")) == random_prime(32, HmacDrbg("s"))
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            random_prime(1)
+
+
+class TestNextPrime:
+    def test_known_values(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 3
+        assert next_prime(10) == 11
+        assert next_prime(13) == 17
+        assert next_prime(100) == 101
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_result_is_prime_and_greater(self, n):
+        p = next_prime(n)
+        assert p > n
+        assert is_probable_prime(p)

@@ -1,0 +1,91 @@
+"""Tests for the executable proof structure (the Game2 hop of Theorem 1)."""
+
+import pytest
+
+from repro.security.proof_games import (
+    IdealChallenger,
+    RealChallenger,
+    distinguishing_advantage,
+)
+
+TRIALS = 40
+
+
+def omniscient_distinguisher(ciphertext, m0, m1, challenger, rng):
+    """Decrypts with the delegator's key — out-of-model, maximal power."""
+    recovered = challenger.scheme.decrypt(
+        ciphertext, challenger.delegator_key_for_analysis()
+    )
+    if recovered == m0:
+        return 0
+    if recovered == m1:
+        return 1
+    return rng.randbelow(2)
+
+
+def honest_distinguisher(ciphertext, m0, m1, challenger, rng):
+    """An in-model adversary: inspects the ciphertext, flips a coin."""
+    assert ciphertext.type_label == "t-star"
+    return rng.randbelow(2)
+
+
+class TestRealVsIdeal:
+    def test_omniscient_wins_real_game(self, group):
+        """Against the real mask, key access decrypts and always wins."""
+        advantage = distinguishing_advantage(
+            RealChallenger, omniscient_distinguisher, group, TRIALS, "real-omni"
+        )
+        assert advantage == pytest.approx(0.5)
+
+    def test_omniscient_blind_in_game2(self, group):
+        """The Game2 pad destroys even the omniscient distinguisher.
+
+        Decryption of ``m_b * T`` with the real key yields a uniformly
+        random value (T is fresh), so the strategy degenerates to a coin
+        flip — the information-theoretic core of the proof.
+        """
+        advantage = distinguishing_advantage(
+            IdealChallenger, omniscient_distinguisher, group, TRIALS, "ideal-omni"
+        )
+        assert advantage <= 0.25  # binomial noise at n=40, true value 0
+
+    def test_honest_adversary_identical_in_both_games(self, group):
+        """In-model views are indistinguishable across the hop (Theorem 1)."""
+        real = distinguishing_advantage(
+            RealChallenger, honest_distinguisher, group, TRIALS, "hop"
+        )
+        ideal = distinguishing_advantage(
+            IdealChallenger, honest_distinguisher, group, TRIALS, "hop"
+        )
+        assert real <= 0.25 and ideal <= 0.25
+
+    def test_game2_decryption_is_uniform_garbage(self, group, rng):
+        """Decrypting Game2 challenges never returns either candidate."""
+        challenger = IdealChallenger(group, rng)
+        m0, m1 = group.random_gt(rng), group.random_gt(rng)
+        for _ in range(5):
+            challenge = challenger.challenge(m0, m1)
+            recovered = challenger.scheme.decrypt(
+                challenge.ciphertext, challenger.delegator_key_for_analysis()
+            )
+            assert recovered not in (m0, m1)  # except w.p. ~2/q
+
+    def test_challenge_shapes_identical(self, group, rng):
+        """Game0 and Game2 challenges are structurally indistinguishable."""
+        real = RealChallenger(group, rng).challenge(
+            group.random_gt(rng), group.random_gt(rng)
+        )
+        ideal = IdealChallenger(group, rng).challenge(
+            group.random_gt(rng), group.random_gt(rng)
+        )
+        for challenge in (real, ideal):
+            ct = challenge.ciphertext
+            assert ct.identity == "alice"
+            assert ct.type_label == "t-star"
+            assert group.params.is_in_subgroup(ct.c1)
+
+    def test_trials_validated(self, group):
+        with pytest.raises(ValueError):
+            distinguishing_advantage(
+                RealChallenger, honest_distinguisher, group, 0, "x"
+            )

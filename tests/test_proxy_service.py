@@ -1,0 +1,109 @@
+"""Tests for the ProxyService actor (key table, enforcement, logging)."""
+
+import pytest
+
+from repro.core.proxy import NoProxyKeyError, ProxyService
+
+
+@pytest.fixture()
+def delegation(pre_setting, group, rng):
+    scheme, kgc1, kgc2, alice, bob = pre_setting
+    proxy = ProxyService(scheme)
+    message = group.random_gt(rng)
+    ciphertext = scheme.encrypt(kgc1.params, alice, message, "t1", rng)
+    proxy_key = scheme.pextract(alice, "bob", "t1", kgc2.params, rng)
+    return scheme, proxy, message, ciphertext, proxy_key, bob
+
+
+class TestKeyManagement:
+    def test_install_and_count(self, delegation):
+        _, proxy, _, _, proxy_key, _ = delegation
+        assert proxy.key_count() == 0
+        proxy.install_key(proxy_key)
+        assert proxy.key_count() == 1
+        proxy.install_key(proxy_key)  # replace, not duplicate
+        assert proxy.key_count() == 1
+
+    def test_revoke(self, delegation):
+        _, proxy, _, _, proxy_key, _ = delegation
+        proxy.install_key(proxy_key)
+        assert proxy.revoke_key("KGC1", "alice", "KGC2", "bob", "t1")
+        assert proxy.key_count() == 0
+        assert not proxy.revoke_key("KGC1", "alice", "KGC2", "bob", "t1")
+
+    def test_delegations_for(self, pre_setting, rng):
+        scheme, _, kgc2, alice, _ = pre_setting
+        proxy = ProxyService(scheme)
+        proxy.install_key(scheme.pextract(alice, "bob", "t1", kgc2.params, rng))
+        proxy.install_key(scheme.pextract(alice, "bob", "t2", kgc2.params, rng))
+        proxy.install_key(scheme.pextract(alice, "carol", "t1", kgc2.params, rng))
+        assert proxy.delegations_for("alice") == [
+            ("bob", "t1"),
+            ("bob", "t2"),
+            ("carol", "t1"),
+        ]
+        assert proxy.delegations_for("nobody") == []
+
+
+class TestReEncryption:
+    def test_served_request(self, delegation):
+        scheme, proxy, message, ciphertext, proxy_key, bob = delegation
+        proxy.install_key(proxy_key)
+        assert proxy.can_reencrypt(ciphertext, "KGC2", "bob")
+        transformed = proxy.reencrypt(ciphertext, "KGC2", "bob")
+        assert scheme.decrypt_reencrypted(transformed, bob) == message
+
+    def test_no_key_refused(self, delegation):
+        _, proxy, _, ciphertext, _, _ = delegation
+        assert not proxy.can_reencrypt(ciphertext, "KGC2", "bob")
+        with pytest.raises(NoProxyKeyError):
+            proxy.reencrypt(ciphertext, "KGC2", "bob")
+
+    def test_wrong_type_refused(self, pre_setting, group, rng):
+        scheme, kgc1, kgc2, alice, _ = pre_setting
+        proxy = ProxyService(scheme)
+        proxy.install_key(scheme.pextract(alice, "bob", "t1", kgc2.params, rng))
+        other = scheme.encrypt(kgc1.params, alice, group.random_gt(rng), "t2", rng)
+        with pytest.raises(NoProxyKeyError):
+            proxy.reencrypt(other, "KGC2", "bob")
+
+    def test_wrong_delegatee_refused(self, delegation):
+        _, proxy, _, ciphertext, proxy_key, _ = delegation
+        proxy.install_key(proxy_key)
+        with pytest.raises(NoProxyKeyError):
+            proxy.reencrypt(ciphertext, "KGC2", "carol")
+
+    def test_get_key(self, delegation):
+        _, proxy, _, ciphertext, proxy_key, _ = delegation
+        proxy.install_key(proxy_key)
+        assert proxy.get_key(ciphertext, "KGC2", "bob") is proxy_key
+        with pytest.raises(NoProxyKeyError):
+            proxy.get_key(ciphertext, "KGC2", "nobody")
+
+
+class TestLog:
+    def test_log_records_transformations(self, delegation):
+        _, proxy, _, ciphertext, proxy_key, _ = delegation
+        proxy.install_key(proxy_key)
+        proxy.reencrypt(ciphertext, "KGC2", "bob")
+        proxy.reencrypt(ciphertext, "KGC2", "bob")
+        log = proxy.log
+        assert len(log) == 2
+        assert log[0].delegator == "alice"
+        assert log[0].delegatee == "bob"
+        assert log[0].type_label == "t1"
+        assert [entry.sequence for entry in log] == [0, 1]
+
+    def test_log_is_a_copy(self, delegation):
+        _, proxy, _, ciphertext, proxy_key, _ = delegation
+        proxy.install_key(proxy_key)
+        proxy.reencrypt(ciphertext, "KGC2", "bob")
+        snapshot = proxy.log
+        snapshot.clear()
+        assert len(proxy.log) == 1
+
+    def test_refused_requests_not_logged(self, delegation):
+        _, proxy, _, ciphertext, _, _ = delegation
+        with pytest.raises(NoProxyKeyError):
+            proxy.reencrypt(ciphertext, "KGC2", "bob")
+        assert proxy.log == []

@@ -1,0 +1,155 @@
+"""Property tests for wNAF and fixed-base scalar multiplication."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ec.params import get_params
+from repro.ec.scalarmult import FixedBaseTable, wnaf_digits, wnaf_mul
+from repro.pairing.tate import multi_tate_pairing
+
+PARAMS = get_params("TOY")
+G = PARAMS.generator
+Q = PARAMS.q
+
+scalars = st.integers(min_value=0, max_value=Q - 1)
+
+
+class TestWnafDigits:
+    @given(st.integers(min_value=0, max_value=2**96), st.integers(min_value=2, max_value=8))
+    def test_digits_reconstruct_scalar(self, scalar, width):
+        digits = wnaf_digits(scalar, width)
+        assert sum(d << i for i, d in enumerate(digits)) == scalar
+
+    @given(st.integers(min_value=1, max_value=2**96), st.integers(min_value=2, max_value=8))
+    def test_nonzero_digits_odd_and_bounded(self, scalar, width):
+        half = 1 << (width - 1)
+        for digit in wnaf_digits(scalar, width):
+            if digit != 0:
+                assert digit % 2 != 0
+                assert -half < digit < half
+
+    @given(st.integers(min_value=1, max_value=2**96))
+    def test_nonzero_digits_separated(self, scalar):
+        width = 4
+        digits = wnaf_digits(scalar, width)
+        last_nonzero = None
+        for index, digit in enumerate(digits):
+            if digit != 0:
+                if last_nonzero is not None:
+                    assert index - last_nonzero >= width - 1
+                last_nonzero = index
+
+    def test_zero(self):
+        assert wnaf_digits(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            wnaf_digits(-1)
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            wnaf_digits(5, width=1)
+
+
+class TestWnafMul:
+    @given(scalars)
+    def test_matches_schoolbook(self, scalar):
+        assert wnaf_mul(G, scalar) == G * scalar
+
+    @given(scalars, st.integers(min_value=2, max_value=6))
+    def test_matches_for_all_widths(self, scalar, width):
+        assert wnaf_mul(G, scalar, width) == G * scalar
+
+    @given(st.integers(min_value=-(Q - 1), max_value=-1))
+    def test_negative_scalars(self, scalar):
+        assert wnaf_mul(G, scalar) == G * scalar
+
+    def test_identity_cases(self):
+        assert wnaf_mul(G, 0).is_infinity()
+        assert wnaf_mul(PARAMS.curve.infinity(), 12345).is_infinity()
+
+    @given(scalars)
+    def test_random_base_point(self, scalar):
+        base = G * 7919
+        assert wnaf_mul(base, scalar) == base * scalar
+
+
+class TestFixedBaseTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return FixedBaseTable(G, Q.bit_length())
+
+    @given(scalars)
+    def test_matches_schoolbook(self, scalar):
+        table = FixedBaseTable(G, Q.bit_length(), width=3)
+        assert table.mul(scalar) == G * scalar
+
+    def test_boundary_scalars(self, table):
+        assert table.mul(0).is_infinity()
+        assert table.mul(1) == G
+        assert table.mul(Q - 1) == G * (Q - 1)
+
+    def test_out_of_range_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.mul(1 << (Q.bit_length() + 1))
+        with pytest.raises(ValueError):
+            table.mul(-1)
+
+    def test_infinity_base_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBaseTable(PARAMS.curve.infinity(), 16)
+
+    def test_table_size_accounting(self):
+        table = FixedBaseTable(G, 16, width=4)
+        assert table.table_size() == 4 * 16  # ceil(16/4) rows of 2^4 points
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            FixedBaseTable(G, 0)
+        with pytest.raises(ValueError):
+            FixedBaseTable(G, 16, width=0)
+
+
+class TestMultiPairing:
+    def test_matches_product_of_pairings(self):
+        from repro.pairing.tate import tate_pairing
+
+        pairs = [(G * 3, G * 5), (G * 7, G * 11), (G * 13, G * 2)]
+        product = PARAMS.ext_field.one()
+        for p, q in pairs:
+            product = product * tate_pairing(PARAMS, p, q)
+        assert multi_tate_pairing(PARAMS, pairs) == product
+
+    def test_ratio_form(self):
+        """e(A, B) / e(C, D) as multi_pairing([(A,B), (-C,D)])."""
+        from repro.pairing.tate import tate_pairing
+
+        a, b, c, d = G * 2, G * 3, G * 5, G * 7
+        expected = tate_pairing(PARAMS, a, b) * tate_pairing(PARAMS, c, d).inverse()
+        assert multi_tate_pairing(PARAMS, [(a, b), (-c, d)]) == expected
+
+    def test_empty_and_identity_inputs(self):
+        assert multi_tate_pairing(PARAMS, []).is_one()
+        infinity = PARAMS.curve.infinity()
+        assert multi_tate_pairing(PARAMS, [(infinity, G), (G, infinity)]).is_one()
+
+    def test_single_pair_equals_pairing(self):
+        from repro.pairing.tate import tate_pairing
+
+        assert multi_tate_pairing(PARAMS, [(G * 9, G * 4)]) == tate_pairing(
+            PARAMS, G * 9, G * 4
+        )
+
+    def test_operation_counting(self):
+        from repro.bench.counters import count_operations
+
+        with count_operations() as counter:
+            multi_tate_pairing(PARAMS, [(G, G), (G * 2, G * 3)])
+        assert counter.get("pairing") == 1
+        assert counter.get("pairing_extra") == 1
+
+    def test_wrong_curve_rejected(self):
+        other = get_params("SS256")
+        with pytest.raises(ValueError):
+            multi_tate_pairing(PARAMS, [(other.generator, other.generator)])

@@ -1,0 +1,81 @@
+"""Empirical-advantage tests: every in-model adversary stays near 1/2.
+
+These are the unit-test-sized versions of experiment E6 (the benchmark
+runs more trials).  With 40 trials, a strategy with true advantage 0 wins
+between ~35% and ~65% of the time except with tiny probability; a broken
+scheme would push a distinguishing strategy to ~100% immediately.
+"""
+
+import pytest
+
+from repro.math.drbg import HmacDrbg
+from repro.security.adversaries import (
+    ALL_DR_CPA_ADVERSARIES,
+    ColludingDelegateeAdversary,
+    RandomGuessAdversary,
+    TypeMixingAdversary,
+)
+from repro.security.games import IndIdDrCpaGame
+
+TRIALS = 40
+WIN_RATE_SLACK = 0.28  # 40 trials: P(|rate - 0.5| > 0.28) < 0.1% for a fair coin
+
+
+def run_adversary(adversary, group, trials: int, seed: str) -> float:
+    root = HmacDrbg(seed)
+    wins = 0
+    for i in range(trials):
+        rng = root.fork("trial-%d" % i)
+        game = IndIdDrCpaGame(group, rng)
+        wins += adversary(game, group, rng).won
+    return wins / trials
+
+
+@pytest.mark.parametrize("adversary", ALL_DR_CPA_ADVERSARIES, ids=lambda a: a.name)
+def test_adversary_advantage_negligible(adversary, group):
+    rate = run_adversary(adversary, group, TRIALS, "advantage-%s" % adversary.name)
+    assert abs(rate - 0.5) <= WIN_RATE_SLACK, (
+        "%s wins at rate %.2f — scheme broken?" % (adversary.name, rate)
+    )
+
+
+def test_adversaries_never_issue_illegal_queries(group):
+    """All strategies must stay inside the threat model by construction."""
+    root = HmacDrbg("legality")
+    for adversary in ALL_DR_CPA_ADVERSARIES:
+        rng = root.fork(adversary.name)
+        game = IndIdDrCpaGame(group, rng)
+        adversary(game, group, rng)  # IllegalQueryError would fail the test
+
+
+def test_type_mixing_recovers_garbage_not_plaintext(group):
+    """The type-mixing attack yields a value unequal to both candidates."""
+    rng = HmacDrbg("mix-detail")
+    game = IndIdDrCpaGame(group, rng)
+    adversary = TypeMixingAdversary()
+    result = adversary(game, group, rng)
+    # If the mix ever produced a real plaintext, the win would be forced;
+    # the strategy falling back to a coin flip is visible in the result.
+    assert result.guess in (0, 1)
+
+
+def test_omniscient_upper_bound(group):
+    """A hypothetical adversary holding the delegator key wins always.
+
+    This validates the harness itself: the game is winnable when the
+    constraint the scheme relies on is removed.
+    """
+    root = HmacDrbg("omniscient")
+    wins = 0
+    trials = 12
+    for i in range(trials):
+        rng = root.fork("t%d" % i)
+        game = IndIdDrCpaGame(group, rng)
+        # Cheat deliberately *outside* the oracle interface: pull the key
+        # from the challenger's KGC directly (test-only access).
+        alice_key = game._kgc1.extract("alice")
+        m0, m1 = group.random_gt(rng), group.random_gt(rng)
+        challenge = game.challenge(m0, m1, "t", "alice")
+        recovered = game.scheme.decrypt(challenge, alice_key)
+        wins += game.finish(0 if recovered == m0 else 1).won
+    assert wins == trials

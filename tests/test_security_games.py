@@ -1,0 +1,185 @@
+"""Tests for the attack-game challengers and constraint enforcement."""
+
+import pytest
+
+from repro.math.drbg import HmacDrbg
+from repro.security.games import (
+    IllegalQueryError,
+    IndIdCpaGame,
+    IndIdDrCpaGame,
+    OneWaynessGame,
+    estimate_advantage,
+)
+
+
+class TestIndIdCpaGame:
+    def test_mechanics(self, group, rng):
+        game = IndIdCpaGame(group, rng)
+        m0, m1 = group.random_gt(rng), group.random_gt(rng)
+        game.challenge(m0, m1, "target")
+        result = game.finish(0)
+        assert result.won == (result.challenge_bit == 0)
+
+    def test_extract_oracle_works(self, group, rng):
+        game = IndIdCpaGame(group, rng)
+        key = game.extract("someone")
+        assert key.identity == "someone"
+
+    def test_extract_then_challenge_same_id_rejected(self, group, rng):
+        game = IndIdCpaGame(group, rng)
+        game.extract("target")
+        with pytest.raises(IllegalQueryError):
+            game.challenge(group.random_gt(rng), group.random_gt(rng), "target")
+
+    def test_challenge_then_extract_rejected(self, group, rng):
+        game = IndIdCpaGame(group, rng)
+        game.challenge(group.random_gt(rng), group.random_gt(rng), "target")
+        with pytest.raises(IllegalQueryError):
+            game.extract("target")
+
+    def test_double_challenge_rejected(self, group, rng):
+        game = IndIdCpaGame(group, rng)
+        m0, m1 = group.random_gt(rng), group.random_gt(rng)
+        game.challenge(m0, m1, "target")
+        with pytest.raises(IllegalQueryError):
+            game.challenge(m0, m1, "other")
+
+    def test_finish_before_challenge_rejected(self, group, rng):
+        with pytest.raises(IllegalQueryError):
+            IndIdCpaGame(group, rng).finish(0)
+
+    def test_correct_key_wins_with_decryption(self, group, rng):
+        """Sanity: an adversary holding the (forbidden) key would win.
+
+        We simulate by decrypting with a key extracted *before* the rules
+        are applied — using a different game instance's KGC is impossible,
+        so instead we verify the challenge ciphertext is well-formed by
+        replaying the challenger's own scheme.
+        """
+        game = IndIdCpaGame(group, rng)
+        m0, m1 = group.random_gt(rng), group.random_gt(rng)
+        ciphertext = game.challenge(m0, m1, "target")
+        assert ciphertext.identity == "target"
+        assert ciphertext.c2 is not None
+
+
+class TestOneWaynessGame:
+    def test_mechanics(self, group, rng):
+        game = OneWaynessGame(group, rng)
+        game.challenge("target")
+        assert game.finish(group.random_gt(rng)) in (True, False)
+
+    def test_wrong_guess_loses(self, group, rng):
+        game = OneWaynessGame(group, rng)
+        game.challenge("target")
+        # A random guess hits the hidden message with probability ~1/q.
+        assert not game.finish(group.gt_identity())
+
+    def test_extract_constraint(self, group, rng):
+        game = OneWaynessGame(group, rng)
+        game.extract("other")
+        with pytest.raises(IllegalQueryError):
+            game.challenge("other")
+
+    def test_finish_before_challenge(self, group, rng):
+        with pytest.raises(IllegalQueryError):
+            OneWaynessGame(group, rng).finish(group.gt_identity())
+
+
+class TestIndIdDrCpaGame:
+    def test_full_game_mechanics(self, group, rng):
+        game = IndIdDrCpaGame(group, rng)
+        m0, m1 = group.random_gt(rng), group.random_gt(rng)
+        game.extract1("other1")
+        game.extract2("other2")
+        game.pextract("alice", "bob", "t1")
+        game.challenge(m0, m1, "t-star", "alice")
+        result = game.finish(1)
+        assert result.won == (result.challenge_bit == 1)
+
+    def test_constraint_a_extract1_before(self, group, rng):
+        game = IndIdDrCpaGame(group, rng)
+        game.extract1("alice")
+        with pytest.raises(IllegalQueryError):
+            game.challenge(group.random_gt(rng), group.random_gt(rng), "t", "alice")
+
+    def test_constraint_a_extract1_after(self, group, rng):
+        game = IndIdDrCpaGame(group, rng)
+        game.challenge(group.random_gt(rng), group.random_gt(rng), "t", "alice")
+        with pytest.raises(IllegalQueryError):
+            game.extract1("alice")
+
+    def test_constraint_b_pextract_then_extract2(self, group, rng):
+        game = IndIdDrCpaGame(group, rng)
+        game.pextract("alice", "bob", "t-star")
+        game.challenge(group.random_gt(rng), group.random_gt(rng), "t-star", "alice")
+        with pytest.raises(IllegalQueryError):
+            game.extract2("bob")
+
+    def test_constraint_b_extract2_then_pextract(self, group, rng):
+        game = IndIdDrCpaGame(group, rng)
+        game.extract2("bob")
+        game.challenge(group.random_gt(rng), group.random_gt(rng), "t-star", "alice")
+        with pytest.raises(IllegalQueryError):
+            game.pextract("alice", "bob", "t-star")
+
+    def test_constraint_b_checked_at_challenge(self, group, rng):
+        game = IndIdDrCpaGame(group, rng)
+        game.pextract("alice", "bob", "t-star")
+        game.extract2("bob")  # legal now: no challenge yet
+        with pytest.raises(IllegalQueryError):
+            game.challenge(group.random_gt(rng), group.random_gt(rng), "t-star", "alice")
+
+    def test_constraint_b_different_type_allowed(self, group, rng):
+        game = IndIdDrCpaGame(group, rng)
+        game.pextract("alice", "bob", "other-type")
+        game.challenge(group.random_gt(rng), group.random_gt(rng), "t-star", "alice")
+        game.extract2("bob")  # fine: the proxy key is for a different type
+
+    def test_constraint_c_both_orders(self, group, rng):
+        game = IndIdDrCpaGame(group, rng)
+        game.preenc_dagger(group.random_gt(rng), "t", "alice", "bob")
+        with pytest.raises(IllegalQueryError):
+            game.pextract("alice", "bob", "t")
+
+        game2 = IndIdDrCpaGame(group, rng)
+        game2.pextract("alice", "bob", "t")
+        with pytest.raises(IllegalQueryError):
+            game2.preenc_dagger(group.random_gt(rng), "t", "alice", "bob")
+
+    def test_preenc_dagger_output_correct(self, group, rng):
+        """The oracle's output decrypts to the submitted plaintext."""
+        game = IndIdDrCpaGame(group, rng)
+        message = group.random_gt(rng)
+        transformed = game.preenc_dagger(message, "t", "alice", "bob")
+        bob = game.extract2("bob")
+        assert game.scheme.decrypt_reencrypted(transformed, bob) == message
+
+    def test_double_challenge_rejected(self, group, rng):
+        game = IndIdDrCpaGame(group, rng)
+        m0, m1 = group.random_gt(rng), group.random_gt(rng)
+        game.challenge(m0, m1, "t", "alice")
+        with pytest.raises(IllegalQueryError):
+            game.challenge(m0, m1, "t", "alice")
+
+    def test_params_exposed(self, group, rng):
+        game = IndIdDrCpaGame(group, rng)
+        assert game.params1.domain == "KGC1"
+        assert game.params2.domain == "KGC2"
+
+
+class TestEstimateAdvantage:
+    def test_fair_coin_advantage_small(self):
+        advantage = estimate_advantage(lambda rng: rng.randbelow(2) == 0, trials=400)
+        assert advantage < 0.1
+
+    def test_always_win_advantage_half(self):
+        assert estimate_advantage(lambda rng: True, trials=50) == 0.5
+
+    def test_reproducible(self):
+        run = lambda rng: rng.randbelow(2) == 0
+        assert estimate_advantage(run, 100, seed="s") == estimate_advantage(run, 100, seed="s")
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError):
+            estimate_advantage(lambda rng: True, trials=0)

@@ -1,0 +1,105 @@
+"""Tests for the executable property demonstrations and the ablation designs."""
+
+import pytest
+
+from repro.ibe.kgc import KgcRegistry
+from repro.security.ablation import LabelOnlyPre, PolicyViolationError
+from repro.security.properties import (
+    bbs_collusion_recovers_secret,
+    bbs_is_bidirectional,
+    dodis_ivan_collusion_recovers_secret,
+    tipre_collusion_recovers_only_type_key,
+    tipre_delegation_is_unidirectional,
+    tipre_is_non_interactive,
+    tipre_type_isolation_holds,
+)
+
+PROPERTY_CHECKS = (
+    bbs_is_bidirectional,
+    bbs_collusion_recovers_secret,
+    dodis_ivan_collusion_recovers_secret,
+    tipre_collusion_recovers_only_type_key,
+    tipre_type_isolation_holds,
+    tipre_is_non_interactive,
+    tipre_delegation_is_unidirectional,
+)
+
+
+@pytest.mark.parametrize("check", PROPERTY_CHECKS, ids=lambda c: c.__name__)
+def test_property_demonstration(check, group, rng):
+    assert check(group, rng)
+
+
+@pytest.mark.parametrize("check", PROPERTY_CHECKS, ids=lambda c: c.__name__)
+def test_property_demonstration_repeats(check, group, rng):
+    """Demonstrations hold across fresh randomness, not just one lucky run."""
+    for i in range(3):
+        assert check(group, rng.fork("repeat-%d" % i))
+
+
+class TestLabelOnlyAblation:
+    @pytest.fixture()
+    def setting(self, group, rng):
+        registry = KgcRegistry(group, rng)
+        kgc1, kgc2 = registry.create("KGC1"), registry.create("KGC2")
+        alice = kgc1.extract("alice")
+        bob = kgc2.extract("bob")
+        return kgc1, kgc2, alice, bob
+
+    def _install(self, scheme, setting, rng, allowed):
+        kgc1, kgc2, alice, _ = setting
+        scheme.install_delegation(alice, "bob", kgc2.params, allowed, rng)
+
+    def test_honest_proxy_enforces_policy(self, group, setting, rng):
+        kgc1, _, alice, bob = setting
+        scheme = LabelOnlyPre(group, corrupt_proxy=False)
+        self._install(scheme, setting, rng, allowed=["food-stats"])
+        allowed_ct = scheme.encrypt(kgc1.params, group.random_gt(rng), "alice", "food-stats", rng)
+        secret_ct = scheme.encrypt(kgc1.params, group.random_gt(rng), "alice", "illness", rng)
+        scheme.reencrypt(allowed_ct, "alice", "bob")  # served
+        with pytest.raises(PolicyViolationError):
+            scheme.reencrypt(secret_ct, "alice", "bob")
+
+    def test_corrupt_proxy_leaks_everything(self, group, setting, rng):
+        """The failure the paper predicts: one key, no cryptographic types."""
+        kgc1, _, alice, bob = setting
+        scheme = LabelOnlyPre(group, corrupt_proxy=True)
+        self._install(scheme, setting, rng, allowed=["food-stats"])
+        secret = group.random_gt(rng)
+        secret_ct = scheme.encrypt(kgc1.params, secret, "alice", "illness", rng)
+        leaked = scheme.reencrypt(secret_ct, "alice", "bob")
+        assert scheme.decrypt_reencrypted(leaked, bob) == secret  # full leak
+
+    def test_round_trip_for_allowed_type(self, group, setting, rng):
+        kgc1, _, alice, bob = setting
+        scheme = LabelOnlyPre(group)
+        self._install(scheme, setting, rng, allowed=["labs"])
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, message, "alice", "labs", rng)
+        assert scheme.decrypt(ciphertext, alice) == message
+        transformed = scheme.reencrypt(ciphertext, "alice", "bob")
+        assert scheme.decrypt_reencrypted(transformed, bob) == message
+
+    def test_unknown_delegation_rejected(self, group, setting, rng):
+        kgc1, _, alice, _ = setting
+        scheme = LabelOnlyPre(group)
+        ciphertext = scheme.encrypt(kgc1.params, group.random_gt(rng), "alice", "labs", rng)
+        with pytest.raises(KeyError):
+            scheme.reencrypt(ciphertext, "alice", "bob")
+
+    def test_contrast_with_paper_scheme(self, group, setting, rng, pre_setting):
+        """Side by side: corrupt proxy leaks under LabelOnly, garbles under ours."""
+        kgc1, _, alice_ga, bob_ga = setting
+        label_only = LabelOnlyPre(group, corrupt_proxy=True)
+        label_only.install_delegation(alice_ga, "bob", setting[1].params, ["food"], rng)
+        secret = group.random_gt(rng)
+        leaked = label_only.reencrypt(
+            label_only.encrypt(kgc1.params, secret, "alice", "illness", rng), "alice", "bob"
+        )
+        assert label_only.decrypt_reencrypted(leaked, bob_ga) == secret
+
+        scheme, pkgc1, pkgc2, alice, bob = pre_setting
+        proxy_key = scheme.pextract(alice, "bob", "food", pkgc2.params, rng)
+        ciphertext = scheme.encrypt(pkgc1.params, alice, secret, "illness", rng)
+        mixed = scheme.preenc(ciphertext, proxy_key, unchecked=True)
+        assert scheme.decrypt_reencrypted(mixed, bob) != secret

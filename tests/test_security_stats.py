@@ -1,0 +1,79 @@
+"""Tests for the binomial statistics used by the E6 experiment."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.security.stats import (
+    AdvantageEstimate,
+    binomial_confidence_interval,
+    estimate_from_wins,
+)
+
+
+class TestConfidenceInterval:
+    def test_contains_true_rate_for_fair_coin_sample(self):
+        low, high = binomial_confidence_interval(25, 50)
+        assert low < 0.5 < high
+
+    def test_extremes(self):
+        low, high = binomial_confidence_interval(0, 20)
+        assert low == 0.0 and high < 0.2
+        low, high = binomial_confidence_interval(20, 20)
+        assert low > 0.8 and high == 1.0
+
+    def test_narrows_with_more_trials(self):
+        narrow = binomial_confidence_interval(500, 1000)
+        wide = binomial_confidence_interval(5, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_widens_with_confidence(self):
+        ninety = binomial_confidence_interval(25, 50, 0.90)
+        ninety_nine = binomial_confidence_interval(25, 50, 0.99)
+        assert (ninety_nine[1] - ninety_nine[0]) > (ninety[1] - ninety[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_confidence_interval(1, 0)
+        with pytest.raises(ValueError):
+            binomial_confidence_interval(5, 4)
+        with pytest.raises(ValueError):
+            binomial_confidence_interval(-1, 4)
+        with pytest.raises(ValueError):
+            binomial_confidence_interval(1, 4, confidence=1.0)
+
+    @given(st.integers(min_value=1, max_value=300), st.integers(min_value=0, max_value=300))
+    def test_interval_ordered_and_bounded(self, trials, successes_raw):
+        successes = min(successes_raw, trials)
+        low, high = binomial_confidence_interval(successes, trials)
+        assert 0.0 <= low <= successes / trials <= high <= 1.0
+
+    def test_known_value(self):
+        # Clopper-Pearson for 0/10 at 95%: upper bound is 1-(0.025)^(1/10).
+        _, high = binomial_confidence_interval(0, 10)
+        assert high == pytest.approx(1 - 0.025 ** (1 / 10), abs=1e-9)
+
+
+class TestAdvantageEstimate:
+    def test_fair_sample_consistent_with_zero(self):
+        estimate = estimate_from_wins("random-guess", 26, 50)
+        assert estimate.consistent_with_zero_advantage()
+        assert estimate.advantage == pytest.approx(0.02)
+
+    def test_broken_scheme_detected(self):
+        estimate = estimate_from_wins("key-stealer", 50, 50)
+        assert not estimate.consistent_with_zero_advantage()
+        assert estimate.advantage == pytest.approx(0.5)
+        assert estimate.advantage_upper_bound == pytest.approx(0.5)
+
+    def test_upper_bound_dominates_point_estimate(self):
+        estimate = estimate_from_wins("x", 30, 50)
+        assert estimate.advantage_upper_bound >= estimate.advantage
+
+    def test_str_rendering(self):
+        text = str(estimate_from_wins("mixer", 24, 50))
+        assert "mixer" in text and "24/50" in text and "CI" in text
+
+    def test_small_sample_is_inconclusive_not_alarming(self):
+        """6/10 wins must not be flagged as a break."""
+        assert estimate_from_wins("noisy", 6, 10).consistent_with_zero_advantage()

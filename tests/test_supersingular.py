@@ -1,0 +1,161 @@
+"""Tests for the type-A supersingular group structure."""
+
+import pytest
+
+from repro.ec.params import available_parameter_sets, generate_parameters, get_params
+from repro.ec.supersingular import SupersingularCurve
+from repro.math.drbg import HmacDrbg
+
+PARAMS = get_params("TOY")
+
+
+class TestParameterSets:
+    def test_all_pinned_sets_are_consistent(self):
+        for name in available_parameter_sets():
+            params = get_params(name)
+            assert params.p % 4 == 3
+            assert params.p + 1 == params.h * params.q
+            assert params.curve.contains(params.generator)
+            assert (params.generator * params.q).is_infinity()
+            assert not params.generator.is_infinity()
+
+    def test_expected_sets_available(self):
+        assert set(available_parameter_sets()) >= {"TOY", "SS256", "SS512", "SS1024"}
+
+    def test_get_params_cached_and_case_insensitive(self):
+        assert get_params("toy") is get_params("TOY")
+
+    def test_unknown_set(self):
+        with pytest.raises(KeyError):
+            get_params("SS-NONSENSE")
+
+    def test_module_attribute_access(self):
+        from repro.ec import params as params_module
+
+        assert params_module.TOY is get_params("TOY")
+        with pytest.raises(AttributeError):
+            params_module.NOPE
+
+    def test_validation_rejects_bad_cofactor(self):
+        with pytest.raises(ValueError):
+            SupersingularCurve(
+                name="bad",
+                p=PARAMS.p,
+                q=PARAMS.q,
+                h=PARAMS.h + 1,
+                generator_x=PARAMS.generator_x,
+                generator_y=PARAMS.generator_y,
+            )
+
+    def test_validation_rejects_wrong_mod4(self):
+        with pytest.raises(ValueError):
+            SupersingularCurve(name="bad", p=13, q=7, h=2, generator_x=0, generator_y=0)
+
+    def test_generate_parameters_tiny(self):
+        fresh = generate_parameters(16, 40, HmacDrbg("gen-test"), name="tiny")
+        assert fresh.p % 4 == 3
+        assert fresh.p + 1 == fresh.h * fresh.q
+        assert fresh.p.bit_length() == 40
+        assert fresh.q.bit_length() == 16
+        assert (fresh.generator * fresh.q).is_infinity()
+
+    def test_generate_parameters_bad_sizes(self):
+        with pytest.raises(ValueError):
+            generate_parameters(30, 32)
+
+
+class TestSubgroup:
+    def test_random_point_in_subgroup(self):
+        rng = HmacDrbg("sub")
+        point = PARAMS.random_point(rng)
+        assert PARAMS.is_in_subgroup(point)
+
+    def test_random_scalar_range(self):
+        rng = HmacDrbg("sub")
+        for _ in range(20):
+            s = PARAMS.random_scalar(rng)
+            assert 1 <= s < PARAMS.q
+
+    def test_out_of_subgroup_detected(self):
+        # A cofactor-order point: multiply a random curve point by q.
+        rng = HmacDrbg("cofactor")
+        while True:
+            x = PARAMS.base_field.random(rng)
+            candidate = PARAMS.curve.lift_x(x)
+            if candidate is not None and not (candidate * PARAMS.q).is_infinity():
+                stray = candidate * PARAMS.q  # order divides h, not q
+                assert not PARAMS.is_in_subgroup(stray)
+                return
+
+
+class TestHashToGroup:
+    def test_deterministic(self):
+        assert PARAMS.hash_to_group(b"alice") == PARAMS.hash_to_group(b"alice")
+
+    def test_str_and_bytes_agree(self):
+        assert PARAMS.hash_to_group("alice") == PARAMS.hash_to_group(b"alice")
+
+    def test_different_inputs_differ(self):
+        assert PARAMS.hash_to_group(b"alice") != PARAMS.hash_to_group(b"bob")
+
+    def test_output_in_subgroup(self):
+        for name in (b"a", b"b", b"c", b"longer-identity@example.com"):
+            point = PARAMS.hash_to_group(name)
+            assert PARAMS.is_in_subgroup(point)
+            assert not point.is_infinity()
+
+    def test_empty_input_ok(self):
+        assert PARAMS.is_in_subgroup(PARAMS.hash_to_group(b""))
+
+
+class TestDistortion:
+    def test_distort_moves_off_base_field(self):
+        point = PARAMS.generator
+        distorted = PARAMS.distort(point)
+        assert distorted.curve == PARAMS.ext_curve
+        assert PARAMS.ext_curve.contains(distorted)
+        # The y-coordinate is purely imaginary; x is real.
+        assert distorted.y.a == 0 and distorted.y.b != 0
+
+    def test_distort_infinity(self):
+        assert PARAMS.distort(PARAMS.curve.infinity()).is_infinity()
+
+    def test_distort_is_homomorphism(self):
+        p1 = PARAMS.generator
+        p2 = PARAMS.generator * 7
+        assert PARAMS.distort(p1 + p2) == PARAMS.distort(p1) + PARAMS.distort(p2)
+
+    def test_lift_to_ext(self):
+        lifted = PARAMS.lift_to_ext(PARAMS.generator)
+        assert PARAMS.ext_curve.contains(lifted)
+        assert lifted.x.b == 0 and lifted.y.b == 0
+        assert PARAMS.lift_to_ext(PARAMS.curve.infinity()).is_infinity()
+
+    def test_distorted_point_independent_of_lift(self):
+        # phi(P) must not be a base-field multiple of P (linear independence).
+        lifted = PARAMS.lift_to_ext(PARAMS.generator)
+        distorted = PARAMS.distort(PARAMS.generator)
+        assert lifted != distorted
+
+
+class TestGt:
+    def test_gt_exponent_integral(self):
+        assert (PARAMS.p * PARAMS.p - 1) % PARAMS.q == 0
+        assert PARAMS.gt_exponent() == (PARAMS.p * PARAMS.p - 1) // PARAMS.q
+
+    def test_random_gt_has_order_q(self):
+        rng = HmacDrbg("gt")
+        element = PARAMS.random_gt(rng)
+        assert PARAMS.is_in_gt(element)
+        assert not element.is_one()
+
+    def test_identity_in_gt(self):
+        assert PARAMS.is_in_gt(PARAMS.gt_identity())
+
+    def test_zero_not_in_gt(self):
+        assert not PARAMS.is_in_gt(PARAMS.ext_field.zero())
+
+    def test_security_bits(self):
+        assert 0 < get_params("TOY").security_bits() <= 16
+        assert get_params("SS512").security_bits() == 80
+        assert get_params("SS1024").security_bits() == 112

@@ -1,0 +1,149 @@
+"""Tests for Shamir sharing and the threshold (escrow-free) KGC."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.scheme import TypeAndIdentityPre
+from repro.ibe.boneh_franklin import BonehFranklinIbe
+from repro.ibe.kgc import KgcRegistry
+from repro.ibe.threshold import ThresholdKgc
+from repro.math.drbg import HmacDrbg
+from repro.math.shamir import (
+    Share,
+    lagrange_coefficient_at_zero,
+    reconstruct_secret,
+    split_secret,
+)
+
+Q = 2**61 - 1  # prime field for the pure-Shamir tests
+
+
+class TestShamir:
+    def test_round_trip(self, rng):
+        shares = split_secret(123456789, 3, 5, Q, rng)
+        assert len(shares) == 5
+        assert reconstruct_secret(shares[:3], Q) == 123456789
+        assert reconstruct_secret(shares[2:], Q) == 123456789
+
+    def test_any_subset_of_threshold_size(self, rng):
+        secret = 42
+        shares = split_secret(secret, 2, 4, Q, rng)
+        import itertools
+
+        for subset in itertools.combinations(shares, 2):
+            assert reconstruct_secret(list(subset), Q) == secret
+
+    def test_below_threshold_gives_wrong_secret(self, rng):
+        """t-1 shares interpolate to something unrelated (w.h.p. not s)."""
+        secret = 987654321
+        shares = split_secret(secret, 3, 5, Q, rng)
+        assert reconstruct_secret(shares[:2], Q) != secret
+
+    def test_single_share_threshold_one(self, rng):
+        shares = split_secret(7, 1, 3, Q, rng)
+        assert all(share.value == 7 for share in shares)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            split_secret(1, 0, 3, Q, rng)
+        with pytest.raises(ValueError):
+            split_secret(1, 4, 3, Q, rng)
+        with pytest.raises(ValueError):
+            split_secret(1, 2, Q + 1, Q, rng)
+        with pytest.raises(ValueError):
+            reconstruct_secret([], Q)
+        with pytest.raises(ValueError):
+            reconstruct_secret([Share(1, 2), Share(1, 3)], Q)
+
+    def test_lagrange_coefficient_requires_membership(self):
+        with pytest.raises(ValueError):
+            lagrange_coefficient_at_zero([1, 2], 3, Q)
+
+    @given(
+        st.integers(min_value=0, max_value=Q - 1),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_round_trip_property(self, secret, threshold, extra):
+        share_count = threshold + extra
+        rng = HmacDrbg("shamir-%d-%d-%d" % (secret % 1000, threshold, extra))
+        shares = split_secret(secret, threshold, share_count, Q, rng)
+        assert reconstruct_secret(shares[:threshold], Q) == secret
+
+    def test_shares_of_same_secret_randomised(self):
+        a = split_secret(5, 2, 3, Q, HmacDrbg("a"))
+        b = split_secret(5, 2, 3, Q, HmacDrbg("b"))
+        assert [s.value for s in a] != [s.value for s in b]
+
+
+class TestThresholdKgc:
+    @pytest.fixture()
+    def kgc(self, group, rng):
+        return ThresholdKgc(group, "DIST-KGC", threshold=3, server_count=5, rng=rng)
+
+    def test_extract_matches_standard_bf_key(self, kgc, group):
+        """The combined key verifies against the published public key."""
+        key = kgc.extract("alice")
+        ibe = BonehFranklinIbe(group, "DIST-KGC")
+        pk_id = ibe.public_key_of("alice")
+        # e(sk, g) == e(pk_id, pk): the defining equation of a BF key.
+        assert group.pair(key.point, group.generator) == group.pair(
+            pk_id, kgc.params.public_key
+        )
+
+    def test_any_t_subset_gives_identical_key(self, kgc):
+        key_a = kgc.extract("alice", server_indices=[1, 2, 3])
+        key_b = kgc.extract("alice", server_indices=[2, 4, 5])
+        key_c = kgc.extract("alice", server_indices=[1, 3, 5])
+        assert key_a == key_b == key_c
+
+    def test_too_few_servers_rejected(self, kgc):
+        with pytest.raises(ValueError):
+            kgc.extract("alice", server_indices=[1, 2])
+
+    def test_combine_validations(self, kgc):
+        partials = [server.extract_partial("alice") for server in kgc.servers[:3]]
+        with pytest.raises(ValueError):
+            kgc.combine(partials[:2])  # below threshold
+        mixed = partials[:2] + [kgc.servers[2].extract_partial("bob")]
+        with pytest.raises(ValueError):
+            kgc.combine(mixed)  # mixed identities
+        with pytest.raises(ValueError):
+            kgc.combine([partials[0]] * 3)  # duplicate servers
+
+    def test_below_threshold_collusion_learns_nothing(self, kgc, group):
+        """t-1 shares reconstruct a value whose public key mismatches."""
+        from repro.math.shamir import reconstruct_secret as reconstruct
+
+        shares = [server.reveal_share_for_test() for server in kgc.servers[:2]]
+        guessed_alpha = reconstruct(shares, group.order)
+        assert group.g1_mul(group.generator, guessed_alpha) != kgc.params.public_key
+
+    def test_threshold_collusion_does_recover(self, kgc, group):
+        """Exactly t shares reconstruct alpha — the threshold is tight."""
+        from repro.math.shamir import reconstruct_secret as reconstruct
+
+        shares = [server.reveal_share_for_test() for server in kgc.servers[:3]]
+        alpha = reconstruct(shares, group.order)
+        assert group.g1_mul(group.generator, alpha) == kgc.params.public_key
+
+    def test_validation_of_parameters(self, group, rng):
+        with pytest.raises(ValueError):
+            ThresholdKgc(group, "D", threshold=0, server_count=3, rng=rng)
+        with pytest.raises(ValueError):
+            ThresholdKgc(group, "D", threshold=4, server_count=3, rng=rng)
+
+    def test_threshold_keys_drive_the_paper_scheme(self, kgc, group, rng):
+        """End-to-end: the PRE runs unchanged on threshold-extracted keys."""
+        registry = KgcRegistry(group, rng)
+        kgc2 = registry.create("KGC2")
+        alice = kgc.extract("alice")  # threshold-extracted delegator key
+        bob = kgc2.extract("bob")
+        scheme = TypeAndIdentityPre(group)
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc.params, alice, message, "labs", rng)
+        assert scheme.decrypt(ciphertext, alice) == message
+        proxy_key = scheme.pextract(alice, "bob", "labs", kgc2.params, rng)
+        transformed = scheme.preenc(ciphertext, proxy_key)
+        assert scheme.decrypt_reencrypted(transformed, bob) == message
