@@ -12,6 +12,8 @@ The package layers, bottom to top:
 * :mod:`repro.security` -- executable attack games and property checks.
 * :mod:`repro.hybrid`, :mod:`repro.serialization` -- KEM/DEM and wire formats.
 * :mod:`repro.phr` -- the fine-grained PHR disclosure application.
+* :mod:`repro.service` -- a sharded, cached re-encryption gateway with
+  batching, rate limiting and metrics.
 
 Quickstart::
 
@@ -40,6 +42,7 @@ from repro.ibe import (
 from repro.math.drbg import HmacDrbg, system_random
 from repro.pairing import PairingGroup
 from repro.phr import PhrSystem
+from repro.service import ReEncryptionGateway
 
 __version__ = "1.0.0"
 
@@ -47,6 +50,7 @@ __all__ = [
     "PairingGroup",
     "TypeAndIdentityPre",
     "ProxyService",
+    "ReEncryptionGateway",
     "BonehFranklinIbe",
     "KeyGenerationCenter",
     "KgcRegistry",

@@ -12,6 +12,7 @@ subcommands mirror the scheme's algorithms:
     pextract   create a proxy re-encryption key
     preenc     proxy transformation
     redecrypt  delegatee-side decryption
+    serve      drive the sharded re-encryption gateway and print metrics
 
 Example round trip::
 
@@ -160,6 +161,26 @@ def _cmd_redecrypt(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.bench.report import print_table
+    from repro.service.driver import run_demo
+
+    report = run_demo(
+        group_name=args.group,
+        shard_count=args.shards,
+        n_requests=args.requests,
+        seed=args.seed or "gateway-demo",
+        batch_size=args.batch,
+        rate_per_s=args.rate,
+    )
+    print_table(
+        "gateway: %d requests over %d shards" % (args.requests, args.shards),
+        ["metric", "value"],
+        report.rows(),
+    )
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-pre",
@@ -213,6 +234,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--in", dest="infile", required=True)
     p.add_argument("--out", required=True)
     p.set_defaults(func=_cmd_redecrypt)
+
+    p = sub.add_parser("serve", help="drive the sharded gateway on a synthetic workload")
+    p.add_argument("--group", default="TOY", help="parameter set (TOY/SS256/SS512/SS1024)")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--batch", type=int, default=0, help="batch size (0/1 = unbatched)")
+    p.add_argument("--rate", type=float, default=None, help="per-tenant requests/second cap")
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -224,6 +253,15 @@ def main(argv: list[str] | None = None) -> int:
     except (ValueError, KeyError, OSError) as error:
         print("error: %s" % error, file=sys.stderr)
         return 1
+    except Exception as error:
+        # Service-layer errors (GatewayError subclasses) land here; import
+        # locally so the lifecycle commands never pay for the service layer.
+        from repro.service.gateway import GatewayError
+
+        if isinstance(error, GatewayError):
+            print("error[%s]: %s" % (error.code, error), file=sys.stderr)
+            return 1
+        raise
 
 
 if __name__ == "__main__":

@@ -6,16 +6,34 @@ is the table of :class:`~repro.core.ciphertexts.ProxyKey` objects installed
 by delegators.  The class enforces the scheme's fine-grained policy
 mechanically: a transformation happens only when a key exists for exactly
 the (delegator, delegatee, type) triple of the request.
+
+The key table lives in its own class, :class:`ProxyKeyTable`, so that a
+sharded deployment (:mod:`repro.service`) can partition state across many
+proxies while every shard speaks the same table interface.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.core.ciphertexts import ProxyKey, ReEncryptedCiphertext, TypedCiphertext
-from repro.core.scheme import TypeAndIdentityPre
+from repro.core.scheme import DelegationError, TypeAndIdentityPre
 
-__all__ = ["ProxyService", "NoProxyKeyError", "ReEncryptionLogEntry"]
+__all__ = [
+    "ProxyService",
+    "ProxyKeyTable",
+    "NoProxyKeyError",
+    "ReEncryptionLogEntry",
+    "DEFAULT_MAX_LOG_ENTRIES",
+]
+
+# A long-running proxy must not grow memory without bound; the log keeps
+# the most recent transformations and drops the oldest beyond this cap.
+DEFAULT_MAX_LOG_ENTRIES = 10_000
+
+KeyIndex = tuple[str, str, str, str, str]
 
 
 class NoProxyKeyError(KeyError):
@@ -32,17 +50,19 @@ class ReEncryptionLogEntry:
     sequence: int
 
 
-@dataclass
-class ProxyService:
-    """A re-encryption proxy holding keys for (delegator, delegatee, type) triples."""
+class ProxyKeyTable:
+    """The pure key state of one proxy: (delegator, delegatee, type) -> key.
 
-    scheme: TypeAndIdentityPre
-    name: str = "proxy"
-    _keys: dict[tuple[str, str, str, str, str], ProxyKey] = field(default_factory=dict)
-    _log: list[ReEncryptionLogEntry] = field(default_factory=list)
+    This is the unit a sharded gateway partitions — it carries no scheme
+    object and no log, only the table and its lookups, so shards stay
+    cheap to create and easy to reason about.
+    """
+
+    def __init__(self) -> None:
+        self._keys: dict[KeyIndex, ProxyKey] = {}
 
     @staticmethod
-    def _index(key: ProxyKey) -> tuple[str, str, str, str, str]:
+    def index_of(key: ProxyKey) -> KeyIndex:
         return (
             key.delegator_domain,
             key.delegator,
@@ -51,9 +71,87 @@ class ProxyService:
             key.type_label,
         )
 
+    @staticmethod
+    def request_index(
+        ciphertext: TypedCiphertext, delegatee_domain: str, delegatee: str
+    ) -> KeyIndex:
+        return (
+            ciphertext.domain,
+            ciphertext.identity,
+            delegatee_domain,
+            delegatee,
+            ciphertext.type_label,
+        )
+
+    def install(self, key: ProxyKey) -> None:
+        """Install (or replace) a re-encryption key."""
+        self._keys[self.index_of(key)] = key
+
+    def revoke(self, index: KeyIndex) -> bool:
+        """Remove a key; returns False when no such key was installed."""
+        return self._keys.pop(index, None) is not None
+
+    def get(self, index: KeyIndex) -> ProxyKey | None:
+        return self._keys.get(index)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, index: KeyIndex) -> bool:
+        return index in self._keys
+
+    def __iter__(self) -> Iterator[ProxyKey]:
+        return iter(self._keys.values())
+
+    def delegations_for(
+        self, delegator: str, delegator_domain: str | None = None
+    ) -> list[tuple[str, str]]:
+        """All (delegatee, type) pairs served for one delegator identity.
+
+        Identities are only unique *within* a KGC domain, so the domain is
+        part of the question.  When ``delegator_domain`` is omitted and the
+        name exists in exactly one domain the answer is still unambiguous;
+        if the name appears in several domains the call refuses rather than
+        silently merging unrelated identities.
+        """
+        domains = {
+            key.delegator_domain for key in self._keys.values() if key.delegator == delegator
+        }
+        if delegator_domain is None:
+            if len(domains) > 1:
+                raise DelegationError(
+                    "delegator %r exists in domains %s; pass delegator_domain"
+                    % (delegator, sorted(domains))
+                )
+        elif delegator_domain not in domains:
+            return []
+        return sorted(
+            (key.delegatee, key.type_label)
+            for key in self._keys.values()
+            if key.delegator == delegator
+            and (delegator_domain is None or key.delegator_domain == delegator_domain)
+        )
+
+
+@dataclass
+class ProxyService:
+    """A re-encryption proxy holding keys for (delegator, delegatee, type) triples."""
+
+    scheme: TypeAndIdentityPre
+    name: str = "proxy"
+    max_log_entries: int = DEFAULT_MAX_LOG_ENTRIES
+    table: ProxyKeyTable = field(default_factory=ProxyKeyTable)
+    _log: deque[ReEncryptionLogEntry] = field(default_factory=deque)
+    _sequence: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_log_entries < 1:
+            raise ValueError("max_log_entries must be positive")
+        self._log = deque(self._log, maxlen=self.max_log_entries)
+
     def install_key(self, key: ProxyKey) -> None:
         """Install (or replace) a re-encryption key."""
-        self._keys[self._index(key)] = key
+        self.table.install(key)
 
     def revoke_key(
         self,
@@ -64,35 +162,23 @@ class ProxyService:
         type_label: str,
     ) -> bool:
         """Remove a key; returns False when no such key was installed."""
-        return (
-            self._keys.pop(
-                (delegator_domain, delegator, delegatee_domain, delegatee, type_label), None
-            )
-            is not None
+        return self.table.revoke(
+            (delegator_domain, delegator, delegatee_domain, delegatee, type_label)
         )
 
     def key_count(self) -> int:
-        return len(self._keys)
+        return len(self.table)
 
-    def delegations_for(self, delegator: str) -> list[tuple[str, str]]:
+    def delegations_for(
+        self, delegator: str, delegator_domain: str | None = None
+    ) -> list[tuple[str, str]]:
         """All (delegatee, type) pairs this proxy can serve for a delegator."""
-        return sorted(
-            (key.delegatee, key.type_label)
-            for key in self._keys.values()
-            if key.delegator == delegator
-        )
+        return self.table.delegations_for(delegator, delegator_domain)
 
     def can_reencrypt(
         self, ciphertext: TypedCiphertext, delegatee_domain: str, delegatee: str
     ) -> bool:
-        index = (
-            ciphertext.domain,
-            ciphertext.identity,
-            delegatee_domain,
-            delegatee,
-            ciphertext.type_label,
-        )
-        return index in self._keys
+        return self.table.request_index(ciphertext, delegatee_domain, delegatee) in self.table
 
     def get_key(
         self, ciphertext: TypedCiphertext, delegatee_domain: str, delegatee: str
@@ -101,14 +187,7 @@ class ProxyService:
 
         Raises :class:`NoProxyKeyError` when no matching key is installed.
         """
-        index = (
-            ciphertext.domain,
-            ciphertext.identity,
-            delegatee_domain,
-            delegatee,
-            ciphertext.type_label,
-        )
-        key = self._keys.get(index)
+        key = self.table.get(self.table.request_index(ciphertext, delegatee_domain, delegatee))
         if key is None:
             raise NoProxyKeyError(
                 "no proxy key for delegator=%r delegatee=%r type=%r"
@@ -126,18 +205,35 @@ class ProxyService:
         the paper's construction provides.
         """
         key = self.get_key(ciphertext, delegatee_domain, delegatee)
+        return self.reencrypt_with_key(ciphertext, key)
+
+    def reencrypt_with_key(
+        self, ciphertext: TypedCiphertext, key: ProxyKey
+    ) -> ReEncryptedCiphertext:
+        """Transform with an already-resolved key (a cached table lookup).
+
+        The key must still match the ciphertext — the scheme's ``preenc``
+        guard runs regardless, so a stale cache entry cannot cross the
+        policy boundary.
+        """
         result = self.scheme.preenc(ciphertext, key)
         self._log.append(
             ReEncryptionLogEntry(
                 delegator=ciphertext.identity,
-                delegatee=delegatee,
+                delegatee=key.delegatee,
                 type_label=ciphertext.type_label,
-                sequence=len(self._log),
+                sequence=self._sequence,
             )
         )
+        self._sequence += 1
         return result
 
     @property
     def log(self) -> list[ReEncryptionLogEntry]:
-        """The transformation log (copy)."""
+        """The transformation log (copy; bounded to ``max_log_entries``)."""
         return list(self._log)
+
+    @property
+    def transformations_total(self) -> int:
+        """Lifetime transformation count (survives log truncation)."""
+        return self._sequence

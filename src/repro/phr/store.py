@@ -87,13 +87,22 @@ class FilePhrStore:
 
     Layout under ``root``::
 
-        index.json                   {"patient|entry_id": "category", ...}
+        index.json                   {"version": 2,
+                                      "entries": {"patient|entry_id":
+                                                  {"category": ..., "size": ...}}}
         blobs/<patient>/<entry_id>.bin
 
     The index is rewritten atomically-enough for a research store (write
-    then rename).  The interface matches :class:`EncryptedPhrStore`, so
-    proxies work with either backend.
+    then rename).  Blob sizes live in the index so ``size_bytes`` never
+    stats the filesystem, and an in-memory per-patient map makes
+    ``entries_for`` read only the blobs it returns instead of scanning
+    every index key.  Version-1 indexes (a flat ``{"patient|entry_id":
+    "category"}`` map) are migrated on open by statting each blob once.
+    The interface matches :class:`EncryptedPhrStore`, so proxies work with
+    either backend.
     """
+
+    INDEX_VERSION = 2
 
     def __init__(self, root: str | Path, name: str = "phr-file-store"):
         self.name = name
@@ -101,9 +110,26 @@ class FilePhrStore:
         self._blob_dir = self._root / "blobs"
         self._blob_dir.mkdir(parents=True, exist_ok=True)
         self._index_path = self._root / "index.json"
-        self._index: dict[str, str] = {}
+        # key -> {"category": str, "size": int}
+        self._index: dict[str, dict] = {}
+        # patient -> {entry_id -> index key}; rebuilt on open, maintained on writes.
+        self._by_patient: dict[str, dict[str, str]] = {}
         if self._index_path.exists():
-            self._index = json.loads(self._index_path.read_text())
+            self._load_index(json.loads(self._index_path.read_text()))
+
+    def _load_index(self, raw: dict) -> None:
+        if raw.get("version") == self.INDEX_VERSION:
+            self._index = raw["entries"]
+        else:
+            # Version-1 flat format: migrate, statting each blob exactly once.
+            self._index = {
+                key: {"category": category, "size": self._blob_path(*key.split("|", 1)).stat().st_size}
+                for key, category in raw.items()
+            }
+            self._flush_index()
+        for key in self._index:
+            patient, entry_id = key.split("|", 1)
+            self._by_patient.setdefault(patient, {})[entry_id] = key
 
     @staticmethod
     def _index_key(patient: str, entry_id: str) -> str:
@@ -119,52 +145,67 @@ class FilePhrStore:
 
     def _flush_index(self) -> None:
         tmp = self._index_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(self._index, sort_keys=True))
+        tmp.write_text(
+            json.dumps({"version": self.INDEX_VERSION, "entries": self._index}, sort_keys=True)
+        )
         tmp.replace(self._index_path)
 
     def put(self, patient: str, category: str, entry_id: str, blob: bytes) -> None:
         if not isinstance(blob, bytes):
             raise TypeError("the store accepts only serialized bytes")
+        key = self._index_key(patient, entry_id)
         path = self._blob_path(patient, entry_id)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_bytes(blob)
-        self._index[self._index_key(patient, entry_id)] = category
+        self._index[key] = {"category": category, "size": len(blob)}
+        self._by_patient.setdefault(patient, {})[entry_id] = key
         self._flush_index()
 
     def get(self, patient: str, entry_id: str) -> StoredRecord:
-        category = self._index.get(self._index_key(patient, entry_id))
-        if category is None:
+        meta = self._index.get(self._index_key(patient, entry_id))
+        if meta is None:
             raise EntryNotFoundError("no entry %r for patient %r" % (entry_id, patient))
         blob = self._blob_path(patient, entry_id).read_bytes()
-        return StoredRecord(patient=patient, category=category, entry_id=entry_id, blob=blob)
+        return StoredRecord(
+            patient=patient, category=meta["category"], entry_id=entry_id, blob=blob
+        )
 
     def delete(self, patient: str, entry_id: str) -> bool:
         key = self._index_key(patient, entry_id)
         if key not in self._index:
             return False
         del self._index[key]
+        patient_entries = self._by_patient.get(patient, {})
+        patient_entries.pop(entry_id, None)
+        if not patient_entries:
+            self._by_patient.pop(patient, None)
         self._flush_index()
         self._blob_path(patient, entry_id).unlink(missing_ok=True)
         return True
 
     def entries_for(self, patient: str, category: str | None = None) -> list[StoredRecord]:
         records = []
-        for key, stored_category in self._index.items():
-            record_patient, entry_id = key.split("|", 1)
-            if record_patient != patient:
-                continue
-            if category is not None and stored_category != category:
+        for entry_id, key in self._by_patient.get(patient, {}).items():
+            if category is not None and self._index[key]["category"] != category:
                 continue
             records.append(self.get(patient, entry_id))
         return sorted(records, key=lambda record: record.entry_id)
 
+    def headers_for(
+        self, patient: str, category: str | None = None
+    ) -> list[tuple[str, str, int]]:
+        """(entry_id, category, size) rows for a patient — no blob reads."""
+        return sorted(
+            (entry_id, self._index[key]["category"], self._index[key]["size"])
+            for entry_id, key in self._by_patient.get(patient, {}).items()
+            if category is None or self._index[key]["category"] == category
+        )
+
     def patients(self) -> list[str]:
-        return sorted({key.split("|", 1)[0] for key in self._index})
+        return sorted(self._by_patient)
 
     def record_count(self) -> int:
         return len(self._index)
 
     def size_bytes(self) -> int:
-        return sum(
-            self._blob_path(*key.split("|", 1)).stat().st_size for key in self._index
-        )
+        return sum(meta["size"] for meta in self._index.values())

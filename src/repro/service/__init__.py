@@ -1,0 +1,77 @@
+"""A sharded, cached re-encryption gateway over :class:`~repro.core.proxy.ProxyService`.
+
+The paper's deployment is a semi-trusted proxy serving many patients and
+delegatees.  This package turns the single-object proxy into a
+request-serving system:
+
+* :mod:`repro.service.router` — consistent-hash sharding of
+  (delegator domain, delegator, type) onto N proxy shards;
+* :mod:`repro.service.cache` — LRU caches for proxy keys and KEM
+  transformation results, with hit/miss accounting;
+* :mod:`repro.service.batch` — grouping of same-delegation requests so
+  key lookups are amortized;
+* :mod:`repro.service.gateway` — the typed request/response front door
+  with per-tenant rate limiting, bounded audit and an error taxonomy;
+* :mod:`repro.service.metrics` — latency / throughput / shard-balance
+  snapshots;
+* :mod:`repro.service.driver` — a self-contained synthetic workload used
+  by ``repro-pre serve`` and the E9 benchmark.
+"""
+
+from repro.service.batch import BatchGroup, BatchItemError, ReEncryptBatcher
+from repro.service.cache import CacheStats, LruCache
+from repro.service.driver import DemoReport, DemoSetting, build_setting, run_demo
+from repro.service.gateway import (
+    AuditEvent,
+    DelegationNotFoundError,
+    EntryMissingError,
+    FetchRequest,
+    FetchResponse,
+    GatewayError,
+    GrantRequest,
+    GrantResponse,
+    InvalidRequestError,
+    RateLimitedError,
+    ReEncryptionGateway,
+    ReEncryptRequest,
+    ReEncryptResponse,
+    RevokeRequest,
+    RevokeResponse,
+    StoreUnavailableError,
+    TokenBucket,
+)
+from repro.service.metrics import GatewayMetrics, LatencySummary, MetricsSnapshot
+from repro.service.router import ShardRouter
+
+__all__ = [
+    "AuditEvent",
+    "BatchGroup",
+    "BatchItemError",
+    "CacheStats",
+    "DelegationNotFoundError",
+    "DemoReport",
+    "DemoSetting",
+    "EntryMissingError",
+    "FetchRequest",
+    "FetchResponse",
+    "GatewayError",
+    "GatewayMetrics",
+    "GrantRequest",
+    "GrantResponse",
+    "InvalidRequestError",
+    "LatencySummary",
+    "LruCache",
+    "MetricsSnapshot",
+    "RateLimitedError",
+    "ReEncryptBatcher",
+    "ReEncryptRequest",
+    "ReEncryptResponse",
+    "ReEncryptionGateway",
+    "RevokeRequest",
+    "RevokeResponse",
+    "ShardRouter",
+    "StoreUnavailableError",
+    "TokenBucket",
+    "build_setting",
+    "run_demo",
+]

@@ -1,0 +1,112 @@
+"""Request batching: group same-delegation re-encryptions.
+
+A clinical workload re-encrypts many ciphertexts for the same (delegator,
+delegatee, type) triple in bursts — a doctor opening a patient's history
+pulls every entry of a category at once.  Each transformation needs the
+same proxy key, so the batcher resolves the key **once per group** and
+applies the pairing-side transformation per item, instead of paying a
+routing hop and table/cache lookup per ciphertext.
+
+The batcher is deliberately pure orchestration: it never touches shards
+or caches itself.  The gateway hands it two callables — one that resolves
+a group's key and one that transforms a single ciphertext with a resolved
+key — which keeps the grouping logic trivially testable and reusable over
+any execution backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+from repro.core.ciphertexts import ProxyKey, ReEncryptedCiphertext, TypedCiphertext
+
+__all__ = ["BatchGroup", "ReEncryptBatcher", "BatchItemError"]
+
+# (delegator_domain, delegator, delegatee_domain, delegatee, type_label)
+GroupKey = tuple[str, str, str, str, str]
+T = TypeVar("T")
+
+
+class BatchItemError(Exception):
+    """Wraps a per-item failure with the position it occurred at."""
+
+    def __init__(self, position: int, cause: Exception):
+        super().__init__("batch item %d failed: %s" % (position, cause))
+        self.position = position
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class BatchGroup:
+    """All items of one batch sharing a single delegation triple."""
+
+    group_key: GroupKey
+    positions: tuple[int, ...]
+    ciphertexts: tuple[TypedCiphertext, ...]
+
+
+class ReEncryptBatcher:
+    """Groups (ciphertext, delegatee) pairs by delegation and executes them."""
+
+    @staticmethod
+    def group(
+        items: Sequence[tuple[TypedCiphertext, str, str]],
+    ) -> list[BatchGroup]:
+        """Partition ``(ciphertext, delegatee_domain, delegatee)`` items.
+
+        Returns groups in first-appearance order; each group remembers the
+        original positions so results can be restored to submission order.
+        """
+        buckets: dict[GroupKey, list[int]] = {}
+        for position, (ciphertext, delegatee_domain, delegatee) in enumerate(items):
+            key = (
+                ciphertext.domain,
+                ciphertext.identity,
+                delegatee_domain,
+                delegatee,
+                ciphertext.type_label,
+            )
+            buckets.setdefault(key, []).append(position)
+        return [
+            BatchGroup(
+                group_key=key,
+                positions=tuple(positions),
+                ciphertexts=tuple(items[i][0] for i in positions),
+            )
+            for key, positions in buckets.items()
+        ]
+
+    @staticmethod
+    def execute(
+        items: Sequence[tuple[TypedCiphertext, str, str]],
+        resolve_key: Callable[[GroupKey], ProxyKey],
+        transform: Callable[[TypedCiphertext, ProxyKey, int], ReEncryptedCiphertext],
+    ) -> list[ReEncryptedCiphertext]:
+        """Run a batch: one ``resolve_key`` per group, one ``transform`` per item.
+
+        Results come back in submission order; ``transform`` also receives
+        the item's submission position, so callers can attribute per-item
+        state (shard, cache hit) without re-deriving it.  *Every* group's
+        key is resolved before *any* transformation runs — a missing
+        delegation (the realistic failure) aborts the batch with
+        :class:`BatchItemError` before side effects accumulate, so no
+        partial work is visible for that failure mode.  A mid-batch
+        ``transform`` failure still aborts with the offending position.
+        """
+        groups = ReEncryptBatcher.group(items)
+        keys: dict[GroupKey, ProxyKey] = {}
+        for group in groups:
+            try:
+                keys[group.group_key] = resolve_key(group.group_key)
+            except Exception as error:  # noqa: BLE001 - rewrapped with position
+                raise BatchItemError(group.positions[0], error) from error
+        results: list[ReEncryptedCiphertext | None] = [None] * len(items)
+        for group in groups:
+            key = keys[group.group_key]
+            for position, ciphertext in zip(group.positions, group.ciphertexts):
+                try:
+                    results[position] = transform(ciphertext, key, position)
+                except Exception as error:  # noqa: BLE001 - rewrapped with position
+                    raise BatchItemError(position, error) from error
+        return results  # type: ignore[return-value]  # every slot filled above

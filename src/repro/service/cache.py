@@ -1,0 +1,134 @@
+"""LRU caching for the gateway's two hot lookups.
+
+Two caches front the shards:
+
+* the **proxy-key cache** short-circuits the shard's key-table lookup for
+  the (delegator, delegatee, type) triples that dominate a workload;
+* the **KEM-result cache** stores the output of ``Preenc`` keyed by the
+  full (ciphertext, delegatee) pair.  ``Preenc`` is deterministic — the
+  transformed ciphertext is a pure function of the input ciphertext and
+  the installed key — so replaying a cached result is sound as long as the
+  entry is invalidated when the underlying key changes, which the gateway
+  does on every grant and revoke.
+
+Hits, misses and evictions are reported both locally (:class:`CacheStats`)
+and through :func:`repro.bench.counters.record_operation`, so the E9
+benchmark can attribute saved pairings to the cache with the same
+machinery E1 uses for group operations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from repro.bench.counters import record_operation
+
+__all__ = ["LruCache", "CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time view of one cache's accounting."""
+
+    name: str
+    size: int
+    capacity: int
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LruCache:
+    """A bounded mapping with least-recently-used eviction and accounting."""
+
+    def __init__(self, capacity: int, name: str = "cache"):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency on a hit."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._hits += 1
+            record_operation("%s_hit" % self.name)
+            return self._entries[key]
+        self._misses += 1
+        record_operation("%s_miss" % self.name)
+        return default
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value or compute, store and return it.
+
+        ``compute`` may raise; nothing is cached in that case.
+        """
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the oldest when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+            record_operation("%s_eviction" % self.name)
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns False when it was not cached."""
+        if self._entries.pop(key, None) is None:
+            return False
+        self._invalidations += 1
+        return True
+
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; returns count.
+
+        Used on revoke, where one (delegator, delegatee, type) triple may
+        back many cached KEM results.
+        """
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            del self._entries[key]
+        self._invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._invalidations += len(self._entries)
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            name=self.name,
+            size=len(self._entries),
+            capacity=self.capacity,
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            invalidations=self._invalidations,
+        )

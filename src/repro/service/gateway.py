@@ -1,0 +1,507 @@
+"""The gateway: a typed request/response front door over a shard fleet.
+
+One :class:`ReEncryptionGateway` owns N :class:`~repro.core.proxy.ProxyService`
+shards, a consistent-hash :class:`~repro.service.router.ShardRouter`, two
+LRU caches and a metrics accumulator.  Callers speak the four request
+types (:class:`GrantRequest`, :class:`RevokeRequest`,
+:class:`ReEncryptRequest`, :class:`FetchRequest`); every admission passes
+a per-tenant token-bucket rate limiter and lands in a bounded audit log.
+
+Failures are a closed taxonomy rooted at :class:`GatewayError`, each with
+a stable ``code`` string, so callers (and the audit log) never depend on
+library-internal exception types leaking through.
+
+Cache soundness: ``Preenc`` is deterministic, so cached transformation
+results are exact replays — but only while the installed key is the one
+that produced them.  Grants and revokes therefore invalidate both caches
+for the affected delegation before touching the shard.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.ciphertexts import ProxyKey, ReEncryptedCiphertext, TypedCiphertext
+from repro.core.proxy import (
+    DEFAULT_MAX_LOG_ENTRIES,
+    NoProxyKeyError,
+    ProxyKeyTable,
+    ProxyService,
+)
+from repro.core.scheme import TypeAndIdentityPre
+from repro.phr.store import EntryNotFoundError, StoredRecord
+from repro.service.batch import BatchItemError, ReEncryptBatcher
+from repro.service.cache import CacheStats, LruCache
+from repro.service.metrics import GatewayMetrics, MetricsSnapshot
+from repro.service.router import ShardRouter
+
+__all__ = [
+    "GatewayError",
+    "RateLimitedError",
+    "DelegationNotFoundError",
+    "EntryMissingError",
+    "InvalidRequestError",
+    "StoreUnavailableError",
+    "TokenBucket",
+    "GrantRequest",
+    "GrantResponse",
+    "RevokeRequest",
+    "RevokeResponse",
+    "ReEncryptRequest",
+    "ReEncryptResponse",
+    "FetchRequest",
+    "FetchResponse",
+    "AuditEvent",
+    "ReEncryptionGateway",
+]
+
+
+# --------------------------------------------------------------- error taxonomy
+
+
+class GatewayError(Exception):
+    """Base of every error the gateway raises; ``code`` is wire-stable."""
+
+    code = "gateway-error"
+
+
+class RateLimitedError(GatewayError):
+    """The tenant exhausted its token bucket."""
+
+    code = "rate-limited"
+
+
+class DelegationNotFoundError(GatewayError):
+    """No proxy key exists for the requested (delegator, delegatee, type)."""
+
+    code = "no-delegation"
+
+
+class EntryMissingError(GatewayError):
+    """A fetch named a (patient, entry) the store does not hold."""
+
+    code = "entry-not-found"
+
+
+class InvalidRequestError(GatewayError):
+    """The request is structurally unusable (empty batch, bad fields)."""
+
+    code = "invalid-request"
+
+
+class StoreUnavailableError(GatewayError):
+    """A fetch arrived but the gateway was built without a PHR store."""
+
+    code = "no-store"
+
+
+# ------------------------------------------------------------------ rate limit
+
+
+class TokenBucket:
+    """Per-tenant token buckets: ``rate_per_s`` refill up to ``burst``.
+
+    The clock is injectable so tests advance time explicitly instead of
+    sleeping; production uses ``time.monotonic``.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float, clock: Callable[[], float]):
+        if rate_per_s <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._clock = clock
+        self._buckets: dict[str, tuple[float, float]] = {}  # tenant -> (tokens, stamp)
+
+    def allow(self, tenant: str, cost: float = 1.0) -> bool:
+        now = self._clock()
+        tokens, stamp = self._buckets.get(tenant, (self.burst, now))
+        tokens = min(self.burst, tokens + (now - stamp) * self.rate_per_s)
+        if tokens < cost:
+            self._buckets[tenant] = (tokens, now)
+            return False
+        self._buckets[tenant] = (tokens - cost, now)
+        return True
+
+
+# ------------------------------------------------------------------- requests
+
+
+@dataclass(frozen=True)
+class GrantRequest:
+    """Install a proxy key (the delegator ran ``Pextract`` out of band)."""
+
+    tenant: str
+    proxy_key: ProxyKey
+
+
+@dataclass(frozen=True)
+class GrantResponse:
+    shard: str
+
+
+@dataclass(frozen=True)
+class RevokeRequest:
+    tenant: str
+    delegator_domain: str
+    delegator: str
+    delegatee_domain: str
+    delegatee: str
+    type_label: str
+
+
+@dataclass(frozen=True)
+class RevokeResponse:
+    shard: str
+    removed: bool
+
+
+@dataclass(frozen=True)
+class ReEncryptRequest:
+    tenant: str
+    ciphertext: TypedCiphertext
+    delegatee_domain: str
+    delegatee: str
+
+
+@dataclass(frozen=True)
+class ReEncryptResponse:
+    ciphertext: ReEncryptedCiphertext
+    shard: str
+    cache_hit: bool
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """Read stored ciphertext blobs (one entry, or a patient/category scan)."""
+
+    tenant: str
+    patient: str
+    entry_id: str | None = None
+    category: str | None = None
+
+
+@dataclass(frozen=True)
+class FetchResponse:
+    records: tuple[StoredRecord, ...]
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One admitted-or-refused request, as the bounded audit log records it."""
+
+    sequence: int
+    tenant: str
+    action: str
+    outcome: str  # "ok" or an error code
+    detail: str
+
+
+# -------------------------------------------------------------------- gateway
+
+
+@dataclass
+class ReEncryptionGateway:
+    """N proxy shards behind routing, caching, batching and rate limiting."""
+
+    scheme: TypeAndIdentityPre
+    shard_count: int = 4
+    store: object | None = None  # EncryptedPhrStore | FilePhrStore (duck-typed)
+    rate_per_s: float | None = None  # None disables rate limiting
+    burst: float | None = None  # defaults to 2 * rate_per_s
+    key_cache_size: int = 256
+    result_cache_size: int = 1024
+    max_audit_entries: int = 10_000
+    max_shard_log_entries: int = DEFAULT_MAX_LOG_ENTRIES
+    clock: Callable[[], float] = time.monotonic
+    _shards: dict[str, ProxyService] = field(init=False)
+    _router: ShardRouter = field(init=False)
+    _key_cache: LruCache = field(init=False)
+    _result_cache: LruCache = field(init=False)
+    _limiter: TokenBucket | None = field(init=False)
+    _audit: deque = field(init=False)
+    _audit_sequence: int = field(init=False, default=0)
+    metrics: GatewayMetrics = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.shard_count < 1:
+            raise ValueError("shard_count must be positive")
+        names = ["shard-%02d" % i for i in range(self.shard_count)]
+        self._shards = {
+            name: ProxyService(
+                self.scheme, name=name, max_log_entries=self.max_shard_log_entries
+            )
+            for name in names
+        }
+        self._router = ShardRouter(names)
+        self._key_cache = LruCache(self.key_cache_size, name="key_cache")
+        self._result_cache = LruCache(self.result_cache_size, name="result_cache")
+        self._audit = deque(maxlen=self.max_audit_entries)
+        self.metrics = GatewayMetrics(clock=self.clock)
+        self._limiter = None
+        self.set_rate_limit(self.rate_per_s, self.burst)
+
+    # ------------------------------------------------------------- internals
+
+    def set_rate_limit(self, rate_per_s: float | None, burst: float | None = None) -> None:
+        """Install, replace or (with ``None``) remove the per-tenant limiter.
+
+        Existing bucket state is discarded — an admin retuning the limit
+        grants every tenant a fresh burst.
+        """
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._limiter = (
+            TokenBucket(
+                rate_per_s,
+                burst if burst is not None else 2 * rate_per_s,
+                self.clock,
+            )
+            if rate_per_s is not None
+            else None
+        )
+
+    def shard_named(self, name: str) -> ProxyService:
+        return self._shards[name]
+
+    @property
+    def shard_names(self) -> list[str]:
+        return self._router.shards
+
+    def _route(self, delegator_domain: str, delegator: str, type_label: str) -> str:
+        return self._router.shard_for(delegator_domain, delegator, type_label)
+
+    def _record_audit(self, tenant: str, action: str, outcome: str, detail: str) -> None:
+        self._audit.append(
+            AuditEvent(
+                sequence=self._audit_sequence,
+                tenant=tenant,
+                action=action,
+                outcome=outcome,
+                detail=detail,
+            )
+        )
+        self._audit_sequence += 1
+
+    def _admit(self, tenant: str, action: str, cost: float = 1.0) -> None:
+        if self._limiter is not None and not self._limiter.allow(tenant, cost):
+            self.metrics.observe_rejection(rate_limited=True)
+            self._record_audit(tenant, action, RateLimitedError.code, "cost=%g" % cost)
+            raise RateLimitedError("tenant %r exceeded %g req/s" % (tenant, self.rate_per_s))
+
+    def _resolve_key(
+        self, index: tuple[str, str, str, str, str], shard: ProxyService
+    ) -> ProxyKey:
+        """Key-cache-backed table lookup; misses fall through to the shard."""
+        key = self._key_cache.get(index)
+        if key is None:
+            key = shard.table.get(index)
+            if key is None:
+                raise NoProxyKeyError(
+                    "no proxy key for delegator=%r delegatee=%r type=%r"
+                    % (index[1], index[3], index[4])
+                )
+            self._key_cache.put(index, key)
+        return key
+
+    def _invalidate_delegation(self, index: tuple[str, str, str, str, str]) -> None:
+        delegator_domain, delegator, delegatee_domain, delegatee, type_label = index
+        self._key_cache.invalidate(index)
+        self._result_cache.invalidate_where(
+            lambda key: (
+                key[0].domain == delegator_domain
+                and key[0].identity == delegator
+                and key[0].type_label == type_label
+                and key[1] == delegatee_domain
+                and key[2] == delegatee
+            )
+        )
+
+    # ------------------------------------------------------------ operations
+
+    def grant(self, request: GrantRequest) -> GrantResponse:
+        """Install a proxy key on the shard that owns its delegator/type."""
+        self._admit(request.tenant, "grant")
+        start = self.clock()
+        key = request.proxy_key
+        self._invalidate_delegation(ProxyKeyTable.index_of(key))
+        shard_name = self._route(key.delegator_domain, key.delegator, key.type_label)
+        self._shards[shard_name].install_key(key)
+        self.metrics.observe("grant", (self.clock() - start) * 1000, shard_name)
+        self._record_audit(
+            request.tenant,
+            "grant",
+            "ok",
+            "%s->%s type=%s shard=%s" % (key.delegator, key.delegatee, key.type_label, shard_name),
+        )
+        return GrantResponse(shard=shard_name)
+
+    def revoke(self, request: RevokeRequest) -> RevokeResponse:
+        """Remove a delegation everywhere: shard table and both caches."""
+        self._admit(request.tenant, "revoke")
+        start = self.clock()
+        index: tuple[str, str, str, str, str] = (
+            request.delegator_domain,
+            request.delegator,
+            request.delegatee_domain,
+            request.delegatee,
+            request.type_label,
+        )
+        self._invalidate_delegation(index)
+        shard_name = self._route(
+            request.delegator_domain, request.delegator, request.type_label
+        )
+        removed = self._shards[shard_name].revoke_key(*index)
+        self.metrics.observe("revoke", (self.clock() - start) * 1000, shard_name)
+        self._record_audit(
+            request.tenant,
+            "revoke",
+            "ok",
+            "%s->%s type=%s removed=%s"
+            % (request.delegator, request.delegatee, request.type_label, removed),
+        )
+        return RevokeResponse(shard=shard_name, removed=removed)
+
+    def reencrypt(self, request: ReEncryptRequest) -> ReEncryptResponse:
+        """Transform one ciphertext, consulting both caches."""
+        self._admit(request.tenant, "reencrypt")
+        start = self.clock()
+        ciphertext = request.ciphertext
+        shard_name = self._route(ciphertext.domain, ciphertext.identity, ciphertext.type_label)
+        shard = self._shards[shard_name]
+        result_key = (ciphertext, request.delegatee_domain, request.delegatee)
+        cached = self._result_cache.get(result_key)
+        if cached is not None:
+            self.metrics.observe("reencrypt", (self.clock() - start) * 1000, shard_name)
+            self._record_audit(request.tenant, "reencrypt", "ok", "cache-hit shard=%s" % shard_name)
+            return ReEncryptResponse(ciphertext=cached, shard=shard_name, cache_hit=True)
+        index = ProxyKeyTable.request_index(
+            ciphertext, request.delegatee_domain, request.delegatee
+        )
+        try:
+            key = self._resolve_key(index, shard)
+        except NoProxyKeyError as error:
+            self.metrics.observe_rejection()
+            self._record_audit(
+                request.tenant, "reencrypt", DelegationNotFoundError.code, str(error)
+            )
+            raise DelegationNotFoundError(str(error)) from error
+        result = shard.reencrypt_with_key(ciphertext, key)
+        self._result_cache.put(result_key, result)
+        self.metrics.observe("reencrypt", (self.clock() - start) * 1000, shard_name)
+        self._record_audit(request.tenant, "reencrypt", "ok", "shard=%s" % shard_name)
+        return ReEncryptResponse(ciphertext=result, shard=shard_name, cache_hit=False)
+
+    def reencrypt_batch(
+        self, requests: Sequence[ReEncryptRequest]
+    ) -> list[ReEncryptResponse]:
+        """Transform a batch; key lookups are amortized per delegation group.
+
+        Produces bit-identical ciphertexts to issuing the requests one by
+        one (``Preenc`` is deterministic), in submission order.
+        """
+        if not requests:
+            raise InvalidRequestError("empty batch")
+        for request in requests:
+            self._admit(request.tenant, "reencrypt-batch")
+        start = self.clock()
+        items = [
+            (request.ciphertext, request.delegatee_domain, request.delegatee)
+            for request in requests
+        ]
+        shard_names = [
+            self._route(c.domain, c.identity, c.type_label) for c, _, _ in items
+        ]
+        hit_flags = [False] * len(items)
+
+        def resolve(group_key: tuple[str, str, str, str, str]) -> ProxyKey:
+            shard = self._shards[self._route(group_key[0], group_key[1], group_key[4])]
+            return self._resolve_key(group_key, shard)
+
+        def transform(
+            ciphertext: TypedCiphertext, key: ProxyKey, position: int
+        ) -> ReEncryptedCiphertext:
+            result_key = (ciphertext, key.delegatee_domain, key.delegatee)
+            cached = self._result_cache.get(result_key)
+            if cached is not None:
+                hit_flags[position] = True
+                return cached
+            result = self._shards[shard_names[position]].reencrypt_with_key(ciphertext, key)
+            self._result_cache.put(result_key, result)
+            return result
+
+        try:
+            results = ReEncryptBatcher.execute(items, resolve, transform)
+        except BatchItemError as error:
+            self.metrics.observe_rejection()
+            tenant = requests[error.position].tenant
+            if isinstance(error.cause, NoProxyKeyError):
+                self._record_audit(
+                    tenant, "reencrypt-batch", DelegationNotFoundError.code, str(error.cause)
+                )
+                raise DelegationNotFoundError(str(error.cause)) from error
+            self._record_audit(tenant, "reencrypt-batch", GatewayError.code, str(error.cause))
+            raise GatewayError(str(error.cause)) from error
+        elapsed_ms = (self.clock() - start) * 1000
+        per_item_ms = elapsed_ms / len(requests)
+        for request, shard_name in zip(requests, shard_names):
+            self.metrics.observe("reencrypt", per_item_ms, shard_name)
+            self._record_audit(request.tenant, "reencrypt-batch", "ok", "shard=%s" % shard_name)
+        return [
+            ReEncryptResponse(ciphertext=result, shard=shard_name, cache_hit=hit)
+            for result, shard_name, hit in zip(results, shard_names, hit_flags)
+        ]
+
+    def fetch(self, request: FetchRequest) -> FetchResponse:
+        """Read ciphertext blobs from the attached PHR store."""
+        self._admit(request.tenant, "fetch")
+        if self.store is None:
+            self.metrics.observe_rejection()
+            self._record_audit(request.tenant, "fetch", StoreUnavailableError.code, "")
+            raise StoreUnavailableError("gateway has no PHR store attached")
+        start = self.clock()
+        try:
+            if request.entry_id is not None:
+                records = (self.store.get(request.patient, request.entry_id),)
+            else:
+                records = tuple(self.store.entries_for(request.patient, request.category))
+        except EntryNotFoundError as error:
+            self.metrics.observe_rejection()
+            self._record_audit(request.tenant, "fetch", EntryMissingError.code, str(error))
+            raise EntryMissingError(str(error)) from error
+        self.metrics.observe("fetch", (self.clock() - start) * 1000)
+        self._record_audit(
+            request.tenant, "fetch", "ok", "patient=%s n=%d" % (request.patient, len(records))
+        )
+        return FetchResponse(records=records)
+
+    # ---------------------------------------------------------- observability
+
+    @property
+    def audit(self) -> list[AuditEvent]:
+        """The bounded audit log (copy, oldest first)."""
+        return list(self._audit)
+
+    def key_count(self) -> int:
+        """Total installed keys across all shards."""
+        return sum(shard.key_count() for shard in self._shards.values())
+
+    def shard_key_counts(self) -> dict[str, int]:
+        return {name: shard.key_count() for name, shard in self._shards.items()}
+
+    def snapshot(self) -> MetricsSnapshot:
+        return self.metrics.snapshot(
+            caches={
+                "key_cache": self._key_cache.stats(),
+                "result_cache": self._result_cache.stats(),
+            }
+        )
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        return {
+            "key_cache": self._key_cache.stats(),
+            "result_cache": self._result_cache.stats(),
+        }

@@ -1,0 +1,147 @@
+"""Gateway observability: latency, throughput and shard balance.
+
+Everything is snapshot-based: the live :class:`GatewayMetrics` object
+accumulates counters and latency samples, and :meth:`GatewayMetrics.snapshot`
+freezes them into plain dataclasses the CLI and benchmarks render.  The
+clock is injectable so tests assert on exact numbers instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.service.cache import CacheStats
+
+__all__ = ["LatencySummary", "MetricsSnapshot", "GatewayMetrics"]
+
+# Latency samples kept per outcome; enough for stable percentiles without
+# unbounded growth on a long-running gateway.
+_MAX_SAMPLES = 50_000
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentiles over the retained samples of one operation kind."""
+
+    count: int
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @staticmethod
+    def of(samples: list[float]) -> "LatencySummary":
+        if not samples:
+            return LatencySummary(count=0, p50_ms=0.0, p90_ms=0.0, p99_ms=0.0, max_ms=0.0)
+        ordered = sorted(samples)
+        def pct(q: float) -> float:
+            return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+        return LatencySummary(
+            count=len(ordered),
+            p50_ms=pct(0.50),
+            p90_ms=pct(0.90),
+            p99_ms=pct(0.99),
+            max_ms=ordered[-1],
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A frozen view of the gateway since construction (or last reset)."""
+
+    requests_total: int
+    served: int
+    rejected: int
+    rate_limited: int
+    elapsed_s: float
+    shard_requests: dict[str, int]
+    latency: dict[str, LatencySummary]
+    caches: dict[str, CacheStats]
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.served / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def shard_imbalance(self) -> float:
+        """max/mean of per-shard request counts; 1.0 is perfect balance."""
+        counts = [c for c in self.shard_requests.values()]
+        if not counts or sum(counts) == 0:
+            return 1.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean
+
+    def rows(self) -> list[list[str]]:
+        """Render-ready (metric, value) rows for ``repro.bench.report``."""
+        rows = [
+            ["requests total", str(self.requests_total)],
+            ["served", str(self.served)],
+            ["rejected (policy)", str(self.rejected)],
+            ["rate limited", str(self.rate_limited)],
+            ["throughput req/s", "%.1f" % self.throughput_rps],
+            ["shard imbalance (max/mean)", "%.2f" % self.shard_imbalance],
+        ]
+        for kind in sorted(self.latency):
+            summary = self.latency[kind]
+            if summary.count:
+                rows.append(
+                    ["%s p50/p90 ms" % kind, "%.2f / %.2f" % (summary.p50_ms, summary.p90_ms)]
+                )
+        for name in sorted(self.caches):
+            stats = self.caches[name]
+            rows.append(
+                [
+                    "%s hit rate" % name,
+                    "%.1f%% (%d/%d)" % (100 * stats.hit_rate, stats.hits, stats.hits + stats.misses),
+                ]
+            )
+        return rows
+
+
+@dataclass
+class GatewayMetrics:
+    """Mutable accumulator the gateway writes into on every request."""
+
+    clock: Callable[[], float] = time.monotonic
+    requests_total: int = 0
+    served: int = 0
+    rejected: int = 0
+    rate_limited: int = 0
+    shard_requests: Counter = field(default_factory=Counter)
+    _samples: dict[str, list[float]] = field(default_factory=dict)
+    _started_at: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._started_at = self.clock()
+
+    def observe(self, kind: str, latency_ms: float, shard: str | None = None) -> None:
+        """Record one served operation of ``kind``."""
+        self.requests_total += 1
+        self.served += 1
+        if shard is not None:
+            self.shard_requests[shard] += 1
+        samples = self._samples.setdefault(kind, [])
+        if len(samples) < _MAX_SAMPLES:
+            samples.append(latency_ms)
+
+    def observe_rejection(self, rate_limited: bool = False) -> None:
+        self.requests_total += 1
+        if rate_limited:
+            self.rate_limited += 1
+        else:
+            self.rejected += 1
+
+    def snapshot(self, caches: dict[str, CacheStats] | None = None) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            requests_total=self.requests_total,
+            served=self.served,
+            rejected=self.rejected,
+            rate_limited=self.rate_limited,
+            elapsed_s=self.clock() - self._started_at,
+            shard_requests=dict(self.shard_requests),
+            latency={kind: LatencySummary.of(samples) for kind, samples in self._samples.items()},
+            caches=dict(caches or {}),
+        )

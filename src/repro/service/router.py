@@ -1,0 +1,89 @@
+"""Consistent-hash routing of delegations onto proxy shards.
+
+The gateway partitions proxy state by **route key** — the (delegator
+domain, delegator, type) triple.  Both a :class:`~repro.core.ciphertexts.ProxyKey`
+and a re-encryption request carry the triple, so a key installed through
+the router is always found by the requests it serves, whichever shard the
+ring puts it on.  Classic consistent hashing with virtual nodes keeps the
+assignment stable: growing the fleet from N to N+1 shards moves roughly a
+1/(N+1) fraction of route keys, instead of reshuffling almost everything
+the way ``hash(key) % N`` would.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+__all__ = ["ShardRouter", "route_key_of"]
+
+RouteKey = tuple[str, str, str]
+
+
+def route_key_of(delegator_domain: str, delegator: str, type_label: str) -> RouteKey:
+    """The partitioning triple; one helper so callers cannot disagree on order."""
+    return (delegator_domain, delegator, type_label)
+
+
+def _ring_point(material: bytes) -> int:
+    """A 64-bit position on the ring (SHA-256 is overkill but everywhere)."""
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+class ShardRouter:
+    """Maps route keys onto a fixed set of shard names via a hash ring."""
+
+    def __init__(self, shard_names: Sequence[str], replicas: int = 64):
+        if not shard_names:
+            raise ValueError("need at least one shard")
+        if len(set(shard_names)) != len(shard_names):
+            raise ValueError("shard names must be unique")
+        if replicas < 1:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._shards = list(shard_names)
+        self._ring: list[tuple[int, str]] = []
+        for shard in self._shards:
+            for replica in range(replicas):
+                point = _ring_point(b"shard|%s|%d" % (shard.encode("utf-8"), replica))
+                self._ring.append((point, shard))
+        self._ring.sort()
+        self._points = [point for point, _ in self._ring]
+
+    @property
+    def shards(self) -> list[str]:
+        return list(self._shards)
+
+    def shard_for(self, delegator_domain: str, delegator: str, type_label: str) -> str:
+        """The shard owning this (delegator domain, delegator, type) triple."""
+        material = "|".join((delegator_domain, delegator, type_label)).encode("utf-8")
+        point = _ring_point(b"key|" + material)
+        position = bisect.bisect_right(self._points, point)
+        if position == len(self._ring):
+            position = 0  # wrap around the ring
+        return self._ring[position][1]
+
+    def assignment_counts(self, keys: Iterable[RouteKey]) -> dict[str, int]:
+        """How many of ``keys`` each shard owns (for balance reporting)."""
+        counts = {shard: 0 for shard in self._shards}
+        for domain, delegator, type_label in keys:
+            counts[self.shard_for(domain, delegator, type_label)] += 1
+        return counts
+
+    def moved_fraction(self, other: "ShardRouter", keys: Iterable[RouteKey]) -> float:
+        """Fraction of ``keys`` that map to different shards under ``other``.
+
+        The consistent-hashing selling point, measurable: growing the fleet
+        by one shard should move about 1/(N+1) of the keys, not all of them.
+        """
+        keys = list(keys)
+        if not keys:
+            return 0.0
+        moved = sum(
+            1
+            for domain, delegator, type_label in keys
+            if self.shard_for(domain, delegator, type_label)
+            != other.shard_for(domain, delegator, type_label)
+        )
+        return moved / len(keys)

@@ -120,3 +120,20 @@ class TestErrorHandling:
         assert main(["setup", "--group", "NOPE", "--domain", "D",
                      "--out", str(tmp_path / "d")]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_prints_gateway_metrics(self, capsys):
+        assert main(["serve", "--group", "TOY", "--shards", "2",
+                     "--requests", "24", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "gateway: 24 requests over 2 shards" in out
+        assert "result_cache hit rate" in out
+        assert "shard imbalance" in out
+
+    def test_serve_with_rate_limit_survives_rejections(self, capsys):
+        """Regression: rate-limited requests are counted, not a crash."""
+        assert main(["serve", "--group", "TOY", "--shards", "2",
+                     "--requests", "80", "--rate", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "rate limited" in out

@@ -115,3 +115,49 @@ class TestProxyIntegration:
         assert bob.read_entry(
             reopened.serve("alice", entry.entry_id, "KGC2", "bob")
         ) == entry
+
+
+class TestIndexV2:
+    def test_v1_flat_index_migrates_on_open(self, tmp_path):
+        """A pre-sizes index (flat key->category map) upgrades in place."""
+        import json
+
+        root = tmp_path / "store"
+        blob_dir = root / "blobs" / "alice"
+        blob_dir.mkdir(parents=True)
+        (blob_dir / "e1.bin").write_bytes(b"four")
+        (blob_dir / "e2.bin").write_bytes(b"sixsix")
+        (root / "index.json").write_text(
+            json.dumps({"alice|e1": "labs", "alice|e2": "meds"})
+        )
+
+        store = FilePhrStore(root)
+        assert store.record_count() == 2
+        assert store.size_bytes() == 10
+        assert store.get("alice", "e1").category == "labs"
+        # The on-disk index is rewritten in the versioned format.
+        upgraded = json.loads((root / "index.json").read_text())
+        assert upgraded["version"] == FilePhrStore.INDEX_VERSION
+        assert upgraded["entries"]["alice|e2"] == {"category": "meds", "size": 6}
+
+    def test_size_bytes_needs_no_filesystem(self, tmp_path):
+        """Sizes come from the index: accounting survives blob deletion."""
+        store = FilePhrStore(tmp_path / "store")
+        store.put("alice", "labs", "e1", b"12345")
+        (tmp_path / "store" / "blobs" / "alice" / "e1.bin").unlink()
+        assert store.size_bytes() == 5
+
+    def test_headers_do_not_read_blobs(self, tmp_path):
+        store = FilePhrStore(tmp_path / "store")
+        store.put("alice", "labs", "e1", b"aaa")
+        store.put("alice", "meds", "e2", b"bb")
+        (tmp_path / "store" / "blobs" / "alice" / "e1.bin").unlink()  # prove no read
+        assert store.headers_for("alice") == [("e1", "labs", 3), ("e2", "meds", 2)]
+        assert store.headers_for("alice", "meds") == [("e2", "meds", 2)]
+
+    def test_v2_round_trips_across_reopen(self, tmp_path):
+        first = FilePhrStore(tmp_path / "store")
+        first.put("alice", "labs", "e1", b"xyz")
+        second = FilePhrStore(tmp_path / "store")
+        assert second.size_bytes() == 3
+        assert second.entries_for("alice")[0].blob == b"xyz"

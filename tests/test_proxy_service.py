@@ -107,3 +107,66 @@ class TestLog:
         with pytest.raises(NoProxyKeyError):
             proxy.reencrypt(ciphertext, "KGC2", "bob")
         assert proxy.log == []
+
+
+class TestDomainSeparation:
+    def test_same_name_in_two_domains_does_not_merge(self, pre_setting, group, rng):
+        """Regression: 'alice'@KGC1 and 'alice'@KGC3 are different identities."""
+        scheme, _, kgc2, alice_kgc1, _ = pre_setting
+        from repro.ibe.kgc import KeyGenerationCenter
+
+        kgc3 = KeyGenerationCenter(group, "KGC3", rng)
+        alice_kgc3 = kgc3.extract("alice")
+        proxy = ProxyService(scheme)
+        proxy.install_key(scheme.pextract(alice_kgc1, "bob", "t1", kgc2.params, rng))
+        proxy.install_key(scheme.pextract(alice_kgc3, "carol", "t9", kgc2.params, rng))
+
+        assert proxy.delegations_for("alice", "KGC1") == [("bob", "t1")]
+        assert proxy.delegations_for("alice", "KGC3") == [("carol", "t9")]
+        assert proxy.delegations_for("alice", "KGC7") == []
+
+    def test_ambiguous_name_without_domain_refuses(self, pre_setting, group, rng):
+        scheme, _, kgc2, alice_kgc1, _ = pre_setting
+        from repro.core.scheme import DelegationError
+        from repro.ibe.kgc import KeyGenerationCenter
+
+        kgc3 = KeyGenerationCenter(group, "KGC3", rng)
+        proxy = ProxyService(scheme)
+        proxy.install_key(scheme.pextract(alice_kgc1, "bob", "t1", kgc2.params, rng))
+        proxy.install_key(scheme.pextract(kgc3.extract("alice"), "bob", "t1", kgc2.params, rng))
+        with pytest.raises(DelegationError):
+            proxy.delegations_for("alice")
+
+    def test_unique_name_without_domain_still_works(self, pre_setting, rng):
+        scheme, _, kgc2, alice, _ = pre_setting
+        proxy = ProxyService(scheme)
+        proxy.install_key(scheme.pextract(alice, "bob", "t1", kgc2.params, rng))
+        assert proxy.delegations_for("alice") == [("bob", "t1")]
+
+
+class TestBoundedLog:
+    def test_log_drops_oldest_beyond_cap(self, delegation):
+        _, proxy, _, ciphertext, proxy_key, _ = delegation
+        proxy.max_log_entries = 3
+        proxy.__post_init__()  # re-apply the bound
+        proxy.install_key(proxy_key)
+        for _ in range(5):
+            proxy.reencrypt(ciphertext, "KGC2", "bob")
+        log = proxy.log
+        assert len(log) == 3
+        assert [entry.sequence for entry in log] == [2, 3, 4]
+        assert proxy.transformations_total == 5
+
+    def test_constructor_bound(self, delegation):
+        scheme, _, _, ciphertext, proxy_key, _ = delegation
+        proxy = ProxyService(scheme, max_log_entries=2)
+        proxy.install_key(proxy_key)
+        for _ in range(4):
+            proxy.reencrypt(ciphertext, "KGC2", "bob")
+        assert len(proxy.log) == 2
+        assert proxy.transformations_total == 4
+
+    def test_rejects_nonpositive_bound(self, pre_setting):
+        scheme = pre_setting[0]
+        with pytest.raises(ValueError):
+            ProxyService(scheme, max_log_entries=0)

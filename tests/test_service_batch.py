@@ -1,0 +1,135 @@
+"""Tests for delegation-grouped request batching."""
+
+import pytest
+
+from repro.service.batch import BatchItemError, ReEncryptBatcher
+
+
+class FakeCiphertext:
+    """Just the header fields the batcher reads (no pairing work needed)."""
+
+    def __init__(self, domain, identity, type_label, payload):
+        self.domain = domain
+        self.identity = identity
+        self.type_label = type_label
+        self.payload = payload
+
+
+def _item(identity, delegatee, type_label, payload=0):
+    return (FakeCiphertext("KGC1", identity, type_label, payload), "KGC2", delegatee)
+
+
+class TestGrouping:
+    def test_same_delegation_shares_a_group(self):
+        items = [
+            _item("alice", "bob", "labs", 1),
+            _item("alice", "bob", "labs", 2),
+            _item("alice", "carol", "labs", 3),
+        ]
+        groups = ReEncryptBatcher.group(items)
+        assert len(groups) == 2
+        assert groups[0].group_key == ("KGC1", "alice", "KGC2", "bob", "labs")
+        assert groups[0].positions == (0, 1)
+        assert groups[1].positions == (2,)
+
+    def test_type_splits_groups(self):
+        items = [_item("alice", "bob", "labs"), _item("alice", "bob", "meds")]
+        assert len(ReEncryptBatcher.group(items)) == 2
+
+    def test_groups_in_first_appearance_order(self):
+        items = [
+            _item("alice", "bob", "labs"),
+            _item("zoe", "bob", "labs"),
+            _item("alice", "bob", "labs"),
+        ]
+        groups = ReEncryptBatcher.group(items)
+        assert [g.group_key[1] for g in groups] == ["alice", "zoe"]
+
+    def test_empty_batch_groups_empty(self):
+        assert ReEncryptBatcher.group([]) == []
+
+
+class TestExecution:
+    def test_one_key_resolution_per_group(self):
+        items = [
+            _item("alice", "bob", "labs", 1),
+            _item("alice", "bob", "labs", 2),
+            _item("alice", "bob", "labs", 3),
+            _item("alice", "carol", "labs", 4),
+        ]
+        resolutions = []
+
+        def resolve(group_key):
+            resolutions.append(group_key)
+            return "key-for-%s" % group_key[3]
+
+        results = ReEncryptBatcher.execute(
+            items, resolve, lambda ct, key, pos: (ct.payload, key)
+        )
+        assert len(resolutions) == 2  # not 4: lookups amortized per delegation
+        assert results == [
+            (1, "key-for-bob"),
+            (2, "key-for-bob"),
+            (3, "key-for-bob"),
+            (4, "key-for-carol"),
+        ]
+
+    def test_results_restored_to_submission_order(self):
+        # Interleave two delegations; outputs must still follow inputs 1:1.
+        items = [
+            _item("alice", "bob", "labs", 0),
+            _item("alice", "carol", "labs", 1),
+            _item("alice", "bob", "labs", 2),
+            _item("alice", "carol", "labs", 3),
+        ]
+        results = ReEncryptBatcher.execute(items, lambda gk: gk[3], lambda ct, key, pos: ct.payload)
+        assert results == [0, 1, 2, 3]
+
+    def test_resolve_failure_names_first_position(self):
+        items = [_item("alice", "bob", "labs", 0), _item("alice", "carol", "labs", 1)]
+
+        def resolve(group_key):
+            if group_key[3] == "carol":
+                raise KeyError("no key")
+            return "k"
+
+        with pytest.raises(BatchItemError) as excinfo:
+            ReEncryptBatcher.execute(items, resolve, lambda ct, key, pos: ct.payload)
+        assert excinfo.value.position == 1
+        assert isinstance(excinfo.value.cause, KeyError)
+
+    def test_transform_failure_names_its_position(self):
+        items = [_item("alice", "bob", "labs", 0), _item("alice", "bob", "labs", 1)]
+
+        def transform(ct, key, pos):
+            if ct.payload == 1:
+                raise ValueError("bad ciphertext")
+            return ct.payload
+
+        with pytest.raises(BatchItemError) as excinfo:
+            ReEncryptBatcher.execute(items, lambda gk: "k", transform)
+        assert excinfo.value.position == 1
+
+    def test_transform_receives_submission_positions(self):
+        items = [_item("alice", "bob", "labs", 10), _item("alice", "bob", "labs", 20)]
+        seen = []
+        ReEncryptBatcher.execute(
+            items, lambda gk: "k", lambda ct, key, pos: seen.append((pos, ct.payload))
+        )
+        assert seen == [(0, 10), (1, 20)]
+
+    def test_all_keys_resolve_before_any_transform(self):
+        """A missing delegation aborts the batch before side effects run."""
+        items = [_item("alice", "bob", "labs", 0), _item("alice", "carol", "labs", 1)]
+        transformed = []
+
+        def resolve(group_key):
+            if group_key[3] == "carol":
+                raise KeyError("no key")
+            return "k"
+
+        with pytest.raises(BatchItemError):
+            ReEncryptBatcher.execute(
+                items, resolve, lambda ct, key, pos: transformed.append(pos)
+            )
+        assert transformed == []  # bob's group never transformed

@@ -1,0 +1,141 @@
+"""Tests for the gateway's LRU caches and their accounting."""
+
+import pytest
+
+from repro.bench.counters import count_operations
+from repro.service.cache import LruCache
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", 42) == 42
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+
+    def test_contains_and_len(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+        assert len(cache) == 1
+
+    def test_put_refreshes_value(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+
+class TestEviction:
+    def test_oldest_evicted_first(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert "a" not in cache
+        assert cache.get("b") == 2 and cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+
+    def test_eviction_counted(self):
+        cache = LruCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.stats().evictions == 1
+
+
+class TestAccounting:
+    def test_hit_miss_counts_and_rate(self):
+        cache = LruCache(4, name="test")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("nope")
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (2, 1)
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_cache_hit_rate_zero(self):
+        assert LruCache(4).stats().hit_rate == 0.0
+
+    def test_operations_recorded_in_bench_counters(self):
+        """Cache traffic shows up in the same counters E1 uses for pairings."""
+        cache = LruCache(1, name="kc")
+        with count_operations() as counter:
+            cache.put("a", 1)
+            cache.get("a")
+            cache.get("b")
+            cache.put("c", 2)  # evicts "a"
+        assert counter.get("kc_hit") == 1
+        assert counter.get("kc_miss") == 1
+        assert counter.get("kc_eviction") == 1
+
+
+class TestInvalidation:
+    def test_invalidate_one(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert cache.stats().invalidations == 1
+
+    def test_invalidate_where(self):
+        cache = LruCache(8)
+        for i in range(6):
+            cache.put(("alice" if i % 2 else "bob", i), i)
+        dropped = cache.invalidate_where(lambda key: key[0] == "alice")
+        assert dropped == 3
+        assert len(cache) == 3
+        assert all(key[0] == "bob" for key in [("bob", 0), ("bob", 2), ("bob", 4)] if key in cache)
+
+    def test_clear(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().invalidations == 2
+
+
+class TestGetOrCompute:
+    def test_computes_once(self):
+        cache = LruCache(4)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute("k", compute) == "value"
+        assert cache.get_or_compute("k", compute) == "value"
+        assert len(calls) == 1
+
+    def test_failed_compute_caches_nothing(self):
+        cache = LruCache(4)
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert "k" not in cache
+
+    def test_cached_none_is_not_recomputed(self):
+        cache = LruCache(4)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return None
+
+        assert cache.get_or_compute("k", compute) is None
+        assert cache.get_or_compute("k", compute) is None
+        assert len(calls) == 1

@@ -1,0 +1,90 @@
+"""Tests for consistent-hash shard routing."""
+
+import pytest
+
+from repro.service.router import ShardRouter, route_key_of
+
+
+def _keys(n):
+    return [
+        route_key_of("KGC1", "patient-%03d" % (i % 50), "type-%d" % (i % 7))
+        for i in range(n)
+    ]
+
+
+class TestConstruction:
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            ShardRouter([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            ShardRouter(["a", "a"])
+
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(ValueError):
+            ShardRouter(["a"], replicas=0)
+
+    def test_shards_property_copies(self):
+        router = ShardRouter(["a", "b"])
+        router.shards.append("c")
+        assert router.shards == ["a", "b"]
+
+
+class TestRouting:
+    def test_deterministic(self):
+        router = ShardRouter(["s0", "s1", "s2"])
+        first = router.shard_for("KGC1", "alice", "labs")
+        assert all(router.shard_for("KGC1", "alice", "labs") == first for _ in range(20))
+
+    def test_two_routers_agree(self):
+        """Routing is a pure function of (names, replicas) — no hidden state."""
+        a = ShardRouter(["s0", "s1", "s2", "s3"])
+        b = ShardRouter(["s0", "s1", "s2", "s3"])
+        for key in _keys(100):
+            assert a.shard_for(*key) == b.shard_for(*key)
+
+    def test_single_shard_takes_everything(self):
+        router = ShardRouter(["only"])
+        assert all(router.shard_for(*key) == "only" for key in _keys(50))
+
+    def test_domain_partitions(self):
+        """The same (delegator, type) in different domains may route apart."""
+        router = ShardRouter(["s%d" % i for i in range(8)])
+        routes = {
+            router.shard_for("KGC%d" % i, "alice", "labs") for i in range(20)
+        }
+        assert len(routes) > 1
+
+    def test_every_shard_gets_work(self):
+        router = ShardRouter(["s0", "s1", "s2", "s3"])
+        counts = router.assignment_counts(_keys(400))
+        assert set(counts) == {"s0", "s1", "s2", "s3"}
+        assert sum(counts.values()) == 400
+        assert all(count > 0 for count in counts.values())
+
+
+class TestStability:
+    def test_adding_one_shard_moves_a_minority(self):
+        """The consistent-hashing contract: N->N+1 moves ~1/(N+1), not ~all."""
+        keys = _keys(350)
+        before = ShardRouter(["s%d" % i for i in range(4)])
+        after = ShardRouter(["s%d" % i for i in range(5)])
+        moved = before.moved_fraction(after, keys)
+        assert 0.0 < moved < 0.45  # ideal is 0.2; modulo hashing would be ~0.8
+
+    def test_moves_only_onto_the_new_shard(self):
+        """A key that moves must land on the shard that joined."""
+        before = ShardRouter(["s0", "s1", "s2"])
+        after = ShardRouter(["s0", "s1", "s2", "s3"])
+        for key in _keys(200):
+            old, new = before.shard_for(*key), after.shard_for(*key)
+            if old != new:
+                assert new == "s3"
+
+    def test_identical_fleets_move_nothing(self):
+        router = ShardRouter(["s0", "s1"])
+        assert router.moved_fraction(ShardRouter(["s0", "s1"]), _keys(100)) == 0.0
+
+    def test_empty_keys_move_nothing(self):
+        assert ShardRouter(["a"]).moved_fraction(ShardRouter(["b"]), []) == 0.0
