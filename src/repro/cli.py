@@ -172,6 +172,8 @@ def _cmd_serve(args) -> int:
         seed=args.seed or "gateway-demo",
         batch_size=args.batch,
         rate_per_s=args.rate,
+        workers=args.workers,
+        state_dir=args.state_dir,
     )
     print_table(
         "gateway: %d requests over %d shards" % (args.requests, args.shards),
@@ -241,6 +243,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests", type=int, default=200)
     p.add_argument("--batch", type=int, default=0, help="batch size (0/1 = unbatched)")
     p.add_argument("--rate", type=float, default=None, help="per-tenant requests/second cap")
+    p.add_argument("--workers", type=int, default=0,
+                   help="shard-pool threads (0 = sequential batch execution)")
+    p.add_argument("--state-dir", default=None,
+                   help="directory for durable per-shard key logs (survives restarts)")
     p.set_defaults(func=_cmd_serve)
     return parser
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 from repro.core.ciphertexts import ProxyKey, ReEncryptedCiphertext, TypedCiphertext
 from repro.core.scheme import DelegationError, TypeAndIdentityPre
@@ -24,6 +24,7 @@ from repro.core.scheme import DelegationError, TypeAndIdentityPre
 __all__ = [
     "ProxyService",
     "ProxyKeyTable",
+    "KeyTableBackend",
     "NoProxyKeyError",
     "ReEncryptionLogEntry",
     "DEFAULT_MAX_LOG_ENTRIES",
@@ -38,6 +39,23 @@ KeyIndex = tuple[str, str, str, str, str]
 
 class NoProxyKeyError(KeyError):
     """Raised when the proxy holds no key for the requested transformation."""
+
+
+@runtime_checkable
+class KeyTableBackend(Protocol):
+    """Storage observing a :class:`ProxyKeyTable`'s mutations.
+
+    A backend sees every *effective* mutation — installs always, revokes
+    only when a key was actually removed — which is exactly the sequence a
+    write-ahead log needs to reconstruct the table.  The in-memory table
+    is always authoritative; the backend never answers reads.
+    """
+
+    def on_install(self, key: ProxyKey) -> None:
+        """``key`` was installed (or replaced) in the table."""
+
+    def on_revoke(self, index: KeyIndex) -> None:
+        """The key at ``index`` was removed from the table."""
 
 
 @dataclass(frozen=True)
@@ -56,10 +74,17 @@ class ProxyKeyTable:
     This is the unit a sharded gateway partitions — it carries no scheme
     object and no log, only the table and its lookups, so shards stay
     cheap to create and easy to reason about.
+
+    An optional :class:`KeyTableBackend` observes every effective mutation,
+    which is how :class:`repro.service.persistence.DurableProxyKeyTable`
+    mirrors the table into an append log without the table knowing about
+    files.  :meth:`load` installs without notifying the backend — it is
+    the bootstrap path a backend uses to replay its own history.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, backend: KeyTableBackend | None = None) -> None:
         self._keys: dict[KeyIndex, ProxyKey] = {}
+        self._backend = backend
 
     @staticmethod
     def index_of(key: ProxyKey) -> KeyIndex:
@@ -86,10 +111,20 @@ class ProxyKeyTable:
     def install(self, key: ProxyKey) -> None:
         """Install (or replace) a re-encryption key."""
         self._keys[self.index_of(key)] = key
+        if self._backend is not None:
+            self._backend.on_install(key)
 
     def revoke(self, index: KeyIndex) -> bool:
         """Remove a key; returns False when no such key was installed."""
-        return self._keys.pop(index, None) is not None
+        removed = self._keys.pop(index, None) is not None
+        if removed and self._backend is not None:
+            self._backend.on_revoke(index)
+        return removed
+
+    def load(self, keys: Iterable[ProxyKey]) -> None:
+        """Install ``keys`` without notifying the backend (replay/bootstrap)."""
+        for key in keys:
+            self._keys[self.index_of(key)] = key
 
     def get(self, index: KeyIndex) -> ProxyKey | None:
         return self._keys.get(index)

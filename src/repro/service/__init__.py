@@ -13,9 +13,13 @@ request-serving system:
 * :mod:`repro.service.gateway` — the typed request/response front door
   with per-tenant rate limiting, bounded audit and an error taxonomy;
 * :mod:`repro.service.metrics` — latency / throughput / shard-balance
-  snapshots;
+  snapshots, including resize/migration counters;
+* :mod:`repro.service.persistence` — the durable append-log key table
+  that lets shards survive restarts and fleet resizes;
+* :mod:`repro.service.pool` — per-shard locks plus an optional thread
+  pool for concurrent shard execution;
 * :mod:`repro.service.driver` — a self-contained synthetic workload used
-  by ``repro-pre serve`` and the E9 benchmark.
+  by ``repro-pre serve`` and the E9/E10 benchmarks.
 """
 
 from repro.service.batch import BatchGroup, BatchItemError, ReEncryptBatcher
@@ -35,19 +39,28 @@ from repro.service.gateway import (
     ReEncryptionGateway,
     ReEncryptRequest,
     ReEncryptResponse,
+    ResizeReport,
     RevokeRequest,
     RevokeResponse,
     StoreUnavailableError,
     TokenBucket,
 )
 from repro.service.metrics import GatewayMetrics, LatencySummary, MetricsSnapshot
+from repro.service.persistence import (
+    AppendLogKeyStore,
+    DurableProxyKeyTable,
+    LogFormatError,
+)
+from repro.service.pool import ShardPool
 from repro.service.router import ShardRouter
 
 __all__ = [
+    "AppendLogKeyStore",
     "AuditEvent",
     "BatchGroup",
     "BatchItemError",
     "CacheStats",
+    "DurableProxyKeyTable",
     "DelegationNotFoundError",
     "DemoReport",
     "DemoSetting",
@@ -60,6 +73,7 @@ __all__ = [
     "GrantResponse",
     "InvalidRequestError",
     "LatencySummary",
+    "LogFormatError",
     "LruCache",
     "MetricsSnapshot",
     "RateLimitedError",
@@ -67,8 +81,10 @@ __all__ = [
     "ReEncryptRequest",
     "ReEncryptResponse",
     "ReEncryptionGateway",
+    "ResizeReport",
     "RevokeRequest",
     "RevokeResponse",
+    "ShardPool",
     "ShardRouter",
     "StoreUnavailableError",
     "TokenBucket",

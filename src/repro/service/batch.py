@@ -78,6 +78,27 @@ class ReEncryptBatcher:
         ]
 
     @staticmethod
+    def resolve_all(
+        groups: Sequence[BatchGroup],
+        resolve_key: Callable[[GroupKey], ProxyKey],
+    ) -> dict[GroupKey, ProxyKey]:
+        """Resolve every group's key before any transformation runs.
+
+        A missing delegation (the realistic failure) aborts the batch
+        with :class:`BatchItemError` carrying the group's first position,
+        before side effects accumulate — the gateway relies on this to
+        run the transformation phase concurrently without partial work
+        becoming visible on that failure mode.
+        """
+        keys: dict[GroupKey, ProxyKey] = {}
+        for group in groups:
+            try:
+                keys[group.group_key] = resolve_key(group.group_key)
+            except Exception as error:  # noqa: BLE001 - rewrapped with position
+                raise BatchItemError(group.positions[0], error) from error
+        return keys
+
+    @staticmethod
     def execute(
         items: Sequence[tuple[TypedCiphertext, str, str]],
         resolve_key: Callable[[GroupKey], ProxyKey],
@@ -88,19 +109,12 @@ class ReEncryptBatcher:
         Results come back in submission order; ``transform`` also receives
         the item's submission position, so callers can attribute per-item
         state (shard, cache hit) without re-deriving it.  *Every* group's
-        key is resolved before *any* transformation runs — a missing
-        delegation (the realistic failure) aborts the batch with
-        :class:`BatchItemError` before side effects accumulate, so no
-        partial work is visible for that failure mode.  A mid-batch
-        ``transform`` failure still aborts with the offending position.
+        key is resolved (via :meth:`resolve_all`) before *any*
+        transformation runs.  A mid-batch ``transform`` failure still
+        aborts with the offending position.
         """
         groups = ReEncryptBatcher.group(items)
-        keys: dict[GroupKey, ProxyKey] = {}
-        for group in groups:
-            try:
-                keys[group.group_key] = resolve_key(group.group_key)
-            except Exception as error:  # noqa: BLE001 - rewrapped with position
-                raise BatchItemError(group.positions[0], error) from error
+        keys = ReEncryptBatcher.resolve_all(groups, resolve_key)
         results: list[ReEncryptedCiphertext | None] = [None] * len(items)
         for group in groups:
             key = keys[group.group_key]

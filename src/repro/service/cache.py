@@ -19,6 +19,7 @@ machinery E1 uses for group operations.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
@@ -47,13 +48,19 @@ class CacheStats:
 
 
 class LruCache:
-    """A bounded mapping with least-recently-used eviction and accounting."""
+    """A bounded mapping with least-recently-used eviction and accounting.
+
+    Thread-safe: a single internal lock covers entries *and* counters, so
+    concurrent shard workers never corrupt the recency order or lose a
+    hit/miss increment (the consistency the stress tests assert on).
+    """
 
     def __init__(self, capacity: int, name: str = "cache"):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self.name = name
+        self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -68,14 +75,15 @@ class LruCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, refreshing its recency on a hit."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self._hits += 1
-            record_operation("%s_hit" % self.name)
-            return self._entries[key]
-        self._misses += 1
-        record_operation("%s_miss" % self.name)
-        return default
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                record_operation("%s_hit" % self.name)
+                return self._entries[key]
+            self._misses += 1
+            record_operation("%s_miss" % self.name)
+            return default
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value or compute, store and return it.
@@ -91,20 +99,22 @@ class LruCache:
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) an entry, evicting the oldest when full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self._evictions += 1
-            record_operation("%s_eviction" % self.name)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                record_operation("%s_eviction" % self.name)
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns False when it was not cached."""
-        if self._entries.pop(key, None) is None:
-            return False
-        self._invalidations += 1
-        return True
+        with self._lock:
+            if self._entries.pop(key, None) is None:
+                return False
+            self._invalidations += 1
+            return True
 
     def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop every entry whose key satisfies ``predicate``; returns count.
@@ -112,23 +122,26 @@ class LruCache:
         Used on revoke, where one (delegator, delegatee, type) triple may
         back many cached KEM results.
         """
-        doomed = [key for key in self._entries if predicate(key)]
-        for key in doomed:
-            del self._entries[key]
-        self._invalidations += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self._invalidations += len(doomed)
+            return len(doomed)
 
     def clear(self) -> None:
-        self._invalidations += len(self._entries)
-        self._entries.clear()
+        with self._lock:
+            self._invalidations += len(self._entries)
+            self._entries.clear()
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            name=self.name,
-            size=len(self._entries),
-            capacity=self.capacity,
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            invalidations=self._invalidations,
-        )
+        with self._lock:
+            return CacheStats(
+                name=self.name,
+                size=len(self._entries),
+                capacity=self.capacity,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+            )

@@ -56,10 +56,14 @@ class DemoReport:
     batch_size: int
     verified: int
     shard_keys: dict[str, int]
+    workers: int = 0
+    state_dir: str | None = None
 
     def rows(self) -> list[list[str]]:
         rows = [
             ["shards", str(self.shard_count)],
+            ["workers", str(self.workers) if self.workers else "sequential"],
+            ["state dir", self.state_dir or "in-memory"],
             ["batch size", str(self.batch_size) if self.batch_size > 1 else "unbatched"],
             ["plaintexts verified", str(self.verified)],
             ["keys per shard", " ".join(str(n) for n in self.shard_keys.values())],
@@ -78,6 +82,8 @@ def build_setting(
     seed: str = "gateway-demo",
     rate_per_s: float | None = None,
     scheme: TypeAndIdentityPre | None = None,
+    workers: int = 0,
+    state_dir: str | None = None,
 ) -> DemoSetting:
     """Stand up KGCs, users, grants and a ciphertext pool behind a gateway."""
     group = scheme.group if scheme is not None else PairingGroup.shared(group_name)
@@ -88,7 +94,9 @@ def build_setting(
     scheme = scheme or TypeAndIdentityPre(group)
     # The limiter is attached after the grant phase (below): the demo rate
     # limits the request stream, not its own setup.
-    gateway = ReEncryptionGateway(scheme, shard_count=shard_count)
+    gateway = ReEncryptionGateway(
+        scheme, shard_count=shard_count, workers=workers, state_dir=state_dir
+    )
 
     patients = ["patient-%02d" % i for i in range(n_patients)]
     delegatees = ["reader-%02d" % i for i in range(n_delegatees)]
@@ -202,22 +210,36 @@ def run_demo(
     seed: str = "gateway-demo",
     batch_size: int = 0,
     rate_per_s: float | None = None,
+    workers: int = 0,
+    state_dir: str | None = None,
 ) -> DemoReport:
-    """Build a setting, drive a request stream, return the rendered report."""
+    """Build a setting, drive a request stream, return the rendered report.
+
+    With ``state_dir`` the granted delegations land in durable per-shard
+    logs, so a second ``serve`` run against the same directory starts
+    with every key already installed.
+    """
     setting = build_setting(
         group_name=group_name,
         shard_count=shard_count,
         seed=seed,
         rate_per_s=rate_per_s,
+        workers=workers,
+        state_dir=state_dir,
     )
-    verified = drive_requests(
-        setting, n_requests, seed=seed + "-requests", batch_size=batch_size
-    )
-    return DemoReport(
-        snapshot=setting.gateway.snapshot(),
-        shard_count=shard_count,
-        requests=n_requests,
-        batch_size=batch_size,
-        verified=verified,
-        shard_keys=setting.gateway.shard_key_counts(),
-    )
+    try:
+        verified = drive_requests(
+            setting, n_requests, seed=seed + "-requests", batch_size=batch_size
+        )
+        return DemoReport(
+            snapshot=setting.gateway.snapshot(),
+            shard_count=shard_count,
+            requests=n_requests,
+            batch_size=batch_size,
+            verified=verified,
+            shard_keys=setting.gateway.shard_key_counts(),
+            workers=workers,
+            state_dir=state_dir,
+        )
+    finally:
+        setting.gateway.close()

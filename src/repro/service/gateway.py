@@ -14,15 +14,21 @@ library-internal exception types leaking through.
 Cache soundness: ``Preenc`` is deterministic, so cached transformation
 results are exact replays — but only while the installed key is the one
 that produced them.  Grants and revokes therefore invalidate both caches
-for the affected delegation before touching the shard.
+for the affected delegation *after* mutating the shard, under the shard
+lock — and every cache *write* also happens under the owning shard's
+lock, so a racing transformation can never re-populate an entry after
+the invalidation that was meant to kill it.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
 
 from repro.core.ciphertexts import ProxyKey, ReEncryptedCiphertext, TypedCiphertext
 from repro.core.proxy import (
@@ -36,6 +42,8 @@ from repro.phr.store import EntryNotFoundError, StoredRecord
 from repro.service.batch import BatchItemError, ReEncryptBatcher
 from repro.service.cache import CacheStats, LruCache
 from repro.service.metrics import GatewayMetrics, MetricsSnapshot
+from repro.service.persistence import DurableProxyKeyTable
+from repro.service.pool import ShardPool
 from repro.service.router import ShardRouter
 
 __all__ = [
@@ -55,6 +63,7 @@ __all__ = [
     "FetchRequest",
     "FetchResponse",
     "AuditEvent",
+    "ResizeReport",
     "ReEncryptionGateway",
 ]
 
@@ -105,26 +114,43 @@ class TokenBucket:
     """Per-tenant token buckets: ``rate_per_s`` refill up to ``burst``.
 
     The clock is injectable so tests advance time explicitly instead of
-    sleeping; production uses ``time.monotonic``.
+    sleeping; omitting it selects ``time.monotonic`` for production use.
+    A denied request still banks the refill accrued since the last call,
+    so fractional refills accumulate instead of being thrown away.
+    Thread-safe: admission may race across shard-pool workers.
     """
 
-    def __init__(self, rate_per_s: float, burst: float, clock: Callable[[], float]):
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        clock: Callable[[], float] | None = None,
+    ):
         if rate_per_s <= 0 or burst <= 0:
             raise ValueError("rate and burst must be positive")
         self.rate_per_s = rate_per_s
         self.burst = burst
-        self._clock = clock
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
         self._buckets: dict[str, tuple[float, float]] = {}  # tenant -> (tokens, stamp)
 
     def allow(self, tenant: str, cost: float = 1.0) -> bool:
-        now = self._clock()
-        tokens, stamp = self._buckets.get(tenant, (self.burst, now))
-        tokens = min(self.burst, tokens + (now - stamp) * self.rate_per_s)
-        if tokens < cost:
-            self._buckets[tenant] = (tokens, now)
-            return False
-        self._buckets[tenant] = (tokens - cost, now)
-        return True
+        with self._lock:
+            now = self._clock()
+            tokens, stamp = self._buckets.get(tenant, (self.burst, now))
+            tokens = min(self.burst, tokens + (now - stamp) * self.rate_per_s)
+            if tokens < cost:
+                self._buckets[tenant] = (tokens, now)
+                return False
+            self._buckets[tenant] = (tokens - cost, now)
+            return True
+
+    def available(self, tenant: str) -> float:
+        """Tokens the tenant could spend right now (refill applied, no spend)."""
+        with self._lock:
+            now = self._clock()
+            tokens, stamp = self._buckets.get(tenant, (self.burst, now))
+            return min(self.burst, tokens + (now - stamp) * self.rate_per_s)
 
 
 # ------------------------------------------------------------------- requests
@@ -190,6 +216,18 @@ class FetchResponse:
 
 
 @dataclass(frozen=True)
+class ResizeReport:
+    """What one fleet resize did: the migration, measured."""
+
+    old_shard_count: int
+    new_shard_count: int
+    keys_moved: int
+    shards_added: tuple[str, ...]
+    shards_removed: tuple[str, ...]
+    elapsed_ms: float
+
+
+@dataclass(frozen=True)
 class AuditEvent:
     """One admitted-or-refused request, as the bounded audit log records it."""
 
@@ -205,7 +243,24 @@ class AuditEvent:
 
 @dataclass
 class ReEncryptionGateway:
-    """N proxy shards behind routing, caching, batching and rate limiting."""
+    """N proxy shards behind routing, caching, batching and rate limiting.
+
+    Elasticity and durability (both optional, both off by default):
+
+    * ``workers > 0`` attaches a :class:`~repro.service.pool.ShardPool`
+      thread pool, and batches execute their per-delegation groups
+      concurrently across shards — per-shard locks keep every shard's
+      table and log single-writer, so results stay bit-identical to
+      sequential execution.
+    * ``state_dir`` backs every shard's key table with a
+      :class:`~repro.service.persistence.DurableProxyKeyTable` append
+      log under that directory, named ``<shard>.log``.  Opening a state
+      dir adopts logs left by a *different* fleet size (or a crash
+      mid-resize) and re-homes every key onto the shard the current
+      router owns it with, so no delegation is ever lost to a restart.
+    * :meth:`resize` rebalances a live fleet, migrating exactly the keys
+      whose consistent-hash owner changed.
+    """
 
     scheme: TypeAndIdentityPre
     shard_count: int = 4
@@ -217,32 +272,107 @@ class ReEncryptionGateway:
     max_audit_entries: int = 10_000
     max_shard_log_entries: int = DEFAULT_MAX_LOG_ENTRIES
     clock: Callable[[], float] = time.monotonic
+    workers: int = 0  # 0 = sequential batch execution
+    state_dir: str | Path | None = None  # None = in-memory key tables
+    fsync: bool = False  # fsync every durable append (slow, strongest)
+    # Custom shard construction, e.g. a benchmark modelling remote-shard
+    # latency; receives (name, durable_table_or_None).
+    shard_factory: Callable[[str, object | None], ProxyService] | None = None
     _shards: dict[str, ProxyService] = field(init=False)
     _router: ShardRouter = field(init=False)
+    _pool: ShardPool = field(init=False)
     _key_cache: LruCache = field(init=False)
     _result_cache: LruCache = field(init=False)
     _limiter: TokenBucket | None = field(init=False)
     _audit: deque = field(init=False)
+    _audit_lock: threading.Lock = field(init=False, repr=False)
     _audit_sequence: int = field(init=False, default=0)
     metrics: GatewayMetrics = field(init=False)
 
     def __post_init__(self) -> None:
         if self.shard_count < 1:
             raise ValueError("shard_count must be positive")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
         names = ["shard-%02d" % i for i in range(self.shard_count)]
-        self._shards = {
-            name: ProxyService(
-                self.scheme, name=name, max_log_entries=self.max_shard_log_entries
-            )
-            for name in names
-        }
         self._router = ShardRouter(names)
+        self._pool = ShardPool(names, workers=self.workers)
+        self._shards = {name: self._make_shard(name) for name in names}
         self._key_cache = LruCache(self.key_cache_size, name="key_cache")
         self._result_cache = LruCache(self.result_cache_size, name="result_cache")
         self._audit = deque(maxlen=self.max_audit_entries)
+        self._audit_lock = threading.Lock()
         self.metrics = GatewayMetrics(clock=self.clock)
         self._limiter = None
         self.set_rate_limit(self.rate_per_s, self.burst)
+        if self.state_dir is not None:
+            self._adopt_orphan_logs()
+            self._rehome_misrouted_keys()
+
+    def _make_shard(self, name: str) -> ProxyService:
+        table: DurableProxyKeyTable | None = None
+        if self.state_dir is not None:
+            state_dir = Path(self.state_dir)
+            state_dir.mkdir(parents=True, exist_ok=True)
+            table = DurableProxyKeyTable(
+                state_dir / ("%s.log" % name), self.scheme.group, fsync=self.fsync
+            )
+        if self.shard_factory is not None:
+            return self.shard_factory(name, table)
+        return ProxyService(
+            self.scheme,
+            name=name,
+            max_log_entries=self.max_shard_log_entries,
+            table=table if table is not None else ProxyKeyTable(),
+        )
+
+    def _adopt_orphan_logs(self) -> None:
+        """Absorb key logs written under a different fleet size.
+
+        A state dir may hold logs for shards that no longer exist — the
+        process was restarted with a different ``shard_count``, or died
+        between a resize's install and delete.  Their keys are installed
+        onto the shards the *current* router owns them with, then the
+        orphan file is removed; re-installing a key that already migrated
+        is idempotent, so this is crash-safe to repeat.
+        """
+        for path in sorted(Path(self.state_dir).glob("*.log")):
+            if path.stem in self._shards:
+                continue
+            orphan = DurableProxyKeyTable(path, self.scheme.group)
+            for key in list(orphan):
+                owner = self._router.shard_for(
+                    key.delegator_domain, key.delegator, key.type_label
+                )
+                self._shards[owner].install_key(key)
+            orphan.delete()
+
+    def _migrate_keys(self, router: ShardRouter) -> int:
+        """Move every key to the shard ``router`` owns it with; returns count.
+
+        Install-before-revoke on every move: with durable tables a crash
+        mid-sweep leaves a key in both logs, which the next open repairs
+        (re-homing is idempotent) — never in neither.  Callers must hold
+        the whole fleet (construction, or ``lock_all``).
+        """
+        moved = 0
+        for name, shard in list(self._shards.items()):
+            doomed = []
+            for key in list(shard.table):
+                owner = router.shard_for(
+                    key.delegator_domain, key.delegator, key.type_label
+                )
+                if owner != name:
+                    self._shards[owner].install_key(key)
+                    doomed.append(ProxyKeyTable.index_of(key))
+            for index in doomed:
+                shard.table.revoke(index)
+            moved += len(doomed)
+        return moved
+
+    def _rehome_misrouted_keys(self) -> int:
+        """Move any loaded key not owned by its shard to the right one."""
+        return self._migrate_keys(self._router)
 
     # ------------------------------------------------------------- internals
 
@@ -274,17 +404,47 @@ class ReEncryptionGateway:
     def _route(self, delegator_domain: str, delegator: str, type_label: str) -> str:
         return self._router.shard_for(delegator_domain, delegator, type_label)
 
+    @contextmanager
+    def _owned_shard(
+        self, delegator_domain: str, delegator: str, type_label: str
+    ) -> Iterator[tuple[str, ProxyService]]:
+        """Lock and yield the shard that owns a route key — resize-proof.
+
+        Routing happens before the lock is taken, so a concurrent
+        :meth:`resize` can move ownership in between; the loop re-checks
+        the assignment *under* the lock and retries until route and lock
+        agree.  Only one shard lock is ever held at a time, which keeps
+        the lock order compatible with resize's sorted whole-fleet sweep.
+        """
+        while True:
+            name = self._route(delegator_domain, delegator, type_label)
+            lock = self._pool.lock_object(name)
+            if lock is None:
+                continue  # shard retired between route and lock; re-route
+            with lock:
+                if (
+                    # A retire-then-re-add pair of resizes replaces the
+                    # lock object; holding the orphaned one is not mutual
+                    # exclusion, so insist we hold the *current* lock.
+                    self._pool.lock_object(name) is lock
+                    and name in self._shards
+                    and self._route(delegator_domain, delegator, type_label) == name
+                ):
+                    yield name, self._shards[name]
+                    return
+
     def _record_audit(self, tenant: str, action: str, outcome: str, detail: str) -> None:
-        self._audit.append(
-            AuditEvent(
-                sequence=self._audit_sequence,
-                tenant=tenant,
-                action=action,
-                outcome=outcome,
-                detail=detail,
+        with self._audit_lock:
+            self._audit.append(
+                AuditEvent(
+                    sequence=self._audit_sequence,
+                    tenant=tenant,
+                    action=action,
+                    outcome=outcome,
+                    detail=detail,
+                )
             )
-        )
-        self._audit_sequence += 1
+            self._audit_sequence += 1
 
     def _admit(self, tenant: str, action: str, cost: float = 1.0) -> None:
         if self._limiter is not None and not self._limiter.allow(tenant, cost):
@@ -327,9 +487,13 @@ class ReEncryptionGateway:
         self._admit(request.tenant, "grant")
         start = self.clock()
         key = request.proxy_key
-        self._invalidate_delegation(ProxyKeyTable.index_of(key))
-        shard_name = self._route(key.delegator_domain, key.delegator, key.type_label)
-        self._shards[shard_name].install_key(key)
+        with self._owned_shard(
+            key.delegator_domain, key.delegator, key.type_label
+        ) as (shard_name, shard):
+            shard.install_key(key)
+            # Invalidate under the lock, after the install: cache writes
+            # also hold the lock, so nothing stale can sneak back in.
+            self._invalidate_delegation(ProxyKeyTable.index_of(key))
         self.metrics.observe("grant", (self.clock() - start) * 1000, shard_name)
         self._record_audit(
             request.tenant,
@@ -350,11 +514,11 @@ class ReEncryptionGateway:
             request.delegatee,
             request.type_label,
         )
-        self._invalidate_delegation(index)
-        shard_name = self._route(
+        with self._owned_shard(
             request.delegator_domain, request.delegator, request.type_label
-        )
-        removed = self._shards[shard_name].revoke_key(*index)
+        ) as (shard_name, shard):
+            removed = shard.revoke_key(*index)
+            self._invalidate_delegation(index)
         self.metrics.observe("revoke", (self.clock() - start) * 1000, shard_name)
         self._record_audit(
             request.tenant,
@@ -370,27 +534,31 @@ class ReEncryptionGateway:
         self._admit(request.tenant, "reencrypt")
         start = self.clock()
         ciphertext = request.ciphertext
-        shard_name = self._route(ciphertext.domain, ciphertext.identity, ciphertext.type_label)
-        shard = self._shards[shard_name]
         result_key = (ciphertext, request.delegatee_domain, request.delegatee)
         cached = self._result_cache.get(result_key)
         if cached is not None:
+            shard_name = self._route(
+                ciphertext.domain, ciphertext.identity, ciphertext.type_label
+            )
             self.metrics.observe("reencrypt", (self.clock() - start) * 1000, shard_name)
             self._record_audit(request.tenant, "reencrypt", "ok", "cache-hit shard=%s" % shard_name)
             return ReEncryptResponse(ciphertext=cached, shard=shard_name, cache_hit=True)
         index = ProxyKeyTable.request_index(
             ciphertext, request.delegatee_domain, request.delegatee
         )
-        try:
-            key = self._resolve_key(index, shard)
-        except NoProxyKeyError as error:
-            self.metrics.observe_rejection()
-            self._record_audit(
-                request.tenant, "reencrypt", DelegationNotFoundError.code, str(error)
-            )
-            raise DelegationNotFoundError(str(error)) from error
-        result = shard.reencrypt_with_key(ciphertext, key)
-        self._result_cache.put(result_key, result)
+        with self._owned_shard(
+            ciphertext.domain, ciphertext.identity, ciphertext.type_label
+        ) as (shard_name, shard):
+            try:
+                key = self._resolve_key(index, shard)
+            except NoProxyKeyError as error:
+                self.metrics.observe_rejection()
+                self._record_audit(
+                    request.tenant, "reencrypt", DelegationNotFoundError.code, str(error)
+                )
+                raise DelegationNotFoundError(str(error)) from error
+            result = shard.reencrypt_with_key(ciphertext, key)
+            self._result_cache.put(result_key, result)
         self.metrics.observe("reencrypt", (self.clock() - start) * 1000, shard_name)
         self._record_audit(request.tenant, "reencrypt", "ok", "shard=%s" % shard_name)
         return ReEncryptResponse(ciphertext=result, shard=shard_name, cache_hit=False)
@@ -401,7 +569,16 @@ class ReEncryptionGateway:
         """Transform a batch; key lookups are amortized per delegation group.
 
         Produces bit-identical ciphertexts to issuing the requests one by
-        one (``Preenc`` is deterministic), in submission order.
+        one (``Preenc`` is deterministic), in submission order — with or
+        without workers.  Execution is two-phase: every group's
+        delegation is checked first (so a missing delegation aborts
+        before any side effects), then each group's transformations run
+        as one shard-pool task that resolves its key *under the shard
+        lock* — a grant or revoke racing the batch is therefore either
+        fully before or fully after each group, never interleaved with
+        it.  Groups never share a delegation, and same-shard groups
+        serialize on the shard lock, so concurrency cannot reorder what
+        any single shard observes.
         """
         if not requests:
             raise InvalidRequestError("empty batch")
@@ -412,29 +589,69 @@ class ReEncryptionGateway:
             (request.ciphertext, request.delegatee_domain, request.delegatee)
             for request in requests
         ]
-        shard_names = [
-            self._route(c.domain, c.identity, c.type_label) for c, _, _ in items
-        ]
+        groups = ReEncryptBatcher.group(items)
+
+        def check_delegation(group_key: tuple[str, str, str, str, str]) -> ProxyKey:
+            """Existence guard: lock-free on the hit path, locked on a miss.
+
+            A lock-free read can miss a key that a resize is migrating
+            (revoked from the old owner, router not yet swapped), so a
+            miss is only authoritative after re-reading under the owning
+            shard's lock — which queues behind any in-flight resize.
+            Deliberately does not touch the key cache: cache writes only
+            happen under a shard lock, in the group task below.
+            """
+            shard = self._shards.get(
+                self._route(group_key[0], group_key[1], group_key[4])
+            )
+            if shard is not None:
+                key = shard.table.get(group_key)
+                if key is not None:
+                    return key
+            with self._owned_shard(
+                group_key[0], group_key[1], group_key[4]
+            ) as (_name, owned):
+                key = owned.table.get(group_key)
+                if key is None:
+                    raise NoProxyKeyError(
+                        "no proxy key for delegator=%r delegatee=%r type=%r"
+                        % (group_key[1], group_key[3], group_key[4])
+                    )
+                return key
+
+        results: list[ReEncryptedCiphertext | None] = [None] * len(items)
         hit_flags = [False] * len(items)
+        shard_names = [""] * len(items)
 
-        def resolve(group_key: tuple[str, str, str, str, str]) -> ProxyKey:
-            shard = self._shards[self._route(group_key[0], group_key[1], group_key[4])]
-            return self._resolve_key(group_key, shard)
+        def group_task(group) -> Callable[[], None]:
+            def run() -> None:
+                with self._owned_shard(
+                    group.group_key[0], group.group_key[1], group.group_key[4]
+                ) as (shard_name, shard):
+                    try:
+                        key = self._resolve_key(group.group_key, shard)
+                    except NoProxyKeyError as error:
+                        # Revoked between the guard and this task.
+                        raise BatchItemError(group.positions[0], error) from error
+                    for position, ciphertext in zip(group.positions, group.ciphertexts):
+                        shard_names[position] = shard_name
+                        result_key = (ciphertext, key.delegatee_domain, key.delegatee)
+                        cached = self._result_cache.get(result_key)
+                        if cached is not None:
+                            hit_flags[position] = True
+                            results[position] = cached
+                            continue
+                        try:
+                            results[position] = shard.reencrypt_with_key(ciphertext, key)
+                        except Exception as error:  # noqa: BLE001 - rewrapped
+                            raise BatchItemError(position, error) from error
+                        self._result_cache.put(result_key, results[position])
 
-        def transform(
-            ciphertext: TypedCiphertext, key: ProxyKey, position: int
-        ) -> ReEncryptedCiphertext:
-            result_key = (ciphertext, key.delegatee_domain, key.delegatee)
-            cached = self._result_cache.get(result_key)
-            if cached is not None:
-                hit_flags[position] = True
-                return cached
-            result = self._shards[shard_names[position]].reencrypt_with_key(ciphertext, key)
-            self._result_cache.put(result_key, result)
-            return result
+            return run
 
         try:
-            results = ReEncryptBatcher.execute(items, resolve, transform)
+            ReEncryptBatcher.resolve_all(groups, check_delegation)
+            self._pool.run_many([(None, group_task(group)) for group in groups])
         except BatchItemError as error:
             self.metrics.observe_rejection()
             tenant = requests[error.position].tenant
@@ -477,6 +694,70 @@ class ReEncryptionGateway:
             request.tenant, "fetch", "ok", "patient=%s n=%d" % (request.patient, len(records))
         )
         return FetchResponse(records=records)
+
+    # ------------------------------------------------------------- elasticity
+
+    def resize(self, shard_count: int, tenant: str = "admin") -> ResizeReport:
+        """Rebalance the fleet to ``shard_count`` shards, migrating keys.
+
+        Consistent hashing keeps the migration minimal: only keys whose
+        route triple changes owner move.  The whole fleet is locked for
+        the duration (concurrent requests queue on the shard locks), and
+        every key is installed on its new shard *before* being revoked
+        from the old one — with durable tables, a crash mid-migration
+        leaves the key in both logs and :meth:`_adopt_orphan_logs` /
+        :meth:`_rehome_misrouted_keys` repair the split on next open.
+        Zero delegations are lost in either order of events.
+        """
+        if shard_count < 1:
+            raise InvalidRequestError("shard_count must be positive")
+        self._admit(tenant, "resize")
+        start = self.clock()
+        with self._pool.lock_all():
+            old_names = self._router.shards
+            new_names = ["shard-%02d" % i for i in range(shard_count)]
+            added = tuple(name for name in new_names if name not in self._shards)
+            removed = tuple(name for name in old_names if name not in new_names)
+            new_router = ShardRouter(new_names)
+            for name in added:
+                self._shards[name] = self._make_shard(name)
+            moved = self._migrate_keys(new_router)
+            for name in removed:
+                retired = self._shards.pop(name)
+                if isinstance(retired.table, DurableProxyKeyTable):
+                    retired.table.delete()
+            self._router = new_router
+            self._pool.set_shards(new_names)
+            self.shard_count = shard_count
+        elapsed_ms = (self.clock() - start) * 1000
+        self.metrics.observe("resize", elapsed_ms)
+        self.metrics.observe_resize(moved)
+        self._record_audit(
+            tenant,
+            "resize",
+            "ok",
+            "%d->%d moved=%d added=%d removed=%d"
+            % (len(old_names), shard_count, moved, len(added), len(removed)),
+        )
+        return ResizeReport(
+            old_shard_count=len(old_names),
+            new_shard_count=shard_count,
+            keys_moved=moved,
+            shards_added=added,
+            shards_removed=removed,
+            elapsed_ms=elapsed_ms,
+        )
+
+    def close(self) -> None:
+        """Stop the worker pool and close every durable shard table.
+
+        Safe to call more than once; the gateway must not be used after.
+        """
+        self._pool.shutdown()
+        with self._pool.lock_all():
+            for shard in self._shards.values():
+                if isinstance(shard.table, DurableProxyKeyTable):
+                    shard.table.close()
 
     # ---------------------------------------------------------- observability
 

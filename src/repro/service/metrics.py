@@ -8,6 +8,7 @@ clock is injectable so tests assert on exact numbers instead of sleeping.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -60,6 +61,8 @@ class MetricsSnapshot:
     shard_requests: dict[str, int]
     latency: dict[str, LatencySummary]
     caches: dict[str, CacheStats]
+    resizes: int = 0
+    keys_migrated: int = 0
 
     @property
     def throughput_rps(self) -> float:
@@ -84,6 +87,9 @@ class MetricsSnapshot:
             ["throughput req/s", "%.1f" % self.throughput_rps],
             ["shard imbalance (max/mean)", "%.2f" % self.shard_imbalance],
         ]
+        if self.resizes:
+            rows.append(["resizes", str(self.resizes)])
+            rows.append(["keys migrated", str(self.keys_migrated)])
         for kind in sorted(self.latency):
             summary = self.latency[kind]
             if summary.count:
@@ -103,45 +109,68 @@ class MetricsSnapshot:
 
 @dataclass
 class GatewayMetrics:
-    """Mutable accumulator the gateway writes into on every request."""
+    """Mutable accumulator the gateway writes into on every request.
+
+    Counter updates take an internal lock: the gateway may observe from
+    many shard-pool workers at once, and the stress tests assert that
+    ``requests_total == served + rejected + rate_limited`` exactly.
+    """
 
     clock: Callable[[], float] = time.monotonic
     requests_total: int = 0
     served: int = 0
     rejected: int = 0
     rate_limited: int = 0
+    resizes: int = 0
+    keys_migrated: int = 0
     shard_requests: Counter = field(default_factory=Counter)
     _samples: dict[str, list[float]] = field(default_factory=dict)
     _started_at: float = field(init=False)
+    _lock: threading.Lock = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._started_at = self.clock()
+        self._lock = threading.Lock()
 
     def observe(self, kind: str, latency_ms: float, shard: str | None = None) -> None:
         """Record one served operation of ``kind``."""
-        self.requests_total += 1
-        self.served += 1
-        if shard is not None:
-            self.shard_requests[shard] += 1
-        samples = self._samples.setdefault(kind, [])
-        if len(samples) < _MAX_SAMPLES:
-            samples.append(latency_ms)
+        with self._lock:
+            self.requests_total += 1
+            self.served += 1
+            if shard is not None:
+                self.shard_requests[shard] += 1
+            samples = self._samples.setdefault(kind, [])
+            if len(samples) < _MAX_SAMPLES:
+                samples.append(latency_ms)
 
     def observe_rejection(self, rate_limited: bool = False) -> None:
-        self.requests_total += 1
-        if rate_limited:
-            self.rate_limited += 1
-        else:
-            self.rejected += 1
+        with self._lock:
+            self.requests_total += 1
+            if rate_limited:
+                self.rate_limited += 1
+            else:
+                self.rejected += 1
+
+    def observe_resize(self, keys_migrated: int) -> None:
+        """Record one fleet resize and how many keys it moved."""
+        with self._lock:
+            self.resizes += 1
+            self.keys_migrated += keys_migrated
 
     def snapshot(self, caches: dict[str, CacheStats] | None = None) -> MetricsSnapshot:
-        return MetricsSnapshot(
-            requests_total=self.requests_total,
-            served=self.served,
-            rejected=self.rejected,
-            rate_limited=self.rate_limited,
-            elapsed_s=self.clock() - self._started_at,
-            shard_requests=dict(self.shard_requests),
-            latency={kind: LatencySummary.of(samples) for kind, samples in self._samples.items()},
-            caches=dict(caches or {}),
-        )
+        with self._lock:
+            return MetricsSnapshot(
+                requests_total=self.requests_total,
+                served=self.served,
+                rejected=self.rejected,
+                rate_limited=self.rate_limited,
+                elapsed_s=self.clock() - self._started_at,
+                shard_requests=dict(self.shard_requests),
+                latency={
+                    kind: LatencySummary.of(samples)
+                    for kind, samples in self._samples.items()
+                },
+                caches=dict(caches or {}),
+                resizes=self.resizes,
+                keys_migrated=self.keys_migrated,
+            )

@@ -71,6 +71,23 @@ class ShardRouter:
             counts[self.shard_for(domain, delegator, type_label)] += 1
         return counts
 
+    def ownership_diff(
+        self, other: "ShardRouter", keys: Iterable[RouteKey]
+    ) -> dict[RouteKey, tuple[str, str]]:
+        """Route keys whose owner changes under ``other``, with (old, new).
+
+        This is the migration plan of a fleet resize: exactly these keys
+        (and no others) must move for every delegation installed under
+        ``self``'s assignment to stay servable under ``other``'s.
+        """
+        diff: dict[RouteKey, tuple[str, str]] = {}
+        for domain, delegator, type_label in keys:
+            old = self.shard_for(domain, delegator, type_label)
+            new = other.shard_for(domain, delegator, type_label)
+            if old != new:
+                diff[(domain, delegator, type_label)] = (old, new)
+        return diff
+
     def moved_fraction(self, other: "ShardRouter", keys: Iterable[RouteKey]) -> float:
         """Fraction of ``keys`` that map to different shards under ``other``.
 

@@ -202,6 +202,62 @@ class TestRateLimiting:
         assert gateway.snapshot().rate_limited == 0
 
 
+class TestTokenBucketRefill:
+    """Deterministic refill edge cases on the injectable clock."""
+
+    def test_fractional_refill_accumulates_across_denials(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate_per_s=10.0, burst=1.0, clock=clock)
+        assert bucket.allow("t")
+        clock.advance(0.05)  # half a token — not enough yet
+        assert not bucket.allow("t")
+        clock.advance(0.05)  # the denial banked the first half
+        assert bucket.allow("t")
+
+    def test_refill_caps_at_burst(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate_per_s=100.0, burst=3.0, clock=clock)
+        clock.advance(1000.0)  # an idle tenant does not bank 100k tokens
+        assert bucket.available("idle") == 3.0
+        for _ in range(3):
+            assert bucket.allow("idle")
+        assert not bucket.allow("idle")
+
+    def test_cost_above_burst_is_never_admitted_but_spends_nothing(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate_per_s=1.0, burst=2.0, clock=clock)
+        assert not bucket.allow("t", cost=5.0)
+        assert bucket.available("t") == 2.0  # tokens never went negative
+        assert bucket.allow("t", cost=2.0)  # normal costs still work
+
+    def test_zero_elapsed_time_refills_nothing(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate_per_s=1000.0, burst=1.0, clock=clock)
+        assert bucket.allow("t")
+        # Same timestamp, many attempts: no refill, no drift.
+        for _ in range(5):
+            assert not bucket.allow("t")
+        assert bucket.available("t") == 0.0
+
+    def test_clock_defaults_to_monotonic(self):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=1.0)
+        assert bucket.allow("t")
+        assert bucket.available("t") <= 1.0
+
+    def test_gateway_limiter_uses_the_injected_clock(self, pre_setting):
+        """The gateway's rate-limit path never reads the wall clock."""
+        scheme = pre_setting[0]
+        clock = ManualClock()
+        gateway = ReEncryptionGateway(
+            scheme, shard_count=1, rate_per_s=1.0, burst=1.0, clock=clock
+        )
+        assert gateway._limiter._clock is clock
+        assert gateway._limiter.allow("t")
+        assert not gateway._limiter.allow("t")
+        clock.advance(1.0)
+        assert gateway._limiter.allow("t")
+
+
 class TestFetch:
     def test_fetch_requires_a_store(self, setting):
         _, gateway, _, _, _ = setting
