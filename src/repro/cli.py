@@ -12,7 +12,10 @@ subcommands mirror the scheme's algorithms:
     pextract   create a proxy re-encryption key
     preenc     proxy transformation
     redecrypt  delegatee-side decryption
-    serve      drive the sharded re-encryption gateway and print metrics
+    serve      drive the sharded re-encryption gateway and print metrics;
+               with --http PORT it becomes a long-running HTTP/JSON
+               gateway process, and with --connect URL it drives the
+               same workload against such a process over the wire
 
 Example round trip::
 
@@ -163,8 +166,45 @@ def _cmd_redecrypt(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro.bench.report import print_table
-    from repro.service.driver import run_demo
+    from repro.service.driver import run_demo, run_remote_demo
 
+    if args.http is not None and args.connect is not None:
+        print("error: --http and --connect are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.http is not None:
+        return _serve_http(args)
+    if args.connect is not None:
+        ignored = [
+            flag
+            for flag, is_set in (
+                # Literals mirror the parser defaults in _build_parser.
+                ("--shards", args.shards != 4),
+                ("--rate", args.rate is not None),
+                ("--workers", args.workers != 0),
+                ("--state-dir", args.state_dir is not None),
+                ("--host", args.host != "127.0.0.1"),
+            )
+            if is_set
+        ]
+        if ignored:
+            print(
+                "note: %s configure the server process, not a --connect "
+                "client; ignored" % ", ".join(ignored),
+                file=sys.stderr,
+            )
+        report = run_remote_demo(
+            args.connect,
+            group_name=args.group,
+            n_requests=args.requests,
+            seed=args.seed or "gateway-demo",
+            batch_size=args.batch,
+        )
+        print_table(
+            "remote gateway %s: %d requests" % (args.connect, args.requests),
+            ["metric", "value"],
+            report.rows(),
+        )
+        return 0
     report = run_demo(
         group_name=args.group,
         shard_count=args.shards,
@@ -180,6 +220,42 @@ def _cmd_serve(args) -> int:
         ["metric", "value"],
         report.rows(),
     )
+    return 0
+
+
+def _serve_http(args) -> int:
+    """Run a bare gateway behind HTTP until interrupted.
+
+    The process starts with empty shard tables (or whatever a durable
+    ``--state-dir`` holds): grants, re-encryptions and admin resizes all
+    arrive over the wire, e.g. from ``repro-pre serve --connect``.
+    """
+    from repro.core.scheme import TypeAndIdentityPre
+    from repro.pairing.group import PairingGroup
+    from repro.service.gateway import ReEncryptionGateway
+    from repro.service.wire import GatewayHttpServer
+
+    group = PairingGroup.shared(args.group)
+    gateway = ReEncryptionGateway(
+        TypeAndIdentityPre(group),
+        shard_count=args.shards,
+        rate_per_s=args.rate,
+        workers=args.workers,
+        state_dir=args.state_dir,
+    )
+    server = GatewayHttpServer(gateway, group, host=args.host, port=args.http)
+    print(
+        "gateway listening on %s (group %s, %d shards, %d keys loaded)"
+        % (server.url, args.group, args.shards, gateway.key_count()),
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        gateway.close()
     return 0
 
 
@@ -247,6 +323,14 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="shard-pool threads (0 = sequential batch execution)")
     p.add_argument("--state-dir", default=None,
                    help="directory for durable per-shard key logs (survives restarts)")
+    p.add_argument("--http", type=int, default=None, metavar="PORT",
+                   help="serve the gateway over HTTP/JSON on PORT (0 = ephemeral) "
+                        "instead of driving the synthetic workload")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address for --http (default 127.0.0.1)")
+    p.add_argument("--connect", default=None, metavar="URL",
+                   help="drive the synthetic workload against a remote "
+                        "gateway, e.g. http://127.0.0.1:8080")
     p.set_defaults(func=_cmd_serve)
     return parser
 

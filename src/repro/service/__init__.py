@@ -19,7 +19,11 @@ request-serving system:
 * :mod:`repro.service.pool` — per-shard locks plus an optional thread
   pool for concurrent shard execution;
 * :mod:`repro.service.driver` — a self-contained synthetic workload used
-  by ``repro-pre serve`` and the E9/E10 benchmarks.
+  by ``repro-pre serve`` and the E9/E10/E11 benchmarks;
+* :mod:`repro.service.wire` — the HTTP/JSON wire protocol
+  (:class:`~repro.service.wire.server.GatewayHttpServer` and
+  :class:`~repro.service.wire.client.RemoteGateway`) that makes the
+  gateway a real remote process.
 """
 
 from repro.service.batch import BatchGroup, BatchItemError, ReEncryptBatcher
@@ -53,6 +57,7 @@ from repro.service.persistence import (
 )
 from repro.service.pool import ShardPool
 from repro.service.router import ShardRouter
+from repro.service.wire import GatewayHttpServer, RemoteGateway, WireTransportError
 
 __all__ = [
     "AppendLogKeyStore",
@@ -68,6 +73,7 @@ __all__ = [
     "FetchRequest",
     "FetchResponse",
     "GatewayError",
+    "GatewayHttpServer",
     "GatewayMetrics",
     "GrantRequest",
     "GrantResponse",
@@ -81,6 +87,7 @@ __all__ = [
     "ReEncryptRequest",
     "ReEncryptResponse",
     "ReEncryptionGateway",
+    "RemoteGateway",
     "ResizeReport",
     "RevokeRequest",
     "RevokeResponse",
@@ -88,6 +95,7 @@ __all__ = [
     "ShardRouter",
     "StoreUnavailableError",
     "TokenBucket",
+    "WireTransportError",
     "build_setting",
     "run_demo",
 ]

@@ -28,6 +28,10 @@ from repro.bench.counters import record_operation
 
 __all__ = ["LruCache", "CacheStats"]
 
+# Distinguishes "not cached" from "cached None" in lookups that must tell
+# them apart (invalidate's counter, get_or_compute's miss path).
+_MISSING = object()
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -68,10 +72,12 @@ class LruCache:
         self._invalidations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, refreshing its recency on a hit."""
@@ -89,10 +95,16 @@ class LruCache:
         """Return the cached value or compute, store and return it.
 
         ``compute`` may raise; nothing is cached in that case.
+
+        ``compute`` runs *outside* the cache lock, so two threads missing
+        on the same key may both compute and the later :meth:`put` wins.
+        That is deliberate: the gateway's computes are deterministic (and
+        expensive), so duplicated work is merely wasted, never wrong —
+        and holding the lock across an arbitrary ``compute`` would
+        serialize every shard worker behind one slow pairing.
         """
-        sentinel = object()
-        value = self.get(key, sentinel)
-        if value is sentinel:
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
             value = compute()
             self.put(key, value)
         return value
@@ -109,9 +121,14 @@ class LruCache:
                 record_operation("%s_eviction" % self.name)
 
     def invalidate(self, key: Hashable) -> bool:
-        """Drop one entry; returns False when it was not cached."""
+        """Drop one entry; returns False when it was not cached.
+
+        The absence check uses a private sentinel, not ``None``: a cached
+        value of ``None`` is a real entry, and dropping it must count as
+        an invalidation and return True.
+        """
         with self._lock:
-            if self._entries.pop(key, None) is None:
+            if self._entries.pop(key, _MISSING) is _MISSING:
                 return False
             self._invalidations += 1
             return True

@@ -9,6 +9,7 @@ same request sequence and the same cache behaviour.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.core.scheme import TypeAndIdentityPre
@@ -25,7 +26,13 @@ from repro.service.gateway import (
 )
 from repro.service.metrics import MetricsSnapshot
 
-__all__ = ["DemoSetting", "DemoReport", "build_setting", "run_demo"]
+__all__ = [
+    "DemoSetting",
+    "DemoReport",
+    "build_setting",
+    "run_demo",
+    "run_remote_demo",
+]
 
 DELEGATOR_DOMAIN = "KGC1"
 DELEGATEE_DOMAIN = "KGC2"
@@ -61,12 +68,14 @@ class DemoReport:
 
     def rows(self) -> list[list[str]]:
         rows = [
-            ["shards", str(self.shard_count)],
+            # A remote drive cannot see the fleet size; 0 means unknown.
+            ["shards", str(self.shard_count) if self.shard_count else "-"],
             ["workers", str(self.workers) if self.workers else "sequential"],
             ["state dir", self.state_dir or "in-memory"],
             ["batch size", str(self.batch_size) if self.batch_size > 1 else "unbatched"],
             ["plaintexts verified", str(self.verified)],
-            ["keys per shard", " ".join(str(n) for n in self.shard_keys.values())],
+            # Remote drives cannot see per-shard tables; show "-" then.
+            ["keys per shard", " ".join(str(n) for n in self.shard_keys.values()) or "-"],
         ]
         rows.extend(self.snapshot.rows())
         return rows
@@ -141,15 +150,22 @@ def drive_requests(
     seed: str = "gateway-requests",
     batch_size: int = 0,
     verify_every: int = 8,
+    gateway=None,
 ) -> int:
     """Replay a seeded repeated-delegatee stream; returns verified count.
 
     Every ``verify_every``-th response is decrypted with the delegatee's
     key and compared to the stored plaintext — the end-to-end check that
     caching and batching never change what the delegatee recovers.
+
+    ``gateway`` overrides the setting's own gateway: pass a
+    :class:`~repro.service.wire.client.RemoteGateway` and the identical
+    stream drives a remote process instead — same requests, same
+    verification, which is exactly how the CLI's ``--connect`` mode and
+    the E11 benchmark compare wire against in-process behaviour.
     """
     rng = HmacDrbg(seed)
-    gateway = setting.gateway
+    gateway = gateway if gateway is not None else setting.gateway
     verified = 0
     pending: list[tuple[ReEncryptRequest, Fp2Element]] = []
 
@@ -240,6 +256,66 @@ def run_demo(
             shard_keys=setting.gateway.shard_key_counts(),
             workers=workers,
             state_dir=state_dir,
+        )
+    finally:
+        setting.gateway.close()
+
+
+def run_remote_demo(
+    url: str,
+    group_name: str = "TOY",
+    n_requests: int = 200,
+    seed: str = "gateway-demo",
+    batch_size: int = 0,
+) -> DemoReport:
+    """Drive a *remote* gateway over HTTP with the same seeded workload.
+
+    The delegation universe is built locally (the "twin"), its proxy keys
+    are granted to the remote fleet over the wire, and then the identical
+    request stream of :func:`run_demo` is replayed through a
+    :class:`~repro.service.wire.client.RemoteGateway` — with the same
+    end-to-end decrypt-and-compare verification, which only passes if the
+    remote process returns bit-identical transformations.  The server can
+    be a bare ``repro-pre serve --http`` process: it needs no prior state,
+    only the same pairing group.
+    """
+    from repro.service.wire.client import RemoteGateway
+
+    setting = build_setting(group_name=group_name, seed=seed)
+    try:
+        remote = RemoteGateway(url, setting.group)
+        # The server may rate-limit grants too (build_setting attaches its
+        # own limiter only after granting; a remote process has no such
+        # grace) — wait out the bucket instead of aborting the setup.
+        for name in setting.gateway.shard_names:
+            for key in list(setting.gateway.shard_named(name).table):
+                request = GrantRequest(tenant="driver", proxy_key=key)
+                for _attempt in range(200):
+                    try:
+                        remote.grant(request)
+                        break
+                    except RateLimitedError:
+                        time.sleep(0.05)
+                else:
+                    raise RateLimitedError(
+                        "remote gateway rate limit never admitted the grant phase"
+                    )
+        verified = drive_requests(
+            setting,
+            n_requests,
+            seed=seed + "-requests",
+            batch_size=batch_size,
+            gateway=remote,
+        )
+        snapshot = remote.snapshot()
+        return DemoReport(
+            snapshot=snapshot,
+            shard_count=0,
+            requests=n_requests,
+            batch_size=batch_size,
+            verified=verified,
+            shard_keys={},
+            state_dir=None,
         )
     finally:
         setting.gateway.close()

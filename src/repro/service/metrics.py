@@ -38,8 +38,11 @@ class LatencySummary:
         if not samples:
             return LatencySummary(count=0, p50_ms=0.0, p90_ms=0.0, p99_ms=0.0, max_ms=0.0)
         ordered = sorted(samples)
+
         def pct(q: float) -> float:
-            return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+            # Nearest-rank on n-1: int(q * n) overshoots the rank (p50 of
+            # two samples would report the max), inflating every quantile.
+            return ordered[int(q * (len(ordered) - 1))]
         return LatencySummary(
             count=len(ordered),
             p50_ms=pct(0.50),

@@ -1,0 +1,42 @@
+"""HTTP/JSON wire protocol for the re-encryption gateway.
+
+The paper's proxy is a *server* patients and clinicians reach over a
+network; this package makes that literal.  Three layers:
+
+* :mod:`repro.service.wire.codec` — versioned JSON messages for every
+  gateway request/response dataclass, reusing the canonical container
+  serialization for group elements; malformed input is rejected with
+  the stable ``invalid-request`` code;
+* :mod:`repro.service.wire.server` — :class:`GatewayHttpServer`, the
+  gateway behind stdlib ``ThreadingHTTPServer`` with the error taxonomy
+  mapped to HTTP statuses;
+* :mod:`repro.service.wire.client` — :class:`RemoteGateway`, the same
+  typed API as the in-process gateway, so drivers and benchmarks run
+  unchanged against either.
+"""
+
+from repro.service.wire.client import RemoteGateway, WireTransportError
+from repro.service.wire.codec import (
+    ERROR_TYPES,
+    WIRE_FORMAT,
+    ReEncryptBatchRequest,
+    ReEncryptBatchResponse,
+    ResizeRequest,
+    from_wire,
+    to_wire,
+)
+from repro.service.wire.server import STATUS_BY_CODE, GatewayHttpServer
+
+__all__ = [
+    "ERROR_TYPES",
+    "GatewayHttpServer",
+    "ReEncryptBatchRequest",
+    "ReEncryptBatchResponse",
+    "RemoteGateway",
+    "ResizeRequest",
+    "STATUS_BY_CODE",
+    "WIRE_FORMAT",
+    "WireTransportError",
+    "from_wire",
+    "to_wire",
+]

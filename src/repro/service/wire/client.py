@@ -1,0 +1,165 @@
+"""RemoteGateway: the gateway's typed API, spoken over HTTP/JSON.
+
+A :class:`RemoteGateway` is a drop-in stand-in for
+:class:`~repro.service.gateway.ReEncryptionGateway` wherever code only
+*calls* the gateway — the driver, the benchmarks and the examples run
+unchanged whether the object in their hands is the in-process fleet or
+this client pointed at a remote one.  Every method encodes its request
+with :mod:`repro.service.wire.codec`, POSTs it, and decodes the response
+back into the same dataclasses; a non-2xx reply carries a wire ``error``
+body whose stable code selects the taxonomy class to raise, so callers
+catch :class:`~repro.service.gateway.RateLimitedError` (and friends)
+identically in both deployments.
+
+Transport is deliberately boring: one ``urllib`` request per call over
+stdlib sockets, no connection pooling, no TLS, no auth — those are named
+follow-ups in the roadmap, not accidental omissions.
+"""
+
+from __future__ import annotations
+
+import http.client
+import urllib.error
+import urllib.request
+from typing import Sequence
+
+from repro.pairing.group import PairingGroup
+from repro.service.gateway import (
+    FetchRequest,
+    FetchResponse,
+    GatewayError,
+    GrantRequest,
+    GrantResponse,
+    InvalidRequestError,
+    ReEncryptRequest,
+    ReEncryptResponse,
+    ResizeReport,
+    RevokeRequest,
+    RevokeResponse,
+)
+from repro.service.metrics import MetricsSnapshot
+from repro.service.wire.codec import (
+    ReEncryptBatchRequest,
+    ReEncryptBatchResponse,
+    ResizeRequest,
+    from_wire,
+    to_wire,
+)
+
+__all__ = ["RemoteGateway", "WireTransportError"]
+
+
+class WireTransportError(GatewayError):
+    """The server could not be reached or spoke something unintelligible.
+
+    Distinct from the server-side taxonomy: those codes mean the gateway
+    *decided* something; this one means no decision arrived at all.
+    """
+
+    code = "wire-transport"
+
+
+class RemoteGateway:
+    """A typed HTTP client for one :class:`GatewayHttpServer`.
+
+    ``url`` is the server base (e.g. ``http://127.0.0.1:8080``); ``group``
+    must be the pairing group the server's scheme runs on, since group
+    elements cannot be decoded without it.
+    """
+
+    def __init__(self, url: str, group: PairingGroup, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.group = group
+        self.timeout = timeout
+
+    # -------------------------------------------------------------- plumbing
+
+    def _round_trip(self, method: str, path: str, message: object | None):
+        data = to_wire(self.group, message).encode("utf-8") if message is not None else None
+        request = urllib.request.Request(
+            self.url + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                text = response.read().decode("utf-8")
+        except urllib.error.HTTPError as http_error:
+            # The body should be a wire error; reconstruct and raise the
+            # taxonomy class the in-process gateway would have raised.
+            body = http_error.read().decode("utf-8", errors="replace")
+            try:
+                decoded = from_wire(self.group, body)
+            except GatewayError:
+                raise WireTransportError(
+                    "HTTP %d from %s with undecodable body" % (http_error.code, path)
+                ) from http_error
+            if isinstance(decoded, GatewayError):
+                raise decoded from None
+            raise WireTransportError(
+                "HTTP %d from %s carried a non-error message" % (http_error.code, path)
+            ) from http_error
+        except urllib.error.URLError as url_error:
+            raise WireTransportError(
+                "cannot reach %s%s: %s" % (self.url, path, url_error.reason)
+            ) from url_error
+        except (OSError, http.client.HTTPException) as io_error:
+            # A reset/stalled/truncated read mid-body is a transport
+            # failure too: callers rely on catching GatewayError working
+            # identically in both deployments.
+            raise WireTransportError(
+                "transport failure on %s%s: %s" % (self.url, path, io_error)
+            ) from io_error
+        try:
+            return from_wire(self.group, text)
+        except InvalidRequestError as decode_error:
+            # A 2xx body that is not wire JSON (an interposed proxy, a
+            # version-skewed server) is a transport fault, not the gateway
+            # judging *our* request invalid.
+            raise WireTransportError(
+                "undecodable 2xx body from %s: %s" % (path, decode_error)
+            ) from decode_error
+
+    def _call(self, method: str, path: str, message: object | None, expect: type):
+        decoded = self._round_trip(method, path, message)
+        if not isinstance(decoded, expect):
+            raise WireTransportError(
+                "%s returned %s, expected %s"
+                % (path, type(decoded).__name__, expect.__name__)
+            )
+        return decoded
+
+    # ------------------------------------------------------------ operations
+
+    def grant(self, request: GrantRequest) -> GrantResponse:
+        return self._call("POST", "/v1/grant", request, GrantResponse)
+
+    def revoke(self, request: RevokeRequest) -> RevokeResponse:
+        return self._call("POST", "/v1/revoke", request, RevokeResponse)
+
+    def reencrypt(self, request: ReEncryptRequest) -> ReEncryptResponse:
+        return self._call("POST", "/v1/reencrypt", request, ReEncryptResponse)
+
+    def reencrypt_batch(
+        self, requests: Sequence[ReEncryptRequest]
+    ) -> list[ReEncryptResponse]:
+        """One POST for the whole batch; order matches submission order."""
+        message = ReEncryptBatchRequest(requests=tuple(requests))
+        response = self._call("POST", "/v1/reencrypt", message, ReEncryptBatchResponse)
+        return list(response.responses)
+
+    def fetch(self, request: FetchRequest) -> FetchResponse:
+        return self._call("POST", "/v1/fetch", request, FetchResponse)
+
+    def resize(self, shard_count: int, tenant: str = "admin") -> ResizeReport:
+        message = ResizeRequest(tenant=tenant, shard_count=shard_count)
+        return self._call("POST", "/v1/resize", message, ResizeReport)
+
+    # --------------------------------------------------------- observability
+
+    def snapshot(self) -> MetricsSnapshot:
+        return self._call("GET", "/v1/metrics", None, MetricsSnapshot)
+
+    def close(self) -> None:
+        """Nothing to release: transport is one connection per request."""

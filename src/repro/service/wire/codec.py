@@ -1,0 +1,573 @@
+"""JSON codec for the gateway's typed request/response surface.
+
+Every dataclass :mod:`repro.service.gateway` exchanges is mapped to a
+versioned wire message::
+
+    {"wire": "repro-gateway/v1", "type": "<kind>", "body": {...}}
+
+Group-element payloads (ciphertexts, proxy keys) are not re-invented
+here: they travel as the canonical envelopes of
+:mod:`repro.serialization.containers` (``tipre/v1``), nested as JSON
+objects inside the body.  Decoding is round-trip exact — the dataclass
+that comes out of :func:`from_wire` compares equal to the one that went
+into :func:`to_wire`, group elements included — because the payload
+bytes are the same canonical serialization the library uses everywhere
+else.
+
+Anything malformed — broken JSON, a non-object, a wrong ``wire``
+version, an unknown ``type``, a missing or mistyped field, a corrupt
+element envelope — raises
+:class:`~repro.service.gateway.InvalidRequestError`, so the server maps
+every decode failure to the stable ``invalid-request`` error code.
+
+:class:`~repro.service.gateway.GatewayError` instances are themselves a
+message type (``error``), carrying ``{code, message}``; decoding one
+reconstructs the matching taxonomy class, which is how
+:class:`~repro.service.wire.client.RemoteGateway` re-raises server-side
+failures under the exact exception types in-process callers catch.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.pairing.group import PairingGroup
+from repro.phr.store import StoredRecord
+from repro.serialization.containers import (
+    deserialize_proxy_key,
+    deserialize_reencrypted,
+    deserialize_typed_ciphertext,
+    from_json_envelope,
+    serialize_proxy_key,
+    serialize_reencrypted,
+    serialize_typed_ciphertext,
+    to_json_envelope,
+)
+from repro.serialization.encoding import EncodingError
+from repro.service.cache import CacheStats
+from repro.service.gateway import (
+    DelegationNotFoundError,
+    EntryMissingError,
+    FetchRequest,
+    FetchResponse,
+    GatewayError,
+    GrantRequest,
+    GrantResponse,
+    InvalidRequestError,
+    RateLimitedError,
+    ReEncryptRequest,
+    ReEncryptResponse,
+    RevokeRequest,
+    RevokeResponse,
+    ResizeReport,
+    StoreUnavailableError,
+)
+from repro.service.metrics import LatencySummary, MetricsSnapshot
+
+__all__ = [
+    "WIRE_FORMAT",
+    "ERROR_TYPES",
+    "ReEncryptBatchRequest",
+    "ReEncryptBatchResponse",
+    "ResizeRequest",
+    "to_wire",
+    "from_wire",
+]
+
+WIRE_FORMAT = "repro-gateway/v1"
+
+# code -> taxonomy class, for reconstructing errors client-side.
+ERROR_TYPES: dict[str, type] = {
+    cls.code: cls
+    for cls in (
+        GatewayError,
+        RateLimitedError,
+        DelegationNotFoundError,
+        EntryMissingError,
+        InvalidRequestError,
+        StoreUnavailableError,
+    )
+}
+
+
+# ------------------------------------------------------- wire-only wrappers
+
+
+@dataclass(frozen=True)
+class ReEncryptBatchRequest:
+    """A sequence of :class:`ReEncryptRequest` shipped as one message."""
+
+    requests: tuple[ReEncryptRequest, ...]
+
+
+@dataclass(frozen=True)
+class ReEncryptBatchResponse:
+    responses: tuple[ReEncryptResponse, ...]
+
+
+@dataclass(frozen=True)
+class ResizeRequest:
+    """Admin request: rebalance the fleet to ``shard_count`` shards."""
+
+    tenant: str
+    shard_count: int
+
+
+# ------------------------------------------------------------- field access
+
+
+def _body_of(message: dict) -> dict:
+    body = message.get("body")
+    if not isinstance(body, dict):
+        raise InvalidRequestError("wire message body must be a JSON object")
+    return body
+
+
+def _get(
+    body: dict, name: str, kind: type | tuple[type, ...], optional: bool = False
+) -> Any:
+    value = body.get(name)
+    if value is None:
+        if optional:
+            return None
+        raise InvalidRequestError("missing wire field %r" % name)
+    kinds = kind if isinstance(kind, tuple) else (kind,)
+    # bool is an int subclass; a numeric field must still reject true/false.
+    if not isinstance(value, kinds) or (bool not in kinds and isinstance(value, bool)):
+        raise InvalidRequestError(
+            "wire field %r must be %s"
+            % (name, " or ".join(k.__name__ for k in kinds))
+        )
+    return value
+
+
+def _element_to_json(group: PairingGroup, blob: bytes) -> dict:
+    return json.loads(to_json_envelope(group, blob))
+
+
+def _element_from_json(group: PairingGroup, body: dict, name: str) -> bytes:
+    envelope = _get(body, name, dict)
+    try:
+        return from_json_envelope(group, json.dumps(envelope))
+    except EncodingError as error:
+        raise InvalidRequestError("field %r: %s" % (name, error)) from error
+
+
+def _decode_element(decode: Callable, group: PairingGroup, blob: bytes, name: str):
+    try:
+        return decode(group, blob)
+    except (EncodingError, ValueError) as error:
+        raise InvalidRequestError("field %r: %s" % (name, error)) from error
+
+
+# ------------------------------------------------------- per-type encoders
+
+
+def _enc_grant_request(group: PairingGroup, msg: GrantRequest) -> dict:
+    return {
+        "tenant": msg.tenant,
+        "proxy_key": _element_to_json(group, serialize_proxy_key(group, msg.proxy_key)),
+    }
+
+
+def _dec_grant_request(group: PairingGroup, body: dict) -> GrantRequest:
+    return GrantRequest(
+        tenant=_get(body, "tenant", str),
+        proxy_key=_decode_element(
+            deserialize_proxy_key, group, _element_from_json(group, body, "proxy_key"), "proxy_key"
+        ),
+    )
+
+
+def _enc_grant_response(group: PairingGroup, msg: GrantResponse) -> dict:
+    return {"shard": msg.shard}
+
+
+def _dec_grant_response(group: PairingGroup, body: dict) -> GrantResponse:
+    return GrantResponse(shard=_get(body, "shard", str))
+
+
+def _enc_revoke_request(group: PairingGroup, msg: RevokeRequest) -> dict:
+    return {
+        "tenant": msg.tenant,
+        "delegator_domain": msg.delegator_domain,
+        "delegator": msg.delegator,
+        "delegatee_domain": msg.delegatee_domain,
+        "delegatee": msg.delegatee,
+        "type_label": msg.type_label,
+    }
+
+
+def _dec_revoke_request(group: PairingGroup, body: dict) -> RevokeRequest:
+    return RevokeRequest(
+        tenant=_get(body, "tenant", str),
+        delegator_domain=_get(body, "delegator_domain", str),
+        delegator=_get(body, "delegator", str),
+        delegatee_domain=_get(body, "delegatee_domain", str),
+        delegatee=_get(body, "delegatee", str),
+        type_label=_get(body, "type_label", str),
+    )
+
+
+def _enc_revoke_response(group: PairingGroup, msg: RevokeResponse) -> dict:
+    return {"shard": msg.shard, "removed": msg.removed}
+
+
+def _dec_revoke_response(group: PairingGroup, body: dict) -> RevokeResponse:
+    return RevokeResponse(
+        shard=_get(body, "shard", str), removed=_get(body, "removed", bool)
+    )
+
+
+def _enc_reencrypt_request(group: PairingGroup, msg: ReEncryptRequest) -> dict:
+    return {
+        "tenant": msg.tenant,
+        "ciphertext": _element_to_json(
+            group, serialize_typed_ciphertext(group, msg.ciphertext)
+        ),
+        "delegatee_domain": msg.delegatee_domain,
+        "delegatee": msg.delegatee,
+    }
+
+
+def _dec_reencrypt_request(group: PairingGroup, body: dict) -> ReEncryptRequest:
+    return ReEncryptRequest(
+        tenant=_get(body, "tenant", str),
+        ciphertext=_decode_element(
+            deserialize_typed_ciphertext,
+            group,
+            _element_from_json(group, body, "ciphertext"),
+            "ciphertext",
+        ),
+        delegatee_domain=_get(body, "delegatee_domain", str),
+        delegatee=_get(body, "delegatee", str),
+    )
+
+
+def _enc_reencrypt_response(group: PairingGroup, msg: ReEncryptResponse) -> dict:
+    return {
+        "ciphertext": _element_to_json(
+            group, serialize_reencrypted(group, msg.ciphertext)
+        ),
+        "shard": msg.shard,
+        "cache_hit": msg.cache_hit,
+    }
+
+
+def _dec_reencrypt_response(group: PairingGroup, body: dict) -> ReEncryptResponse:
+    return ReEncryptResponse(
+        ciphertext=_decode_element(
+            deserialize_reencrypted,
+            group,
+            _element_from_json(group, body, "ciphertext"),
+            "ciphertext",
+        ),
+        shard=_get(body, "shard", str),
+        cache_hit=_get(body, "cache_hit", bool),
+    )
+
+
+def _enc_reencrypt_batch_request(group: PairingGroup, msg: ReEncryptBatchRequest) -> dict:
+    return {"requests": [_enc_reencrypt_request(group, r) for r in msg.requests]}
+
+
+def _dec_reencrypt_batch_request(group: PairingGroup, body: dict) -> ReEncryptBatchRequest:
+    items = _get(body, "requests", list)
+    decoded = []
+    for item in items:
+        if not isinstance(item, dict):
+            raise InvalidRequestError("batch items must be JSON objects")
+        decoded.append(_dec_reencrypt_request(group, item))
+    return ReEncryptBatchRequest(requests=tuple(decoded))
+
+
+def _enc_reencrypt_batch_response(group: PairingGroup, msg: ReEncryptBatchResponse) -> dict:
+    return {"responses": [_enc_reencrypt_response(group, r) for r in msg.responses]}
+
+
+def _dec_reencrypt_batch_response(group: PairingGroup, body: dict) -> ReEncryptBatchResponse:
+    items = _get(body, "responses", list)
+    decoded = []
+    for item in items:
+        if not isinstance(item, dict):
+            raise InvalidRequestError("batch items must be JSON objects")
+        decoded.append(_dec_reencrypt_response(group, item))
+    return ReEncryptBatchResponse(responses=tuple(decoded))
+
+
+def _enc_fetch_request(group: PairingGroup, msg: FetchRequest) -> dict:
+    return {
+        "tenant": msg.tenant,
+        "patient": msg.patient,
+        "entry_id": msg.entry_id,
+        "category": msg.category,
+    }
+
+
+def _dec_fetch_request(group: PairingGroup, body: dict) -> FetchRequest:
+    return FetchRequest(
+        tenant=_get(body, "tenant", str),
+        patient=_get(body, "patient", str),
+        entry_id=_get(body, "entry_id", str, optional=True),
+        category=_get(body, "category", str, optional=True),
+    )
+
+
+def _enc_fetch_response(group: PairingGroup, msg: FetchResponse) -> dict:
+    return {
+        "records": [
+            {
+                "patient": record.patient,
+                "category": record.category,
+                "entry_id": record.entry_id,
+                "blob": base64.b64encode(record.blob).decode("ascii"),
+            }
+            for record in msg.records
+        ]
+    }
+
+
+def _dec_fetch_response(group: PairingGroup, body: dict) -> FetchResponse:
+    items = _get(body, "records", list)
+    records = []
+    for item in items:
+        if not isinstance(item, dict):
+            raise InvalidRequestError("records must be JSON objects")
+        try:
+            blob = base64.b64decode(_get(item, "blob", str), validate=True)
+        except ValueError as error:
+            raise InvalidRequestError("invalid record blob") from error
+        records.append(
+            StoredRecord(
+                patient=_get(item, "patient", str),
+                category=_get(item, "category", str),
+                entry_id=_get(item, "entry_id", str),
+                blob=blob,
+            )
+        )
+    return FetchResponse(records=tuple(records))
+
+
+def _enc_resize_request(group: PairingGroup, msg: ResizeRequest) -> dict:
+    return {"tenant": msg.tenant, "shard_count": msg.shard_count}
+
+
+def _dec_resize_request(group: PairingGroup, body: dict) -> ResizeRequest:
+    return ResizeRequest(
+        tenant=_get(body, "tenant", str),
+        shard_count=_get(body, "shard_count", int),
+    )
+
+
+def _enc_resize_report(group: PairingGroup, msg: ResizeReport) -> dict:
+    return {
+        "old_shard_count": msg.old_shard_count,
+        "new_shard_count": msg.new_shard_count,
+        "keys_moved": msg.keys_moved,
+        "shards_added": list(msg.shards_added),
+        "shards_removed": list(msg.shards_removed),
+        "elapsed_ms": msg.elapsed_ms,
+    }
+
+
+def _str_list(body: dict, name: str) -> tuple[str, ...]:
+    items = _get(body, name, list)
+    if not all(isinstance(item, str) for item in items):
+        raise InvalidRequestError("wire field %r must be a list of strings" % name)
+    return tuple(items)
+
+
+def _dec_resize_report(group: PairingGroup, body: dict) -> ResizeReport:
+    return ResizeReport(
+        old_shard_count=_get(body, "old_shard_count", int),
+        new_shard_count=_get(body, "new_shard_count", int),
+        keys_moved=_get(body, "keys_moved", int),
+        shards_added=_str_list(body, "shards_added"),
+        shards_removed=_str_list(body, "shards_removed"),
+        elapsed_ms=float(_get(body, "elapsed_ms", (int, float))),
+    )
+
+
+def _enc_latency(summary: LatencySummary) -> dict:
+    return {
+        "count": summary.count,
+        "p50_ms": summary.p50_ms,
+        "p90_ms": summary.p90_ms,
+        "p99_ms": summary.p99_ms,
+        "max_ms": summary.max_ms,
+    }
+
+
+def _dec_latency(body: dict) -> LatencySummary:
+    return LatencySummary(
+        count=_get(body, "count", int),
+        p50_ms=float(_get(body, "p50_ms", (int, float))),
+        p90_ms=float(_get(body, "p90_ms", (int, float))),
+        p99_ms=float(_get(body, "p99_ms", (int, float))),
+        max_ms=float(_get(body, "max_ms", (int, float))),
+    )
+
+
+def _enc_cache_stats(stats: CacheStats) -> dict:
+    return {
+        "name": stats.name,
+        "size": stats.size,
+        "capacity": stats.capacity,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "invalidations": stats.invalidations,
+    }
+
+
+def _dec_cache_stats(body: dict) -> CacheStats:
+    return CacheStats(
+        name=_get(body, "name", str),
+        size=_get(body, "size", int),
+        capacity=_get(body, "capacity", int),
+        hits=_get(body, "hits", int),
+        misses=_get(body, "misses", int),
+        evictions=_get(body, "evictions", int),
+        invalidations=_get(body, "invalidations", int),
+    )
+
+
+def _enc_metrics_snapshot(group: PairingGroup, msg: MetricsSnapshot) -> dict:
+    return {
+        "requests_total": msg.requests_total,
+        "served": msg.served,
+        "rejected": msg.rejected,
+        "rate_limited": msg.rate_limited,
+        "elapsed_s": msg.elapsed_s,
+        "shard_requests": dict(msg.shard_requests),
+        "latency": {kind: _enc_latency(summary) for kind, summary in msg.latency.items()},
+        "caches": {name: _enc_cache_stats(stats) for name, stats in msg.caches.items()},
+        "resizes": msg.resizes,
+        "keys_migrated": msg.keys_migrated,
+    }
+
+
+def _dec_metrics_snapshot(group: PairingGroup, body: dict) -> MetricsSnapshot:
+    shard_requests = _get(body, "shard_requests", dict)
+    if not all(
+        isinstance(k, str) and isinstance(v, int) and not isinstance(v, bool)
+        for k, v in shard_requests.items()
+    ):
+        raise InvalidRequestError("shard_requests must map shard -> int")
+    latency = {}
+    for kind, summary in _get(body, "latency", dict).items():
+        if not isinstance(summary, dict):
+            raise InvalidRequestError("latency summaries must be JSON objects")
+        latency[kind] = _dec_latency(summary)
+    caches = {}
+    for name, stats in _get(body, "caches", dict).items():
+        if not isinstance(stats, dict):
+            raise InvalidRequestError("cache stats must be JSON objects")
+        caches[name] = _dec_cache_stats(stats)
+    return MetricsSnapshot(
+        requests_total=_get(body, "requests_total", int),
+        served=_get(body, "served", int),
+        rejected=_get(body, "rejected", int),
+        rate_limited=_get(body, "rate_limited", int),
+        elapsed_s=float(_get(body, "elapsed_s", (int, float))),
+        shard_requests=dict(shard_requests),
+        latency=latency,
+        caches=caches,
+        resizes=_get(body, "resizes", int),
+        keys_migrated=_get(body, "keys_migrated", int),
+    )
+
+
+def _enc_error(group: PairingGroup, error: GatewayError) -> dict:
+    return {"code": error.code, "message": str(error)}
+
+
+def _dec_error(group: PairingGroup, body: dict) -> GatewayError:
+    code = _get(body, "code", str)
+    message = _get(body, "message", str)
+    return ERROR_TYPES.get(code, GatewayError)(message)
+
+
+# --------------------------------------------------------------- dispatch
+
+_CODECS: dict[type, tuple[str, Callable, Callable]] = {
+    GrantRequest: ("grant-request", _enc_grant_request, _dec_grant_request),
+    GrantResponse: ("grant-response", _enc_grant_response, _dec_grant_response),
+    RevokeRequest: ("revoke-request", _enc_revoke_request, _dec_revoke_request),
+    RevokeResponse: ("revoke-response", _enc_revoke_response, _dec_revoke_response),
+    ReEncryptRequest: ("reencrypt-request", _enc_reencrypt_request, _dec_reencrypt_request),
+    ReEncryptResponse: (
+        "reencrypt-response",
+        _enc_reencrypt_response,
+        _dec_reencrypt_response,
+    ),
+    ReEncryptBatchRequest: (
+        "reencrypt-batch-request",
+        _enc_reencrypt_batch_request,
+        _dec_reencrypt_batch_request,
+    ),
+    ReEncryptBatchResponse: (
+        "reencrypt-batch-response",
+        _enc_reencrypt_batch_response,
+        _dec_reencrypt_batch_response,
+    ),
+    FetchRequest: ("fetch-request", _enc_fetch_request, _dec_fetch_request),
+    FetchResponse: ("fetch-response", _enc_fetch_response, _dec_fetch_response),
+    ResizeRequest: ("resize-request", _enc_resize_request, _dec_resize_request),
+    ResizeReport: ("resize-report", _enc_resize_report, _dec_resize_report),
+    MetricsSnapshot: ("metrics-snapshot", _enc_metrics_snapshot, _dec_metrics_snapshot),
+}
+
+_DECODERS: dict[str, Callable] = {kind: dec for kind, _enc, dec in _CODECS.values()}
+_DECODERS["error"] = _dec_error
+
+
+def to_wire(group: PairingGroup, message: object) -> str:
+    """Encode one request/response dataclass (or GatewayError) to JSON."""
+    if isinstance(message, GatewayError):
+        kind, body = "error", _enc_error(group, message)
+    else:
+        try:
+            kind, encode, _dec = _CODECS[type(message)]
+        except KeyError:
+            raise TypeError("no wire codec for %r" % type(message).__name__) from None
+        body = encode(group, message)
+    return json.dumps({"wire": WIRE_FORMAT, "type": kind, "body": body}, sort_keys=True)
+
+
+def from_wire(group: PairingGroup, text: str | bytes, expect: tuple[type, ...] | type | None = None):
+    """Decode one wire message; reject anything malformed as invalid-request.
+
+    ``expect`` (a type or tuple of types) narrows what the caller will
+    accept — a valid message of another kind (including an ``error``) is
+    still rejected, so an endpoint cannot be fed a structurally-valid
+    but wrong request.  Callers that need to read error bodies (the
+    client unpacking a non-2xx response) pass no ``expect`` and get the
+    reconstructed :class:`GatewayError` instance back to raise.
+    """
+    try:
+        message = json.loads(text)
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise InvalidRequestError("malformed JSON: %s" % error) from error
+    if not isinstance(message, dict):
+        raise InvalidRequestError("wire message must be a JSON object")
+    if message.get("wire") != WIRE_FORMAT:
+        raise InvalidRequestError(
+            "unsupported wire format %r (expected %r)"
+            % (message.get("wire"), WIRE_FORMAT)
+        )
+    kind = message.get("type")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise InvalidRequestError("unknown wire message type %r" % kind)
+    decoded = decoder(group, _body_of(message))
+    if expect is not None and not isinstance(decoded, expect):
+        expected = expect if isinstance(expect, tuple) else (expect,)
+        raise InvalidRequestError(
+            "expected %s, got %r"
+            % (" or ".join(cls.__name__ for cls in expected), kind)
+        )
+    return decoded

@@ -1,0 +1,246 @@
+"""The gateway behind HTTP: stdlib threading server, stable error bodies.
+
+:class:`GatewayHttpServer` puts one
+:class:`~repro.service.gateway.ReEncryptionGateway` (or anything with its
+typed API) behind ``http.server.ThreadingHTTPServer`` — the paper's
+semi-trusted proxy finally answers over a socket instead of a method
+call.  Endpoints:
+
+    ==========================  ====================================
+    POST /v1/grant              install a proxy key
+    POST /v1/revoke             remove a delegation
+    POST /v1/reencrypt          transform one ciphertext, or a batch
+    POST /v1/fetch              read stored ciphertext blobs
+    POST /v1/resize             rebalance the shard fleet
+    GET  /v1/metrics            the live metrics snapshot
+    GET  /v1/health             liveness probe (no gateway call)
+    ==========================  ====================================
+
+Every failure body is ``{"wire": ..., "type": "error", "body": {code,
+message}}`` with the taxonomy's stable ``code``, and the HTTP status is
+derived from that code (`429` rate-limited, `404` no-delegation /
+entry-not-found, `400` invalid-request, `503` no-store, `500` anything
+else), so HTTP-level callers and :class:`RemoteGateway` agree on
+semantics without parsing prose.
+
+Thread-safety comes for free: the gateway already serializes on its
+shard locks, so the threading server can hand every connection its own
+handler thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.pairing.group import PairingGroup
+from repro.service.gateway import (
+    FetchRequest,
+    GatewayError,
+    GrantRequest,
+    InvalidRequestError,
+    ReEncryptRequest,
+    RevokeRequest,
+)
+from repro.service.wire.codec import (
+    ReEncryptBatchRequest,
+    ReEncryptBatchResponse,
+    ResizeRequest,
+    from_wire,
+    to_wire,
+)
+
+__all__ = ["GatewayHttpServer", "STATUS_BY_CODE"]
+
+# Taxonomy code -> HTTP status.  Codes not listed map to 500.
+STATUS_BY_CODE = {
+    "rate-limited": 429,
+    "no-delegation": 404,
+    "entry-not-found": 404,
+    "invalid-request": 400,
+    "no-store": 503,
+}
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024  # refuse absurd Content-Length up front
+
+
+class _GatewayRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP request -> one gateway call, errors mapped to the taxonomy."""
+
+    server_version = "repro-gateway/1.0"
+    # HTTP/1.1 + explicit Content-Length on every response enables client
+    # keep-alive without chunked encoding.
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
+        pass  # the gateway's audit log is the record of requests, not stderr
+
+    # ------------------------------------------------------------- plumbing
+
+    def _send_json(self, status: int, payload: str, close: bool = False) -> None:
+        data = payload.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if close:
+            # Also flips self.close_connection in the base class, so the
+            # keep-alive loop ends after this response.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_gateway_error(self, error: GatewayError, close: bool = False) -> None:
+        status = STATUS_BY_CODE.get(error.code, 500)
+        self._send_json(status, to_wire(self.server.wire_group, error), close=close)
+
+    def _read_body(self) -> bytes:
+        if self.headers.get("Transfer-Encoding"):
+            # Chunked bodies are never drained here, which would leave
+            # framing bytes to desync the keep-alive stream; the caller
+            # closes the connection on this rejection.
+            raise InvalidRequestError("Transfer-Encoding is not supported")
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise InvalidRequestError("invalid Content-Length") from None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise InvalidRequestError("unacceptable Content-Length %d" % length)
+        return self.rfile.read(length)
+
+    # ------------------------------------------------------------ endpoints
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+        group = self.server.wire_group
+        gateway = self.server.wire_gateway
+        if self.path == "/v1/metrics":
+            self._send_json(200, to_wire(group, gateway.snapshot()))
+        elif self.path == "/v1/health":
+            self._send_json(200, json.dumps({"status": "ok"}))
+        else:
+            self._send_json(
+                404,
+                to_wire(group, InvalidRequestError("unknown endpoint %r" % self.path)),
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
+        group = self.server.wire_group
+        gateway = self.server.wire_gateway
+        try:
+            raw = self._read_body()
+        except InvalidRequestError as error:
+            # The body was never read, so this HTTP/1.1 connection is
+            # desynchronized — close it with the rejection instead of
+            # letting unread body bytes masquerade as the next request.
+            self._send_gateway_error(error, close=True)
+            return
+        try:
+            if self.path == "/v1/grant":
+                request = from_wire(group, raw, expect=GrantRequest)
+                response = gateway.grant(request)
+            elif self.path == "/v1/revoke":
+                request = from_wire(group, raw, expect=RevokeRequest)
+                response = gateway.revoke(request)
+            elif self.path == "/v1/reencrypt":
+                request = from_wire(
+                    group, raw, expect=(ReEncryptRequest, ReEncryptBatchRequest)
+                )
+                if isinstance(request, ReEncryptBatchRequest):
+                    response = ReEncryptBatchResponse(
+                        responses=tuple(gateway.reencrypt_batch(list(request.requests)))
+                    )
+                else:
+                    response = gateway.reencrypt(request)
+            elif self.path == "/v1/fetch":
+                request = from_wire(group, raw, expect=FetchRequest)
+                response = gateway.fetch(request)
+            elif self.path == "/v1/resize":
+                request = from_wire(group, raw, expect=ResizeRequest)
+                response = gateway.resize(request.shard_count, tenant=request.tenant)
+            else:
+                raise _UnknownEndpoint(self.path)
+        except _UnknownEndpoint as error:
+            self._send_json(
+                404,
+                to_wire(group, InvalidRequestError("unknown endpoint %r" % error.path)),
+            )
+        except GatewayError as error:
+            self._send_gateway_error(error)
+        except Exception as error:  # noqa: BLE001 - wire boundary
+            # Nothing library-internal may leak as a stack trace; the
+            # closed taxonomy's base code is the catch-all.
+            self._send_gateway_error(GatewayError("internal error: %s" % error))
+        else:
+            self._send_json(200, to_wire(group, response))
+
+
+class _UnknownEndpoint(Exception):
+    def __init__(self, path: str):
+        super().__init__(path)
+        self.path = path
+
+
+class GatewayHttpServer:
+    """Serve one gateway over HTTP/JSON; start in-thread or block forever.
+
+    ``port=0`` binds an ephemeral port (tests, loopback benchmarks);
+    :attr:`url` reports the bound address either way.  :meth:`start` runs
+    the accept loop in a daemon thread and returns; :meth:`serve_forever`
+    blocks the caller (the CLI's ``serve --http`` mode).  Closing the
+    server stops the accept loop but deliberately leaves the gateway
+    open — the owner decides when to release the shard fleet.
+    """
+
+    def __init__(
+        self,
+        gateway,
+        group: PairingGroup,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.gateway = gateway
+        self.group = group
+        self._httpd = ThreadingHTTPServer((host, port), _GatewayRequestHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.wire_gateway = gateway
+        self._httpd.wire_group = group
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d" % (self.host, self.port)
+
+    def start(self) -> "GatewayHttpServer":
+        """Run the accept loop in a daemon thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, name="gateway-http", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`close` (or KeyboardInterrupt)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop accepting, join the serving thread, release the socket."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "GatewayHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

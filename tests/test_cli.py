@@ -137,3 +137,25 @@ class TestServe:
                      "--requests", "80", "--rate", "5"]) == 0
         out = capsys.readouterr().out
         assert "rate limited" in out
+
+    def test_serve_connect_drives_a_remote_gateway(self, capsys):
+        """--connect replays the workload against a live HTTP server."""
+        from repro.core.scheme import TypeAndIdentityPre
+        from repro.pairing.group import PairingGroup
+        from repro.service.gateway import ReEncryptionGateway
+        from repro.service.wire import GatewayHttpServer
+
+        group = PairingGroup.shared("TOY")
+        gateway = ReEncryptionGateway(TypeAndIdentityPre(group), shard_count=2)
+        with GatewayHttpServer(gateway, group) as server:
+            assert main(["serve", "--group", "TOY", "--requests", "16",
+                         "--batch", "4", "--connect", server.url]) == 0
+        gateway.close()
+        out = capsys.readouterr().out
+        assert "remote gateway %s: 16 requests" % server.url in out
+        assert "served" in out and "plaintexts verified" in out
+
+    def test_serve_http_and_connect_are_exclusive(self, capsys):
+        assert main(["serve", "--http", "0",
+                     "--connect", "http://127.0.0.1:1"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err

@@ -91,6 +91,16 @@ class TestInvalidation:
         assert not cache.invalidate("a")
         assert cache.stats().invalidations == 1
 
+    def test_invalidate_cached_none_counts(self):
+        """Regression: the old absence check compared against ``None``, so
+        invalidating an entry cached as ``None`` removed it but returned
+        False and never incremented the invalidation counter."""
+        cache = LruCache(4)
+        cache.put("a", None)
+        assert cache.invalidate("a") is True
+        assert "a" not in cache
+        assert cache.stats().invalidations == 1
+
     def test_invalidate_where(self):
         cache = LruCache(8)
         for i in range(6):

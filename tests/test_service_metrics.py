@@ -20,14 +20,29 @@ class TestLatencySummary:
     def test_percentiles_over_known_samples(self):
         summary = LatencySummary.of([float(i) for i in range(1, 101)])  # 1..100 ms
         assert summary.count == 100
-        assert summary.p50_ms == 51.0
-        assert summary.p90_ms == 91.0
-        assert summary.p99_ms == 100.0
+        assert summary.p50_ms == 50.0
+        assert summary.p90_ms == 90.0
+        assert summary.p99_ms == 99.0
         assert summary.max_ms == 100.0
 
     def test_single_sample(self):
         summary = LatencySummary.of([7.5])
         assert summary.p50_ms == summary.p99_ms == summary.max_ms == 7.5
+
+    def test_two_samples_p50_is_the_min_not_the_max(self):
+        """Regression: int(q * n) indexed past the median — p50 of two
+        samples reported the max, inflating every published p50/p90."""
+        summary = LatencySummary.of([1.0, 9.0])
+        assert summary.p50_ms == 1.0  # rank int(0.50 * 1) = 0
+        assert summary.p90_ms == 1.0  # rank int(0.90 * 1) = 0
+        assert summary.max_ms == 9.0
+
+    def test_four_samples_exact_ranks(self):
+        summary = LatencySummary.of([4.0, 2.0, 3.0, 1.0])
+        assert summary.p50_ms == 2.0  # rank int(0.50 * 3) = 1
+        assert summary.p90_ms == 3.0  # rank int(0.90 * 3) = 2
+        assert summary.p99_ms == 3.0  # rank int(0.99 * 3) = 2
+        assert summary.max_ms == 4.0
 
 
 class TestSnapshot:

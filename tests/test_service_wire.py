@@ -1,0 +1,546 @@
+"""Tests for the HTTP/JSON wire layer: codec, server, client loopback.
+
+The codec tests assert *round-trip exactness* — the dataclass decoded
+from the wire compares equal (group elements included) to the one that
+was encoded — for every request/response type the gateway speaks.  The
+loopback tests stand a real :class:`GatewayHttpServer` on an ephemeral
+port and check that a :class:`RemoteGateway` observes bit-identical
+results and the same error taxonomy as in-process calls.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.phr.store import EncryptedPhrStore
+from repro.serialization.containers import serialize_reencrypted
+from repro.service.cache import CacheStats, LruCache
+from repro.service.driver import DELEGATEE_DOMAIN, build_setting, drive_requests
+from repro.service.gateway import (
+    DelegationNotFoundError,
+    EntryMissingError,
+    FetchRequest,
+    FetchResponse,
+    GatewayError,
+    GrantRequest,
+    GrantResponse,
+    InvalidRequestError,
+    RateLimitedError,
+    ReEncryptRequest,
+    ReEncryptResponse,
+    ResizeReport,
+    RevokeRequest,
+    RevokeResponse,
+    StoreUnavailableError,
+)
+from repro.service.metrics import GatewayMetrics
+from repro.service.wire import (
+    ERROR_TYPES,
+    GatewayHttpServer,
+    ReEncryptBatchRequest,
+    ReEncryptBatchResponse,
+    RemoteGateway,
+    ResizeRequest,
+    WIRE_FORMAT,
+    WireTransportError,
+    from_wire,
+    to_wire,
+)
+
+
+@pytest.fixture()
+def pre_objects(pre_setting, group, rng):
+    """One of everything the codec must carry: key, ciphertexts, response."""
+    scheme, kgc1, kgc2, alice, bob = pre_setting
+    proxy_key = scheme.pextract(alice, "bob", "labs", kgc2.params, rng)
+    message = group.random_gt(rng)
+    ciphertext = scheme.encrypt(kgc1.params, alice, message, "labs", rng)
+    reencrypted = scheme.preenc(ciphertext, proxy_key)
+    return scheme, proxy_key, ciphertext, reencrypted, message, bob
+
+
+def _round_trip(group, message, expect=None):
+    decoded = from_wire(group, to_wire(group, message), expect=expect)
+    assert decoded == message
+    return decoded
+
+
+class TestCodecRoundTrips:
+    def test_grant_request(self, group, pre_objects):
+        _scheme, proxy_key, *_rest = pre_objects
+        _round_trip(group, GrantRequest(tenant="t", proxy_key=proxy_key), GrantRequest)
+
+    def test_grant_response(self, group):
+        _round_trip(group, GrantResponse(shard="shard-01"), GrantResponse)
+
+    def test_revoke_request_and_response(self, group):
+        _round_trip(
+            group,
+            RevokeRequest(
+                tenant="t",
+                delegator_domain="KGC1",
+                delegator="alice",
+                delegatee_domain="KGC2",
+                delegatee="bob",
+                type_label="labs",
+            ),
+            RevokeRequest,
+        )
+        _round_trip(group, RevokeResponse(shard="shard-00", removed=True), RevokeResponse)
+
+    def test_reencrypt_request(self, group, pre_objects):
+        _scheme, _key, ciphertext, *_rest = pre_objects
+        _round_trip(
+            group,
+            ReEncryptRequest(
+                tenant="t",
+                ciphertext=ciphertext,
+                delegatee_domain="KGC2",
+                delegatee="bob",
+            ),
+            ReEncryptRequest,
+        )
+
+    def test_reencrypt_response(self, group, pre_objects):
+        _scheme, _key, _ct, reencrypted, *_rest = pre_objects
+        _round_trip(
+            group,
+            ReEncryptResponse(ciphertext=reencrypted, shard="shard-02", cache_hit=False),
+            ReEncryptResponse,
+        )
+
+    def test_reencrypt_batch(self, group, pre_objects):
+        _scheme, _key, ciphertext, reencrypted, *_rest = pre_objects
+        request = ReEncryptRequest(
+            tenant="t", ciphertext=ciphertext, delegatee_domain="KGC2", delegatee="bob"
+        )
+        _round_trip(
+            group,
+            ReEncryptBatchRequest(requests=(request, request)),
+            ReEncryptBatchRequest,
+        )
+        response = ReEncryptResponse(
+            ciphertext=reencrypted, shard="shard-00", cache_hit=True
+        )
+        _round_trip(
+            group,
+            ReEncryptBatchResponse(responses=(response, response)),
+            ReEncryptBatchResponse,
+        )
+
+    def test_fetch_request_optional_fields(self, group):
+        _round_trip(group, FetchRequest(tenant="t", patient="p"), FetchRequest)
+        _round_trip(
+            group,
+            FetchRequest(tenant="t", patient="p", entry_id="e-1", category="labs"),
+            FetchRequest,
+        )
+
+    def test_fetch_response_carries_blobs(self, group):
+        store = EncryptedPhrStore()
+        store.put("p", "labs", "e-1", b"\x00\x01ciphertext bytes\xff")
+        response = FetchResponse(records=(store.get("p", "e-1"),))
+        decoded = _round_trip(group, response, FetchResponse)
+        assert decoded.records[0].blob == b"\x00\x01ciphertext bytes\xff"
+
+    def test_resize_request_and_report(self, group):
+        _round_trip(group, ResizeRequest(tenant="admin", shard_count=6), ResizeRequest)
+        _round_trip(
+            group,
+            ResizeReport(
+                old_shard_count=4,
+                new_shard_count=6,
+                keys_moved=9,
+                shards_added=("shard-04", "shard-05"),
+                shards_removed=(),
+                elapsed_ms=1.25,
+            ),
+            ResizeReport,
+        )
+
+    def test_metrics_snapshot(self, group):
+        metrics = GatewayMetrics()
+        metrics.observe("reencrypt", 2.5, "shard-00")
+        metrics.observe("grant", 0.5, "shard-01")
+        metrics.observe_rejection()
+        metrics.observe_rejection(rate_limited=True)
+        metrics.observe_resize(3)
+        cache = LruCache(4, name="key_cache")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        snapshot = metrics.snapshot(caches={"key_cache": cache.stats()})
+        decoded = from_wire(group, to_wire(group, snapshot))
+        # elapsed_s moves between snapshot and compare; check fields we froze.
+        assert decoded.requests_total == snapshot.requests_total == 4
+        assert decoded.served == 2
+        assert decoded.rejected == 1 and decoded.rate_limited == 1
+        assert decoded.resizes == 1 and decoded.keys_migrated == 3
+        assert decoded.shard_requests == {"shard-00": 1, "shard-01": 1}
+        assert decoded.latency == snapshot.latency
+        assert decoded.caches["key_cache"] == CacheStats(
+            name="key_cache",
+            size=1,
+            capacity=4,
+            hits=1,
+            misses=1,
+            evictions=0,
+            invalidations=0,
+        )
+
+    def test_every_error_code_round_trips_to_its_class(self, group):
+        for code, cls in ERROR_TYPES.items():
+            decoded = from_wire(group, to_wire(group, cls("boom %s" % code)))
+            assert type(decoded) is cls
+            assert decoded.code == code
+            assert "boom" in str(decoded)
+
+    def test_unknown_error_code_falls_back_to_base(self, group):
+        text = json.dumps(
+            {
+                "wire": WIRE_FORMAT,
+                "type": "error",
+                "body": {"code": "never-heard-of-it", "message": "m"},
+            }
+        )
+        decoded = from_wire(group, text)
+        assert type(decoded) is GatewayError
+
+    def test_unencodable_object_is_a_type_error(self, group):
+        with pytest.raises(TypeError):
+            to_wire(group, object())
+
+
+class TestCodecRejection:
+    def test_malformed_json(self, group):
+        with pytest.raises(InvalidRequestError):
+            from_wire(group, "{not json")
+
+    def test_non_object_message(self, group):
+        with pytest.raises(InvalidRequestError):
+            from_wire(group, json.dumps([1, 2, 3]))
+
+    def test_wrong_wire_version(self, group):
+        text = json.dumps(
+            {"wire": "repro-gateway/v999", "type": "grant-response", "body": {"shard": "s"}}
+        )
+        with pytest.raises(InvalidRequestError, match="wire format"):
+            from_wire(group, text)
+
+    def test_missing_wire_version(self, group):
+        text = json.dumps({"type": "grant-response", "body": {"shard": "s"}})
+        with pytest.raises(InvalidRequestError):
+            from_wire(group, text)
+
+    def test_unknown_message_type(self, group):
+        text = json.dumps({"wire": WIRE_FORMAT, "type": "teleport-request", "body": {}})
+        with pytest.raises(InvalidRequestError, match="unknown wire message type"):
+            from_wire(group, text)
+
+    def test_missing_field(self, group):
+        text = json.dumps({"wire": WIRE_FORMAT, "type": "grant-response", "body": {}})
+        with pytest.raises(InvalidRequestError, match="missing wire field"):
+            from_wire(group, text)
+
+    def test_mistyped_field(self, group):
+        text = json.dumps(
+            {"wire": WIRE_FORMAT, "type": "grant-response", "body": {"shard": 7}}
+        )
+        with pytest.raises(InvalidRequestError, match="must be str"):
+            from_wire(group, text)
+
+    def test_bool_is_not_an_int(self, group):
+        text = json.dumps(
+            {
+                "wire": WIRE_FORMAT,
+                "type": "resize-request",
+                "body": {"tenant": "t", "shard_count": True},
+            }
+        )
+        with pytest.raises(InvalidRequestError):
+            from_wire(group, text)
+
+    def test_corrupt_element_envelope(self, group, pre_objects):
+        _scheme, proxy_key, *_rest = pre_objects
+        message = json.loads(to_wire(group, GrantRequest(tenant="t", proxy_key=proxy_key)))
+        message["body"]["proxy_key"]["payload"] = "AAAA"
+        with pytest.raises(InvalidRequestError):
+            from_wire(group, json.dumps(message))
+
+    def test_expect_rejects_other_valid_types(self, group):
+        text = to_wire(group, GrantResponse(shard="s"))
+        with pytest.raises(InvalidRequestError, match="expected"):
+            from_wire(group, text, expect=RevokeResponse)
+
+    def test_expect_rejects_error_messages(self, group):
+        text = to_wire(group, RateLimitedError("slow down"))
+        with pytest.raises(InvalidRequestError):
+            from_wire(group, text, expect=GrantResponse)
+
+
+# ---------------------------------------------------------------- loopback
+
+
+@pytest.fixture()
+def loopback():
+    """A live HTTP server over a seeded gateway plus a typed client."""
+    setting = build_setting(
+        group_name="TOY",
+        shard_count=3,
+        n_patients=2,
+        n_delegatees=2,
+        n_types=2,
+        ciphertexts_per_pair=1,
+        seed="wire-loopback",
+    )
+    with GatewayHttpServer(setting.gateway, setting.group) as server:
+        client = RemoteGateway(server.url, setting.group)
+        yield setting, server, client
+    setting.gateway.close()
+
+
+def _request_stream(setting):
+    requests = []
+    for (patient, type_label), entries in sorted(setting.pool.items()):
+        ciphertext, _message = entries[0]
+        for delegatee in setting.delegatees:
+            requests.append(
+                ReEncryptRequest(
+                    tenant=patient,
+                    ciphertext=ciphertext,
+                    delegatee_domain=DELEGATEE_DOMAIN,
+                    delegatee=delegatee,
+                )
+            )
+    return requests
+
+
+class TestLoopback:
+    def test_wire_results_bit_identical_to_in_process(self, loopback):
+        setting, _server, client = loopback
+        group, gateway = setting.group, setting.gateway
+        for request in _request_stream(setting):
+            wire = client.reencrypt(request)
+            local = gateway.reencrypt(request)
+            assert serialize_reencrypted(group, wire.ciphertext) == serialize_reencrypted(
+                group, local.ciphertext
+            )
+            assert wire.shard == local.shard
+
+    def test_batch_over_wire_matches_and_preserves_order(self, loopback):
+        setting, _server, client = loopback
+        requests = _request_stream(setting)
+        wire = client.reencrypt_batch(requests)
+        local = setting.gateway.reencrypt_batch(requests)
+        assert [r.ciphertext for r in wire] == [r.ciphertext for r in local]
+        assert [r.shard for r in wire] == [r.shard for r in local]
+
+    def test_decrypted_plaintext_survives_the_wire(self, loopback):
+        setting, _server, client = loopback
+        (patient, type_label), entries = sorted(setting.pool.items())[0]
+        ciphertext, message = entries[0]
+        delegatee = setting.delegatees[0]
+        response = client.reencrypt(
+            ReEncryptRequest(
+                tenant=patient,
+                ciphertext=ciphertext,
+                delegatee_domain=DELEGATEE_DOMAIN,
+                delegatee=delegatee,
+            )
+        )
+        recovered = setting.scheme.decrypt_reencrypted(
+            response.ciphertext, setting.delegatee_keys[delegatee]
+        )
+        assert recovered == message
+
+    def test_driver_runs_unchanged_against_the_wire(self, loopback):
+        """drive_requests cannot tell a RemoteGateway from the local one."""
+        setting, _server, client = loopback
+        verified = drive_requests(
+            setting, 16, seed="wire-drive", batch_size=4, gateway=client
+        )
+        assert verified > 0
+
+    def test_revoke_then_reencrypt_is_no_delegation(self, loopback):
+        setting, _server, client = loopback
+        (patient, type_label), entries = sorted(setting.pool.items())[0]
+        ciphertext, _message = entries[0]
+        delegatee = setting.delegatees[0]
+        revoked = client.revoke(
+            RevokeRequest(
+                tenant=patient,
+                delegator_domain=ciphertext.domain,
+                delegator=ciphertext.identity,
+                delegatee_domain=DELEGATEE_DOMAIN,
+                delegatee=delegatee,
+                type_label=ciphertext.type_label,
+            )
+        )
+        assert revoked.removed
+        with pytest.raises(DelegationNotFoundError):
+            client.reencrypt(
+                ReEncryptRequest(
+                    tenant=patient,
+                    ciphertext=ciphertext,
+                    delegatee_domain=DELEGATEE_DOMAIN,
+                    delegatee=delegatee,
+                )
+            )
+
+    def test_rate_limit_maps_to_429_and_raises(self, loopback):
+        setting, server, client = loopback
+        setting.gateway.set_rate_limit(1.0, burst=1.0)
+        request = _request_stream(setting)[0]
+        try:
+            with pytest.raises(RateLimitedError):
+                for _ in range(5):
+                    client.reencrypt(request)
+        finally:
+            setting.gateway.set_rate_limit(None)
+
+    def test_fetch_without_store_is_no_store(self, loopback):
+        _setting, _server, client = loopback
+        with pytest.raises(StoreUnavailableError):
+            client.fetch(FetchRequest(tenant="t", patient="p"))
+
+    def test_metrics_over_wire_counts_served_requests(self, loopback):
+        setting, _server, client = loopback
+        before = client.snapshot().served
+        client.reencrypt(_request_stream(setting)[0])
+        after = client.snapshot().served
+        assert after == before + 1
+
+    def test_resize_over_wire_moves_keys_and_keeps_serving(self, loopback):
+        setting, _server, client = loopback
+        total = setting.gateway.key_count()
+        report = client.resize(5)
+        assert report.new_shard_count == 5
+        assert setting.gateway.key_count() == total
+        assert client.reencrypt(_request_stream(setting)[0]).ciphertext is not None
+
+
+def _raw_post(url: str, path: str, data: bytes):
+    request = urllib.request.Request(
+        url + path, data=data, headers={"Content-Type": "application/json"}, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+class TestHttpSurface:
+    def test_error_bodies_carry_stable_codes_and_statuses(self, loopback):
+        _setting, server, _client = loopback
+        cases = [
+            (b"{broken json", 400, "invalid-request"),
+            (json.dumps({"wire": "nope/v0", "type": "x", "body": {}}).encode(), 400, "invalid-request"),
+        ]
+        for payload, status, code in cases:
+            got_status, body = _raw_post(server.url, "/v1/reencrypt", payload)
+            assert got_status == status
+            envelope = json.loads(body)
+            assert envelope["type"] == "error"
+            assert envelope["body"]["code"] == code
+
+    def test_wrong_message_type_for_endpoint_rejected(self, loopback):
+        setting, server, _client = loopback
+        text = to_wire(setting.group, GrantResponse(shard="s"))
+        status, body = _raw_post(server.url, "/v1/grant", text.encode())
+        assert status == 400
+        assert json.loads(body)["body"]["code"] == "invalid-request"
+
+    def test_unknown_endpoint_is_404_error_body(self, loopback):
+        _setting, server, _client = loopback
+        status, body = _raw_post(server.url, "/v1/nonsense", b"{}")
+        assert status == 404
+        assert json.loads(body)["body"]["code"] == "invalid-request"
+
+    def test_health_endpoint(self, loopback):
+        _setting, server, _client = loopback
+        with urllib.request.urlopen(server.url + "/v1/health", timeout=10.0) as response:
+            assert response.status == 200
+            assert json.loads(response.read()) == {"status": "ok"}
+
+    def test_pre_read_rejection_closes_the_connection(self, loopback):
+        """A body the server refuses to read must not desync keep-alive:
+        the 400 carries Connection: close so stale bytes die with it."""
+        import http.client
+
+        _setting, server, _client = loopback
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10.0)
+        try:
+            connection.putrequest("POST", "/v1/reencrypt")
+            connection.putheader("Content-Length", "not-a-number")
+            connection.endheaders()
+            response = connection.getresponse()
+            body = response.read()
+            assert response.status == 400
+            assert response.getheader("Connection") == "close"
+            assert json.loads(body)["body"]["code"] == "invalid-request"
+        finally:
+            connection.close()
+
+    def test_chunked_body_rejected_and_connection_closed(self, loopback):
+        import http.client
+
+        _setting, server, _client = loopback
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10.0)
+        try:
+            connection.putrequest("POST", "/v1/reencrypt")
+            connection.putheader("Transfer-Encoding", "chunked")
+            connection.endheaders()
+            connection.send(b"5\r\nhello\r\n0\r\n\r\n")
+            response = connection.getresponse()
+            body = response.read()
+            assert response.status == 400
+            assert response.getheader("Connection") == "close"
+            assert json.loads(body)["body"]["code"] == "invalid-request"
+        finally:
+            connection.close()
+
+    def test_posted_error_message_is_rejected_not_executed(self, loopback):
+        setting, server, _client = loopback
+        text = to_wire(setting.group, RateLimitedError("not a request"))
+        status, body = _raw_post(server.url, "/v1/grant", text.encode())
+        assert status == 400
+        assert json.loads(body)["body"]["code"] == "invalid-request"
+
+
+class TestRemoteGatewayTransport:
+    def test_unreachable_server_is_wire_transport_error(self, group):
+        client = RemoteGateway("http://127.0.0.1:9", group, timeout=0.5)
+        with pytest.raises(WireTransportError):
+            client.snapshot()
+
+    def test_non_wire_2xx_body_is_wire_transport_error(self, loopback):
+        """A 200 whose body is not wire JSON (an interposed proxy, version
+        skew) must read as a transport fault, not an invalid-request the
+        gateway supposedly charged to the caller — /v1/health is exactly
+        such a 200 non-wire body."""
+        _setting, _server, client = loopback
+        with pytest.raises(WireTransportError):
+            client._round_trip("GET", "/v1/health", None)
+
+    def test_fetch_with_store_round_trips_records(self, pre_setting, group, rng):
+        scheme, _kgc1, _kgc2, _alice, _bob = pre_setting
+        from repro.service.gateway import ReEncryptionGateway
+
+        store = EncryptedPhrStore()
+        store.put("p", "labs", "e-1", b"blob-1")
+        store.put("p", "notes", "e-2", b"blob-2")
+        gateway = ReEncryptionGateway(scheme, shard_count=2, store=store)
+        with GatewayHttpServer(gateway, group) as server:
+            client = RemoteGateway(server.url, group)
+            response = client.fetch(FetchRequest(tenant="t", patient="p"))
+            assert sorted(r.blob for r in response.records) == [b"blob-1", b"blob-2"]
+            one = client.fetch(FetchRequest(tenant="t", patient="p", entry_id="e-2"))
+            assert one.records[0].blob == b"blob-2"
+            with pytest.raises(EntryMissingError):
+                client.fetch(FetchRequest(tenant="t", patient="p", entry_id="missing"))
+        gateway.close()
