@@ -103,8 +103,16 @@ def test_e11_wire_roundtrip_overhead_and_byte_fidelity():
         start = time.perf_counter()
         wire_responses = [client.reencrypt(request) for request in requests]
         wire_s = time.perf_counter() - start
+        connections_opened = client.connections_opened
     wire_gateway.close()
     setting.gateway.close()
+
+    # The client must reuse one persistent keep-alive connection for the
+    # whole stream (negotiation included), not dial per request.
+    assert connections_opened == 1, (
+        "expected 1 persistent connection for %d requests, opened %d"
+        % (len(requests), connections_opened)
+    )
 
     # The acceptance anchor: wire responses decode to the *same bytes*.
     for wire_response, local_response in zip(wire_responses, local_responses):
@@ -115,14 +123,21 @@ def test_e11_wire_roundtrip_overhead_and_byte_fidelity():
     n = len(requests)
     print_table(
         "E11: wire round-trip overhead (%d requests, %d shards)" % (n, SHARDS),
-        ["path", "total ms", "ms/request", "overhead"],
+        ["path", "total ms", "ms/request", "overhead", "connections"],
         [
-            ["in-process", "%.1f" % (local_s * 1000), "%.2f" % (local_s * 1000 / n), "1.00x"],
+            [
+                "in-process",
+                "%.1f" % (local_s * 1000),
+                "%.2f" % (local_s * 1000 / n),
+                "1.00x",
+                "-",
+            ],
             [
                 "HTTP/JSON wire",
                 "%.1f" % (wire_s * 1000),
                 "%.2f" % (wire_s * 1000 / n),
                 "%.2fx" % (wire_s / local_s),
+                "%d (keep-alive, asserted)" % connections_opened,
             ],
         ],
     )
@@ -131,24 +146,32 @@ def test_e11_wire_roundtrip_overhead_and_byte_fidelity():
 def test_e11_batched_beats_sequential_over_the_wire():
     setting = _setting()
     keys = _installed_keys(setting.gateway)
-    requests = _request_stream(setting, repeat=3)
+    # The persistent keep-alive client cut sequential overhead to a few
+    # hundred microseconds per POST, so the batch's amortization margin
+    # needs a longer stream — and a best-of-3 timing, so one scheduler
+    # hiccup on a loaded runner cannot flip the comparison.
+    requests = _request_stream(setting, repeat=8)
     group = setting.group
     n = len(requests)
 
     sequential_gateway = _fresh_gateway(setting.scheme, keys)
     with GatewayHttpServer(sequential_gateway, group) as server:
         client = RemoteGateway(server.url, group)
-        start = time.perf_counter()
-        sequential_responses = [client.reencrypt(request) for request in requests]
-        sequential_s = time.perf_counter() - start
+        sequential_s = float("inf")
+        for _round in range(3):
+            start = time.perf_counter()
+            sequential_responses = [client.reencrypt(request) for request in requests]
+            sequential_s = min(sequential_s, time.perf_counter() - start)
     sequential_gateway.close()
 
     batched_gateway = _fresh_gateway(setting.scheme, keys)
     with GatewayHttpServer(batched_gateway, group) as server:
         client = RemoteGateway(server.url, group)
-        start = time.perf_counter()
-        batched_responses = client.reencrypt_batch(requests)
-        batched_s = time.perf_counter() - start
+        batched_s = float("inf")
+        for _round in range(3):
+            start = time.perf_counter()
+            batched_responses = client.reencrypt_batch(requests)
+            batched_s = min(batched_s, time.perf_counter() - start)
     batched_gateway.close()
     setting.gateway.close()
 

@@ -1,325 +1,115 @@
 """A uniform adapter interface over every PRE scheme for the E2/E4 benches.
 
-Each adapter wires one scheme to the same five-step lifecycle —
+Historically each adapter re-implemented one scheme's lifecycle by hand;
+since the backend API landed (:mod:`repro.core.api`) the adapter is a
+*thin shim* over the registered :class:`~repro.core.api.PreBackend` —
+the very same objects the production gateway serves — normalised to the
+benchmark's five-step lifecycle:
 
     setup -> encrypt -> rekey -> reencrypt -> decrypt (both sides)
 
-— and declares the scheme's property matrix (experiment E4, following the
-property taxonomy of Ateniese et al. that the paper cites).  Benchmarks
-iterate ``all_adapters(group)`` so adding a scheme automatically adds a
-row to every comparison table.
+and the property matrix of experiment E4 (the Ateniese et al. taxonomy
+the paper cites) is read straight off each backend's declared
+:class:`~repro.core.api.SchemeCapabilities`.  Benchmarks iterate
+``all_adapters(group)``, so *registering a backend automatically adds a
+row to every comparison table* — and every scheme the tables compare is
+the one the gateway actually runs.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
 from typing import Any
 
-from repro.baselines.afgh import AfghScheme
-from repro.baselines.bbs import BbsProxyScheme
-from repro.baselines.bb1 import Bb1Ibe
-from repro.baselines.dodis_ivan import DodisIvanScheme
-from repro.baselines.green_ateniese import GreenAtenieseIbp1
-from repro.baselines.matsuo import MatsuoStylePre
-from repro.core.scheme import TypeAndIdentityPre
-from repro.ibe.kgc import KgcRegistry
+from repro.baselines.backends import (
+    AfghBackend,
+    BbsBackend,
+    DodisIvanBackend,
+    GreenAtenieseBackend,
+    MatsuoBackend,
+)
+from repro.core.api import PROPERTY_NAMES, PreBackend
+from repro.core.tipre_backend import TipreBackend
 from repro.math.drbg import RandomSource
 from repro.pairing.group import PairingGroup
 
 __all__ = ["PreAdapter", "all_adapters", "PROPERTY_NAMES"]
 
-PROPERTY_NAMES = (
-    "unidirectional",
-    "non_interactive",
-    "collusion_safe",
-    "identity_based",
-    "type_granular",
-)
+DELEGATOR_DOMAIN = "KGC1"
+DELEGATEE_DOMAIN = "KGC2"
+DELEGATOR = "delegator"
+DELEGATEE = "delegatee"
 
 
-class PreAdapter(ABC):
-    """One scheme, normalised to a shared lifecycle for benchmarking."""
+class PreAdapter:
+    """One registered backend, normalised to the shared bench lifecycle.
 
-    name: str = "abstract"
-    properties: dict[str, bool] = {}
-
-    def __init__(self, group: PairingGroup):
-        self.group = group
-
-    @abstractmethod
-    def setup(self, rng: RandomSource) -> None:
-        """Generate all global parameters and party keys."""
-
-    @abstractmethod
-    def sample_message(self, rng: RandomSource) -> Any:
-        """A uniform plaintext from this scheme's message space."""
-
-    @abstractmethod
-    def encrypt(self, message: Any, rng: RandomSource) -> Any:
-        """Encrypt for the delegator."""
-
-    @abstractmethod
-    def rekey(self, rng: RandomSource) -> Any:
-        """Produce the delegator->delegatee re-encryption key."""
-
-    @abstractmethod
-    def reencrypt(self, ciphertext: Any, rk: Any) -> Any:
-        """Proxy transformation."""
-
-    @abstractmethod
-    def decrypt_original(self, ciphertext: Any) -> Any:
-        """Delegator-side decryption."""
-
-    @abstractmethod
-    def decrypt_reencrypted(self, ciphertext: Any) -> Any:
-        """Delegatee-side decryption."""
-
-    def ciphertext_components(self, ciphertext: Any) -> int:
-        """Number of group-element components (for the size table)."""
-        return 2
-
-
-class TipreAdapter(PreAdapter):
-    """The paper's scheme (fixed type label for the shared lifecycle)."""
-
-    name = "type-and-identity (this paper)"
-    properties = {
-        "unidirectional": True,
-        "non_interactive": True,
-        "collusion_safe": True,
-        "identity_based": True,
-        "type_granular": True,
-    }
+    The two parties are ``delegator`` (KGC1) and ``delegatee`` (KGC2 —
+    collapsed onto KGC1 for single-authority schemes), and every
+    encryption uses one fixed type label, mirroring the original
+    hand-written adapters.
+    """
 
     TYPE = "benchmark-type"
 
+    def __init__(self, group: PairingGroup, backend_class: type[PreBackend] = TipreBackend):
+        self.group = group
+        self.backend_class = backend_class
+        self.name = backend_class.display_name
+        self.properties = backend_class.capabilities.properties()
+        self.backend: PreBackend | None = None
+
+    @property
+    def _delegatee_domain(self) -> str:
+        return DELEGATOR_DOMAIN if self.backend_class.single_authority else DELEGATEE_DOMAIN
+
     def setup(self, rng: RandomSource) -> None:
-        self.scheme = TypeAndIdentityPre(self.group)
-        registry = KgcRegistry(self.group, rng)
-        self.kgc1 = registry.create("KGC1")
-        self.kgc2 = registry.create("KGC2")
-        self.delegator_key = self.kgc1.extract("delegator")
-        self.delegatee_key = self.kgc2.extract("delegatee")
+        """Generate all global parameters and party keys."""
+        self.backend = self.backend_class(self.group)
+        self.backend.setup(rng)
+        self.backend.create_party(DELEGATOR_DOMAIN, DELEGATOR, rng)
+        self.backend.create_party(self._delegatee_domain, DELEGATEE, rng)
 
-    def sample_message(self, rng: RandomSource):
-        return self.group.random_gt(rng)
+    def sample_message(self, rng: RandomSource) -> Any:
+        """A uniform plaintext from this scheme's message space."""
+        return self.backend.sample_message(rng)
 
-    def encrypt(self, message, rng: RandomSource):
-        return self.scheme.encrypt(self.kgc1.params, self.delegator_key, message, self.TYPE, rng)
+    def encrypt(self, message: Any, rng: RandomSource) -> Any:
+        """Encrypt for the delegator."""
+        return self.backend.encrypt(DELEGATOR_DOMAIN, DELEGATOR, message, self.TYPE, rng)
 
-    def rekey(self, rng: RandomSource):
-        return self.scheme.pextract(
-            self.delegator_key, "delegatee", self.TYPE, self.kgc2.params, rng
+    def rekey(self, rng: RandomSource) -> Any:
+        """Produce the delegator->delegatee re-encryption key."""
+        return self.backend.rekey(
+            DELEGATOR_DOMAIN, DELEGATOR, self._delegatee_domain, DELEGATEE, self.TYPE, rng
         )
 
-    def reencrypt(self, ciphertext, rk):
-        return self.scheme.preenc(ciphertext, rk)
+    def reencrypt(self, ciphertext: Any, rk: Any) -> Any:
+        """Proxy transformation."""
+        return self.backend.reencrypt(ciphertext, rk)
 
-    def decrypt_original(self, ciphertext):
-        return self.scheme.decrypt(ciphertext, self.delegator_key)
+    def decrypt_original(self, ciphertext: Any) -> Any:
+        """Delegator-side decryption."""
+        return self.backend.decrypt_original(ciphertext, DELEGATOR_DOMAIN, DELEGATOR)
 
-    def decrypt_reencrypted(self, ciphertext):
-        return self.scheme.decrypt_reencrypted(ciphertext, self.delegatee_key)
+    def decrypt_reencrypted(self, ciphertext: Any) -> Any:
+        """Delegatee-side decryption."""
+        return self.backend.decrypt_reencrypted(ciphertext, self._delegatee_domain, DELEGATEE)
 
-    def ciphertext_components(self, ciphertext) -> int:
-        return 2  # c1 in G1, c2 in GT (c3 is a label, not a group element)
-
-
-class GreenAtenieseAdapter(PreAdapter):
-    """Green--Ateniese IBP1 (closest prior work)."""
-
-    name = "Green-Ateniese IBP1"
-    properties = {
-        "unidirectional": True,
-        "non_interactive": True,
-        "collusion_safe": True,
-        "identity_based": True,
-        "type_granular": False,
-    }
-
-    def setup(self, rng: RandomSource) -> None:
-        self.scheme = GreenAtenieseIbp1(self.group)
-        registry = KgcRegistry(self.group, rng)
-        self.kgc1 = registry.create("KGC1")
-        self.kgc2 = registry.create("KGC2")
-        self.delegator_key = self.kgc1.extract("delegator")
-        self.delegatee_key = self.kgc2.extract("delegatee")
-
-    def sample_message(self, rng: RandomSource):
-        return self.group.random_gt(rng)
-
-    def encrypt(self, message, rng: RandomSource):
-        return self.scheme.encrypt(self.kgc1.params, message, "delegator", rng)
-
-    def rekey(self, rng: RandomSource):
-        return self.scheme.rkgen(self.delegator_key, "delegatee", self.kgc2.params, rng)
-
-    def reencrypt(self, ciphertext, rk):
-        return self.scheme.reencrypt(ciphertext, rk)
-
-    def decrypt_original(self, ciphertext):
-        return self.scheme.decrypt(ciphertext, self.delegator_key)
-
-    def decrypt_reencrypted(self, ciphertext):
-        return self.scheme.decrypt_reencrypted(ciphertext, self.delegatee_key)
-
-
-class AfghAdapter(PreAdapter):
-    """Ateniese--Fu--Green--Hohenberger (second-level encryption path)."""
-
-    name = "AFGH (TISSEC'06)"
-    properties = {
-        "unidirectional": True,
-        "non_interactive": True,
-        "collusion_safe": True,
-        "identity_based": False,
-        "type_granular": False,
-    }
-
-    def setup(self, rng: RandomSource) -> None:
-        self.scheme = AfghScheme(self.group)
-        self.delegator = self.scheme.keygen(rng)
-        self.delegatee = self.scheme.keygen(rng)
-
-    def sample_message(self, rng: RandomSource):
-        return self.group.random_gt(rng)
-
-    def encrypt(self, message, rng: RandomSource):
-        return self.scheme.encrypt_second("delegator", self.delegator.public, message, rng)
-
-    def rekey(self, rng: RandomSource):
-        return self.scheme.rekey(self.delegator.secret, self.delegatee.public)
-
-    def reencrypt(self, ciphertext, rk):
-        return self.scheme.reencrypt(ciphertext, rk, "delegatee")
-
-    def decrypt_original(self, ciphertext):
-        return self.scheme.decrypt_second(ciphertext, self.delegator.secret)
-
-    def decrypt_reencrypted(self, ciphertext):
-        return self.scheme.decrypt_first(ciphertext, self.delegatee.secret)
-
-
-class BbsAdapter(PreAdapter):
-    """Blaze--Bleumer--Strauss atomic proxy (bidirectional ElGamal)."""
-
-    name = "BBS (EUROCRYPT'98)"
-    properties = {
-        "unidirectional": False,
-        "non_interactive": False,
-        "collusion_safe": False,
-        "identity_based": False,
-        "type_granular": False,
-    }
-
-    def setup(self, rng: RandomSource) -> None:
-        self.scheme = BbsProxyScheme(self.group)
-        self.delegator = self.scheme.keygen(rng)
-        self.delegatee = self.scheme.keygen(rng)
-
-    def sample_message(self, rng: RandomSource):
-        return self.group.random_g1(rng)
-
-    def encrypt(self, message, rng: RandomSource):
-        return self.scheme.encrypt("delegator", self.delegator.public, message, rng)
-
-    def rekey(self, rng: RandomSource):
-        return self.scheme.rekey(self.delegator.secret, self.delegatee.secret)
-
-    def reencrypt(self, ciphertext, rk):
-        return self.scheme.reencrypt(ciphertext, rk, "delegatee")
-
-    def decrypt_original(self, ciphertext):
-        return self.scheme.decrypt(ciphertext, self.delegator.secret)
-
-    def decrypt_reencrypted(self, ciphertext):
-        return self.scheme.decrypt(ciphertext, self.delegatee.secret)
-
-
-class DodisIvanAdapter(PreAdapter):
-    """Dodis--Ivan secret splitting (proxy partially decrypts)."""
-
-    name = "Dodis-Ivan (NDSS'03)"
-    properties = {
-        "unidirectional": True,
-        "non_interactive": True,
-        "collusion_safe": False,
-        "identity_based": False,
-        "type_granular": False,
-    }
-
-    def setup(self, rng: RandomSource) -> None:
-        self.scheme = DodisIvanScheme(self.group)
-        self.delegator = self.scheme.keygen(rng)
-
-    def sample_message(self, rng: RandomSource):
-        return self.group.random_g1(rng)
-
-    def encrypt(self, message, rng: RandomSource):
-        return self.scheme.encrypt(self.delegator.public, message, rng)
-
-    def rekey(self, rng: RandomSource):
-        self.shares = self.scheme.split(self.delegator.secret, rng)
-        return self.shares
-
-    def reencrypt(self, ciphertext, rk):
-        return self.scheme.proxy_transform(ciphertext, rk.proxy_share)
-
-    def decrypt_original(self, ciphertext):
-        return self.scheme.decrypt(ciphertext, self.delegator.secret)
-
-    def decrypt_reencrypted(self, ciphertext):
-        return self.scheme.delegatee_decrypt(ciphertext, self.shares.delegatee_share)
-
-
-class MatsuoAdapter(PreAdapter):
-    """Matsuo-style BB1 IBE-to-IBE PRE (same-KGC reconstruction)."""
-
-    name = "Matsuo-style (BB1)"
-    properties = {
-        "unidirectional": True,
-        "non_interactive": True,
-        "collusion_safe": True,
-        "identity_based": True,
-        "type_granular": False,
-    }
-
-    def setup(self, rng: RandomSource) -> None:
-        ibe = Bb1Ibe(self.group)
-        self.scheme = MatsuoStylePre(self.group, ibe)
-        self.params, master = ibe.setup(rng)
-        self.delegator_key = ibe.extract(self.params, master, "delegator", rng)
-        self.delegatee_key = ibe.extract(self.params, master, "delegatee", rng)
-
-    def sample_message(self, rng: RandomSource):
-        return self.group.random_gt(rng)
-
-    def encrypt(self, message, rng: RandomSource):
-        return self.scheme.encrypt(self.params, message, "delegator", rng)
-
-    def rekey(self, rng: RandomSource):
-        return self.scheme.rkgen(self.params, self.delegator_key, "delegatee", rng)
-
-    def reencrypt(self, ciphertext, rk):
-        return self.scheme.reencrypt(ciphertext, rk)
-
-    def decrypt_original(self, ciphertext):
-        return self.scheme.decrypt(ciphertext, self.delegator_key)
-
-    def decrypt_reencrypted(self, ciphertext):
-        return self.scheme.decrypt_reencrypted(ciphertext, self.delegatee_key)
-
-    def ciphertext_components(self, ciphertext) -> int:
-        return 3
+    def ciphertext_components(self, ciphertext: Any) -> int:
+        """Number of group-element components (for the size table)."""
+        return self.backend.ciphertext_components(ciphertext)
 
 
 def all_adapters(group: PairingGroup) -> list[PreAdapter]:
     """Every scheme adapter, the paper's scheme first."""
     return [
-        TipreAdapter(group),
-        GreenAtenieseAdapter(group),
-        AfghAdapter(group),
-        BbsAdapter(group),
-        DodisIvanAdapter(group),
-        MatsuoAdapter(group),
+        PreAdapter(group, backend_class)
+        for backend_class in (
+            TipreBackend,
+            GreenAtenieseBackend,
+            AfghBackend,
+            BbsBackend,
+            DodisIvanBackend,
+            MatsuoBackend,
+        )
     ]

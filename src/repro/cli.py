@@ -15,7 +15,11 @@ subcommands mirror the scheme's algorithms:
     serve      drive the sharded re-encryption gateway and print metrics;
                with --http PORT it becomes a long-running HTTP/JSON
                gateway process, and with --connect URL it drives the
-               same workload against such a process over the wire
+               same workload against such a process over the wire.
+               --scheme NAME selects any registered PRE backend
+               (tipre/v1, afgh/v1, green-ateniese/v1, ...) for all
+               three modes
+    schemes    list every registered scheme backend and its capabilities
 
 Example round trip::
 
@@ -164,12 +168,54 @@ def _cmd_redecrypt(args) -> int:
     return 0
 
 
+def _cmd_schemes(args) -> int:
+    """List every registered scheme backend with its capability flags."""
+    from repro.bench.report import print_table
+    from repro.core.api import CAPABILITY_NAMES, load_builtin_backends
+
+    registry = load_builtin_backends()
+    rows = []
+    for scheme_id in registry.ids():
+        backend_class = registry.backend_class(scheme_id)
+        flags = backend_class.capabilities.as_dict()
+        rows.append(
+            [scheme_id, backend_class.display_name]
+            + ["yes" if flags[name] else "-" for name in CAPABILITY_NAMES]
+        )
+    short = {
+        "unidirectional": "unidir",
+        "non_interactive": "non-int",
+        "collusion_safe": "coll-safe",
+        "identity_based": "id-based",
+        "type_granular": "typed",
+        "deterministic_reencrypt": "det-reenc",
+    }
+    print_table(
+        "registered PRE scheme backends",
+        ["scheme", "name"] + [short[name] for name in CAPABILITY_NAMES],
+        rows,
+    )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.bench.report import print_table
-    from repro.service.driver import run_demo, run_remote_demo
+    from repro.core.api import TIPRE_SCHEME_ID, available_schemes
+    from repro.service.driver import (
+        run_demo,
+        run_remote_demo,
+        run_remote_scheme_demo,
+        run_scheme_demo,
+    )
 
     if args.http is not None and args.connect is not None:
         print("error: --http and --connect are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.scheme not in available_schemes():
+        print(
+            "error: unknown scheme %r (run `repro-pre schemes`)" % args.scheme,
+            file=sys.stderr,
+        )
         return 2
     if args.http is not None:
         return _serve_http(args)
@@ -192,29 +238,53 @@ def _cmd_serve(args) -> int:
                 "client; ignored" % ", ".join(ignored),
                 file=sys.stderr,
             )
-        report = run_remote_demo(
-            args.connect,
-            group_name=args.group,
-            n_requests=args.requests,
-            seed=args.seed or "gateway-demo",
-            batch_size=args.batch,
-        )
+        if args.scheme == TIPRE_SCHEME_ID:
+            report = run_remote_demo(
+                args.connect,
+                group_name=args.group,
+                n_requests=args.requests,
+                seed=args.seed or "gateway-demo",
+                batch_size=args.batch,
+            )
+        else:
+            report = run_remote_scheme_demo(
+                args.connect,
+                scheme_id=args.scheme,
+                group_name=args.group,
+                n_requests=args.requests,
+                seed=args.seed or "gateway-demo",
+                batch_size=args.batch,
+            )
         print_table(
             "remote gateway %s: %d requests" % (args.connect, args.requests),
             ["metric", "value"],
             report.rows(),
         )
         return 0
-    report = run_demo(
-        group_name=args.group,
-        shard_count=args.shards,
-        n_requests=args.requests,
-        seed=args.seed or "gateway-demo",
-        batch_size=args.batch,
-        rate_per_s=args.rate,
-        workers=args.workers,
-        state_dir=args.state_dir,
-    )
+    if args.scheme == TIPRE_SCHEME_ID:
+        # The original seeded workload, kept bit-stable for E9/E10/E11.
+        report = run_demo(
+            group_name=args.group,
+            shard_count=args.shards,
+            n_requests=args.requests,
+            seed=args.seed or "gateway-demo",
+            batch_size=args.batch,
+            rate_per_s=args.rate,
+            workers=args.workers,
+            state_dir=args.state_dir,
+        )
+    else:
+        report = run_scheme_demo(
+            scheme_id=args.scheme,
+            group_name=args.group,
+            shard_count=args.shards,
+            n_requests=args.requests,
+            seed=args.seed or "gateway-demo",
+            batch_size=args.batch,
+            rate_per_s=args.rate,
+            workers=args.workers,
+            state_dir=args.state_dir,
+        )
     print_table(
         "gateway: %d requests over %d shards" % (args.requests, args.shards),
         ["metric", "value"],
@@ -228,25 +298,28 @@ def _serve_http(args) -> int:
 
     The process starts with empty shard tables (or whatever a durable
     ``--state-dir`` holds): grants, re-encryptions and admin resizes all
-    arrive over the wire, e.g. from ``repro-pre serve --connect``.
+    arrive over the wire, e.g. from ``repro-pre serve --connect``.  The
+    server holds no party secrets for *any* scheme — it only ever sees
+    proxy keys and ciphertexts, the paper's semi-trusted proxy trust
+    model.
     """
-    from repro.core.scheme import TypeAndIdentityPre
+    from repro.core.api import create_backend
     from repro.pairing.group import PairingGroup
     from repro.service.gateway import ReEncryptionGateway
     from repro.service.wire import GatewayHttpServer
 
     group = PairingGroup.shared(args.group)
     gateway = ReEncryptionGateway(
-        TypeAndIdentityPre(group),
+        create_backend(args.scheme, group),
         shard_count=args.shards,
         rate_per_s=args.rate,
         workers=args.workers,
         state_dir=args.state_dir,
     )
-    server = GatewayHttpServer(gateway, group, host=args.host, port=args.http)
+    server = GatewayHttpServer(gateway, host=args.host, port=args.http)
     print(
-        "gateway listening on %s (group %s, %d shards, %d keys loaded)"
-        % (server.url, args.group, args.shards, gateway.key_count()),
+        "gateway listening on %s (scheme %s, group %s, %d shards, %d keys loaded)"
+        % (server.url, args.scheme, args.group, args.shards, gateway.key_count()),
         flush=True,
     )
     try:
@@ -313,8 +386,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.set_defaults(func=_cmd_redecrypt)
 
+    p = sub.add_parser("schemes", help="list registered PRE scheme backends")
+    p.set_defaults(func=_cmd_schemes)
+
     p = sub.add_parser("serve", help="drive the sharded gateway on a synthetic workload")
     p.add_argument("--group", default="TOY", help="parameter set (TOY/SS256/SS512/SS1024)")
+    p.add_argument("--scheme", default="tipre/v1",
+                   help="registered scheme backend to serve (see `repro-pre schemes`)")
     p.add_argument("--shards", type=int, default=4)
     p.add_argument("--requests", type=int, default=200)
     p.add_argument("--batch", type=int, default=0, help="batch size (0/1 = unbatched)")

@@ -1,11 +1,25 @@
 """The paper's core contribution: type-and-identity-based proxy re-encryption."""
 
+from repro.core.api import (
+    PreBackend,
+    SchemeCapabilities,
+    SchemeRegistry,
+    available_schemes,
+    create_backend,
+    resolve_backend,
+)
 from repro.core.ciphertexts import ProxyKey, ReEncryptedCiphertext, TypedCiphertext
 from repro.core.epochs import EpochSchedule, ExpiredDelegationError, TemporalPre
 from repro.core.proxy import NoProxyKeyError, ProxyService, ReEncryptionLogEntry
 from repro.core.scheme import DelegationError, TypeAndIdentityPre, TypeMismatchError
 
 __all__ = [
+    "PreBackend",
+    "SchemeCapabilities",
+    "SchemeRegistry",
+    "available_schemes",
+    "create_backend",
+    "resolve_backend",
     "TypeAndIdentityPre",
     "TypedCiphertext",
     "ProxyKey",

@@ -18,6 +18,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Protocol, runtime_checkable
 
+from repro.core.api import PreBackend, resolve_backend
 from repro.core.ciphertexts import ProxyKey, ReEncryptedCiphertext, TypedCiphertext
 from repro.core.scheme import DelegationError, TypeAndIdentityPre
 
@@ -170,18 +171,26 @@ class ProxyKeyTable:
 
 @dataclass
 class ProxyService:
-    """A re-encryption proxy holding keys for (delegator, delegatee, type) triples."""
+    """A re-encryption proxy holding keys for (delegator, delegatee, type) triples.
 
-    scheme: TypeAndIdentityPre
+    ``scheme`` may be the paper's raw :class:`TypeAndIdentityPre` (the
+    historical spelling) or any :class:`~repro.core.api.PreBackend` —
+    the proxy itself is scheme-agnostic: it routes on envelope metadata
+    and delegates the transformation to the backend.
+    """
+
+    scheme: TypeAndIdentityPre | PreBackend
     name: str = "proxy"
     max_log_entries: int = DEFAULT_MAX_LOG_ENTRIES
     table: ProxyKeyTable = field(default_factory=ProxyKeyTable)
     _log: deque[ReEncryptionLogEntry] = field(default_factory=deque)
     _sequence: int = 0
+    backend: PreBackend = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_log_entries < 1:
             raise ValueError("max_log_entries must be positive")
+        self.backend = resolve_backend(self.scheme)
         self._log = deque(self._log, maxlen=self.max_log_entries)
 
     def install_key(self, key: ProxyKey) -> None:
@@ -247,11 +256,11 @@ class ProxyService:
     ) -> ReEncryptedCiphertext:
         """Transform with an already-resolved key (a cached table lookup).
 
-        The key must still match the ciphertext — the scheme's ``preenc``
-        guard runs regardless, so a stale cache entry cannot cross the
-        policy boundary.
+        The key must still match the ciphertext — the backend's
+        transformation guard runs regardless, so a stale cache entry
+        cannot cross the policy boundary.
         """
-        result = self.scheme.preenc(ciphertext, key)
+        result = self.backend.reencrypt(ciphertext, key)
         self._log.append(
             ReEncryptionLogEntry(
                 delegator=ciphertext.identity,

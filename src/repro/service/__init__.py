@@ -28,7 +28,16 @@ request-serving system:
 
 from repro.service.batch import BatchGroup, BatchItemError, ReEncryptBatcher
 from repro.service.cache import CacheStats, LruCache
-from repro.service.driver import DemoReport, DemoSetting, build_setting, run_demo
+from repro.service.driver import (
+    DemoReport,
+    DemoSetting,
+    SchemeDemoSetting,
+    build_scheme_setting,
+    build_setting,
+    drive_scheme_requests,
+    run_demo,
+    run_scheme_demo,
+)
 from repro.service.gateway import (
     AuditEvent,
     DelegationNotFoundError,
@@ -57,7 +66,12 @@ from repro.service.persistence import (
 )
 from repro.service.pool import ShardPool
 from repro.service.router import ShardRouter
-from repro.service.wire import GatewayHttpServer, RemoteGateway, WireTransportError
+from repro.service.wire import (
+    GatewayHttpServer,
+    RemoteGateway,
+    SchemeMismatchError,
+    WireTransportError,
+)
 
 __all__ = [
     "AppendLogKeyStore",
@@ -91,11 +105,16 @@ __all__ = [
     "ResizeReport",
     "RevokeRequest",
     "RevokeResponse",
+    "SchemeDemoSetting",
+    "SchemeMismatchError",
     "ShardPool",
     "ShardRouter",
     "StoreUnavailableError",
     "TokenBucket",
     "WireTransportError",
+    "build_scheme_setting",
     "build_setting",
+    "drive_scheme_requests",
     "run_demo",
+    "run_scheme_demo",
 ]

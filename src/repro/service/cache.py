@@ -66,6 +66,9 @@ class LruCache:
         self.name = name
         self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        # key -> [flight lock, waiter count]; single-flight state for
+        # get_or_compute, pruned when the last waiter leaves.
+        self._flights: dict[Hashable, list] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -94,20 +97,43 @@ class LruCache:
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value or compute, store and return it.
 
-        ``compute`` may raise; nothing is cached in that case.
+        ``compute`` may raise; nothing is cached in that case (and the
+        next waiter computes for itself).
 
-        ``compute`` runs *outside* the cache lock, so two threads missing
-        on the same key may both compute and the later :meth:`put` wins.
-        That is deliberate: the gateway's computes are deterministic (and
-        expensive), so duplicated work is merely wasted, never wrong —
-        and holding the lock across an arbitrary ``compute`` would
-        serialize every shard worker behind one slow pairing.
+        Concurrent misses on the same key are *single-flight*: one
+        caller runs ``compute`` while the others block on a per-key
+        flight lock and then read the stored value — an expensive
+        pairing is never paid twice for one key.  ``compute`` still runs
+        outside the cache-wide lock, so a slow computation for one key
+        never serializes lookups (or computations) for other keys.
         """
-        value = self.get(key, _MISSING)
-        if value is _MISSING:
-            value = compute()
-            self.put(key, value)
-        return value
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                record_operation("%s_hit" % self.name)
+                return self._entries[key]
+            self._misses += 1
+            record_operation("%s_miss" % self.name)
+            flight = self._flights.setdefault(key, [threading.Lock(), 0])
+            flight[1] += 1
+        try:
+            with flight[0]:
+                # A previous flight holder may have stored the value while
+                # this thread waited; re-check without touching the stats —
+                # the miss above already described this caller's outcome.
+                with self._lock:
+                    if key in self._entries:
+                        self._entries.move_to_end(key)
+                        return self._entries[key]
+                value = compute()
+                self.put(key, value)
+                return value
+        finally:
+            with self._lock:
+                flight[1] -= 1
+                if flight[1] == 0 and self._flights.get(key) is flight:
+                    del self._flights[key]
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) an entry, evicting the oldest when full."""

@@ -5,13 +5,25 @@ two-domain delegation setting, a shard fleet behind a gateway, and a
 repeated-delegatee request stream — so it lives here once.  Everything is
 seeded: two runs with the same arguments produce the same grants, the
 same request sequence and the same cache behaviour.
+
+Two families of entry points:
+
+* :func:`build_setting` / :func:`run_demo` / :func:`run_remote_demo` —
+  the original workload, hard-seeded to the paper's scheme (kept
+  byte-stable for the E9/E10/E11 benchmarks);
+* :func:`build_scheme_setting` / :func:`run_scheme_demo` /
+  :func:`run_remote_scheme_demo` — the scheme-agnostic equivalents: the
+  same shape of workload driven through any registered
+  :class:`~repro.core.api.PreBackend`, locally or over the wire, with
+  the same decrypt-and-compare verification.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.core.api import TIPRE_SCHEME_ID, PreBackend, create_backend
 from repro.core.scheme import TypeAndIdentityPre
 from repro.ibe.keys import IbePrivateKey
 from repro.ibe.kgc import KgcRegistry
@@ -29,9 +41,14 @@ from repro.service.metrics import MetricsSnapshot
 __all__ = [
     "DemoSetting",
     "DemoReport",
+    "SchemeDemoSetting",
     "build_setting",
     "run_demo",
     "run_remote_demo",
+    "build_scheme_setting",
+    "drive_scheme_requests",
+    "run_scheme_demo",
+    "run_remote_scheme_demo",
 ]
 
 DELEGATOR_DOMAIN = "KGC1"
@@ -65,9 +82,11 @@ class DemoReport:
     shard_keys: dict[str, int]
     workers: int = 0
     state_dir: str | None = None
+    scheme_id: str = TIPRE_SCHEME_ID
 
     def rows(self) -> list[list[str]]:
         rows = [
+            ["scheme", self.scheme_id],
             # A remote drive cannot see the fleet size; 0 means unknown.
             ["shards", str(self.shard_count) if self.shard_count else "-"],
             ["workers", str(self.workers) if self.workers else "sequential"],
@@ -144,6 +163,96 @@ def build_setting(
     )
 
 
+def _drive_stream(
+    setting,
+    gateway,
+    delegatee_domain: str,
+    verify,
+    n_requests: int,
+    seed: str,
+    batch_size: int,
+    verify_every: int,
+) -> int:
+    """The shared seeded request loop behind both driver families.
+
+    ``setting`` only needs ``patients``/``types``/``delegatees``/``pool``;
+    ``verify(request, response, message)`` is the family-specific
+    decrypt-and-compare (and must raise on mismatch).  The RNG draw
+    order is part of the drivers' bit-stability contract — never reorder
+    the four choices.
+    """
+    rng = HmacDrbg(seed)
+    verified = 0
+    pending: list[tuple[ReEncryptRequest, object]] = []
+
+    def checked(request: ReEncryptRequest, response, message) -> None:
+        nonlocal verified
+        verify(request, response, message)
+        verified += 1
+
+    for i in range(n_requests):
+        patient = rng.choice(setting.patients)
+        type_label = rng.choice(setting.types)
+        delegatee = rng.choice(setting.delegatees)
+        ciphertext, message = rng.choice(setting.pool[(patient, type_label)])
+        request = ReEncryptRequest(
+            tenant=patient,
+            ciphertext=ciphertext,
+            delegatee_domain=delegatee_domain,
+            delegatee=delegatee,
+        )
+        # A rate-limited request is a normal workload outcome: the gateway
+        # already counted it; the stream moves on (a batch is dropped whole).
+        if batch_size > 1:
+            pending.append((request, message))
+            if len(pending) >= batch_size:
+                try:
+                    responses = gateway.reencrypt_batch([r for r, _ in pending])
+                except RateLimitedError:
+                    responses = []
+                for j, (response, (req, msg)) in enumerate(zip(responses, pending)):
+                    if (i + j) % verify_every == 0:
+                        checked(req, response, msg)
+                pending.clear()
+        else:
+            try:
+                response = gateway.reencrypt(request)
+            except RateLimitedError:
+                continue
+            if i % verify_every == 0:
+                checked(request, response, message)
+    if pending:
+        try:
+            responses = gateway.reencrypt_batch([r for r, _ in pending])
+        except RateLimitedError:
+            responses = []
+        for response, (req, msg) in zip(responses, pending):
+            checked(req, response, msg)
+        pending.clear()
+    return verified
+
+
+def _grant_all_remote(local_gateway: ReEncryptionGateway, remote) -> None:
+    """Install every locally-built proxy key on a remote gateway.
+
+    The server may rate-limit grants (a bare remote process has no
+    setup-phase grace) — wait out the bucket instead of aborting.
+    """
+    for name in local_gateway.shard_names:
+        for key in list(local_gateway.shard_named(name).table):
+            request = GrantRequest(tenant="driver", proxy_key=key)
+            for _attempt in range(200):
+                try:
+                    remote.grant(request)
+                    break
+                except RateLimitedError:
+                    time.sleep(0.05)
+            else:
+                raise RateLimitedError(
+                    "remote gateway rate limit never admitted the grant phase"
+                )
+
+
 def drive_requests(
     setting: DemoSetting,
     n_requests: int,
@@ -164,59 +273,23 @@ def drive_requests(
     verification, which is exactly how the CLI's ``--connect`` mode and
     the E11 benchmark compare wire against in-process behaviour.
     """
-    rng = HmacDrbg(seed)
-    gateway = gateway if gateway is not None else setting.gateway
-    verified = 0
-    pending: list[tuple[ReEncryptRequest, Fp2Element]] = []
 
     def verify(request: ReEncryptRequest, response, message: Fp2Element) -> None:
-        nonlocal verified
         recovered = setting.scheme.decrypt_reencrypted(
             response.ciphertext, setting.delegatee_keys[request.delegatee]
         )
         assert recovered == message, "gateway returned a wrong transformation"
-        verified += 1
 
-    for i in range(n_requests):
-        patient = rng.choice(setting.patients)
-        type_label = rng.choice(setting.types)
-        delegatee = rng.choice(setting.delegatees)
-        ciphertext, message = rng.choice(setting.pool[(patient, type_label)])
-        request = ReEncryptRequest(
-            tenant=patient,
-            ciphertext=ciphertext,
-            delegatee_domain=DELEGATEE_DOMAIN,
-            delegatee=delegatee,
-        )
-        # A rate-limited request is a normal workload outcome: the gateway
-        # already counted it; the stream moves on (a batch is dropped whole).
-        if batch_size > 1:
-            pending.append((request, message))
-            if len(pending) >= batch_size:
-                try:
-                    responses = gateway.reencrypt_batch([r for r, _ in pending])
-                except RateLimitedError:
-                    responses = []
-                for j, (response, (req, msg)) in enumerate(zip(responses, pending)):
-                    if (i + j) % verify_every == 0:
-                        verify(req, response, msg)
-                pending.clear()
-        else:
-            try:
-                response = gateway.reencrypt(request)
-            except RateLimitedError:
-                continue
-            if i % verify_every == 0:
-                verify(request, response, message)
-    if pending:
-        try:
-            responses = gateway.reencrypt_batch([r for r, _ in pending])
-        except RateLimitedError:
-            responses = []
-        for response, (req, msg) in zip(responses, pending):
-            verify(req, response, msg)
-        pending.clear()
-    return verified
+    return _drive_stream(
+        setting,
+        gateway if gateway is not None else setting.gateway,
+        DELEGATEE_DOMAIN,
+        verify,
+        n_requests,
+        seed,
+        batch_size,
+        verify_every,
+    )
 
 
 def run_demo(
@@ -283,31 +356,16 @@ def run_remote_demo(
 
     setting = build_setting(group_name=group_name, seed=seed)
     try:
-        remote = RemoteGateway(url, setting.group)
-        # The server may rate-limit grants too (build_setting attaches its
-        # own limiter only after granting; a remote process has no such
-        # grace) — wait out the bucket instead of aborting the setup.
-        for name in setting.gateway.shard_names:
-            for key in list(setting.gateway.shard_named(name).table):
-                request = GrantRequest(tenant="driver", proxy_key=key)
-                for _attempt in range(200):
-                    try:
-                        remote.grant(request)
-                        break
-                    except RateLimitedError:
-                        time.sleep(0.05)
-                else:
-                    raise RateLimitedError(
-                        "remote gateway rate limit never admitted the grant phase"
-                    )
-        verified = drive_requests(
-            setting,
-            n_requests,
-            seed=seed + "-requests",
-            batch_size=batch_size,
-            gateway=remote,
-        )
-        snapshot = remote.snapshot()
+        with RemoteGateway(url, setting.group) as remote:
+            _grant_all_remote(setting.gateway, remote)
+            verified = drive_requests(
+                setting,
+                n_requests,
+                seed=seed + "-requests",
+                batch_size=batch_size,
+                gateway=remote,
+            )
+            snapshot = remote.snapshot()
         return DemoReport(
             snapshot=snapshot,
             shard_count=0,
@@ -316,6 +374,238 @@ def run_remote_demo(
             verified=verified,
             shard_keys={},
             state_dir=None,
+        )
+    finally:
+        setting.gateway.close()
+
+
+# ------------------------------------------------- scheme-agnostic workload
+
+
+@dataclass
+class SchemeDemoSetting:
+    """A fully-granted delegation universe over one registered backend.
+
+    The backend holds every party's key material (the client side of the
+    deployment); the gateway holds only proxy keys — exactly the trust
+    split of the paper's semi-trusted proxy, for any scheme.
+    """
+
+    scheme_id: str
+    backend: PreBackend
+    gateway: ReEncryptionGateway
+    patients: list[str]
+    delegatees: list[str]
+    types: list[str]
+    delegator_domain: str
+    delegatee_domain: str
+    # (patient, type) -> list of (wrapped ciphertext, plaintext)
+    pool: dict[tuple[str, str], list[tuple[object, object]]] = field(default_factory=dict)
+
+    @property
+    def group(self):
+        return self.backend.group
+
+
+def build_scheme_setting(
+    scheme_id: str = TIPRE_SCHEME_ID,
+    group_name: str = "TOY",
+    shard_count: int = 4,
+    n_patients: int = 4,
+    n_delegatees: int = 3,
+    n_types: int = 3,
+    ciphertexts_per_pair: int = 2,
+    seed: str = "gateway-demo",
+    rate_per_s: float | None = None,
+    workers: int = 0,
+    state_dir: str | None = None,
+) -> SchemeDemoSetting:
+    """Stand up parties, grants and a ciphertext pool for any backend.
+
+    The same shape as :func:`build_setting` — patients delegating typed
+    records to readers behind a sharded gateway — but every scheme
+    operation goes through the registered backend, so the identical
+    workload exercises ``tipre/v1`` and every baseline alike.
+    """
+    group = PairingGroup.shared(group_name)
+    backend = create_backend(scheme_id, group)
+    rng = HmacDrbg(seed)
+    backend.setup(rng)
+    delegator_domain = DELEGATOR_DOMAIN
+    delegatee_domain = (
+        delegator_domain if backend.single_authority else DELEGATEE_DOMAIN
+    )
+    gateway = ReEncryptionGateway(
+        backend, shard_count=shard_count, workers=workers, state_dir=state_dir
+    )
+
+    patients = ["patient-%02d" % i for i in range(n_patients)]
+    delegatees = ["reader-%02d" % i for i in range(n_delegatees)]
+    types = ["type-%d" % i for i in range(n_types)]
+    for patient in patients:
+        backend.create_party(delegator_domain, patient, rng)
+    for delegatee in delegatees:
+        backend.create_party(delegatee_domain, delegatee, rng)
+
+    setting = SchemeDemoSetting(
+        scheme_id=scheme_id,
+        backend=backend,
+        gateway=gateway,
+        patients=patients,
+        delegatees=delegatees,
+        types=types,
+        delegator_domain=delegator_domain,
+        delegatee_domain=delegatee_domain,
+    )
+    for patient in patients:
+        for type_label in types:
+            for delegatee in delegatees:
+                gateway.grant(
+                    GrantRequest(
+                        tenant=patient,
+                        proxy_key=backend.rekey(
+                            delegator_domain,
+                            patient,
+                            delegatee_domain,
+                            delegatee,
+                            type_label,
+                            rng,
+                        ),
+                    )
+                )
+            entries = setting.pool.setdefault((patient, type_label), [])
+            for _ in range(ciphertexts_per_pair):
+                message = backend.sample_message(rng)
+                entries.append(
+                    (
+                        backend.encrypt(
+                            delegator_domain, patient, message, type_label, rng
+                        ),
+                        message,
+                    )
+                )
+    if rate_per_s is not None:
+        gateway.set_rate_limit(rate_per_s)
+    return setting
+
+
+def drive_scheme_requests(
+    setting: SchemeDemoSetting,
+    n_requests: int,
+    seed: str = "gateway-requests",
+    batch_size: int = 0,
+    verify_every: int = 8,
+    gateway=None,
+) -> int:
+    """Replay a seeded repeated-delegatee stream; returns verified count.
+
+    The same stream shape as :func:`drive_requests` (shared loop);
+    verification decrypts through the backend, so it works for every
+    scheme's message space.  ``gateway`` may be a
+    :class:`~repro.service.wire.client.RemoteGateway` speaking the same
+    backend.
+    """
+
+    def verify(request: ReEncryptRequest, response, message) -> None:
+        recovered = setting.backend.decrypt_reencrypted(
+            response.ciphertext, setting.delegatee_domain, request.delegatee
+        )
+        assert recovered == message, "gateway returned a wrong transformation"
+
+    return _drive_stream(
+        setting,
+        gateway if gateway is not None else setting.gateway,
+        setting.delegatee_domain,
+        verify,
+        n_requests,
+        seed,
+        batch_size,
+        verify_every,
+    )
+
+
+def run_scheme_demo(
+    scheme_id: str = TIPRE_SCHEME_ID,
+    group_name: str = "TOY",
+    shard_count: int = 4,
+    n_requests: int = 200,
+    seed: str = "gateway-demo",
+    batch_size: int = 0,
+    rate_per_s: float | None = None,
+    workers: int = 0,
+    state_dir: str | None = None,
+) -> DemoReport:
+    """The E9-style demo for any registered backend."""
+    setting = build_scheme_setting(
+        scheme_id=scheme_id,
+        group_name=group_name,
+        shard_count=shard_count,
+        seed=seed,
+        rate_per_s=rate_per_s,
+        workers=workers,
+        state_dir=state_dir,
+    )
+    try:
+        verified = drive_scheme_requests(
+            setting, n_requests, seed=seed + "-requests", batch_size=batch_size
+        )
+        return DemoReport(
+            snapshot=setting.gateway.snapshot(),
+            shard_count=shard_count,
+            requests=n_requests,
+            batch_size=batch_size,
+            verified=verified,
+            shard_keys=setting.gateway.shard_key_counts(),
+            workers=workers,
+            state_dir=state_dir,
+            scheme_id=scheme_id,
+        )
+    finally:
+        setting.gateway.close()
+
+
+def run_remote_scheme_demo(
+    url: str,
+    scheme_id: str = TIPRE_SCHEME_ID,
+    group_name: str = "TOY",
+    n_requests: int = 200,
+    seed: str = "gateway-demo",
+    batch_size: int = 0,
+) -> DemoReport:
+    """Drive a *remote* gateway running any scheme over HTTP.
+
+    Builds the delegation universe locally (all party secrets stay on
+    this side), negotiates the scheme with the server, grants every
+    proxy key over the wire and replays the seeded stream with full
+    decrypt-and-compare verification — the end-to-end proof that a
+    remote ``serve --http --scheme X`` process returns transformations
+    the delegatee can actually open.
+    """
+    from repro.service.wire.client import RemoteGateway
+
+    setting = build_scheme_setting(
+        scheme_id=scheme_id, group_name=group_name, seed=seed
+    )
+    try:
+        with RemoteGateway(url, setting.backend) as remote:
+            _grant_all_remote(setting.gateway, remote)
+            verified = drive_scheme_requests(
+                setting,
+                n_requests,
+                seed=seed + "-requests",
+                batch_size=batch_size,
+                gateway=remote,
+            )
+            snapshot = remote.snapshot()
+        return DemoReport(
+            snapshot=snapshot,
+            shard_count=0,
+            requests=n_requests,
+            batch_size=batch_size,
+            verified=verified,
+            shard_keys={},
+            state_dir=None,
+            scheme_id=scheme_id,
         )
     finally:
         setting.gateway.close()

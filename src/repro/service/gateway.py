@@ -11,9 +11,15 @@ Failures are a closed taxonomy rooted at :class:`GatewayError`, each with
 a stable ``code`` string, so callers (and the audit log) never depend on
 library-internal exception types leaking through.
 
-Cache soundness: ``Preenc`` is deterministic, so cached transformation
-results are exact replays — but only while the installed key is the one
-that produced them.  Grants and revokes therefore invalidate both caches
+The gateway is scheme-agnostic: it speaks the
+:class:`~repro.core.api.PreBackend` lifecycle, so the same shard fleet
+serves the paper's scheme or any other registered backend (``afgh/v1``,
+``green-ateniese/v1``, ...).
+
+Cache soundness: result replay is only sound for backends whose
+capabilities declare ``deterministic_reencrypt`` — the KEM-result cache
+is bypassed entirely otherwise — and only while the installed key is the
+one that produced them.  Grants and revokes therefore invalidate both caches
 for the affected delegation *after* mutating the shard, under the shard
 lock — and every cache *write* also happens under the owning shard's
 lock, so a racing transformation can never re-populate an entry after
@@ -30,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator, Sequence
 
+from repro.core.api import PreBackend, resolve_backend
 from repro.core.ciphertexts import ProxyKey, ReEncryptedCiphertext, TypedCiphertext
 from repro.core.proxy import (
     DEFAULT_MAX_LOG_ENTRIES,
@@ -262,7 +269,9 @@ class ReEncryptionGateway:
       whose consistent-hash owner changed.
     """
 
-    scheme: TypeAndIdentityPre
+    # The paper's raw scheme (historical spelling) or any registered
+    # PreBackend — the whole service stack runs on the backend API.
+    scheme: TypeAndIdentityPre | PreBackend
     shard_count: int = 4
     store: object | None = None  # EncryptedPhrStore | FilePhrStore (duck-typed)
     rate_per_s: float | None = None  # None disables rate limiting
@@ -278,6 +287,7 @@ class ReEncryptionGateway:
     # Custom shard construction, e.g. a benchmark modelling remote-shard
     # latency; receives (name, durable_table_or_None).
     shard_factory: Callable[[str, object | None], ProxyService] | None = None
+    backend: PreBackend = field(init=False, repr=False)
     _shards: dict[str, ProxyService] = field(init=False)
     _router: ShardRouter = field(init=False)
     _pool: ShardPool = field(init=False)
@@ -294,6 +304,10 @@ class ReEncryptionGateway:
             raise ValueError("shard_count must be positive")
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
+        self.backend = resolve_backend(self.scheme)
+        # Replaying a cached transformation is only sound when the
+        # scheme's re-encryption is a pure function of (ciphertext, key).
+        self._cache_results = self.backend.capabilities.deterministic_reencrypt
         names = ["shard-%02d" % i for i in range(self.shard_count)]
         self._router = ShardRouter(names)
         self._pool = ShardPool(names, workers=self.workers)
@@ -315,12 +329,12 @@ class ReEncryptionGateway:
             state_dir = Path(self.state_dir)
             state_dir.mkdir(parents=True, exist_ok=True)
             table = DurableProxyKeyTable(
-                state_dir / ("%s.log" % name), self.scheme.group, fsync=self.fsync
+                state_dir / ("%s.log" % name), self.backend, fsync=self.fsync
             )
         if self.shard_factory is not None:
             return self.shard_factory(name, table)
         return ProxyService(
-            self.scheme,
+            self.backend,
             name=name,
             max_log_entries=self.max_shard_log_entries,
             table=table if table is not None else ProxyKeyTable(),
@@ -339,7 +353,7 @@ class ReEncryptionGateway:
         for path in sorted(Path(self.state_dir).glob("*.log")):
             if path.stem in self._shards:
                 continue
-            orphan = DurableProxyKeyTable(path, self.scheme.group)
+            orphan = DurableProxyKeyTable(path, self.backend)
             for key in list(orphan):
                 owner = self._router.shard_for(
                     key.delegator_domain, key.delegator, key.type_label
@@ -535,7 +549,7 @@ class ReEncryptionGateway:
         start = self.clock()
         ciphertext = request.ciphertext
         result_key = (ciphertext, request.delegatee_domain, request.delegatee)
-        cached = self._result_cache.get(result_key)
+        cached = self._result_cache.get(result_key) if self._cache_results else None
         if cached is not None:
             shard_name = self._route(
                 ciphertext.domain, ciphertext.identity, ciphertext.type_label
@@ -558,7 +572,8 @@ class ReEncryptionGateway:
                 )
                 raise DelegationNotFoundError(str(error)) from error
             result = shard.reencrypt_with_key(ciphertext, key)
-            self._result_cache.put(result_key, result)
+            if self._cache_results:
+                self._result_cache.put(result_key, result)
         self.metrics.observe("reencrypt", (self.clock() - start) * 1000, shard_name)
         self._record_audit(request.tenant, "reencrypt", "ok", "shard=%s" % shard_name)
         return ReEncryptResponse(ciphertext=result, shard=shard_name, cache_hit=False)
@@ -636,7 +651,11 @@ class ReEncryptionGateway:
                     for position, ciphertext in zip(group.positions, group.ciphertexts):
                         shard_names[position] = shard_name
                         result_key = (ciphertext, key.delegatee_domain, key.delegatee)
-                        cached = self._result_cache.get(result_key)
+                        cached = (
+                            self._result_cache.get(result_key)
+                            if self._cache_results
+                            else None
+                        )
                         if cached is not None:
                             hit_flags[position] = True
                             results[position] = cached
@@ -645,7 +664,8 @@ class ReEncryptionGateway:
                             results[position] = shard.reencrypt_with_key(ciphertext, key)
                         except Exception as error:  # noqa: BLE001 - rewrapped
                             raise BatchItemError(position, error) from error
-                        self._result_cache.put(result_key, results[position])
+                        if self._cache_results:
+                            self._result_cache.put(result_key, results[position])
 
             return run
 

@@ -42,10 +42,10 @@ import threading
 import zlib
 from pathlib import Path
 
+from repro.core.api import TIPRE_SCHEME_ID, PreBackend, resolve_backend
 from repro.core.ciphertexts import ProxyKey
 from repro.core.proxy import KeyIndex, ProxyKeyTable
 from repro.pairing.group import PairingGroup
-from repro.serialization.containers import deserialize_proxy_key, serialize_proxy_key
 
 __all__ = ["AppendLogKeyStore", "DurableProxyKeyTable", "LogFormatError"]
 
@@ -69,9 +69,15 @@ class AppendLogKeyStore:
     owning table can decide when compaction pays for itself.
     """
 
-    def __init__(self, path: str | Path, group: PairingGroup, fsync: bool = False):
+    def __init__(
+        self, path: str | Path, group: PairingGroup | PreBackend, fsync: bool = False
+    ):
         self.path = Path(path)
-        self.group = group
+        # ``group`` historically was a bare PairingGroup (implying the
+        # paper's scheme); any PreBackend selects another scheme, whose
+        # id is stamped into (and checked against) the log header.
+        self.backend = resolve_backend(group)
+        self.group = self.backend.group
         self.fsync = fsync
         self.record_count = 0
         self.recovered_bytes = 0  # torn tail dropped by the last replay
@@ -137,7 +143,7 @@ class AppendLogKeyStore:
                 payload = record["key"]
                 if record["crc"] != _crc_of(payload):
                     return False
-                key = deserialize_proxy_key(self.group, base64.b64decode(payload))
+                key = self.backend.deserialize_proxy_key(base64.b64decode(payload))
                 live[ProxyKeyTable.index_of(key)] = key
             elif op == "revoke":
                 index = tuple(record["index"])
@@ -155,6 +161,7 @@ class AppendLogKeyStore:
             "format": LOG_FORMAT,
             "version": LOG_VERSION,
             "group": self.group.params.name,
+            "scheme": self.backend.scheme_id,
         }
         return json.dumps(header, sort_keys=True) + "\n"
 
@@ -172,6 +179,14 @@ class AppendLogKeyStore:
                 "log %s was written for group %r, not %r"
                 % (self.path, header.get("group"), self.group.params.name)
             )
+        # Logs from before the backend API carry no scheme field; they
+        # were all written by the paper's scheme.
+        scheme = header.get("scheme", TIPRE_SCHEME_ID)
+        if scheme != self.backend.scheme_id:
+            raise LogFormatError(
+                "log %s was written under scheme %r, not %r"
+                % (self.path, scheme, self.backend.scheme_id)
+            )
 
     # ----------------------------------------------------------------- writes
 
@@ -188,7 +203,7 @@ class AppendLogKeyStore:
         self.record_count += 1
 
     def on_install(self, key: ProxyKey) -> None:
-        payload = base64.b64encode(serialize_proxy_key(self.group, key)).decode("ascii")
+        payload = base64.b64encode(self.backend.serialize_proxy_key(key)).decode("ascii")
         self._append({"op": "install", "key": payload, "crc": _crc_of(payload)})
 
     def on_revoke(self, index: KeyIndex) -> None:
@@ -202,7 +217,7 @@ class AppendLogKeyStore:
         with open(tmp, "w", encoding="utf-8") as handle:
             handle.write(self._header_line())
             for key in keys:
-                payload = base64.b64encode(serialize_proxy_key(self.group, key)).decode(
+                payload = base64.b64encode(self.backend.serialize_proxy_key(key)).decode(
                     "ascii"
                 )
                 handle.write(
@@ -246,7 +261,7 @@ class DurableProxyKeyTable(ProxyKeyTable):
     def __init__(
         self,
         path: str | Path,
-        group: PairingGroup,
+        group: PairingGroup | PreBackend,
         auto_compact_ratio: float = 4.0,
         auto_compact_min: int = 256,
         fsync: bool = False,

@@ -15,7 +15,7 @@ network; this package makes that literal.  Three layers:
   unchanged against either.
 """
 
-from repro.service.wire.client import RemoteGateway, WireTransportError
+from repro.service.wire.client import RemoteGateway, SchemeMismatchError, WireTransportError
 from repro.service.wire.codec import (
     ERROR_TYPES,
     WIRE_FORMAT,
@@ -33,6 +33,7 @@ __all__ = [
     "ReEncryptBatchRequest",
     "ReEncryptBatchResponse",
     "RemoteGateway",
+    "SchemeMismatchError",
     "ResizeRequest",
     "STATUS_BY_CODE",
     "WIRE_FORMAT",

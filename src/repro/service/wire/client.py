@@ -11,18 +11,34 @@ body whose stable code selects the taxonomy class to raise, so callers
 catch :class:`~repro.service.gateway.RateLimitedError` (and friends)
 identically in both deployments.
 
-Transport is deliberately boring: one ``urllib`` request per call over
-stdlib sockets, no connection pooling, no TLS, no auth — those are named
-follow-ups in the roadmap, not accidental omissions.
+Transport: one persistent HTTP/1.1 keep-alive connection per client
+(the server sends ``Content-Length`` on every response exactly so this
+works), re-established transparently when the server drops it — an idle
+timeout, a restart.  A request that dies mid-flight is retried once on
+a fresh connection when replaying it is sound — grants are idempotent
+installs, transformations and fetches are deterministic reads — while
+revoke and resize (whose replay against mutated state would mis-report
+the outcome) fail fast instead.  :attr:`connections_opened` counts
+dials so benchmarks can *assert* reuse rather than assume it.
+
+Scheme negotiation: before the first request the client fetches
+``GET /v1/scheme`` and refuses (with :class:`SchemeMismatchError`) to
+proceed when the server runs a different scheme backend or pairing
+group than this client was built with — version skew dies before any
+element envelope is misread.  TLS and auth remain named follow-ups in
+the roadmap, not accidental omissions.
 """
 
 from __future__ import annotations
 
 import http.client
-import urllib.error
-import urllib.request
+import json
+import socket
+import threading
+import urllib.parse
 from typing import Sequence
 
+from repro.core.api import PreBackend, resolve_backend
 from repro.pairing.group import PairingGroup
 from repro.service.gateway import (
     FetchRequest,
@@ -46,7 +62,7 @@ from repro.service.wire.codec import (
     to_wire,
 )
 
-__all__ = ["RemoteGateway", "WireTransportError"]
+__all__ = ["RemoteGateway", "WireTransportError", "SchemeMismatchError"]
 
 
 class WireTransportError(GatewayError):
@@ -59,60 +75,167 @@ class WireTransportError(GatewayError):
     code = "wire-transport"
 
 
+class SchemeMismatchError(GatewayError):
+    """Negotiation failed: the server runs a different scheme or group."""
+
+    code = "scheme-mismatch"
+
+
+_RETRYABLE = (ConnectionError, http.client.HTTPException, TimeoutError, OSError)
+
+
 class RemoteGateway:
     """A typed HTTP client for one :class:`GatewayHttpServer`.
 
-    ``url`` is the server base (e.g. ``http://127.0.0.1:8080``); ``group``
-    must be the pairing group the server's scheme runs on, since group
-    elements cannot be decoded without it.
+    ``url`` is the server base (e.g. ``http://127.0.0.1:8080``);
+    ``context`` is the scheme backend the client speaks — a bare
+    :class:`~repro.pairing.group.PairingGroup` selects the paper's
+    ``tipre/v1`` backend, the historical spelling.  It must match what
+    the server serves; the first request verifies that via
+    ``GET /v1/scheme``.
+
+    The client is thread-safe, but requests serialize on the single
+    persistent connection; use one client per concurrent caller for
+    parallel load.
     """
 
-    def __init__(self, url: str, group: PairingGroup, timeout: float = 30.0):
+    def __init__(
+        self,
+        url: str,
+        context: PairingGroup | PreBackend,
+        timeout: float = 30.0,
+        negotiate: bool = True,
+    ):
         self.url = url.rstrip("/")
-        self.group = group
+        self.backend = resolve_backend(context)
+        self.group = self.backend.group
         self.timeout = timeout
+        self.connections_opened = 0
+        self._negotiate = negotiate
+        self._negotiated = False
+        self._lock = threading.RLock()
+        self._conn: http.client.HTTPConnection | None = None
+        parts = urllib.parse.urlsplit(self.url)
+        if parts.scheme not in ("http", "https") or not parts.netloc:
+            raise ValueError("gateway url must be http(s)://host[:port], got %r" % url)
+        self._conn_class = (
+            http.client.HTTPSConnection if parts.scheme == "https" else http.client.HTTPConnection
+        )
+        self._netloc = parts.netloc
 
     # -------------------------------------------------------------- plumbing
 
-    def _round_trip(self, method: str, path: str, message: object | None):
-        data = to_wire(self.group, message).encode("utf-8") if message is not None else None
-        request = urllib.request.Request(
-            self.url + path,
-            data=data,
-            headers={"Content-Type": "application/json"},
-            method=method,
+    def _ensure_conn(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            conn = self._conn_class(self._netloc, timeout=self.timeout)
+            conn.connect()
+            # A reused connection interleaves small request/response
+            # writes; without TCP_NODELAY, Nagle + delayed ACK add ~40ms
+            # to every round trip and erase the keep-alive win.
+            conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._conn = conn
+            self.connections_opened += 1
+        return self._conn
+
+    def _drop_conn(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def _raw_request(
+        self, method: str, path: str, data: bytes | None, replayable: bool = True
+    ) -> tuple[int, bytes]:
+        """One HTTP exchange on the persistent connection, status + body.
+
+        A transport failure drops the connection and — for ``replayable``
+        requests only — retries exactly once on a fresh one: the
+        reconnect-on-drop path a long-lived client needs when the server
+        restarts or reaps idle connections.  Grants (idempotent
+        installs), transformations and fetches (deterministic reads) and
+        the GET endpoints are safe to replay; revoke and resize are NOT
+        (a drop after the server acted would replay against the mutated
+        state and mis-report the outcome).  Those are instead sent on a
+        freshly-dialed connection — a stale idle socket is the common
+        drop, and a new dial cannot be one — and then fail fast as
+        :class:`WireTransportError`, leaving the decision to the caller;
+        only a server that really died mid-request surfaces that way.
+        """
+        if not replayable:
+            # An extra dial per revoke/resize is cheap; silently failing
+            # (or replaying) a mutation is not.
+            self._drop_conn()
+        headers = {"Content-Type": "application/json"}
+        last_error: Exception | None = None
+        for attempt in (0, 1) if replayable else (0,):
+            try:
+                conn = self._ensure_conn()
+                conn.request(method, path, body=data, headers=headers)
+                response = conn.getresponse()
+                body = response.read()
+                if response.will_close:
+                    # The server asked to close (error paths do); honor it
+                    # so the next request dials fresh instead of failing.
+                    self._drop_conn()
+                return response.status, body
+            except _RETRYABLE as error:
+                self._drop_conn()
+                last_error = error
+        raise WireTransportError(
+            "cannot reach %s%s: %s" % (self.url, path, last_error)
+        ) from last_error
+
+    def _negotiate_scheme(self) -> None:
+        """Verify the server speaks this client's scheme and group."""
+        info = self.scheme_info()
+        remote_scheme = info.get("scheme")
+        remote_group = info.get("group")
+        if remote_scheme is None or remote_group is None:
+            raise WireTransportError(
+                "scheme negotiation failed: /v1/scheme body lacks scheme/group"
+            )
+        if remote_scheme != self.backend.scheme_id or remote_group != self.group.params.name:
+            raise SchemeMismatchError(
+                "server %s runs %s on group %s; this client speaks %s on %s"
+                % (
+                    self.url,
+                    remote_scheme,
+                    remote_group,
+                    self.backend.scheme_id,
+                    self.group.params.name,
+                )
+            )
+        self._negotiated = True
+
+    def _round_trip(
+        self, method: str, path: str, message: object | None, replayable: bool = True
+    ):
+        data = (
+            to_wire(self.backend, message).encode("utf-8") if message is not None else None
         )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                text = response.read().decode("utf-8")
-        except urllib.error.HTTPError as http_error:
+        with self._lock:
+            if self._negotiate and not self._negotiated:
+                self._negotiate_scheme()
+            status, body = self._raw_request(method, path, data, replayable=replayable)
+        text = body.decode("utf-8", errors="replace")
+        if status >= 400:
             # The body should be a wire error; reconstruct and raise the
             # taxonomy class the in-process gateway would have raised.
-            body = http_error.read().decode("utf-8", errors="replace")
             try:
-                decoded = from_wire(self.group, body)
+                decoded = from_wire(self.backend, text)
             except GatewayError:
                 raise WireTransportError(
-                    "HTTP %d from %s with undecodable body" % (http_error.code, path)
-                ) from http_error
+                    "HTTP %d from %s with undecodable body" % (status, path)
+                ) from None
             if isinstance(decoded, GatewayError):
                 raise decoded from None
             raise WireTransportError(
-                "HTTP %d from %s carried a non-error message" % (http_error.code, path)
-            ) from http_error
-        except urllib.error.URLError as url_error:
-            raise WireTransportError(
-                "cannot reach %s%s: %s" % (self.url, path, url_error.reason)
-            ) from url_error
-        except (OSError, http.client.HTTPException) as io_error:
-            # A reset/stalled/truncated read mid-body is a transport
-            # failure too: callers rely on catching GatewayError working
-            # identically in both deployments.
-            raise WireTransportError(
-                "transport failure on %s%s: %s" % (self.url, path, io_error)
-            ) from io_error
+                "HTTP %d from %s carried a non-error message" % (status, path)
+            )
         try:
-            return from_wire(self.group, text)
+            return from_wire(self.backend, text)
         except InvalidRequestError as decode_error:
             # A 2xx body that is not wire JSON (an interposed proxy, a
             # version-skewed server) is a transport fault, not the gateway
@@ -121,8 +244,15 @@ class RemoteGateway:
                 "undecodable 2xx body from %s: %s" % (path, decode_error)
             ) from decode_error
 
-    def _call(self, method: str, path: str, message: object | None, expect: type):
-        decoded = self._round_trip(method, path, message)
+    def _call(
+        self,
+        method: str,
+        path: str,
+        message: object | None,
+        expect: type,
+        replayable: bool = True,
+    ):
+        decoded = self._round_trip(method, path, message, replayable=replayable)
         if not isinstance(decoded, expect):
             raise WireTransportError(
                 "%s returned %s, expected %s"
@@ -132,11 +262,25 @@ class RemoteGateway:
 
     # ------------------------------------------------------------ operations
 
+    def scheme_info(self) -> dict:
+        """The server's ``/v1/scheme`` document (id, group, capabilities)."""
+        with self._lock:
+            status, body = self._raw_request("GET", "/v1/scheme", None)
+        if status != 200:
+            raise WireTransportError("HTTP %d from /v1/scheme" % status)
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise WireTransportError("undecodable /v1/scheme body") from error
+
     def grant(self, request: GrantRequest) -> GrantResponse:
         return self._call("POST", "/v1/grant", request, GrantResponse)
 
     def revoke(self, request: RevokeRequest) -> RevokeResponse:
-        return self._call("POST", "/v1/revoke", request, RevokeResponse)
+        # Not replayed on a connection drop: a retry after the server
+        # already removed the key would report removed=False for a
+        # revocation that happened.
+        return self._call("POST", "/v1/revoke", request, RevokeResponse, replayable=False)
 
     def reencrypt(self, request: ReEncryptRequest) -> ReEncryptResponse:
         return self._call("POST", "/v1/reencrypt", request, ReEncryptResponse)
@@ -153,8 +297,10 @@ class RemoteGateway:
         return self._call("POST", "/v1/fetch", request, FetchResponse)
 
     def resize(self, shard_count: int, tenant: str = "admin") -> ResizeReport:
+        # Not replayed: a second resize against an already-resized fleet
+        # would run (and report) a spurious zero-move migration.
         message = ResizeRequest(tenant=tenant, shard_count=shard_count)
-        return self._call("POST", "/v1/resize", message, ResizeReport)
+        return self._call("POST", "/v1/resize", message, ResizeReport, replayable=False)
 
     # --------------------------------------------------------- observability
 
@@ -162,4 +308,12 @@ class RemoteGateway:
         return self._call("GET", "/v1/metrics", None, MetricsSnapshot)
 
     def close(self) -> None:
-        """Nothing to release: transport is one connection per request."""
+        """Release the persistent connection (reopened on next use)."""
+        with self._lock:
+            self._drop_conn()
+
+    def __enter__(self) -> "RemoteGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

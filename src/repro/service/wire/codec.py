@@ -3,20 +3,25 @@
 Every dataclass :mod:`repro.service.gateway` exchanges is mapped to a
 versioned wire message::
 
-    {"wire": "repro-gateway/v1", "type": "<kind>", "body": {...}}
+    {"wire": "repro-gateway/v1", "scheme": "<scheme id>",
+     "type": "<kind>", "body": {...}}
 
-Group-element payloads (ciphertexts, proxy keys) are not re-invented
-here: they travel as the canonical envelopes of
-:mod:`repro.serialization.containers` (``tipre/v1``), nested as JSON
-objects inside the body.  Decoding is round-trip exact — the dataclass
-that comes out of :func:`from_wire` compares equal to the one that went
-into :func:`to_wire`, group elements included — because the payload
-bytes are the same canonical serialization the library uses everywhere
-else.
+The codec speaks for exactly one :class:`~repro.core.api.PreBackend`
+(a bare :class:`~repro.pairing.group.PairingGroup` still selects the
+paper's ``tipre/v1`` backend, the historical spelling).  Element
+payloads (ciphertexts, proxy keys) travel as scheme-tagged envelopes —
+``{"format": "<scheme id>", "group": ..., "kind": ..., "payload":
+base64}`` — whose bytes come from the backend's serialization hooks;
+for ``tipre/v1`` these are the canonical container envelopes of
+:mod:`repro.serialization.containers`, byte-identical to the wire
+format before the backend API existed.  Decoding is round-trip exact —
+the dataclass that comes out of :func:`from_wire` compares equal to the
+one that went into :func:`to_wire`, group elements included.
 
 Anything malformed — broken JSON, a non-object, a wrong ``wire``
 version, an unknown ``type``, a missing or mistyped field, a corrupt
-element envelope — raises
+element envelope, or *any scheme-id mismatch* (a message or element
+produced under a different backend) — raises
 :class:`~repro.service.gateway.InvalidRequestError`, so the server maps
 every decode failure to the stable ``invalid-request`` error code.
 
@@ -34,18 +39,9 @@ import json
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.core.api import PreBackend, resolve_backend
 from repro.pairing.group import PairingGroup
 from repro.phr.store import StoredRecord
-from repro.serialization.containers import (
-    deserialize_proxy_key,
-    deserialize_reencrypted,
-    deserialize_typed_ciphertext,
-    from_json_envelope,
-    serialize_proxy_key,
-    serialize_reencrypted,
-    serialize_typed_ciphertext,
-    to_json_envelope,
-)
 from repro.serialization.encoding import EncodingError
 from repro.service.cache import CacheStats
 from repro.service.gateway import (
@@ -144,21 +140,42 @@ def _get(
     return value
 
 
-def _element_to_json(group: PairingGroup, blob: bytes) -> dict:
-    return json.loads(to_json_envelope(group, blob))
+def _element_to_json(backend: PreBackend, blob: bytes, kind: str) -> dict:
+    """Scheme-tagged element envelope; for ``tipre/v1`` this is exactly
+    the canonical ``to_json_envelope`` output the wire always used."""
+    return {
+        "format": backend.scheme_id,
+        "group": backend.group.params.name,
+        "kind": kind,
+        "payload": base64.b64encode(blob).decode("ascii"),
+    }
 
 
-def _element_from_json(group: PairingGroup, body: dict, name: str) -> bytes:
+def _element_from_json(backend: PreBackend, body: dict, name: str) -> bytes:
     envelope = _get(body, name, dict)
+    found = envelope.get("format")
+    if found != backend.scheme_id:
+        raise InvalidRequestError(
+            "field %r carries scheme %r, this gateway speaks %r"
+            % (name, found, backend.scheme_id)
+        )
+    if envelope.get("group") != backend.group.params.name:
+        raise InvalidRequestError(
+            "field %r is for group %r, not %r"
+            % (name, envelope.get("group"), backend.group.params.name)
+        )
+    payload = envelope.get("payload")
+    if not isinstance(payload, str):
+        raise InvalidRequestError("field %r has no payload" % name)
     try:
-        return from_json_envelope(group, json.dumps(envelope))
-    except EncodingError as error:
-        raise InvalidRequestError("field %r: %s" % (name, error)) from error
+        return base64.b64decode(payload, validate=True)
+    except ValueError as error:
+        raise InvalidRequestError("field %r: invalid payload" % name) from error
 
 
-def _decode_element(decode: Callable, group: PairingGroup, blob: bytes, name: str):
+def _decode_element(decode: Callable, blob: bytes, name: str):
     try:
-        return decode(group, blob)
+        return decode(blob)
     except (EncodingError, ValueError) as error:
         raise InvalidRequestError("field %r: %s" % (name, error)) from error
 
@@ -166,31 +183,35 @@ def _decode_element(decode: Callable, group: PairingGroup, blob: bytes, name: st
 # ------------------------------------------------------- per-type encoders
 
 
-def _enc_grant_request(group: PairingGroup, msg: GrantRequest) -> dict:
+def _enc_grant_request(backend: PreBackend, msg: GrantRequest) -> dict:
     return {
         "tenant": msg.tenant,
-        "proxy_key": _element_to_json(group, serialize_proxy_key(group, msg.proxy_key)),
+        "proxy_key": _element_to_json(
+            backend, backend.serialize_proxy_key(msg.proxy_key), "proxy-key"
+        ),
     }
 
 
-def _dec_grant_request(group: PairingGroup, body: dict) -> GrantRequest:
+def _dec_grant_request(backend: PreBackend, body: dict) -> GrantRequest:
     return GrantRequest(
         tenant=_get(body, "tenant", str),
         proxy_key=_decode_element(
-            deserialize_proxy_key, group, _element_from_json(group, body, "proxy_key"), "proxy_key"
+            backend.deserialize_proxy_key,
+            _element_from_json(backend, body, "proxy_key"),
+            "proxy_key",
         ),
     )
 
 
-def _enc_grant_response(group: PairingGroup, msg: GrantResponse) -> dict:
+def _enc_grant_response(backend: PreBackend, msg: GrantResponse) -> dict:
     return {"shard": msg.shard}
 
 
-def _dec_grant_response(group: PairingGroup, body: dict) -> GrantResponse:
+def _dec_grant_response(backend: PreBackend, body: dict) -> GrantResponse:
     return GrantResponse(shard=_get(body, "shard", str))
 
 
-def _enc_revoke_request(group: PairingGroup, msg: RevokeRequest) -> dict:
+def _enc_revoke_request(backend: PreBackend, msg: RevokeRequest) -> dict:
     return {
         "tenant": msg.tenant,
         "delegator_domain": msg.delegator_domain,
@@ -201,7 +222,7 @@ def _enc_revoke_request(group: PairingGroup, msg: RevokeRequest) -> dict:
     }
 
 
-def _dec_revoke_request(group: PairingGroup, body: dict) -> RevokeRequest:
+def _dec_revoke_request(backend: PreBackend, body: dict) -> RevokeRequest:
     return RevokeRequest(
         tenant=_get(body, "tenant", str),
         delegator_domain=_get(body, "delegator_domain", str),
@@ -212,34 +233,33 @@ def _dec_revoke_request(group: PairingGroup, body: dict) -> RevokeRequest:
     )
 
 
-def _enc_revoke_response(group: PairingGroup, msg: RevokeResponse) -> dict:
+def _enc_revoke_response(backend: PreBackend, msg: RevokeResponse) -> dict:
     return {"shard": msg.shard, "removed": msg.removed}
 
 
-def _dec_revoke_response(group: PairingGroup, body: dict) -> RevokeResponse:
+def _dec_revoke_response(backend: PreBackend, body: dict) -> RevokeResponse:
     return RevokeResponse(
         shard=_get(body, "shard", str), removed=_get(body, "removed", bool)
     )
 
 
-def _enc_reencrypt_request(group: PairingGroup, msg: ReEncryptRequest) -> dict:
+def _enc_reencrypt_request(backend: PreBackend, msg: ReEncryptRequest) -> dict:
     return {
         "tenant": msg.tenant,
         "ciphertext": _element_to_json(
-            group, serialize_typed_ciphertext(group, msg.ciphertext)
+            backend, backend.serialize_ciphertext(msg.ciphertext), "typed-ciphertext"
         ),
         "delegatee_domain": msg.delegatee_domain,
         "delegatee": msg.delegatee,
     }
 
 
-def _dec_reencrypt_request(group: PairingGroup, body: dict) -> ReEncryptRequest:
+def _dec_reencrypt_request(backend: PreBackend, body: dict) -> ReEncryptRequest:
     return ReEncryptRequest(
         tenant=_get(body, "tenant", str),
         ciphertext=_decode_element(
-            deserialize_typed_ciphertext,
-            group,
-            _element_from_json(group, body, "ciphertext"),
+            backend.deserialize_ciphertext,
+            _element_from_json(backend, body, "ciphertext"),
             "ciphertext",
         ),
         delegatee_domain=_get(body, "delegatee_domain", str),
@@ -247,22 +267,21 @@ def _dec_reencrypt_request(group: PairingGroup, body: dict) -> ReEncryptRequest:
     )
 
 
-def _enc_reencrypt_response(group: PairingGroup, msg: ReEncryptResponse) -> dict:
+def _enc_reencrypt_response(backend: PreBackend, msg: ReEncryptResponse) -> dict:
     return {
         "ciphertext": _element_to_json(
-            group, serialize_reencrypted(group, msg.ciphertext)
+            backend, backend.serialize_reencrypted(msg.ciphertext), "reencrypted-ciphertext"
         ),
         "shard": msg.shard,
         "cache_hit": msg.cache_hit,
     }
 
 
-def _dec_reencrypt_response(group: PairingGroup, body: dict) -> ReEncryptResponse:
+def _dec_reencrypt_response(backend: PreBackend, body: dict) -> ReEncryptResponse:
     return ReEncryptResponse(
         ciphertext=_decode_element(
-            deserialize_reencrypted,
-            group,
-            _element_from_json(group, body, "ciphertext"),
+            backend.deserialize_reencrypted,
+            _element_from_json(backend, body, "ciphertext"),
             "ciphertext",
         ),
         shard=_get(body, "shard", str),
@@ -270,35 +289,35 @@ def _dec_reencrypt_response(group: PairingGroup, body: dict) -> ReEncryptRespons
     )
 
 
-def _enc_reencrypt_batch_request(group: PairingGroup, msg: ReEncryptBatchRequest) -> dict:
-    return {"requests": [_enc_reencrypt_request(group, r) for r in msg.requests]}
+def _enc_reencrypt_batch_request(backend: PreBackend, msg: ReEncryptBatchRequest) -> dict:
+    return {"requests": [_enc_reencrypt_request(backend, r) for r in msg.requests]}
 
 
-def _dec_reencrypt_batch_request(group: PairingGroup, body: dict) -> ReEncryptBatchRequest:
+def _dec_reencrypt_batch_request(backend: PreBackend, body: dict) -> ReEncryptBatchRequest:
     items = _get(body, "requests", list)
     decoded = []
     for item in items:
         if not isinstance(item, dict):
             raise InvalidRequestError("batch items must be JSON objects")
-        decoded.append(_dec_reencrypt_request(group, item))
+        decoded.append(_dec_reencrypt_request(backend, item))
     return ReEncryptBatchRequest(requests=tuple(decoded))
 
 
-def _enc_reencrypt_batch_response(group: PairingGroup, msg: ReEncryptBatchResponse) -> dict:
-    return {"responses": [_enc_reencrypt_response(group, r) for r in msg.responses]}
+def _enc_reencrypt_batch_response(backend: PreBackend, msg: ReEncryptBatchResponse) -> dict:
+    return {"responses": [_enc_reencrypt_response(backend, r) for r in msg.responses]}
 
 
-def _dec_reencrypt_batch_response(group: PairingGroup, body: dict) -> ReEncryptBatchResponse:
+def _dec_reencrypt_batch_response(backend: PreBackend, body: dict) -> ReEncryptBatchResponse:
     items = _get(body, "responses", list)
     decoded = []
     for item in items:
         if not isinstance(item, dict):
             raise InvalidRequestError("batch items must be JSON objects")
-        decoded.append(_dec_reencrypt_response(group, item))
+        decoded.append(_dec_reencrypt_response(backend, item))
     return ReEncryptBatchResponse(responses=tuple(decoded))
 
 
-def _enc_fetch_request(group: PairingGroup, msg: FetchRequest) -> dict:
+def _enc_fetch_request(backend: PreBackend, msg: FetchRequest) -> dict:
     return {
         "tenant": msg.tenant,
         "patient": msg.patient,
@@ -307,7 +326,7 @@ def _enc_fetch_request(group: PairingGroup, msg: FetchRequest) -> dict:
     }
 
 
-def _dec_fetch_request(group: PairingGroup, body: dict) -> FetchRequest:
+def _dec_fetch_request(backend: PreBackend, body: dict) -> FetchRequest:
     return FetchRequest(
         tenant=_get(body, "tenant", str),
         patient=_get(body, "patient", str),
@@ -316,7 +335,7 @@ def _dec_fetch_request(group: PairingGroup, body: dict) -> FetchRequest:
     )
 
 
-def _enc_fetch_response(group: PairingGroup, msg: FetchResponse) -> dict:
+def _enc_fetch_response(backend: PreBackend, msg: FetchResponse) -> dict:
     return {
         "records": [
             {
@@ -330,7 +349,7 @@ def _enc_fetch_response(group: PairingGroup, msg: FetchResponse) -> dict:
     }
 
 
-def _dec_fetch_response(group: PairingGroup, body: dict) -> FetchResponse:
+def _dec_fetch_response(backend: PreBackend, body: dict) -> FetchResponse:
     items = _get(body, "records", list)
     records = []
     for item in items:
@@ -351,18 +370,18 @@ def _dec_fetch_response(group: PairingGroup, body: dict) -> FetchResponse:
     return FetchResponse(records=tuple(records))
 
 
-def _enc_resize_request(group: PairingGroup, msg: ResizeRequest) -> dict:
+def _enc_resize_request(backend: PreBackend, msg: ResizeRequest) -> dict:
     return {"tenant": msg.tenant, "shard_count": msg.shard_count}
 
 
-def _dec_resize_request(group: PairingGroup, body: dict) -> ResizeRequest:
+def _dec_resize_request(backend: PreBackend, body: dict) -> ResizeRequest:
     return ResizeRequest(
         tenant=_get(body, "tenant", str),
         shard_count=_get(body, "shard_count", int),
     )
 
 
-def _enc_resize_report(group: PairingGroup, msg: ResizeReport) -> dict:
+def _enc_resize_report(backend: PreBackend, msg: ResizeReport) -> dict:
     return {
         "old_shard_count": msg.old_shard_count,
         "new_shard_count": msg.new_shard_count,
@@ -380,7 +399,7 @@ def _str_list(body: dict, name: str) -> tuple[str, ...]:
     return tuple(items)
 
 
-def _dec_resize_report(group: PairingGroup, body: dict) -> ResizeReport:
+def _dec_resize_report(backend: PreBackend, body: dict) -> ResizeReport:
     return ResizeReport(
         old_shard_count=_get(body, "old_shard_count", int),
         new_shard_count=_get(body, "new_shard_count", int),
@@ -435,7 +454,7 @@ def _dec_cache_stats(body: dict) -> CacheStats:
     )
 
 
-def _enc_metrics_snapshot(group: PairingGroup, msg: MetricsSnapshot) -> dict:
+def _enc_metrics_snapshot(backend: PreBackend, msg: MetricsSnapshot) -> dict:
     return {
         "requests_total": msg.requests_total,
         "served": msg.served,
@@ -450,7 +469,7 @@ def _enc_metrics_snapshot(group: PairingGroup, msg: MetricsSnapshot) -> dict:
     }
 
 
-def _dec_metrics_snapshot(group: PairingGroup, body: dict) -> MetricsSnapshot:
+def _dec_metrics_snapshot(backend: PreBackend, body: dict) -> MetricsSnapshot:
     shard_requests = _get(body, "shard_requests", dict)
     if not all(
         isinstance(k, str) and isinstance(v, int) and not isinstance(v, bool)
@@ -481,11 +500,11 @@ def _dec_metrics_snapshot(group: PairingGroup, body: dict) -> MetricsSnapshot:
     )
 
 
-def _enc_error(group: PairingGroup, error: GatewayError) -> dict:
+def _enc_error(backend: PreBackend, error: GatewayError) -> dict:
     return {"code": error.code, "message": str(error)}
 
 
-def _dec_error(group: PairingGroup, body: dict) -> GatewayError:
+def _dec_error(backend: PreBackend, body: dict) -> GatewayError:
     code = _get(body, "code", str)
     message = _get(body, "message", str)
     return ERROR_TYPES.get(code, GatewayError)(message)
@@ -525,21 +544,40 @@ _DECODERS: dict[str, Callable] = {kind: dec for kind, _enc, dec in _CODECS.value
 _DECODERS["error"] = _dec_error
 
 
-def to_wire(group: PairingGroup, message: object) -> str:
-    """Encode one request/response dataclass (or GatewayError) to JSON."""
+def to_wire(context: PreBackend | PairingGroup, message: object) -> str:
+    """Encode one request/response dataclass (or GatewayError) to JSON.
+
+    ``context`` selects the scheme backend whose serialization hooks and
+    scheme id the message is produced under; a bare pairing group means
+    the paper's ``tipre/v1`` backend.
+    """
+    backend = resolve_backend(context)
     if isinstance(message, GatewayError):
-        kind, body = "error", _enc_error(group, message)
+        kind, body = "error", _enc_error(backend, message)
     else:
         try:
             kind, encode, _dec = _CODECS[type(message)]
         except KeyError:
             raise TypeError("no wire codec for %r" % type(message).__name__) from None
-        body = encode(group, message)
-    return json.dumps({"wire": WIRE_FORMAT, "type": kind, "body": body}, sort_keys=True)
+        body = encode(backend, message)
+    return json.dumps(
+        {"wire": WIRE_FORMAT, "scheme": backend.scheme_id, "type": kind, "body": body},
+        sort_keys=True,
+    )
 
 
-def from_wire(group: PairingGroup, text: str | bytes, expect: tuple[type, ...] | type | None = None):
+def from_wire(
+    context: PreBackend | PairingGroup,
+    text: str | bytes,
+    expect: tuple[type, ...] | type | None = None,
+):
     """Decode one wire message; reject anything malformed as invalid-request.
+
+    A message carrying a ``scheme`` tag for a different backend is
+    rejected outright (peers must agree on the scheme before elements
+    can mean anything); a message without the tag is decoded against
+    ``context``'s backend, whose element envelopes still enforce the
+    scheme id wherever group elements appear.
 
     ``expect`` (a type or tuple of types) narrows what the caller will
     accept — a valid message of another kind (including an ``error``) is
@@ -548,6 +586,7 @@ def from_wire(group: PairingGroup, text: str | bytes, expect: tuple[type, ...] |
     client unpacking a non-2xx response) pass no ``expect`` and get the
     reconstructed :class:`GatewayError` instance back to raise.
     """
+    backend = resolve_backend(context)
     try:
         message = json.loads(text)
     except (json.JSONDecodeError, UnicodeDecodeError) as error:
@@ -560,10 +599,19 @@ def from_wire(group: PairingGroup, text: str | bytes, expect: tuple[type, ...] |
             % (message.get("wire"), WIRE_FORMAT)
         )
     kind = message.get("type")
+    scheme = message.get("scheme")
+    # Error bodies are scheme-neutral (taxonomy code + prose): a client
+    # must be able to read the server's rejection even when the scheme
+    # mismatch *is* what is being rejected.
+    if kind != "error" and scheme is not None and scheme != backend.scheme_id:
+        raise InvalidRequestError(
+            "message is for scheme %r, this gateway speaks %r"
+            % (scheme, backend.scheme_id)
+        )
     decoder = _DECODERS.get(kind)
     if decoder is None:
         raise InvalidRequestError("unknown wire message type %r" % kind)
-    decoded = decoder(group, _body_of(message))
+    decoded = decoder(backend, _body_of(message))
     if expect is not None and not isinstance(decoded, expect):
         expected = expect if isinstance(expect, tuple) else (expect,)
         raise InvalidRequestError(

@@ -13,8 +13,17 @@ call.  Endpoints:
     POST /v1/fetch              read stored ciphertext blobs
     POST /v1/resize             rebalance the shard fleet
     GET  /v1/metrics            the live metrics snapshot
+    GET  /v1/scheme             scheme negotiation: id, group, capabilities
     GET  /v1/health             liveness probe (no gateway call)
     ==========================  ====================================
+
+The server speaks exactly one scheme backend — the gateway's own when
+it has one, else the backend resolved from the ``group`` argument — and
+``GET /v1/scheme`` publishes its id so a
+:class:`~repro.service.wire.client.RemoteGateway` can refuse to talk to
+a fleet running a different scheme before any element envelope crosses
+the wire.  Mismatched messages that arrive anyway are rejected by the
+codec as ``invalid-request``.
 
 Every failure body is ``{"wire": ..., "type": "error", "body": {code,
 message}}`` with the taxonomy's stable ``code``, and the HTTP status is
@@ -34,6 +43,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.core.api import PreBackend, resolve_backend
 from repro.pairing.group import PairingGroup
 from repro.service.gateway import (
     FetchRequest,
@@ -72,6 +82,9 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
     # HTTP/1.1 + explicit Content-Length on every response enables client
     # keep-alive without chunked encoding.
     protocol_version = "HTTP/1.1"
+    # Persistent connections interleave small writes both ways; leaving
+    # Nagle on stalls every keep-alive round trip behind a delayed ACK.
+    disable_nagle_algorithm = True
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
         pass  # the gateway's audit log is the record of requests, not stderr
@@ -92,7 +105,7 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
 
     def _send_gateway_error(self, error: GatewayError, close: bool = False) -> None:
         status = STATUS_BY_CODE.get(error.code, 500)
-        self._send_json(status, to_wire(self.server.wire_group, error), close=close)
+        self._send_json(status, to_wire(self.server.wire_backend, error), close=close)
 
     def _read_body(self) -> bytes:
         if self.headers.get("Transfer-Encoding"):
@@ -111,10 +124,24 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------ endpoints
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
-        group = self.server.wire_group
+        group = self.server.wire_backend
         gateway = self.server.wire_gateway
         if self.path == "/v1/metrics":
             self._send_json(200, to_wire(group, gateway.snapshot()))
+        elif self.path == "/v1/scheme":
+            backend = self.server.wire_backend
+            self._send_json(
+                200,
+                json.dumps(
+                    {
+                        "scheme": backend.scheme_id,
+                        "name": backend.display_name,
+                        "group": backend.group.params.name,
+                        "capabilities": backend.capabilities.as_dict(),
+                    },
+                    sort_keys=True,
+                ),
+            )
         elif self.path == "/v1/health":
             self._send_json(200, json.dumps({"status": "ok"}))
         else:
@@ -124,7 +151,7 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
-        group = self.server.wire_group
+        group = self.server.wire_backend
         gateway = self.server.wire_gateway
         try:
             raw = self._read_body()
@@ -194,16 +221,25 @@ class GatewayHttpServer:
     def __init__(
         self,
         gateway,
-        group: PairingGroup,
+        group: PairingGroup | PreBackend | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ):
         self.gateway = gateway
-        self.group = group
+        # The wire speaks the gateway's own backend when it has one (an
+        # in-process ReEncryptionGateway always does); ``group`` is the
+        # legacy spelling and the fallback for bare gateway-like objects.
+        backend = getattr(gateway, "backend", None)
+        if backend is None:
+            if group is None:
+                raise ValueError("gateway has no backend; pass group or backend")
+            backend = resolve_backend(group)
+        self.backend = backend
+        self.group = backend.group
         self._httpd = ThreadingHTTPServer((host, port), _GatewayRequestHandler)
         self._httpd.daemon_threads = True
         self._httpd.wire_gateway = gateway
-        self._httpd.wire_group = group
+        self._httpd.wire_backend = backend
         self._thread: threading.Thread | None = None
 
     @property

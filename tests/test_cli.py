@@ -159,3 +159,45 @@ class TestServe:
         assert main(["serve", "--http", "0",
                      "--connect", "http://127.0.0.1:1"]) == 2
         assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_serve_with_scheme_drives_a_baseline_backend(self, capsys):
+        assert main(["serve", "--group", "TOY", "--scheme", "afgh/v1",
+                     "--shards", "2", "--requests", "24", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "afgh/v1" in out
+        assert "plaintexts verified" in out
+
+    def test_serve_unknown_scheme_is_a_usage_error(self, capsys):
+        assert main(["serve", "--scheme", "nonsense/v0", "--requests", "1"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+    def test_serve_connect_with_scheme_drives_a_remote_backend(self, capsys):
+        """--connect --scheme: grant -> re-encrypt over the wire -> decrypt
+        against a server that holds no party secrets for that scheme."""
+        from repro.core.api import create_backend
+        from repro.pairing.group import PairingGroup
+        from repro.service.gateway import ReEncryptionGateway
+        from repro.service.wire import GatewayHttpServer
+
+        group = PairingGroup.shared("TOY")
+        gateway = ReEncryptionGateway(
+            create_backend("green-ateniese/v1", group), shard_count=2
+        )
+        with GatewayHttpServer(gateway) as server:
+            assert main(["serve", "--group", "TOY", "--scheme", "green-ateniese/v1",
+                         "--requests", "16", "--batch", "4",
+                         "--connect", server.url]) == 0
+        gateway.close()
+        out = capsys.readouterr().out
+        assert "remote gateway %s: 16 requests" % server.url in out
+        assert "green-ateniese/v1" in out and "plaintexts verified" in out
+
+
+class TestSchemes:
+    def test_schemes_lists_the_registry_with_capabilities(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for scheme_id in ("tipre/v1", "afgh/v1", "green-ateniese/v1",
+                          "bbs/v1", "dodis-ivan/v1", "matsuo/v1"):
+            assert scheme_id in out
+        assert "det-reenc" in out and "typed" in out

@@ -149,3 +149,59 @@ class TestGetOrCompute:
         assert cache.get_or_compute("k", compute) is None
         assert cache.get_or_compute("k", compute) is None
         assert len(calls) == 1
+
+    def test_concurrent_misses_are_single_flight(self):
+        """Two threads missing on one key must run ``compute`` once.
+
+        Regression test for the documented compute-twice race: the first
+        caller is held *inside* its compute while a second caller arrives;
+        without per-key single-flight locking the second compute runs too
+        (and this test fails on the old code).
+        """
+        import threading
+
+        cache = LruCache(4)
+        first_entered = threading.Event()
+        release_first = threading.Event()
+        second_computes = []
+        results = []
+
+        def first_compute():
+            first_entered.set()
+            assert release_first.wait(timeout=5.0), "test deadlock"
+            return "first"
+
+        def second_compute():
+            second_computes.append(1)
+            return "second"
+
+        def first_caller():
+            results.append(cache.get_or_compute("k", first_compute))
+
+        def second_caller():
+            results.append(cache.get_or_compute("k", second_compute))
+
+        thread_1 = threading.Thread(target=first_caller)
+        thread_1.start()
+        assert first_entered.wait(timeout=5.0)
+        # First caller is mid-compute; the second must block, not compute.
+        thread_2 = threading.Thread(target=second_caller)
+        thread_2.start()
+        # Give the second caller time to (wrongly) race into its compute
+        # on the old code; on the new code it parks on the flight lock.
+        thread_2.join(timeout=0.3)
+        release_first.set()
+        thread_1.join(timeout=5.0)
+        thread_2.join(timeout=5.0)
+
+        assert second_computes == [], "second caller computed despite the in-flight first"
+        assert results == ["first", "first"]
+        assert cache.get("k") == "first"
+
+    def test_single_flight_releases_key_after_failed_compute(self):
+        """A failed flight leaves no lock behind; the next caller computes."""
+        cache = LruCache(4)
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert cache.get_or_compute("k", lambda: "ok") == "ok"
+        assert cache._flights == {}
