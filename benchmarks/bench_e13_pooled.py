@@ -1,0 +1,345 @@
+"""E13 — concurrent clients: pooled connections, multi-scheme hosting.
+
+PR 5 gives :class:`~repro.service.wire.client.RemoteGateway` a bounded
+keep-alive connection pool and lets one server process host several
+scheme fleets.  Two measured claims:
+
+1. **Pooled beats single-connection under concurrent load.**  Eight
+   client threads drive the same request stream through one shared
+   client, pool of 1 (the PR-4 behaviour: every thread serializes on a
+   single socket) vs pool of 8.  The fleet models remote shards the way
+   E10 does — each transformation charges a service round trip — so the
+   single connection's head-of-line blocking is visible as wall clock:
+   with one socket only one request is ever in flight, so shard
+   latencies sum; with a pool they overlap across server handler
+   threads.  The gain is asserted, and responses must stay bit-identical
+   to the sequential reference (no cross-talk).
+
+2. **One process, several scheme fleets.**  A real ``repro-pre serve
+   --http --scheme tipre/v1 --scheme afgh/v1`` subprocess hosts two
+   fleets; pooled clients drive both concurrently over the
+   scheme-prefixed routes with full decrypt-and-compare verification.
+   This is the CLI-to-wire acceptance path, measured per scheme.
+
+TOY parameters: like E9-E12 this measures workload structure and
+transport, not key size.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import repro
+from repro.bench.report import print_table
+from repro.core.proxy import ProxyService
+from repro.serialization.containers import serialize_reencrypted
+from repro.service.driver import (
+    DELEGATEE_DOMAIN,
+    build_scheme_setting,
+    build_setting,
+    drive_scheme_requests,
+)
+from repro.service.gateway import GrantRequest, ReEncryptionGateway, ReEncryptRequest
+from repro.service.wire import GatewayHttpServer, RemoteGateway
+
+THREADS = 8
+SHARDS = 16  # spreads the 8 per-thread route keys so shard locks rarely collide
+REMOTE_RTT_S = 0.005  # modelled service latency of one remote shard call (as E10)
+
+
+@dataclass
+class RemoteShardStub(ProxyService):
+    """A proxy shard that charges a service round-trip per transformation."""
+
+    latency_s: float = 0.0
+
+    def reencrypt_with_key(self, ciphertext, key):
+        if self.latency_s:
+            time.sleep(self.latency_s)
+        return super().reencrypt_with_key(ciphertext, key)
+
+
+def _setting():
+    """8 (patient, type) route keys x 6 ciphertexts x 2 delegatees."""
+    return build_setting(
+        group_name="TOY",
+        shard_count=2,
+        n_patients=4,
+        n_types=2,
+        n_delegatees=2,
+        ciphertexts_per_pair=6,
+        seed="e13-pooled",
+    )
+
+
+def _installed_keys(gateway):
+    keys = []
+    for name in gateway.shard_names:
+        keys.extend(gateway.shard_named(name).table)
+    return keys
+
+
+def _thread_partitions(setting):
+    """One distinct request list per thread, each on its own route key.
+
+    Distinct ciphertexts keep the result cache cold (every request pays
+    the modelled shard latency), and the per-thread route keys map to
+    different shards, so pooled concurrency is limited by the transport —
+    the thing under test — not by shard-lock collisions.
+    """
+    partitions = []
+    for patient in setting.patients:
+        for type_label in setting.types:
+            requests = []
+            for ciphertext, _message in setting.pool[(patient, type_label)]:
+                for delegatee in setting.delegatees:
+                    requests.append(
+                        ReEncryptRequest(
+                            tenant=patient,
+                            ciphertext=ciphertext,
+                            delegatee_domain=DELEGATEE_DOMAIN,
+                            delegatee=delegatee,
+                        )
+                    )
+            partitions.append(requests)
+    assert len(partitions) == THREADS
+    return partitions
+
+
+def _latency_gateway(scheme, keys):
+    def factory(name, table):
+        from repro.core.proxy import ProxyKeyTable
+
+        return RemoteShardStub(
+            scheme,
+            name=name,
+            table=table if table is not None else ProxyKeyTable(),
+            latency_s=REMOTE_RTT_S,
+        )
+
+    gateway = ReEncryptionGateway(scheme, shard_count=SHARDS, shard_factory=factory)
+    for key in keys:
+        gateway.grant(GrantRequest(tenant="bench", proxy_key=key))
+    return gateway
+
+
+def _drive_pool(url, group, partitions, expected, pool_size):
+    """8 barrier-started threads through one shared client; wall clock."""
+    client = RemoteGateway(url, group, pool_size=pool_size)
+    mismatches = []
+    errors = []
+    lock = threading.Lock()
+    start_line = threading.Barrier(THREADS + 1)
+    finish_line = threading.Barrier(THREADS + 1)
+
+    def worker(thread_id, requests):
+        try:
+            start_line.wait(timeout=60)
+            for index, request in enumerate(requests):
+                response = client.reencrypt(request)
+                blob = serialize_reencrypted(group, response.ciphertext)
+                if blob != expected[thread_id][index]:
+                    with lock:
+                        mismatches.append((thread_id, index))
+            finish_line.wait(timeout=120)
+        except BaseException as error:  # noqa: BLE001 - reported to the bench
+            with lock:
+                errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(i, requests), daemon=True)
+        for i, requests in enumerate(partitions)
+    ]
+    for thread in threads:
+        thread.start()
+    start_line.wait(timeout=60)
+    start = time.perf_counter()
+    finish_line.wait(timeout=120)
+    elapsed_s = time.perf_counter() - start
+    for thread in threads:
+        thread.join(timeout=60)
+    client.close()
+    assert not errors, errors
+    assert not mismatches, "cross-talk between pooled responses: %r" % mismatches
+    assert client.peak_connections <= pool_size
+    return elapsed_s, client.connections_opened, client.peak_connections
+
+
+def test_e13_pooled_client_beats_single_connection_under_concurrency():
+    setting = _setting()
+    keys = _installed_keys(setting.gateway)
+    group = setting.group
+    partitions = _thread_partitions(setting)
+    # The sequential in-process reference: what every schedule must return.
+    expected = [
+        [
+            serialize_reencrypted(group, setting.gateway.reencrypt(request).ciphertext)
+            for request in requests
+        ]
+        for requests in partitions
+    ]
+    n = sum(len(requests) for requests in partitions)
+
+    rows = []
+    timings = {}
+    for pool_size in (1, THREADS):
+        # A fresh fleet per configuration: cold caches, so every request
+        # pays the modelled shard round trip in both runs.
+        gateway = _latency_gateway(setting.scheme, keys)
+        with GatewayHttpServer(gateway) as server:
+            elapsed_s, opened, peak = _drive_pool(
+                server.url, group, partitions, expected, pool_size
+            )
+        gateway.close()
+        timings[pool_size] = elapsed_s
+        rows.append(
+            [
+                "pool=%d" % pool_size,
+                "%.1f" % (elapsed_s * 1000),
+                "%.0f" % (n / elapsed_s),
+                str(opened),
+                str(peak),
+            ]
+        )
+    setting.gateway.close()
+
+    single_s, pooled_s = timings[1], timings[THREADS]
+    rows[1].append("%.2fx" % (single_s / pooled_s))
+    rows[0].append("1.00x")
+    print_table(
+        "E13: %d threads x shared client, %d requests, %.0fms modelled shard RTT"
+        % (THREADS, n, REMOTE_RTT_S * 1000),
+        ["client", "total ms", "req/s", "dials", "peak conns", "gain"],
+        rows,
+    )
+
+    # The acceptance anchor: a pool must beat head-of-line blocking on a
+    # single socket once shard service time dominates.
+    assert pooled_s < single_s, (
+        "pooled client (%.1fms) did not beat the single connection (%.1fms)"
+        % (pooled_s * 1000, single_s * 1000)
+    )
+
+
+# ------------------------------------------------- multi-scheme subprocess
+
+
+def _spawn_server(scheme_ids):
+    """A real ``repro-pre serve --http`` process; returns (proc, url)."""
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--group",
+        "TOY",
+        "--shards",
+        "2",
+        "--http",
+        "0",
+    ]
+    for scheme_id in scheme_ids:
+        command += ["--scheme", scheme_id]
+    proc = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env
+    )
+    line = proc.stdout.readline()
+    if "listening on" not in line:
+        proc.terminate()
+        raise AssertionError("server did not come up: %r" % line)
+    return proc, line.split()[3]
+
+
+def _drive_scheme_concurrently(setting, url, pool_size, n_requests):
+    """Grant a fleet over the wire, then drive it from one pooled client."""
+    client = RemoteGateway(url, setting.backend, pool_size=pool_size)
+    for name in setting.gateway.shard_names:
+        for key in list(setting.gateway.shard_named(name).table):
+            client.grant(GrantRequest(tenant="bench", proxy_key=key))
+    start = time.perf_counter()
+    verified = drive_scheme_requests(
+        setting,
+        n_requests,
+        seed="e13-" + setting.scheme_id,
+        verify_every=4,
+        gateway=client,
+    )
+    elapsed_s = time.perf_counter() - start
+    client.close()
+    return verified, elapsed_s
+
+
+def test_e13_one_process_hosts_two_scheme_fleets():
+    """A single CLI server process serves tipre and afgh side by side,
+    driven concurrently, with end-to-end decrypt verification."""
+    scheme_ids = ["tipre/v1", "afgh/v1"]
+    settings = {}
+    proc, url = _spawn_server(scheme_ids)
+    try:
+        settings = {
+            scheme_id: build_scheme_setting(
+                scheme_id=scheme_id,
+                group_name="TOY",
+                shard_count=2,
+                n_patients=2,
+                n_delegatees=2,
+                n_types=2,
+                ciphertexts_per_pair=2,
+                seed="e13-multihost-" + scheme_id,
+            )
+            for scheme_id in scheme_ids
+        }
+        probe = RemoteGateway(url, settings["tipre/v1"].backend)
+        hosted = [doc["scheme"] for doc in probe.schemes_info()]
+        probe.close()
+        assert hosted == scheme_ids, "server does not host both fleets"
+
+        results = {}
+        failures = []
+
+        def drive(scheme_id):
+            try:
+                results[scheme_id] = _drive_scheme_concurrently(
+                    settings[scheme_id], url, pool_size=4, n_requests=48
+                )
+            except BaseException as error:  # noqa: BLE001 - reported below
+                failures.append((scheme_id, error))
+
+        threads = [
+            threading.Thread(target=drive, args=(scheme_id,), daemon=True)
+            for scheme_id in scheme_ids
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert not failures, failures
+
+        rows = []
+        for scheme_id in scheme_ids:
+            verified, elapsed_s = results[scheme_id]
+            assert verified > 0, "no plaintext verified for %s" % scheme_id
+            rows.append(
+                [scheme_id, "48", str(verified), "%.0f" % (48 / elapsed_s)]
+            )
+        print_table(
+            "E13: one serve --http process, two scheme fleets driven concurrently",
+            ["scheme", "requests", "verified", "req/s"],
+            rows,
+        )
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+        for setting in settings.values():
+            setting.gateway.close()

@@ -12,6 +12,7 @@ bidirectionality and collusion; Dodis--Ivan fails collusion.
 from __future__ import annotations
 
 from repro.baselines.interface import PROPERTY_NAMES, all_adapters
+from repro.bench.properties import declared_property_matrix, property_table_rows
 from repro.bench.report import print_table
 from repro.math.drbg import HmacDrbg
 from repro.pairing.group import PairingGroup
@@ -38,11 +39,23 @@ DEMONSTRATIONS = (
 
 def test_e4_property_matrix_report(benchmark):
     group = PairingGroup.shared("TOY")
-    rows = [
-        [adapter.name] + ["yes" if adapter.properties[p] else "no" for p in PROPERTY_NAMES]
+    # The table is *generated* from the scheme registry's declared
+    # capabilities — the same objects the production gateway serves — so
+    # registering a backend adds its row everywhere at once.
+    rows = property_table_rows()
+    print_table(
+        "E4: declared property matrix (generated from the scheme registry)",
+        ["scheme", "name"] + list(PROPERTY_NAMES),
+        rows,
+    )
+    # The bench adapters must tell the identical story: both views read
+    # the registry, and a divergence would mean a stale adapter list.
+    matrix = declared_property_matrix()
+    adapter_view = {
+        adapter.backend_class.scheme_id: adapter.properties
         for adapter in all_adapters(group)
-    ]
-    print_table("E4: declared property matrix", ["scheme"] + list(PROPERTY_NAMES), rows)
+    }
+    assert adapter_view == matrix, "bench adapters disagree with the registry"
 
     rng = HmacDrbg("e4")
     rows = []

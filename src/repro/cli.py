@@ -18,7 +18,11 @@ subcommands mirror the scheme's algorithms:
                same workload against such a process over the wire.
                --scheme NAME selects any registered PRE backend
                (tipre/v1, afgh/v1, green-ateniese/v1, ...) for all
-               three modes
+               three modes; repeated --scheme flags make one --http
+               process host several scheme fleets side by side, each
+               under its scheme-id-prefixed routes.  --pool-size N
+               gives a --connect client a bounded keep-alive
+               connection pool for concurrent callers
     schemes    list every registered scheme backend and its capabilities
 
 Example round trip::
@@ -211,14 +215,26 @@ def _cmd_serve(args) -> int:
     if args.http is not None and args.connect is not None:
         print("error: --http and --connect are mutually exclusive", file=sys.stderr)
         return 2
-    if args.scheme not in available_schemes():
+    # Repeated --scheme flags are only meaningful for a multi-fleet HTTP
+    # server; the demo and --connect modes drive exactly one scheme.
+    scheme_ids = list(dict.fromkeys(args.scheme)) if args.scheme else [TIPRE_SCHEME_ID]
+    for scheme_id in scheme_ids:
+        if scheme_id not in available_schemes():
+            print(
+                "error: unknown scheme %r (run `repro-pre schemes`)" % scheme_id,
+                file=sys.stderr,
+            )
+            return 2
+    if len(scheme_ids) > 1 and args.http is None:
         print(
-            "error: unknown scheme %r (run `repro-pre schemes`)" % args.scheme,
+            "error: multiple --scheme values require --http (one process, "
+            "several hosted fleets)",
             file=sys.stderr,
         )
         return 2
+    args.scheme = scheme_ids[0]
     if args.http is not None:
-        return _serve_http(args)
+        return _serve_http(args, scheme_ids)
     if args.connect is not None:
         ignored = [
             flag
@@ -245,6 +261,7 @@ def _cmd_serve(args) -> int:
                 n_requests=args.requests,
                 seed=args.seed or "gateway-demo",
                 batch_size=args.batch,
+                pool_size=args.pool_size,
             )
         else:
             report = run_remote_scheme_demo(
@@ -254,6 +271,7 @@ def _cmd_serve(args) -> int:
                 n_requests=args.requests,
                 seed=args.seed or "gateway-demo",
                 batch_size=args.batch,
+                pool_size=args.pool_size,
             )
         print_table(
             "remote gateway %s: %d requests" % (args.connect, args.requests),
@@ -293,15 +311,51 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _serve_http(args) -> int:
-    """Run a bare gateway behind HTTP until interrupted.
+def _state_dirs_for(state_dir, scheme_ids: list[str]) -> list:
+    """Resolve each hosted scheme's durable directory under ``--state-dir``.
+
+    A single-scheme server keeps the historical layout (logs directly in
+    the state dir); several schemes get isolated per-scheme
+    subdirectories.  Two restart transitions are handled explicitly so a
+    layout change can never silently hide previously granted keys:
+
+    * single -> multi: if the root still holds single-scheme logs, refuse
+      to start (the new per-scheme subdirectory would open empty while
+      the old log sits unread);
+    * multi -> single: if the root is empty but the scheme's own
+      subdirectory holds logs, keep serving from the subdirectory.
+    """
+    from repro.service.persistence import scheme_state_subdir
+
+    if state_dir is None:
+        return [None] * len(scheme_ids)
+    root = Path(state_dir)
+    root_logs = sorted(root.glob("*.log")) if root.is_dir() else []
+    if len(scheme_ids) == 1:
+        subdir = scheme_state_subdir(root, scheme_ids[0])
+        if not root_logs and subdir.is_dir() and any(subdir.glob("*.log")):
+            return [subdir]
+        return [root]
+    if root_logs:
+        raise ValueError(
+            "state dir %s holds single-scheme logs at its root (%s, ...); move "
+            "them into %s/ before hosting multiple schemes, or they would be "
+            "silently ignored" % (root, root_logs[0].name, scheme_state_subdir(root, scheme_ids[0]).name)
+        )
+    return [scheme_state_subdir(root, scheme_id) for scheme_id in scheme_ids]
+
+
+def _serve_http(args, scheme_ids: list[str]) -> int:
+    """Run one or several bare gateway fleets behind HTTP until interrupted.
 
     The process starts with empty shard tables (or whatever a durable
     ``--state-dir`` holds): grants, re-encryptions and admin resizes all
     arrive over the wire, e.g. from ``repro-pre serve --connect``.  The
     server holds no party secrets for *any* scheme — it only ever sees
     proxy keys and ciphertexts, the paper's semi-trusted proxy trust
-    model.
+    model.  With several ``--scheme`` flags every fleet is isolated —
+    its own shards, caches, metrics, and (under ``--state-dir``) its own
+    per-scheme durable subdirectory — behind scheme-id-prefixed routes.
     """
     from repro.core.api import create_backend
     from repro.pairing.group import PairingGroup
@@ -309,17 +363,33 @@ def _serve_http(args) -> int:
     from repro.service.wire import GatewayHttpServer
 
     group = PairingGroup.shared(args.group)
-    gateway = ReEncryptionGateway(
-        create_backend(args.scheme, group),
-        shard_count=args.shards,
-        rate_per_s=args.rate,
-        workers=args.workers,
-        state_dir=args.state_dir,
-    )
-    server = GatewayHttpServer(gateway, host=args.host, port=args.http)
+    state_dirs = _state_dirs_for(args.state_dir, scheme_ids)
+    gateways = []
+    try:
+        for scheme_id, state_dir in zip(scheme_ids, state_dirs):
+            gateways.append(
+                ReEncryptionGateway(
+                    create_backend(scheme_id, group),
+                    shard_count=args.shards,
+                    rate_per_s=args.rate,
+                    workers=args.workers,
+                    state_dir=state_dir,
+                )
+            )
+        server = GatewayHttpServer(gateways=gateways, host=args.host, port=args.http)
+    except BaseException:
+        for gateway in gateways:
+            gateway.close()
+        raise
     print(
-        "gateway listening on %s (scheme %s, group %s, %d shards, %d keys loaded)"
-        % (server.url, args.scheme, args.group, args.shards, gateway.key_count()),
+        "gateway listening on %s (schemes %s, group %s, %d shards, %d keys loaded)"
+        % (
+            server.url,
+            "+".join(scheme_ids),
+            args.group,
+            args.shards,
+            sum(gateway.key_count() for gateway in gateways),
+        ),
         flush=True,
     )
     try:
@@ -328,7 +398,8 @@ def _serve_http(args) -> int:
         pass
     finally:
         server.close()
-        gateway.close()
+        for gateway in gateways:
+            gateway.close()
     return 0
 
 
@@ -391,8 +462,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serve", help="drive the sharded gateway on a synthetic workload")
     p.add_argument("--group", default="TOY", help="parameter set (TOY/SS256/SS512/SS1024)")
-    p.add_argument("--scheme", default="tipre/v1",
-                   help="registered scheme backend to serve (see `repro-pre schemes`)")
+    p.add_argument("--scheme", action="append", default=None,
+                   help="registered scheme backend to serve (see `repro-pre "
+                        "schemes`); default tipre/v1.  Repeat the flag with "
+                        "--http to host several scheme fleets in one process, "
+                        "each under /v1/<scheme>/... routes")
     p.add_argument("--shards", type=int, default=4)
     p.add_argument("--requests", type=int, default=200)
     p.add_argument("--batch", type=int, default=0, help="batch size (0/1 = unbatched)")
@@ -409,6 +483,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--connect", default=None, metavar="URL",
                    help="drive the synthetic workload against a remote "
                         "gateway, e.g. http://127.0.0.1:8080")
+    p.add_argument("--pool-size", type=int, default=1,
+                   help="keep-alive connection pool size for the --connect "
+                        "client (default 1: the single persistent connection)")
     p.set_defaults(func=_cmd_serve)
     return parser
 

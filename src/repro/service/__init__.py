@@ -63,6 +63,7 @@ from repro.service.persistence import (
     AppendLogKeyStore,
     DurableProxyKeyTable,
     LogFormatError,
+    scheme_state_subdir,
 )
 from repro.service.pool import ShardPool
 from repro.service.router import ShardRouter
@@ -117,4 +118,5 @@ __all__ = [
     "drive_scheme_requests",
     "run_demo",
     "run_scheme_demo",
+    "scheme_state_subdir",
 ]

@@ -340,6 +340,7 @@ def run_remote_demo(
     n_requests: int = 200,
     seed: str = "gateway-demo",
     batch_size: int = 0,
+    pool_size: int = 1,
 ) -> DemoReport:
     """Drive a *remote* gateway over HTTP with the same seeded workload.
 
@@ -356,7 +357,7 @@ def run_remote_demo(
 
     setting = build_setting(group_name=group_name, seed=seed)
     try:
-        with RemoteGateway(url, setting.group) as remote:
+        with RemoteGateway(url, setting.group, pool_size=pool_size) as remote:
             _grant_all_remote(setting.gateway, remote)
             verified = drive_requests(
                 setting,
@@ -571,6 +572,7 @@ def run_remote_scheme_demo(
     n_requests: int = 200,
     seed: str = "gateway-demo",
     batch_size: int = 0,
+    pool_size: int = 1,
 ) -> DemoReport:
     """Drive a *remote* gateway running any scheme over HTTP.
 
@@ -587,7 +589,7 @@ def run_remote_scheme_demo(
         scheme_id=scheme_id, group_name=group_name, seed=seed
     )
     try:
-        with RemoteGateway(url, setting.backend) as remote:
+        with RemoteGateway(url, setting.backend, pool_size=pool_size) as remote:
             _grant_all_remote(setting.gateway, remote)
             verified = drive_scheme_requests(
                 setting,

@@ -408,6 +408,11 @@ class ReEncryptionGateway:
             else None
         )
 
+    @property
+    def scheme_id(self) -> str:
+        """The hosted backend's wire- and disk-stable scheme id."""
+        return self.backend.scheme_id
+
     def shard_named(self, name: str) -> ProxyService:
         return self._shards[name]
 

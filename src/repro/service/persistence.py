@@ -47,10 +47,27 @@ from repro.core.ciphertexts import ProxyKey
 from repro.core.proxy import KeyIndex, ProxyKeyTable
 from repro.pairing.group import PairingGroup
 
-__all__ = ["AppendLogKeyStore", "DurableProxyKeyTable", "LogFormatError"]
+__all__ = [
+    "AppendLogKeyStore",
+    "DurableProxyKeyTable",
+    "LogFormatError",
+    "scheme_state_subdir",
+]
 
 LOG_FORMAT = "repro-proxy-key-log"
 LOG_VERSION = 1
+
+
+def scheme_state_subdir(state_dir: str | Path, scheme_id: str) -> Path:
+    """The per-scheme durable-state directory under a shared ``--state-dir``.
+
+    A server hosting several scheme fleets gives each one an isolated
+    key-table directory, so two schemes can never interleave logs (the
+    log header's scheme stamp would refuse a mix anyway — this keeps the
+    layout legible too).  Slashes in the wire-stable scheme id map to
+    ``-`` on disk: ``tipre/v1`` -> ``<state_dir>/tipre-v1``.
+    """
+    return Path(state_dir) / scheme_id.replace("/", "-")
 
 
 class LogFormatError(ValueError):

@@ -7,9 +7,10 @@ network; this package makes that literal.  Three layers:
   gateway request/response dataclass, reusing the canonical container
   serialization for group elements; malformed input is rejected with
   the stable ``invalid-request`` code;
-* :mod:`repro.service.wire.server` — :class:`GatewayHttpServer`, the
-  gateway behind stdlib ``ThreadingHTTPServer`` with the error taxonomy
-  mapped to HTTP statuses;
+* :mod:`repro.service.wire.server` — :class:`GatewayHttpServer`, one or
+  several scheme fleets behind stdlib ``ThreadingHTTPServer``
+  (scheme-id-prefixed routes, ``GET /v1/schemes`` enumeration) with the
+  error taxonomy mapped to HTTP statuses;
 * :mod:`repro.service.wire.client` — :class:`RemoteGateway`, the same
   typed API as the in-process gateway, so drivers and benchmarks run
   unchanged against either.
@@ -23,6 +24,8 @@ from repro.service.wire.codec import (
     ReEncryptBatchResponse,
     ResizeRequest,
     from_wire,
+    neutral_error_to_wire,
+    scheme_document,
     to_wire,
 )
 from repro.service.wire.server import STATUS_BY_CODE, GatewayHttpServer
@@ -39,5 +42,7 @@ __all__ = [
     "WIRE_FORMAT",
     "WireTransportError",
     "from_wire",
+    "neutral_error_to_wire",
+    "scheme_document",
     "to_wire",
 ]

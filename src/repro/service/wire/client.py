@@ -11,22 +11,31 @@ body whose stable code selects the taxonomy class to raise, so callers
 catch :class:`~repro.service.gateway.RateLimitedError` (and friends)
 identically in both deployments.
 
-Transport: one persistent HTTP/1.1 keep-alive connection per client
-(the server sends ``Content-Length`` on every response exactly so this
-works), re-established transparently when the server drops it — an idle
+Transport: a bounded pool of persistent HTTP/1.1 keep-alive connections
+(``pool_size``, default 1 — the single-connection client of old).  A
+sequential caller reuses one connection for its whole stream; concurrent
+threads check out distinct connections instead of serializing on one
+socket, and the pool never holds more than ``pool_size`` live
+connections (checkout blocks when all are in flight).  Each connection
+is re-established transparently when the server drops it — an idle
 timeout, a restart.  A request that dies mid-flight is retried once on
 a fresh connection when replaying it is sound — grants are idempotent
 installs, transformations and fetches are deterministic reads — while
 revoke and resize (whose replay against mutated state would mis-report
 the outcome) fail fast instead.  :attr:`connections_opened` counts
-dials so benchmarks can *assert* reuse rather than assume it.
+dials and :attr:`peak_connections` the high-water mark of simultaneous
+checkouts, so benchmarks can *assert* reuse and boundedness rather than
+assume them.
 
 Scheme negotiation: before the first request the client fetches
-``GET /v1/scheme`` and refuses (with :class:`SchemeMismatchError`) to
-proceed when the server runs a different scheme backend or pairing
-group than this client was built with — version skew dies before any
-element envelope is misread.  TLS and auth remain named follow-ups in
-the roadmap, not accidental omissions.
+``GET /v1/schemes`` and *pins* its scheme — when the server hosts this
+client's backend (and pairing group) all traffic moves to the
+scheme-id-prefixed routes (``/v1/{scheme}/reencrypt``, ...); a server
+without the endpoint is a legacy single-scheme process, checked via
+``GET /v1/scheme`` and spoken to on the unprefixed routes.  A server
+running only other schemes raises :class:`SchemeMismatchError` before
+any element envelope crosses the wire.  TLS and auth remain named
+follow-ups in the roadmap, not accidental omissions.
 """
 
 from __future__ import annotations
@@ -76,7 +85,7 @@ class WireTransportError(GatewayError):
 
 
 class SchemeMismatchError(GatewayError):
-    """Negotiation failed: the server runs a different scheme or group."""
+    """Negotiation failed: the server does not host this client's scheme."""
 
     code = "scheme-mismatch"
 
@@ -90,13 +99,14 @@ class RemoteGateway:
     ``url`` is the server base (e.g. ``http://127.0.0.1:8080``);
     ``context`` is the scheme backend the client speaks — a bare
     :class:`~repro.pairing.group.PairingGroup` selects the paper's
-    ``tipre/v1`` backend, the historical spelling.  It must match what
-    the server serves; the first request verifies that via
-    ``GET /v1/scheme``.
+    ``tipre/v1`` backend, the historical spelling.  The server must host
+    that scheme; the first request verifies (and pins) it via
+    ``GET /v1/schemes``.
 
-    The client is thread-safe, but requests serialize on the single
-    persistent connection; use one client per concurrent caller for
-    parallel load.
+    The client is thread-safe.  With the default ``pool_size=1``
+    concurrent callers serialize on the single pooled connection; raise
+    ``pool_size`` toward the expected number of concurrent threads so
+    each can hold a connection of its own.
     """
 
     def __init__(
@@ -105,16 +115,28 @@ class RemoteGateway:
         context: PairingGroup | PreBackend,
         timeout: float = 30.0,
         negotiate: bool = True,
+        pool_size: int = 1,
     ):
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
         self.url = url.rstrip("/")
         self.backend = resolve_backend(context)
         self.group = self.backend.group
         self.timeout = timeout
+        self.pool_size = pool_size
         self.connections_opened = 0
+        self.connections_closed = 0
+        self.peak_connections = 0
+        self._in_use = 0
+        self._idle: list[http.client.HTTPConnection] = []
+        self._pool_lock = threading.Lock()
+        self._slots = threading.BoundedSemaphore(pool_size)
         self._negotiate = negotiate
         self._negotiated = False
-        self._lock = threading.RLock()
-        self._conn: http.client.HTTPConnection | None = None
+        self._negotiation_lock = threading.Lock()
+        # Route prefix: legacy unprefixed until negotiation pins the
+        # scheme-id-prefixed family on a multi-scheme-capable server.
+        self._prefix = "/v1"
         parts = urllib.parse.urlsplit(self.url)
         if parts.scheme not in ("http", "https") or not parts.netloc:
             raise ValueError("gateway url must be http(s)://host[:port], got %r" % url)
@@ -123,73 +145,168 @@ class RemoteGateway:
         )
         self._netloc = parts.netloc
 
-    # -------------------------------------------------------------- plumbing
+    # ---------------------------------------------------- connection pool
 
-    def _ensure_conn(self) -> http.client.HTTPConnection:
-        if self._conn is None:
-            conn = self._conn_class(self._netloc, timeout=self.timeout)
-            conn.connect()
-            # A reused connection interleaves small request/response
-            # writes; without TCP_NODELAY, Nagle + delayed ACK add ~40ms
-            # to every round trip and erase the keep-alive win.
-            conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self._conn = conn
+    def _dial(self) -> http.client.HTTPConnection:
+        conn = self._conn_class(self._netloc, timeout=self.timeout)
+        conn.connect()
+        # A reused connection interleaves small request/response
+        # writes; without TCP_NODELAY, Nagle + delayed ACK add ~40ms
+        # to every round trip and erase the keep-alive win.
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._pool_lock:
             self.connections_opened += 1
-        return self._conn
+        return conn
 
-    def _drop_conn(self) -> None:
-        if self._conn is not None:
-            try:
-                self._conn.close()
-            except OSError:
-                pass
-            self._conn = None
+    def _discard(self, conn: http.client.HTTPConnection) -> None:
+        try:
+            conn.close()
+        except OSError:
+            pass
+        with self._pool_lock:
+            self.connections_closed += 1
+
+    def _checkout(self, fresh: bool = False) -> http.client.HTTPConnection:
+        """Borrow a connection; blocks while all ``pool_size`` are in flight.
+
+        ``fresh`` bypasses the idle stack and dials anew (retiring one
+        idle connection so the pool bound holds) — the retry and
+        non-replayable paths use it because a stale idle socket is the
+        common drop, and a new dial cannot be one.
+        """
+        self._slots.acquire()
+        try:
+            conn = None
+            with self._pool_lock:
+                if self._idle:
+                    conn = self._idle.pop()
+            if fresh and conn is not None:
+                self._discard(conn)
+                conn = None
+            if conn is None:
+                conn = self._dial()
+            with self._pool_lock:
+                self._in_use += 1
+                if self._in_use > self.peak_connections:
+                    self.peak_connections = self._in_use
+            return conn
+        except BaseException:
+            self._slots.release()
+            raise
+
+    def _checkin(self, conn: http.client.HTTPConnection, discard: bool = False) -> None:
+        with self._pool_lock:
+            self._in_use -= 1
+            if not discard:
+                self._idle.append(conn)
+        if discard:
+            self._discard(conn)
+        self._slots.release()
 
     def _raw_request(
         self, method: str, path: str, data: bytes | None, replayable: bool = True
     ) -> tuple[int, bytes]:
-        """One HTTP exchange on the persistent connection, status + body.
+        """One HTTP exchange on a pooled connection, status + body.
 
-        A transport failure drops the connection and — for ``replayable``
-        requests only — retries exactly once on a fresh one: the
-        reconnect-on-drop path a long-lived client needs when the server
-        restarts or reaps idle connections.  Grants (idempotent
-        installs), transformations and fetches (deterministic reads) and
-        the GET endpoints are safe to replay; revoke and resize are NOT
-        (a drop after the server acted would replay against the mutated
-        state and mis-report the outcome).  Those are instead sent on a
-        freshly-dialed connection — a stale idle socket is the common
-        drop, and a new dial cannot be one — and then fail fast as
-        :class:`WireTransportError`, leaving the decision to the caller;
-        only a server that really died mid-request surfaces that way.
+        A transport failure discards the connection and — for
+        ``replayable`` requests only — retries exactly once on a freshly
+        dialed one: the reconnect-on-drop path a long-lived client needs
+        when the server restarts or reaps idle connections.  Grants
+        (idempotent installs), transformations and fetches
+        (deterministic reads) and the GET endpoints are safe to replay;
+        revoke and resize are NOT (a drop after the server acted would
+        replay against the mutated state and mis-report the outcome).
+        Those are instead sent once, on a fresh dial, and then fail fast
+        as :class:`WireTransportError`, leaving the decision to the
+        caller; only a server that really died mid-request surfaces that
+        way.
         """
-        if not replayable:
-            # An extra dial per revoke/resize is cheap; silently failing
-            # (or replaying) a mutation is not.
-            self._drop_conn()
         headers = {"Content-Type": "application/json"}
         last_error: Exception | None = None
         for attempt in (0, 1) if replayable else (0,):
             try:
-                conn = self._ensure_conn()
+                conn = self._checkout(fresh=(not replayable) or attempt > 0)
+            except _RETRYABLE as error:
+                # The dial itself failed; the checkout already released
+                # its pool slot.
+                last_error = error
+                continue
+            try:
                 conn.request(method, path, body=data, headers=headers)
                 response = conn.getresponse()
                 body = response.read()
-                if response.will_close:
-                    # The server asked to close (error paths do); honor it
-                    # so the next request dials fresh instead of failing.
-                    self._drop_conn()
-                return response.status, body
             except _RETRYABLE as error:
-                self._drop_conn()
+                self._checkin(conn, discard=True)
                 last_error = error
+                continue
+            except BaseException:
+                # Anything else (KeyboardInterrupt, MemoryError, ...) must
+                # still return the slot, or the pool leaks it and a later
+                # checkout blocks forever.
+                self._checkin(conn, discard=True)
+                raise
+            # The server asked to close (error paths do); honor it so the
+            # next checkout dials fresh instead of failing.
+            self._checkin(conn, discard=response.will_close)
+            return response.status, body
         raise WireTransportError(
             "cannot reach %s%s: %s" % (self.url, path, last_error)
         ) from last_error
 
+    # ----------------------------------------------------------- negotiation
+
+    def _parse_json(self, body: bytes, path: str) -> dict:
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise WireTransportError("undecodable %s body" % path) from error
+        if not isinstance(document, dict):
+            raise WireTransportError("%s body must be a JSON object" % path)
+        return document
+
+    def _get_json(self, path: str) -> dict:
+        status, body = self._raw_request("GET", path, None)
+        if status != 200:
+            raise WireTransportError("HTTP %d from %s" % (status, path))
+        return self._parse_json(body, path)
+
+    def _ensure_negotiated(self) -> None:
+        if not self._negotiate or self._negotiated:
+            return
+        with self._negotiation_lock:
+            if not self._negotiated:
+                self._negotiate_scheme()
+
     def _negotiate_scheme(self) -> None:
-        """Verify the server speaks this client's scheme and group."""
-        info = self.scheme_info()
+        """Pin this client's scheme against what the server hosts."""
+        status, body = self._raw_request("GET", "/v1/schemes", None)
+        if status == 200:
+            document = self._parse_json(body, "/v1/schemes")
+            entries = document.get("schemes")
+            if not isinstance(entries, list):
+                raise WireTransportError("/v1/schemes body lacks a schemes list")
+            hosted = [
+                (entry.get("scheme"), entry.get("group"))
+                for entry in entries
+                if isinstance(entry, dict)
+            ]
+            for scheme_id, group_name in hosted:
+                if scheme_id == self.backend.scheme_id and group_name == self.group.params.name:
+                    self._prefix = "/v1/%s" % scheme_id
+                    self._negotiated = True
+                    return
+            raise SchemeMismatchError(
+                "server %s hosts %s; this client speaks %s on %s"
+                % (
+                    self.url,
+                    ", ".join("%s on %s" % pair for pair in hosted) or "no schemes",
+                    self.backend.scheme_id,
+                    self.group.params.name,
+                )
+            )
+        # No /v1/schemes: a legacy single-scheme server; verify via the
+        # unprefixed document and keep speaking the unprefixed routes.
+        info = self._get_json("/v1/scheme")
         remote_scheme = info.get("scheme")
         remote_group = info.get("group")
         if remote_scheme is None or remote_group is None:
@@ -209,16 +326,17 @@ class RemoteGateway:
             )
         self._negotiated = True
 
+    # ------------------------------------------------------------- plumbing
+
     def _round_trip(
-        self, method: str, path: str, message: object | None, replayable: bool = True
+        self, method: str, op: str, message: object | None, replayable: bool = True
     ):
+        self._ensure_negotiated()
+        path = "%s/%s" % (self._prefix, op)
         data = (
             to_wire(self.backend, message).encode("utf-8") if message is not None else None
         )
-        with self._lock:
-            if self._negotiate and not self._negotiated:
-                self._negotiate_scheme()
-            status, body = self._raw_request(method, path, data, replayable=replayable)
+        status, body = self._raw_request(method, path, data, replayable=replayable)
         text = body.decode("utf-8", errors="replace")
         if status >= 400:
             # The body should be a wire error; reconstruct and raise the
@@ -247,70 +365,82 @@ class RemoteGateway:
     def _call(
         self,
         method: str,
-        path: str,
+        op: str,
         message: object | None,
         expect: type,
         replayable: bool = True,
     ):
-        decoded = self._round_trip(method, path, message, replayable=replayable)
+        decoded = self._round_trip(method, op, message, replayable=replayable)
         if not isinstance(decoded, expect):
             raise WireTransportError(
                 "%s returned %s, expected %s"
-                % (path, type(decoded).__name__, expect.__name__)
+                % (op, type(decoded).__name__, expect.__name__)
             )
         return decoded
 
     # ------------------------------------------------------------ operations
 
     def scheme_info(self) -> dict:
-        """The server's ``/v1/scheme`` document (id, group, capabilities)."""
-        with self._lock:
-            status, body = self._raw_request("GET", "/v1/scheme", None)
-        if status != 200:
-            raise WireTransportError("HTTP %d from /v1/scheme" % status)
-        try:
-            return json.loads(body.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as error:
-            raise WireTransportError("undecodable /v1/scheme body") from error
+        """This client's pinned scheme document (id, group, capabilities)."""
+        self._ensure_negotiated()
+        return self._get_json("%s/scheme" % self._prefix)
+
+    def schemes_info(self) -> list[dict]:
+        """Every scheme document the server hosts.
+
+        A legacy single-scheme server (no ``/v1/schemes``) reports its
+        one scheme, so callers can always treat the result as the hosted
+        list.
+        """
+        status, body = self._raw_request("GET", "/v1/schemes", None)
+        if status == 200:
+            document = self._parse_json(body, "/v1/schemes")
+            entries = document.get("schemes")
+            if not isinstance(entries, list):
+                raise WireTransportError("/v1/schemes body lacks a schemes list")
+            return entries
+        return [self._get_json("/v1/scheme")]
 
     def grant(self, request: GrantRequest) -> GrantResponse:
-        return self._call("POST", "/v1/grant", request, GrantResponse)
+        return self._call("POST", "grant", request, GrantResponse)
 
     def revoke(self, request: RevokeRequest) -> RevokeResponse:
         # Not replayed on a connection drop: a retry after the server
         # already removed the key would report removed=False for a
         # revocation that happened.
-        return self._call("POST", "/v1/revoke", request, RevokeResponse, replayable=False)
+        return self._call("POST", "revoke", request, RevokeResponse, replayable=False)
 
     def reencrypt(self, request: ReEncryptRequest) -> ReEncryptResponse:
-        return self._call("POST", "/v1/reencrypt", request, ReEncryptResponse)
+        return self._call("POST", "reencrypt", request, ReEncryptResponse)
 
     def reencrypt_batch(
         self, requests: Sequence[ReEncryptRequest]
     ) -> list[ReEncryptResponse]:
         """One POST for the whole batch; order matches submission order."""
         message = ReEncryptBatchRequest(requests=tuple(requests))
-        response = self._call("POST", "/v1/reencrypt", message, ReEncryptBatchResponse)
+        response = self._call("POST", "reencrypt", message, ReEncryptBatchResponse)
         return list(response.responses)
 
     def fetch(self, request: FetchRequest) -> FetchResponse:
-        return self._call("POST", "/v1/fetch", request, FetchResponse)
+        return self._call("POST", "fetch", request, FetchResponse)
 
     def resize(self, shard_count: int, tenant: str = "admin") -> ResizeReport:
         # Not replayed: a second resize against an already-resized fleet
         # would run (and report) a spurious zero-move migration.
         message = ResizeRequest(tenant=tenant, shard_count=shard_count)
-        return self._call("POST", "/v1/resize", message, ResizeReport, replayable=False)
+        return self._call("POST", "resize", message, ResizeReport, replayable=False)
 
     # --------------------------------------------------------- observability
 
     def snapshot(self) -> MetricsSnapshot:
-        return self._call("GET", "/v1/metrics", None, MetricsSnapshot)
+        return self._call("GET", "metrics", None, MetricsSnapshot)
 
     def close(self) -> None:
-        """Release the persistent connection (reopened on next use)."""
-        with self._lock:
-            self._drop_conn()
+        """Release every idle pooled connection (the pool refills on use)."""
+        with self._pool_lock:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            self._discard(conn)
 
     def __enter__(self) -> "RemoteGateway":
         return self

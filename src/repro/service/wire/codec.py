@@ -71,6 +71,8 @@ __all__ = [
     "ResizeRequest",
     "to_wire",
     "from_wire",
+    "scheme_document",
+    "neutral_error_to_wire",
 ]
 
 WIRE_FORMAT = "repro-gateway/v1"
@@ -110,6 +112,43 @@ class ResizeRequest:
 
     tenant: str
     shard_count: int
+
+
+# --------------------------------------------------------- scheme documents
+
+
+def scheme_document(backend: PreBackend) -> dict:
+    """The negotiation document one hosted scheme publishes.
+
+    Served verbatim by ``GET /v1/scheme`` (and per entry by
+    ``GET /v1/schemes`` on a multi-scheme server), and read back by
+    :class:`~repro.service.wire.client.RemoteGateway` to pin a scheme
+    before any element envelope crosses the wire.
+    """
+    return {
+        "scheme": backend.scheme_id,
+        "name": backend.display_name,
+        "group": backend.group.params.name,
+        "capabilities": backend.capabilities.as_dict(),
+    }
+
+
+def neutral_error_to_wire(error: GatewayError) -> str:
+    """Encode an error without a scheme tag.
+
+    Some rejections cannot name a scheme — an unknown endpoint on a
+    server hosting several fleets, an unprefixed route that would be
+    ambiguous.  :func:`from_wire` treats a missing ``scheme`` tag as
+    neutral, so any client can still decode the taxonomy code.
+    """
+    return json.dumps(
+        {
+            "wire": WIRE_FORMAT,
+            "type": "error",
+            "body": {"code": error.code, "message": str(error)},
+        },
+        sort_keys=True,
+    )
 
 
 # ------------------------------------------------------------- field access

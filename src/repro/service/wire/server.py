@@ -1,29 +1,38 @@
 """The gateway behind HTTP: stdlib threading server, stable error bodies.
 
-:class:`GatewayHttpServer` puts one
-:class:`~repro.service.gateway.ReEncryptionGateway` (or anything with its
-typed API) behind ``http.server.ThreadingHTTPServer`` — the paper's
-semi-trusted proxy finally answers over a socket instead of a method
-call.  Endpoints:
+:class:`GatewayHttpServer` puts one or *several*
+:class:`~repro.service.gateway.ReEncryptionGateway` fleets (or anything
+with the same typed API) behind ``http.server.ThreadingHTTPServer`` —
+the paper's semi-trusted proxy finally answers over a socket instead of
+a method call, and one process can host a fleet per scheme backend.
 
-    ==========================  ====================================
-    POST /v1/grant              install a proxy key
-    POST /v1/revoke             remove a delegation
-    POST /v1/reencrypt          transform one ciphertext, or a batch
-    POST /v1/fetch              read stored ciphertext blobs
-    POST /v1/resize             rebalance the shard fleet
-    GET  /v1/metrics            the live metrics snapshot
-    GET  /v1/scheme             scheme negotiation: id, group, capabilities
-    GET  /v1/health             liveness probe (no gateway call)
-    ==========================  ====================================
+Every hosted fleet owns a scheme-id-prefixed route family::
 
-The server speaks exactly one scheme backend — the gateway's own when
-it has one, else the backend resolved from the ``group`` argument — and
-``GET /v1/scheme`` publishes its id so a
-:class:`~repro.service.wire.client.RemoteGateway` can refuse to talk to
-a fleet running a different scheme before any element envelope crosses
-the wire.  Mismatched messages that arrive anyway are rejected by the
-codec as ``invalid-request``.
+    POST /v1/{scheme}/grant        install a proxy key
+    POST /v1/{scheme}/revoke       remove a delegation
+    POST /v1/{scheme}/reencrypt    transform one ciphertext, or a batch
+    POST /v1/{scheme}/fetch        read stored ciphertext blobs
+    POST /v1/{scheme}/resize       rebalance that fleet's shards
+    GET  /v1/{scheme}/metrics      that fleet's live metrics snapshot
+    GET  /v1/{scheme}/scheme       that fleet's scheme document
+
+where ``{scheme}`` is the backend's wire-stable id (slash included:
+``/v1/tipre/v1/reencrypt``).  Two routes are scheme-neutral::
+
+    GET  /v1/schemes               every hosted fleet's scheme document
+    GET  /v1/health                liveness probe (no gateway call)
+
+and the *legacy unprefixed* family (``/v1/grant``, ``/v1/reencrypt``,
+``/v1/scheme``, ...) keeps working verbatim whenever the server hosts
+exactly one scheme — a pre-multi-scheme client or a bare ``curl`` never
+notices the difference.  On a multi-scheme server an unprefixed
+operation is ambiguous and is rejected as ``invalid-request`` naming the
+hosted ids.
+
+Each fleet is fully isolated: its own shards, caches, durable key
+tables and metrics — the only shared thing is the listening socket.
+Mismatched messages that reach a fleet anyway (an element envelope for
+another scheme) are rejected by the codec as ``invalid-request``.
 
 Every failure body is ``{"wire": ..., "type": "error", "body": {code,
 message}}`` with the taxonomy's stable ``code``, and the HTTP status is
@@ -32,7 +41,7 @@ entry-not-found, `400` invalid-request, `503` no-store, `500` anything
 else), so HTTP-level callers and :class:`RemoteGateway` agree on
 semantics without parsing prose.
 
-Thread-safety comes for free: the gateway already serializes on its
+Thread-safety comes for free: every gateway already serializes on its
 shard locks, so the threading server can hand every connection its own
 handler thread.
 """
@@ -42,6 +51,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Sequence
 
 from repro.core.api import PreBackend, resolve_backend
 from repro.pairing.group import PairingGroup
@@ -58,6 +68,8 @@ from repro.service.wire.codec import (
     ReEncryptBatchResponse,
     ResizeRequest,
     from_wire,
+    neutral_error_to_wire,
+    scheme_document,
     to_wire,
 )
 
@@ -73,6 +85,17 @@ STATUS_BY_CODE = {
 }
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024  # refuse absurd Content-Length up front
+
+# The per-fleet operation names (the last path segment after the scheme
+# prefix, or the whole tail for the legacy unprefixed family).
+_POST_OPS = frozenset({"grant", "revoke", "reencrypt", "fetch", "resize"})
+_GET_OPS = frozenset({"metrics", "scheme"})
+
+
+class _UnknownEndpoint(Exception):
+    def __init__(self, path: str):
+        super().__init__(path)
+        self.path = path
 
 
 class _GatewayRequestHandler(BaseHTTPRequestHandler):
@@ -103,9 +126,22 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
-    def _send_gateway_error(self, error: GatewayError, close: bool = False) -> None:
+    def _send_gateway_error(
+        self, error: GatewayError, backend: PreBackend | None = None, close: bool = False
+    ) -> None:
+        """Error body, scheme-tagged when a fleet was resolved, neutral else."""
         status = STATUS_BY_CODE.get(error.code, 500)
-        self._send_json(status, to_wire(self.server.wire_backend, error), close=close)
+        payload = (
+            to_wire(backend, error) if backend is not None else neutral_error_to_wire(error)
+        )
+        self._send_json(status, payload, close=close)
+
+    def _send_unknown_endpoint(self, path: str) -> None:
+        # Unknown endpoints (and unknown scheme prefixes) are 404s, but
+        # carry the stable invalid-request body like every other rejection.
+        self._send_json(
+            404, neutral_error_to_wire(InvalidRequestError("unknown endpoint %r" % path))
+        )
 
     def _read_body(self) -> bytes:
         if self.headers.get("Transfer-Encoding"):
@@ -121,38 +157,68 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             raise InvalidRequestError("unacceptable Content-Length %d" % length)
         return self.rfile.read(length)
 
+    def _resolve(self, path: str):
+        """Route a path to ``(op, gateway, backend)``.
+
+        ``/v1/{scheme}/{op}`` selects the hosted fleet whose scheme id
+        matches; the id's own slash is part of the prefix, so the *last*
+        segment is the operation.  A bare ``/v1/{op}`` is the legacy
+        spelling and only resolves while exactly one fleet is hosted.
+        """
+        if not path.startswith("/v1/"):
+            raise _UnknownEndpoint(path)
+        rest = path[len("/v1/"):]
+        hosts = self.server.wire_hosts
+        if "/" in rest:
+            scheme_id, op = rest.rsplit("/", 1)
+            pair = hosts.get(scheme_id)
+            if pair is None:
+                raise _UnknownEndpoint(path)
+            return op, pair[0], pair[1]
+        if self.server.wire_single is None:
+            raise InvalidRequestError(
+                "this server hosts several schemes (%s); use /v1/<scheme>/%s"
+                % (", ".join(self.server.wire_scheme_ids), rest)
+            )
+        gateway, backend = hosts[self.server.wire_single]
+        return rest, gateway, backend
+
     # ------------------------------------------------------------ endpoints
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
-        group = self.server.wire_backend
-        gateway = self.server.wire_gateway
-        if self.path == "/v1/metrics":
-            self._send_json(200, to_wire(group, gateway.snapshot()))
-        elif self.path == "/v1/scheme":
-            backend = self.server.wire_backend
+        if self.path == "/v1/health":
+            self._send_json(200, json.dumps({"status": "ok"}))
+            return
+        if self.path == "/v1/schemes":
             self._send_json(
                 200,
                 json.dumps(
                     {
-                        "scheme": backend.scheme_id,
-                        "name": backend.display_name,
-                        "group": backend.group.params.name,
-                        "capabilities": backend.capabilities.as_dict(),
+                        "schemes": [
+                            scheme_document(self.server.wire_hosts[scheme_id][1])
+                            for scheme_id in self.server.wire_scheme_ids
+                        ]
                     },
                     sort_keys=True,
                 ),
             )
-        elif self.path == "/v1/health":
-            self._send_json(200, json.dumps({"status": "ok"}))
-        else:
-            self._send_json(
-                404,
-                to_wire(group, InvalidRequestError("unknown endpoint %r" % self.path)),
-            )
+            return
+        try:
+            op, gateway, backend = self._resolve(self.path)
+            if op not in _GET_OPS:
+                raise _UnknownEndpoint(self.path)
+        except _UnknownEndpoint as error:
+            self._send_unknown_endpoint(error.path)
+            return
+        except InvalidRequestError as error:
+            self._send_gateway_error(error)
+            return
+        if op == "metrics":
+            self._send_json(200, to_wire(backend, gateway.snapshot()))
+        else:  # op == "scheme"
+            self._send_json(200, json.dumps(scheme_document(backend), sort_keys=True))
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
-        group = self.server.wire_backend
-        gateway = self.server.wire_gateway
         try:
             raw = self._read_body()
         except InvalidRequestError as error:
@@ -162,15 +228,25 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             self._send_gateway_error(error, close=True)
             return
         try:
-            if self.path == "/v1/grant":
-                request = from_wire(group, raw, expect=GrantRequest)
+            op, gateway, backend = self._resolve(self.path)
+            if op not in _POST_OPS:
+                raise _UnknownEndpoint(self.path)
+        except _UnknownEndpoint as error:
+            self._send_unknown_endpoint(error.path)
+            return
+        except InvalidRequestError as error:
+            self._send_gateway_error(error)
+            return
+        try:
+            if op == "grant":
+                request = from_wire(backend, raw, expect=GrantRequest)
                 response = gateway.grant(request)
-            elif self.path == "/v1/revoke":
-                request = from_wire(group, raw, expect=RevokeRequest)
+            elif op == "revoke":
+                request = from_wire(backend, raw, expect=RevokeRequest)
                 response = gateway.revoke(request)
-            elif self.path == "/v1/reencrypt":
+            elif op == "reencrypt":
                 request = from_wire(
-                    group, raw, expect=(ReEncryptRequest, ReEncryptBatchRequest)
+                    backend, raw, expect=(ReEncryptRequest, ReEncryptBatchRequest)
                 )
                 if isinstance(request, ReEncryptBatchRequest):
                     response = ReEncryptBatchResponse(
@@ -178,68 +254,84 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                     )
                 else:
                     response = gateway.reencrypt(request)
-            elif self.path == "/v1/fetch":
-                request = from_wire(group, raw, expect=FetchRequest)
+            elif op == "fetch":
+                request = from_wire(backend, raw, expect=FetchRequest)
                 response = gateway.fetch(request)
-            elif self.path == "/v1/resize":
-                request = from_wire(group, raw, expect=ResizeRequest)
+            else:  # op == "resize"
+                request = from_wire(backend, raw, expect=ResizeRequest)
                 response = gateway.resize(request.shard_count, tenant=request.tenant)
-            else:
-                raise _UnknownEndpoint(self.path)
-        except _UnknownEndpoint as error:
-            self._send_json(
-                404,
-                to_wire(group, InvalidRequestError("unknown endpoint %r" % error.path)),
-            )
         except GatewayError as error:
-            self._send_gateway_error(error)
+            self._send_gateway_error(error, backend)
         except Exception as error:  # noqa: BLE001 - wire boundary
             # Nothing library-internal may leak as a stack trace; the
             # closed taxonomy's base code is the catch-all.
-            self._send_gateway_error(GatewayError("internal error: %s" % error))
+            self._send_gateway_error(GatewayError("internal error: %s" % error), backend)
         else:
-            self._send_json(200, to_wire(group, response))
-
-
-class _UnknownEndpoint(Exception):
-    def __init__(self, path: str):
-        super().__init__(path)
-        self.path = path
+            self._send_json(200, to_wire(backend, response))
 
 
 class GatewayHttpServer:
-    """Serve one gateway over HTTP/JSON; start in-thread or block forever.
+    """Serve one or more gateways over HTTP/JSON; in-thread or blocking.
+
+    ``gateway`` hosts a single fleet (the historical spelling, with
+    ``group`` as the backend fallback for bare gateway-like objects);
+    ``gateways`` hosts one fleet per element side by side, each routed
+    under its backend's scheme-id prefix.  Scheme ids must be unique —
+    one fleet per scheme per process.
 
     ``port=0`` binds an ephemeral port (tests, loopback benchmarks);
     :attr:`url` reports the bound address either way.  :meth:`start` runs
     the accept loop in a daemon thread and returns; :meth:`serve_forever`
     blocks the caller (the CLI's ``serve --http`` mode).  Closing the
-    server stops the accept loop but deliberately leaves the gateway
-    open — the owner decides when to release the shard fleet.
+    server stops the accept loop but deliberately leaves every gateway
+    open — the owner decides when to release the shard fleets.
     """
 
     def __init__(
         self,
-        gateway,
+        gateway=None,
         group: PairingGroup | PreBackend | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        gateways: Sequence | None = None,
     ):
-        self.gateway = gateway
-        # The wire speaks the gateway's own backend when it has one (an
-        # in-process ReEncryptionGateway always does); ``group`` is the
-        # legacy spelling and the fallback for bare gateway-like objects.
-        backend = getattr(gateway, "backend", None)
-        if backend is None:
-            if group is None:
-                raise ValueError("gateway has no backend; pass group or backend")
-            backend = resolve_backend(group)
-        self.backend = backend
-        self.group = backend.group
+        if gateways is None:
+            if gateway is None:
+                raise ValueError("pass a gateway (or a gateways sequence)")
+            gateways = [gateway]
+        elif gateway is not None:
+            raise ValueError("pass either gateway or gateways, not both")
+        gateways = list(gateways)
+        if not gateways:
+            raise ValueError("gateways must not be empty")
+        self.hosts: dict[str, tuple] = {}
+        self.scheme_ids: list[str] = []
+        for fleet in gateways:
+            # The wire speaks each gateway's own backend when it has one
+            # (an in-process ReEncryptionGateway always does); ``group``
+            # is the legacy spelling and the fallback for bare
+            # gateway-like objects.
+            backend = getattr(fleet, "backend", None)
+            if backend is None:
+                if group is None:
+                    raise ValueError("gateway has no backend; pass group or backend")
+                backend = resolve_backend(group)
+            if backend.scheme_id in self.hosts:
+                raise ValueError(
+                    "scheme %r is already hosted; one fleet per scheme"
+                    % backend.scheme_id
+                )
+            self.hosts[backend.scheme_id] = (fleet, backend)
+            self.scheme_ids.append(backend.scheme_id)
+        # Single-scheme attribute surface, kept for existing callers.
+        self.gateway = gateways[0]
+        self.backend = self.hosts[self.scheme_ids[0]][1]
+        self.group = self.backend.group
         self._httpd = ThreadingHTTPServer((host, port), _GatewayRequestHandler)
         self._httpd.daemon_threads = True
-        self._httpd.wire_gateway = gateway
-        self._httpd.wire_backend = backend
+        self._httpd.wire_hosts = self.hosts
+        self._httpd.wire_scheme_ids = list(self.scheme_ids)
+        self._httpd.wire_single = self.scheme_ids[0] if len(self.scheme_ids) == 1 else None
         self._thread: threading.Thread | None = None
 
     @property

@@ -1,0 +1,92 @@
+"""The generated E4 property table vs. the hand-written copies.
+
+`repro.bench.properties` renders the E4 comparison table from the
+scheme registry's declared capabilities.  The README still carries a
+hand-written markdown copy of the same table — the one a reader sees
+first — so this suite pins the two together: if a backend's declared
+flags change (or a new backend registers) without the README following,
+the drift is a test failure instead of a quietly lying document.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.bench.properties import (
+    declared_capability_matrix,
+    declared_property_matrix,
+    property_table_rows,
+)
+from repro.core.api import CAPABILITY_NAMES, PROPERTY_NAMES, available_schemes
+
+README = Path(__file__).resolve().parents[1] / "README.md"
+
+_SCHEME_ID = re.compile(r"^[a-z][a-z0-9-]*/v\d+$")
+
+
+def _readme_capability_matrix() -> dict[str, dict[str, bool]]:
+    """Parse the hand-written "Scheme backends" markdown table.
+
+    Rows look like ``| `tipre/v1` | type-and-identity (this paper) | ✓ |
+    ... |``; the six flag columns follow the scheme and name columns in
+    ``CAPABILITY_NAMES`` order (the table header says so).
+    """
+    matrix = {}
+    for line in README.read_text().splitlines():
+        if not line.startswith("| `"):
+            continue
+        cells = [cell.strip() for cell in line.strip().strip("|").split("|")]
+        scheme_id = cells[0].strip("`")
+        if not _SCHEME_ID.match(scheme_id):
+            continue  # a row of some other table (error codes, endpoints)
+        flags = cells[2 : 2 + len(CAPABILITY_NAMES)]
+        assert all(flag in ("✓", "—") for flag in flags), line
+        matrix[scheme_id] = dict(zip(CAPABILITY_NAMES, (flag == "✓" for flag in flags)))
+    return matrix
+
+
+class TestGeneratedTableMatchesHandWritten:
+    def test_readme_table_matches_registry_capabilities(self):
+        """Every scheme, every flag: README == declared capabilities."""
+        written = _readme_capability_matrix()
+        generated = declared_capability_matrix()
+        assert written == generated
+
+    def test_readme_covers_every_registered_scheme(self):
+        assert sorted(_readme_capability_matrix()) == sorted(available_schemes())
+
+
+class TestTableGeneration:
+    def test_rows_cover_the_registry_paper_first(self):
+        rows = property_table_rows()
+        assert [row[0] for row in rows] == available_schemes()
+        assert rows[0][0] == "tipre/v1"
+        assert all(len(row) == 2 + len(PROPERTY_NAMES) for row in rows)
+        assert all(cell in ("yes", "no") for row in rows for cell in row[2:])
+
+    def test_rows_agree_with_the_matrix(self):
+        matrix = declared_property_matrix()
+        for row in property_table_rows():
+            scheme_id, _name, *flags = row
+            assert [flag == "yes" for flag in flags] == [
+                matrix[scheme_id][name] for name in PROPERTY_NAMES
+            ]
+
+    def test_full_capability_rows_add_the_operational_flag(self):
+        rows = property_table_rows(flags=CAPABILITY_NAMES)
+        assert all(len(row) == 2 + len(CAPABILITY_NAMES) for row in rows)
+
+    def test_unknown_flags_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown capability"):
+            property_table_rows(flags=("unidirectional", "nonsense"))
+
+    def test_property_matrix_is_the_capability_matrix_restricted(self):
+        properties = declared_property_matrix()
+        capabilities = declared_capability_matrix()
+        for scheme_id, flags in properties.items():
+            assert flags == {
+                name: capabilities[scheme_id][name] for name in PROPERTY_NAMES
+            }

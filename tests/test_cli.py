@@ -171,6 +171,56 @@ class TestServe:
         assert main(["serve", "--scheme", "nonsense/v0", "--requests", "1"]) == 2
         assert "unknown scheme" in capsys.readouterr().err
 
+    def test_serve_multiple_schemes_require_http(self, capsys):
+        """Repeated --scheme flags only make sense for a hosting server."""
+        assert main(["serve", "--scheme", "tipre/v1", "--scheme", "afgh/v1",
+                     "--requests", "1"]) == 2
+        assert "--http" in capsys.readouterr().err
+
+    def test_state_dir_layout_transitions_never_hide_keys(self, tmp_path):
+        """single->multi refuses on root logs; multi->single adopts the
+        per-scheme subdirectory instead of opening an empty root fleet."""
+        from repro.cli import _state_dirs_for
+
+        # Fresh dir: single keeps the root, multi gets per-scheme subdirs.
+        assert _state_dirs_for(None, ["tipre/v1"]) == [None]
+        assert _state_dirs_for(tmp_path, ["tipre/v1"]) == [tmp_path]
+        assert _state_dirs_for(tmp_path, ["tipre/v1", "afgh/v1"]) == [
+            tmp_path / "tipre-v1",
+            tmp_path / "afgh-v1",
+        ]
+        # multi -> single: root empty, the scheme's subdir holds logs.
+        (tmp_path / "tipre-v1").mkdir()
+        (tmp_path / "tipre-v1" / "shard-00.log").write_text("")
+        assert _state_dirs_for(tmp_path, ["tipre/v1"]) == [tmp_path / "tipre-v1"]
+        # single -> multi: root logs would be silently skipped; refuse.
+        (tmp_path / "shard-00.log").write_text("")
+        with pytest.raises(ValueError, match="move"):
+            _state_dirs_for(tmp_path, ["tipre/v1", "afgh/v1"])
+
+    def test_serve_http_refuses_ambiguous_state_dir_layout(self, tmp_path, capsys):
+        (tmp_path / "shard-00.log").write_text("")
+        assert main(["serve", "--http", "0", "--scheme", "tipre/v1",
+                     "--scheme", "afgh/v1", "--state-dir", str(tmp_path)]) == 1
+        assert "move" in capsys.readouterr().err
+
+    def test_serve_connect_with_pool_size_drives_concurrently_capable_client(
+        self, capsys
+    ):
+        from repro.core.scheme import TypeAndIdentityPre
+        from repro.pairing.group import PairingGroup
+        from repro.service.gateway import ReEncryptionGateway
+        from repro.service.wire import GatewayHttpServer
+
+        group = PairingGroup.shared("TOY")
+        gateway = ReEncryptionGateway(TypeAndIdentityPre(group), shard_count=2)
+        with GatewayHttpServer(gateway, group) as server:
+            assert main(["serve", "--group", "TOY", "--requests", "16",
+                         "--pool-size", "4", "--connect", server.url]) == 0
+        gateway.close()
+        out = capsys.readouterr().out
+        assert "plaintexts verified" in out
+
     def test_serve_connect_with_scheme_drives_a_remote_backend(self, capsys):
         """--connect --scheme: grant -> re-encrypt over the wire -> decrypt
         against a server that holds no party secrets for that scheme."""

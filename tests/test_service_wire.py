@@ -523,9 +523,12 @@ class TestRemoteGatewayTransport:
         skew) must read as a transport fault, not an invalid-request the
         gateway supposedly charged to the caller — /v1/health is exactly
         such a 200 non-wire body."""
-        _setting, _server, client = loopback
+        setting, server, _client = loopback
+        # negotiate=False keeps the legacy unprefixed route family, so the
+        # "health" op lands on the scheme-neutral /v1/health endpoint.
+        client = RemoteGateway(server.url, setting.group, negotiate=False)
         with pytest.raises(WireTransportError):
-            client._round_trip("GET", "/v1/health", None)
+            client._round_trip("GET", "health", None)
 
     def test_fetch_with_store_round_trips_records(self, pre_setting, group, rng):
         scheme, _kgc1, _kgc2, _alice, _bob = pre_setting
