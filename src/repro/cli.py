@@ -24,6 +24,8 @@ subcommands mirror the scheme's algorithms:
                gives a --connect client a bounded keep-alive
                connection pool for concurrent callers
     schemes    list every registered scheme backend and its capabilities
+    trace      fetch a distributed trace from a --http gateway by id and
+               render it as a per-span waterfall (server stages included)
 
 Example round trip::
 
@@ -202,6 +204,74 @@ def _cmd_schemes(args) -> int:
     return 0
 
 
+def _render_trace(trace_id: str, spans) -> list[str]:
+    """Render one trace as an indented waterfall, oldest span first.
+
+    Client- and server-side spans of the same trace nest by parent id;
+    a span whose parent is not in the retrieved set (the client's root,
+    on a server-side-only retrieval) sits at depth zero.  The timeline
+    bar is scaled to the whole trace window.
+    """
+    if not spans:
+        return ["trace %s: no spans" % trace_id]
+    by_id = {span.span_id: span for span in spans}
+
+    def depth(span, hops: int = 0) -> int:
+        parent = by_id.get(span.parent_id)
+        # hops guards a malformed cyclic parent chain from looping forever.
+        if parent is None or hops > len(spans):
+            return 0
+        return 1 + depth(parent, hops + 1)
+
+    ordered = sorted(spans, key=lambda span: (span.start_ms, span.span_id))
+    t0 = min(span.start_ms for span in ordered)
+    window = max(span.start_ms + span.duration_ms for span in ordered) - t0
+    bar_width = 28
+    lines = ["trace %s (%d spans, %.2f ms)" % (trace_id, len(ordered), window)]
+    for span in ordered:
+        offset = span.start_ms - t0
+        left = int(offset / window * bar_width) if window > 0 else 0
+        length = max(1, int(span.duration_ms / window * bar_width)) if window > 0 else 1
+        bar = " " * left + "#" * min(length, bar_width - left)
+        attributes = " ".join("%s=%s" % pair for pair in span.attributes)
+        lines.append(
+            "  [%-*s] %8.2fms %8.2fms  %s%s%s%s"
+            % (
+                bar_width,
+                bar,
+                offset,
+                span.duration_ms,
+                "  " * depth(span),
+                span.name,
+                "" if span.status == "ok" else " !%s" % span.status,
+                " (%s)" % attributes if attributes else "",
+            )
+        )
+    return lines
+
+
+def _cmd_trace(args) -> int:
+    """Fetch one trace from a remote gateway and print its waterfall."""
+    from repro.pairing.group import PairingGroup
+    from repro.service.wire.client import RemoteGateway
+
+    # The trace endpoint is scheme-neutral, so no negotiation: any group
+    # context decodes the error taxonomy, which is all this client needs.
+    remote = RemoteGateway(
+        args.connect,
+        PairingGroup.shared(args.group),
+        negotiate=False,
+        trace_requests=False,
+    )
+    try:
+        spans = remote.fetch_trace(args.trace_id)
+    finally:
+        remote.close()
+    for line in _render_trace(args.trace_id, spans):
+        print(line)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.bench.report import print_table
     from repro.core.api import TIPRE_SCHEME_ID, available_schemes
@@ -245,6 +315,7 @@ def _cmd_serve(args) -> int:
                 ("--workers", args.workers != 0),
                 ("--state-dir", args.state_dir is not None),
                 ("--host", args.host != "127.0.0.1"),
+                ("--event-log", args.event_log is not None),
             )
             if is_set
         ]
@@ -360,10 +431,20 @@ def _serve_http(args, scheme_ids: list[str]) -> int:
     from repro.core.api import create_backend
     from repro.pairing.group import PairingGroup
     from repro.service.gateway import ReEncryptionGateway
+    from repro.service.telemetry import EventLog, jsonl_sink
     from repro.service.wire import GatewayHttpServer
 
     group = PairingGroup.shared(args.group)
     state_dirs = _state_dirs_for(args.state_dir, scheme_ids)
+    # One event log shared by every fleet and the HTTP layer: with
+    # --event-log PATH each event is also appended as one JSON line, so a
+    # single stream tells the whole multi-scheme story in order.
+    event_stream = None
+    if args.event_log is not None:
+        event_stream = Path(args.event_log).open("a", encoding="utf-8")
+        event_log = EventLog(sink=jsonl_sink(event_stream))
+    else:
+        event_log = EventLog()
     gateways = []
     try:
         for scheme_id, state_dir in zip(scheme_ids, state_dirs):
@@ -374,12 +455,17 @@ def _serve_http(args, scheme_ids: list[str]) -> int:
                     rate_per_s=args.rate,
                     workers=args.workers,
                     state_dir=state_dir,
+                    event_log=event_log,
                 )
             )
-        server = GatewayHttpServer(gateways=gateways, host=args.host, port=args.http)
+        server = GatewayHttpServer(
+            gateways=gateways, host=args.host, port=args.http, event_log=event_log
+        )
     except BaseException:
         for gateway in gateways:
             gateway.close()
+        if event_stream is not None:
+            event_stream.close()
         raise
     print(
         "gateway listening on %s (schemes %s, group %s, %d shards, %d keys loaded)"
@@ -400,6 +486,8 @@ def _serve_http(args, scheme_ids: list[str]) -> int:
         server.close()
         for gateway in gateways:
             gateway.close()
+        if event_stream is not None:
+            event_stream.close()
     return 0
 
 
@@ -486,7 +574,19 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pool-size", type=int, default=1,
                    help="keep-alive connection pool size for the --connect "
                         "client (default 1: the single persistent connection)")
+    p.add_argument("--event-log", default=None, metavar="PATH",
+                   help="with --http: append every structured event (audit, "
+                        "http access, server errors) as one JSON line to PATH")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("trace", help="fetch and render a gateway trace by id")
+    p.add_argument("trace_id", help="32-hex trace id (the X-Repro-Trace prefix, "
+                                    "or a driver report's sample trace id)")
+    p.add_argument("--connect", required=True, metavar="URL",
+                   help="the --http gateway to query, e.g. http://127.0.0.1:8080")
+    p.add_argument("--group", default="TOY",
+                   help="parameter set used to decode error bodies (default TOY)")
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 

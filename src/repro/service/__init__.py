@@ -14,6 +14,9 @@ request-serving system:
   with per-tenant rate limiting, bounded audit and an error taxonomy;
 * :mod:`repro.service.metrics` — latency / throughput / shard-balance
   snapshots, including resize/migration counters;
+* :mod:`repro.service.telemetry` — distributed trace contexts and spans,
+  fixed-bucket latency histograms with Prometheus text exposition, and
+  the bounded structured event log;
 * :mod:`repro.service.persistence` — the durable append-log key table
   that lets shards survive restarts and fleet resizes;
 * :mod:`repro.service.pool` — per-shard locks plus an optional thread
@@ -67,6 +70,17 @@ from repro.service.persistence import (
 )
 from repro.service.pool import ShardPool
 from repro.service.router import ShardRouter
+from repro.service.telemetry import (
+    TRACE_HEADER,
+    EventLog,
+    Histogram,
+    HistogramSnapshot,
+    Span,
+    TraceContext,
+    Tracer,
+    jsonl_sink,
+    render_prometheus,
+)
 from repro.service.wire import (
     GatewayHttpServer,
     RemoteGateway,
@@ -85,6 +99,7 @@ __all__ = [
     "DemoReport",
     "DemoSetting",
     "EntryMissingError",
+    "EventLog",
     "FetchRequest",
     "FetchResponse",
     "GatewayError",
@@ -92,6 +107,8 @@ __all__ = [
     "GatewayMetrics",
     "GrantRequest",
     "GrantResponse",
+    "Histogram",
+    "HistogramSnapshot",
     "InvalidRequestError",
     "LatencySummary",
     "LogFormatError",
@@ -110,12 +127,18 @@ __all__ = [
     "SchemeMismatchError",
     "ShardPool",
     "ShardRouter",
+    "Span",
     "StoreUnavailableError",
     "TokenBucket",
+    "TraceContext",
+    "Tracer",
+    "TRACE_HEADER",
     "WireTransportError",
     "build_scheme_setting",
     "build_setting",
     "drive_scheme_requests",
+    "jsonl_sink",
+    "render_prometheus",
     "run_demo",
     "run_scheme_demo",
     "scheme_state_subdir",

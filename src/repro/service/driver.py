@@ -83,6 +83,9 @@ class DemoReport:
     workers: int = 0
     state_dir: str | None = None
     scheme_id: str = TIPRE_SCHEME_ID
+    # The last request's trace id on a remote drive (fetchable via
+    # ``repro-pre trace`` / GET /v1/trace/{id}); None for in-process runs.
+    trace_id: str | None = None
 
     def rows(self) -> list[list[str]]:
         rows = [
@@ -96,6 +99,8 @@ class DemoReport:
             # Remote drives cannot see per-shard tables; show "-" then.
             ["keys per shard", " ".join(str(n) for n in self.shard_keys.values()) or "-"],
         ]
+        if self.trace_id is not None:
+            rows.append(["sample trace id", self.trace_id])
         rows.extend(self.snapshot.rows())
         return rows
 
@@ -366,6 +371,7 @@ def run_remote_demo(
                 batch_size=batch_size,
                 gateway=remote,
             )
+            last_trace = getattr(remote, "last_trace", None)
             snapshot = remote.snapshot()
         return DemoReport(
             snapshot=snapshot,
@@ -375,6 +381,7 @@ def run_remote_demo(
             verified=verified,
             shard_keys={},
             state_dir=None,
+            trace_id=last_trace.trace_id if last_trace is not None else None,
         )
     finally:
         setting.gateway.close()
@@ -598,6 +605,7 @@ def run_remote_scheme_demo(
                 batch_size=batch_size,
                 gateway=remote,
             )
+            last_trace = getattr(remote, "last_trace", None)
             snapshot = remote.snapshot()
         return DemoReport(
             snapshot=snapshot,
@@ -608,6 +616,7 @@ def run_remote_scheme_demo(
             shard_keys={},
             state_dir=None,
             scheme_id=scheme_id,
+            trace_id=last_trace.trace_id if last_trace is not None else None,
         )
     finally:
         setting.gateway.close()

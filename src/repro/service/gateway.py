@@ -31,7 +31,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator, Sequence
@@ -52,6 +52,7 @@ from repro.service.metrics import GatewayMetrics, MetricsSnapshot
 from repro.service.persistence import DurableProxyKeyTable
 from repro.service.pool import ShardPool
 from repro.service.router import ShardRouter
+from repro.service.telemetry import EventLog, TraceContext, Tracer
 
 __all__ = [
     "GatewayError",
@@ -287,6 +288,12 @@ class ReEncryptionGateway:
     # Custom shard construction, e.g. a benchmark modelling remote-shard
     # latency; receives (name, durable_table_or_None).
     shard_factory: Callable[[str, object | None], ProxyService] | None = None
+    # Telemetry (PR 6): ``telemetry=False`` disables span recording and
+    # event emission entirely (the bench_e14 baseline); otherwise a
+    # bounded Tracer ring and EventLog are created unless injected.
+    telemetry: bool = True
+    tracer: Tracer | None = None
+    event_log: EventLog | None = None
     backend: PreBackend = field(init=False, repr=False)
     _shards: dict[str, ProxyService] = field(init=False)
     _router: ShardRouter = field(init=False)
@@ -317,6 +324,14 @@ class ReEncryptionGateway:
         self._audit = deque(maxlen=self.max_audit_entries)
         self._audit_lock = threading.Lock()
         self.metrics = GatewayMetrics(clock=self.clock)
+        if self.telemetry:
+            if self.tracer is None:
+                self.tracer = Tracer(clock=self.clock)
+            if self.event_log is None:
+                self.event_log = EventLog()
+        else:
+            self.tracer = None
+            self.event_log = None
         self._limiter = None
         self.set_rate_limit(self.rate_per_s, self.burst)
         if self.state_dir is not None:
@@ -452,7 +467,27 @@ class ReEncryptionGateway:
                     yield name, self._shards[name]
                     return
 
-    def _record_audit(self, tenant: str, action: str, outcome: str, detail: str) -> None:
+    def _span(self, trace: TraceContext | None, name: str, **attributes):
+        """A tracer span context manager, or a no-op when tracing is off.
+
+        Usable on any request path: in-process callers that never pass a
+        trace context (and gateways built with ``telemetry=False``) pay
+        one ``None`` check, nothing more.
+        """
+        if self.tracer is None or trace is None:
+            return nullcontext(None)
+        return self.tracer.span(trace, name, attributes or None)
+
+    def _record_audit(
+        self,
+        tenant: str,
+        action: str,
+        outcome: str,
+        detail: str,
+        trace: TraceContext | None = None,
+        latency_ms: float | None = None,
+        shard: str | None = None,
+    ) -> None:
         with self._audit_lock:
             self._audit.append(
                 AuditEvent(
@@ -464,12 +499,39 @@ class ReEncryptionGateway:
                 )
             )
             self._audit_sequence += 1
+        if self.event_log is not None:
+            self.event_log.emit(
+                "audit",
+                scheme=self.scheme_id,
+                tenant=tenant,
+                action=action,
+                outcome=outcome,
+                shard=shard,
+                latency_ms=latency_ms,
+                trace=trace.trace_id if trace is not None else None,
+                detail=detail or None,
+            )
 
-    def _admit(self, tenant: str, action: str, cost: float = 1.0) -> None:
-        if self._limiter is not None and not self._limiter.allow(tenant, cost):
-            self.metrics.observe_rejection(rate_limited=True)
-            self._record_audit(tenant, action, RateLimitedError.code, "cost=%g" % cost)
-            raise RateLimitedError("tenant %r exceeded %g req/s" % (tenant, self.rate_per_s))
+    def _admit(
+        self,
+        tenant: str,
+        action: str,
+        cost: float = 1.0,
+        trace: TraceContext | None = None,
+    ) -> None:
+        with self._span(trace, "admission", tenant=tenant, op=action) as span:
+            if self._limiter is not None and not self._limiter.allow(tenant, cost):
+                if span is not None:
+                    span.status = RateLimitedError.code
+                self.metrics.observe_rejection(
+                    rate_limited=True, op=action, tenant=tenant, code=RateLimitedError.code
+                )
+                self._record_audit(
+                    tenant, action, RateLimitedError.code, "cost=%g" % cost, trace=trace
+                )
+                raise RateLimitedError(
+                    "tenant %r exceeded %g req/s" % (tenant, self.rate_per_s)
+                )
 
     def _resolve_key(
         self, index: tuple[str, str, str, str, str], shard: ProxyService
@@ -501,30 +563,45 @@ class ReEncryptionGateway:
 
     # ------------------------------------------------------------ operations
 
-    def grant(self, request: GrantRequest) -> GrantResponse:
+    def grant(
+        self, request: GrantRequest, trace: TraceContext | None = None
+    ) -> GrantResponse:
         """Install a proxy key on the shard that owns its delegator/type."""
-        self._admit(request.tenant, "grant")
+        self._admit(request.tenant, "grant", trace=trace)
         start = self.clock()
         key = request.proxy_key
-        with self._owned_shard(
-            key.delegator_domain, key.delegator, key.type_label
-        ) as (shard_name, shard):
-            shard.install_key(key)
-            # Invalidate under the lock, after the install: cache writes
-            # also hold the lock, so nothing stale can sneak back in.
-            self._invalidate_delegation(ProxyKeyTable.index_of(key))
-        self.metrics.observe("grant", (self.clock() - start) * 1000, shard_name)
+        with self._span(trace, "route") as span:
+            route = self._route(key.delegator_domain, key.delegator, key.type_label)
+            if span is not None:
+                span.set("shard", route)
+        with self._span(trace, "shard-install") as span:
+            with self._owned_shard(
+                key.delegator_domain, key.delegator, key.type_label
+            ) as (shard_name, shard):
+                shard.install_key(key)
+                # Invalidate under the lock, after the install: cache writes
+                # also hold the lock, so nothing stale can sneak back in.
+                self._invalidate_delegation(ProxyKeyTable.index_of(key))
+            if span is not None:
+                span.set("shard", shard_name)
+        latency_ms = (self.clock() - start) * 1000
+        self.metrics.observe("grant", latency_ms, shard_name, tenant=request.tenant)
         self._record_audit(
             request.tenant,
             "grant",
             "ok",
             "%s->%s type=%s shard=%s" % (key.delegator, key.delegatee, key.type_label, shard_name),
+            trace=trace,
+            latency_ms=latency_ms,
+            shard=shard_name,
         )
         return GrantResponse(shard=shard_name)
 
-    def revoke(self, request: RevokeRequest) -> RevokeResponse:
+    def revoke(
+        self, request: RevokeRequest, trace: TraceContext | None = None
+    ) -> RevokeResponse:
         """Remove a delegation everywhere: shard table and both caches."""
-        self._admit(request.tenant, "revoke")
+        self._admit(request.tenant, "revoke", trace=trace)
         start = self.clock()
         index: tuple[str, str, str, str, str] = (
             request.delegator_domain,
@@ -533,58 +610,113 @@ class ReEncryptionGateway:
             request.delegatee,
             request.type_label,
         )
-        with self._owned_shard(
-            request.delegator_domain, request.delegator, request.type_label
-        ) as (shard_name, shard):
-            removed = shard.revoke_key(*index)
-            self._invalidate_delegation(index)
-        self.metrics.observe("revoke", (self.clock() - start) * 1000, shard_name)
+        with self._span(trace, "shard-revoke") as span:
+            with self._owned_shard(
+                request.delegator_domain, request.delegator, request.type_label
+            ) as (shard_name, shard):
+                removed = shard.revoke_key(*index)
+                self._invalidate_delegation(index)
+            if span is not None:
+                span.set("shard", shard_name)
+                span.set("removed", removed)
+        latency_ms = (self.clock() - start) * 1000
+        self.metrics.observe("revoke", latency_ms, shard_name, tenant=request.tenant)
         self._record_audit(
             request.tenant,
             "revoke",
             "ok",
             "%s->%s type=%s removed=%s"
             % (request.delegator, request.delegatee, request.type_label, removed),
+            trace=trace,
+            latency_ms=latency_ms,
+            shard=shard_name,
         )
         return RevokeResponse(shard=shard_name, removed=removed)
 
-    def reencrypt(self, request: ReEncryptRequest) -> ReEncryptResponse:
+    def reencrypt(
+        self, request: ReEncryptRequest, trace: TraceContext | None = None
+    ) -> ReEncryptResponse:
         """Transform one ciphertext, consulting both caches."""
-        self._admit(request.tenant, "reencrypt")
+        self._admit(request.tenant, "reencrypt", trace=trace)
         start = self.clock()
         ciphertext = request.ciphertext
         result_key = (ciphertext, request.delegatee_domain, request.delegatee)
-        cached = self._result_cache.get(result_key) if self._cache_results else None
+        with self._span(trace, "cache-lookup") as span:
+            cached = self._result_cache.get(result_key) if self._cache_results else None
+            if span is not None:
+                span.set("hit", cached is not None)
         if cached is not None:
-            shard_name = self._route(
-                ciphertext.domain, ciphertext.identity, ciphertext.type_label
+            with self._span(trace, "route") as span:
+                shard_name = self._route(
+                    ciphertext.domain, ciphertext.identity, ciphertext.type_label
+                )
+                if span is not None:
+                    span.set("shard", shard_name)
+            latency_ms = (self.clock() - start) * 1000
+            self.metrics.observe(
+                "reencrypt", latency_ms, shard_name, tenant=request.tenant
             )
-            self.metrics.observe("reencrypt", (self.clock() - start) * 1000, shard_name)
-            self._record_audit(request.tenant, "reencrypt", "ok", "cache-hit shard=%s" % shard_name)
+            self._record_audit(
+                request.tenant,
+                "reencrypt",
+                "ok",
+                "cache-hit shard=%s" % shard_name,
+                trace=trace,
+                latency_ms=latency_ms,
+                shard=shard_name,
+            )
             return ReEncryptResponse(ciphertext=cached, shard=shard_name, cache_hit=True)
         index = ProxyKeyTable.request_index(
             ciphertext, request.delegatee_domain, request.delegatee
         )
-        with self._owned_shard(
-            ciphertext.domain, ciphertext.identity, ciphertext.type_label
-        ) as (shard_name, shard):
-            try:
-                key = self._resolve_key(index, shard)
-            except NoProxyKeyError as error:
-                self.metrics.observe_rejection()
-                self._record_audit(
-                    request.tenant, "reencrypt", DelegationNotFoundError.code, str(error)
-                )
-                raise DelegationNotFoundError(str(error)) from error
-            result = shard.reencrypt_with_key(ciphertext, key)
-            if self._cache_results:
-                self._result_cache.put(result_key, result)
-        self.metrics.observe("reencrypt", (self.clock() - start) * 1000, shard_name)
-        self._record_audit(request.tenant, "reencrypt", "ok", "shard=%s" % shard_name)
+        with self._span(trace, "route") as span:
+            route = self._route(
+                ciphertext.domain, ciphertext.identity, ciphertext.type_label
+            )
+            if span is not None:
+                span.set("shard", route)
+        with self._span(trace, "shard-crypto") as span:
+            with self._owned_shard(
+                ciphertext.domain, ciphertext.identity, ciphertext.type_label
+            ) as (shard_name, shard):
+                if span is not None:
+                    span.set("shard", shard_name)
+                try:
+                    key = self._resolve_key(index, shard)
+                except NoProxyKeyError as error:
+                    self.metrics.observe_rejection(
+                        op="reencrypt",
+                        tenant=request.tenant,
+                        code=DelegationNotFoundError.code,
+                    )
+                    self._record_audit(
+                        request.tenant,
+                        "reencrypt",
+                        DelegationNotFoundError.code,
+                        str(error),
+                        trace=trace,
+                    )
+                    raise DelegationNotFoundError(str(error)) from error
+                result = shard.reencrypt_with_key(ciphertext, key)
+                if self._cache_results:
+                    self._result_cache.put(result_key, result)
+        latency_ms = (self.clock() - start) * 1000
+        self.metrics.observe("reencrypt", latency_ms, shard_name, tenant=request.tenant)
+        self._record_audit(
+            request.tenant,
+            "reencrypt",
+            "ok",
+            "shard=%s" % shard_name,
+            trace=trace,
+            latency_ms=latency_ms,
+            shard=shard_name,
+        )
         return ReEncryptResponse(ciphertext=result, shard=shard_name, cache_hit=False)
 
     def reencrypt_batch(
-        self, requests: Sequence[ReEncryptRequest]
+        self,
+        requests: Sequence[ReEncryptRequest],
+        trace: TraceContext | None = None,
     ) -> list[ReEncryptResponse]:
         """Transform a batch; key lookups are amortized per delegation group.
 
@@ -602,8 +734,9 @@ class ReEncryptionGateway:
         """
         if not requests:
             raise InvalidRequestError("empty batch")
-        for request in requests:
-            self._admit(request.tenant, "reencrypt-batch")
+        with self._span(trace, "admission", items=len(requests)):
+            for request in requests:
+                self._admit(request.tenant, "reencrypt-batch")
         start = self.clock()
         items = [
             (request.ciphertext, request.delegatee_domain, request.delegatee)
@@ -675,54 +808,103 @@ class ReEncryptionGateway:
             return run
 
         try:
-            ReEncryptBatcher.resolve_all(groups, check_delegation)
-            self._pool.run_many([(None, group_task(group)) for group in groups])
+            with self._span(trace, "delegation-check", groups=len(groups)):
+                ReEncryptBatcher.resolve_all(groups, check_delegation)
+            with self._span(trace, "shard-crypto", groups=len(groups)):
+                self._pool.run_many([(None, group_task(group)) for group in groups])
         except BatchItemError as error:
-            self.metrics.observe_rejection()
             tenant = requests[error.position].tenant
             if isinstance(error.cause, NoProxyKeyError):
+                self.metrics.observe_rejection(
+                    op="reencrypt-batch",
+                    tenant=tenant,
+                    code=DelegationNotFoundError.code,
+                )
                 self._record_audit(
-                    tenant, "reencrypt-batch", DelegationNotFoundError.code, str(error.cause)
+                    tenant,
+                    "reencrypt-batch",
+                    DelegationNotFoundError.code,
+                    str(error.cause),
+                    trace=trace,
                 )
                 raise DelegationNotFoundError(str(error.cause)) from error
-            self._record_audit(tenant, "reencrypt-batch", GatewayError.code, str(error.cause))
+            self.metrics.observe_rejection(
+                op="reencrypt-batch", tenant=tenant, code=GatewayError.code
+            )
+            self._record_audit(
+                tenant, "reencrypt-batch", GatewayError.code, str(error.cause), trace=trace
+            )
             raise GatewayError(str(error.cause)) from error
         elapsed_ms = (self.clock() - start) * 1000
         per_item_ms = elapsed_ms / len(requests)
         for request, shard_name in zip(requests, shard_names):
-            self.metrics.observe("reencrypt", per_item_ms, shard_name)
-            self._record_audit(request.tenant, "reencrypt-batch", "ok", "shard=%s" % shard_name)
+            self.metrics.observe(
+                "reencrypt", per_item_ms, shard_name, tenant=request.tenant
+            )
+            self._record_audit(
+                request.tenant,
+                "reencrypt-batch",
+                "ok",
+                "shard=%s" % shard_name,
+                trace=trace,
+                latency_ms=per_item_ms,
+                shard=shard_name,
+            )
         return [
             ReEncryptResponse(ciphertext=result, shard=shard_name, cache_hit=hit)
             for result, shard_name, hit in zip(results, shard_names, hit_flags)
         ]
 
-    def fetch(self, request: FetchRequest) -> FetchResponse:
+    def fetch(
+        self, request: FetchRequest, trace: TraceContext | None = None
+    ) -> FetchResponse:
         """Read ciphertext blobs from the attached PHR store."""
-        self._admit(request.tenant, "fetch")
+        self._admit(request.tenant, "fetch", trace=trace)
         if self.store is None:
-            self.metrics.observe_rejection()
-            self._record_audit(request.tenant, "fetch", StoreUnavailableError.code, "")
+            self.metrics.observe_rejection(
+                op="fetch", tenant=request.tenant, code=StoreUnavailableError.code
+            )
+            self._record_audit(
+                request.tenant, "fetch", StoreUnavailableError.code, "", trace=trace
+            )
             raise StoreUnavailableError("gateway has no PHR store attached")
         start = self.clock()
         try:
-            if request.entry_id is not None:
-                records = (self.store.get(request.patient, request.entry_id),)
-            else:
-                records = tuple(self.store.entries_for(request.patient, request.category))
+            with self._span(trace, "store-read", patient=request.patient):
+                if request.entry_id is not None:
+                    records = (self.store.get(request.patient, request.entry_id),)
+                else:
+                    records = tuple(
+                        self.store.entries_for(request.patient, request.category)
+                    )
         except EntryNotFoundError as error:
-            self.metrics.observe_rejection()
-            self._record_audit(request.tenant, "fetch", EntryMissingError.code, str(error))
+            self.metrics.observe_rejection(
+                op="fetch", tenant=request.tenant, code=EntryMissingError.code
+            )
+            self._record_audit(
+                request.tenant, "fetch", EntryMissingError.code, str(error), trace=trace
+            )
             raise EntryMissingError(str(error)) from error
-        self.metrics.observe("fetch", (self.clock() - start) * 1000)
+        latency_ms = (self.clock() - start) * 1000
+        self.metrics.observe("fetch", latency_ms, tenant=request.tenant)
         self._record_audit(
-            request.tenant, "fetch", "ok", "patient=%s n=%d" % (request.patient, len(records))
+            request.tenant,
+            "fetch",
+            "ok",
+            "patient=%s n=%d" % (request.patient, len(records)),
+            trace=trace,
+            latency_ms=latency_ms,
         )
         return FetchResponse(records=records)
 
     # ------------------------------------------------------------- elasticity
 
-    def resize(self, shard_count: int, tenant: str = "admin") -> ResizeReport:
+    def resize(
+        self,
+        shard_count: int,
+        tenant: str = "admin",
+        trace: TraceContext | None = None,
+    ) -> ResizeReport:
         """Rebalance the fleet to ``shard_count`` shards, migrating keys.
 
         Consistent hashing keeps the migration minimal: only keys whose
@@ -736,9 +918,9 @@ class ReEncryptionGateway:
         """
         if shard_count < 1:
             raise InvalidRequestError("shard_count must be positive")
-        self._admit(tenant, "resize")
+        self._admit(tenant, "resize", trace=trace)
         start = self.clock()
-        with self._pool.lock_all():
+        with self._span(trace, "migrate", shard_count=shard_count), self._pool.lock_all():
             old_names = self._router.shards
             new_names = ["shard-%02d" % i for i in range(shard_count)]
             added = tuple(name for name in new_names if name not in self._shards)
@@ -755,7 +937,7 @@ class ReEncryptionGateway:
             self._pool.set_shards(new_names)
             self.shard_count = shard_count
         elapsed_ms = (self.clock() - start) * 1000
-        self.metrics.observe("resize", elapsed_ms)
+        self.metrics.observe("resize", elapsed_ms, tenant=tenant)
         self.metrics.observe_resize(moved)
         self._record_audit(
             tenant,
@@ -763,6 +945,8 @@ class ReEncryptionGateway:
             "ok",
             "%d->%d moved=%d added=%d removed=%d"
             % (len(old_names), shard_count, moved, len(added), len(removed)),
+            trace=trace,
+            latency_ms=elapsed_ms,
         )
         return ResizeReport(
             old_shard_count=len(old_names),

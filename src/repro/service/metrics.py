@@ -1,9 +1,16 @@
 """Gateway observability: latency, throughput and shard balance.
 
 Everything is snapshot-based: the live :class:`GatewayMetrics` object
-accumulates counters and latency samples, and :meth:`GatewayMetrics.snapshot`
+accumulates counters and latency histograms, and :meth:`GatewayMetrics.snapshot`
 freezes them into plain dataclasses the CLI and benchmarks render.  The
 clock is injectable so tests assert on exact numbers instead of sleeping.
+
+Latency lives in fixed-bucket :class:`~repro.service.telemetry.Histogram`
+accumulators rather than sample lists: every observation always counts
+(the old lists kept the first 50k samples and silently dropped the rest,
+freezing long-run percentiles on startup traffic), and memory stays
+bounded by the bucket count rather than the traffic volume.  Count, sum
+and max are exact; only the percentiles are bucket-resolution estimates.
 """
 
 from __future__ import annotations
@@ -15,17 +22,20 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.service.cache import CacheStats
+from repro.service.telemetry import Histogram, HistogramSnapshot
 
 __all__ = ["LatencySummary", "MetricsSnapshot", "GatewayMetrics"]
 
-# Latency samples kept per outcome; enough for stable percentiles without
-# unbounded growth on a long-running gateway.
-_MAX_SAMPLES = 50_000
+# Distinct tenants tracked in the per-tenant outcome counters; traffic
+# from tenants past the cap is folded into one overflow label so a churn
+# of one-shot tenants cannot grow the metrics without bound.
+_MAX_TENANT_LABELS = 1024
+_TENANT_OVERFLOW = "_other"
 
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """Percentiles over the retained samples of one operation kind."""
+    """Percentiles over the observations of one operation kind."""
 
     count: int
     p50_ms: float
@@ -51,6 +61,19 @@ class LatencySummary:
             max_ms=ordered[-1],
         )
 
+    @staticmethod
+    def from_histogram(histogram: HistogramSnapshot) -> "LatencySummary":
+        """Summary view of a histogram: exact count/max, estimated quantiles."""
+        if histogram.count == 0:
+            return LatencySummary(count=0, p50_ms=0.0, p90_ms=0.0, p99_ms=0.0, max_ms=0.0)
+        return LatencySummary(
+            count=histogram.count,
+            p50_ms=histogram.percentile(0.50),
+            p90_ms=histogram.percentile(0.90),
+            p99_ms=histogram.percentile(0.99),
+            max_ms=histogram.max_value,
+        )
+
 
 @dataclass(frozen=True)
 class MetricsSnapshot:
@@ -66,6 +89,9 @@ class MetricsSnapshot:
     caches: dict[str, CacheStats]
     resizes: int = 0
     keys_migrated: int = 0
+    histograms: dict[str, HistogramSnapshot] = field(default_factory=dict)
+    outcomes: dict[tuple[str, str], int] = field(default_factory=dict)
+    tenant_outcomes: dict[tuple[str, str], int] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -127,7 +153,10 @@ class GatewayMetrics:
     resizes: int = 0
     keys_migrated: int = 0
     shard_requests: Counter = field(default_factory=Counter)
-    _samples: dict[str, list[float]] = field(default_factory=dict)
+    _histograms: dict[str, Histogram] = field(default_factory=dict)
+    _outcomes: Counter = field(default_factory=Counter)
+    _tenant_outcomes: Counter = field(default_factory=Counter)
+    _tenant_labels: set = field(default_factory=set)
     _started_at: float = field(init=False)
     _lock: threading.Lock = field(init=False, repr=False)
 
@@ -135,24 +164,56 @@ class GatewayMetrics:
         self._started_at = self.clock()
         self._lock = threading.Lock()
 
-    def observe(self, kind: str, latency_ms: float, shard: str | None = None) -> None:
+    def _tenant_label(self, tenant: str) -> str:
+        # Caller holds the lock.
+        if tenant in self._tenant_labels:
+            return tenant
+        if len(self._tenant_labels) < _MAX_TENANT_LABELS:
+            self._tenant_labels.add(tenant)
+            return tenant
+        return _TENANT_OVERFLOW
+
+    def observe(
+        self,
+        kind: str,
+        latency_ms: float,
+        shard: str | None = None,
+        tenant: str | None = None,
+    ) -> None:
         """Record one served operation of ``kind``."""
         with self._lock:
             self.requests_total += 1
             self.served += 1
             if shard is not None:
                 self.shard_requests[shard] += 1
-            samples = self._samples.setdefault(kind, [])
-            if len(samples) < _MAX_SAMPLES:
-                samples.append(latency_ms)
+            histogram = self._histograms.get(kind)
+            if histogram is None:
+                histogram = self._histograms[kind] = Histogram()
+            self._outcomes[(kind, "ok")] += 1
+            if tenant is not None:
+                self._tenant_outcomes[(self._tenant_label(tenant), "ok")] += 1
+            # Inside our lock so a snapshot never sees served ahead of the
+            # histogram count; the nested histogram lock is uncontended.
+            histogram.observe(latency_ms)
 
-    def observe_rejection(self, rate_limited: bool = False) -> None:
+    def observe_rejection(
+        self,
+        rate_limited: bool = False,
+        op: str | None = None,
+        tenant: str | None = None,
+        code: str | None = None,
+    ) -> None:
+        outcome = code or ("rate-limited" if rate_limited else "rejected")
         with self._lock:
             self.requests_total += 1
             if rate_limited:
                 self.rate_limited += 1
             else:
                 self.rejected += 1
+            if op is not None:
+                self._outcomes[(op, outcome)] += 1
+            if tenant is not None:
+                self._tenant_outcomes[(self._tenant_label(tenant), outcome)] += 1
 
     def observe_resize(self, keys_migrated: int) -> None:
         """Record one fleet resize and how many keys it moved."""
@@ -162,6 +223,10 @@ class GatewayMetrics:
 
     def snapshot(self, caches: dict[str, CacheStats] | None = None) -> MetricsSnapshot:
         with self._lock:
+            histograms = {
+                kind: histogram.snapshot()
+                for kind, histogram in self._histograms.items()
+            }
             return MetricsSnapshot(
                 requests_total=self.requests_total,
                 served=self.served,
@@ -170,10 +235,13 @@ class GatewayMetrics:
                 elapsed_s=self.clock() - self._started_at,
                 shard_requests=dict(self.shard_requests),
                 latency={
-                    kind: LatencySummary.of(samples)
-                    for kind, samples in self._samples.items()
+                    kind: LatencySummary.from_histogram(snapshot)
+                    for kind, snapshot in histograms.items()
                 },
                 caches=dict(caches or {}),
                 resizes=self.resizes,
                 keys_migrated=self.keys_migrated,
+                histograms=histograms,
+                outcomes=dict(self._outcomes),
+                tenant_outcomes=dict(self._tenant_outcomes),
             )

@@ -1,0 +1,671 @@
+"""End-to-end telemetry: traces, histogram metrics, structured events.
+
+Three primitives every serving deployment of the gateway needs once a
+request can cross process boundaries:
+
+* **Trace contexts** — :class:`TraceContext` is a (trace id, span id)
+  pair generated at the edge (:class:`~repro.service.wire.client.RemoteGateway`),
+  carried as the ``X-Repro-Trace`` header through the wire, and threaded
+  into :class:`~repro.service.gateway.ReEncryptionGateway` so every
+  request stage (admission, route, cache lookup, shard crypto op,
+  serialization) records a :class:`Span` into a bounded per-gateway
+  :class:`Tracer` ring.  ``GET /v1/trace/{id}`` retrieves a trace and
+  ``repro-pre trace`` renders it as a waterfall.
+
+* **Histogram metrics** — :class:`Histogram` is a fixed-bucket latency
+  accumulator with exact count/sum/max.  Unlike the sample lists it
+  replaces, it never drops an observation, so long-run percentiles track
+  live traffic instead of freezing on startup samples, and the bounded
+  memory holds no matter how long the gateway runs.
+  :func:`render_prometheus` exposes everything (per scheme, per
+  operation, per tenant outcome) in Prometheus text exposition format
+  for ``GET /v1/metrics?format=prometheus``.
+
+* **Structured events** — :class:`EventLog` is a bounded ring of JSON
+  objects with an injectable sink (:func:`jsonl_sink` appends one JSON
+  line per event to any stream).  The gateway's audit writer and the
+  wire server's previously-discarded ``log_message``/error paths both
+  feed it, so nothing a production operator needs vanishes into a
+  silenced stderr.
+
+Everything here is dependency-free within the service layer (no imports
+from :mod:`repro.service.metrics` or the wire package), thread-safe, and
+clock-injectable so tests assert on exact numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import secrets
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Callable, NamedTuple
+
+__all__ = [
+    "TRACE_HEADER",
+    "TraceContext",
+    "Span",
+    "SpanHandle",
+    "Tracer",
+    "Histogram",
+    "HistogramSnapshot",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "EventLog",
+    "jsonl_sink",
+    "render_prometheus",
+    "span_to_json",
+    "span_from_json",
+]
+
+# The wire header carrying "<trace id>-<span id>" (32 + 16 lowercase hex
+# chars); the response echoes it so a client can always correlate.
+TRACE_HEADER = "X-Repro-Trace"
+
+_TRACE_ID_CHARS = 32  # 16 random bytes
+_SPAN_ID_CHARS = 16  # 8 random bytes
+_HEX = set("0123456789abcdef")
+
+# Trace and span ids only need uniqueness, not unpredictability (they
+# are correlation handles, not capabilities): a PRNG seeded once from
+# the CSPRNG keeps id generation syscall-free — secrets.token_hex reads
+# urandom per call, which is measurable at per-request rates.
+# getrandbits on a shared Random is a single C call, atomic under the
+# GIL.
+_id_rng = random.Random(secrets.randbits(64))
+
+
+def _new_trace_id() -> str:
+    return "%032x" % _id_rng.getrandbits(128)
+
+
+def _new_span_id() -> str:
+    return "%016x" % _id_rng.getrandbits(64)
+
+
+# ------------------------------------------------------------------- tracing
+
+
+class TraceContext(NamedTuple):
+    """One request's position in a trace: the trace id plus current span.
+
+    The context is propagation state, not a recorded span — spans are
+    what a :class:`Tracer` stores.  ``span_id`` names the *enclosing*
+    span, so spans opened under this context record it as their parent.
+    A NamedTuple rather than a dataclass: one is built per span on the
+    request hot path, and tuple construction is what keeps that cheap.
+    """
+
+    trace_id: str
+    span_id: str
+
+    @staticmethod
+    def generate() -> "TraceContext":
+        """A fresh root context (random ids; no parent span recorded)."""
+        return TraceContext(trace_id=_new_trace_id(), span_id=_new_span_id())
+
+    def child(self) -> "TraceContext":
+        """Same trace, fresh span id — the context a sub-span runs under."""
+        return TraceContext(trace_id=self.trace_id, span_id=_new_span_id())
+
+    def to_header(self) -> str:
+        return "%s-%s" % (self.trace_id, self.span_id)
+
+    @staticmethod
+    def from_header(value: str | None) -> "TraceContext | None":
+        """Parse a header value; anything malformed is ``None``, never an error.
+
+        A gateway must keep serving clients with broken tracing middleware,
+        so header parsing is deliberately infallible.
+        """
+        if not value or not isinstance(value, str):
+            return None
+        parts = value.strip().split("-")
+        if len(parts) != 2:
+            return None
+        trace_id, span_id = parts
+        if len(trace_id) != _TRACE_ID_CHARS or len(span_id) != _SPAN_ID_CHARS:
+            return None
+        if not (set(trace_id) <= _HEX and set(span_id) <= _HEX):
+            return None
+        return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+class Span(NamedTuple):
+    """One recorded stage of one request.
+
+    ``attributes`` is a sorted tuple of (key, value) string pairs so the
+    record stays hashable and wire round trips compare equal.  A
+    NamedTuple for the same hot-path reason as :class:`TraceContext`.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    start_ms: float
+    duration_ms: float
+    status: str = "ok"  # "ok" or a stable error code
+    attributes: tuple[tuple[str, str], ...] = ()
+
+    def attribute_dict(self) -> dict[str, str]:
+        return dict(self.attributes)
+
+
+class SpanHandle:
+    """The mutable in-flight view :meth:`Tracer.span` yields.
+
+    ``context`` is the child trace context the span runs under — pass it
+    to nested stages so their spans parent correctly.  :meth:`set` adds
+    attributes; assigning :attr:`status` overrides the default ("ok", or
+    the ``code`` of an exception that escapes the block).
+    """
+
+    __slots__ = ("context", "status", "_attributes")
+
+    def __init__(self, context: TraceContext):
+        self.context = context
+        self.status: str | None = None
+        self._attributes: dict[str, str] = {}
+
+    def set(self, key: str, value: Any) -> None:
+        self._attributes[str(key)] = str(value)
+
+
+class Tracer:
+    """A bounded ring of traces: at most ``max_traces``, oldest evicted.
+
+    Spans are grouped by trace id; one trace holds at most
+    ``max_spans_per_trace`` spans (later spans of a runaway trace are
+    dropped, never the process's memory).  Thread-safe.
+    """
+
+    def __init__(
+        self,
+        max_traces: int = 256,
+        max_spans_per_trace: int = 256,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_traces < 1 or max_spans_per_trace < 1:
+            raise ValueError("trace ring bounds must be positive")
+        self.max_traces = max_traces
+        self.max_spans_per_trace = max_spans_per_trace
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._traces: OrderedDict[str, list[Span]] = OrderedDict()
+        self.spans_recorded = 0
+        self.spans_dropped = 0
+        self.traces_evicted = 0
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            spans = self._traces.get(span.trace_id)
+            if spans is None:
+                while len(self._traces) >= self.max_traces:
+                    self._traces.popitem(last=False)
+                    self.traces_evicted += 1
+                spans = self._traces[span.trace_id] = []
+            if len(spans) >= self.max_spans_per_trace:
+                self.spans_dropped += 1
+                return
+            spans.append(span)
+            self.spans_recorded += 1
+
+    def span(
+        self,
+        context: TraceContext | None,
+        name: str,
+        attributes: dict[str, Any] | None = None,
+    ) -> "_SpanScope":
+        """Record one named span around a block; no-op when ``context`` is None.
+
+        An exception escaping the block marks the span's status with the
+        exception's stable ``code`` (or its class name) and re-raises —
+        failed stages show up in the trace exactly where they failed.
+        A plain slotted context manager rather than ``@contextmanager``:
+        the generator machinery is measurable per-request overhead.
+        """
+        return _SpanScope(self, context, name, attributes)
+
+    def _finish(
+        self, context: TraceContext, name: str, handle: SpanHandle, start: float
+    ) -> None:
+        """Seal one span into the ring (called by :class:`_SpanScope`)."""
+        self.record(
+            Span(
+                trace_id=context.trace_id,
+                span_id=handle.context.span_id,
+                parent_id=context.span_id,
+                name=name,
+                start_ms=start * 1000.0,
+                duration_ms=(self._clock() - start) * 1000.0,
+                status=handle.status or "ok",
+                attributes=tuple(sorted(handle._attributes.items())),
+            )
+        )
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """Every recorded span of one trace (copy, recording order)."""
+        with self._lock:
+            return list(self._traces.get(trace_id, ()))
+
+    def trace_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class _SpanScope:
+    """The context manager :meth:`Tracer.span` returns; single-use."""
+
+    __slots__ = ("_tracer", "_context", "_name", "_attributes", "_handle", "_start")
+
+    def __init__(self, tracer, context, name, attributes):
+        self._tracer = tracer
+        self._context = context
+        self._name = name
+        self._attributes = attributes
+        self._handle = None
+
+    def __enter__(self) -> SpanHandle | None:
+        context = self._context
+        if context is None:
+            return None
+        # context.child() inlined: this runs several times per request.
+        handle = self._handle = SpanHandle(
+            TraceContext(context.trace_id, _new_span_id())
+        )
+        if self._attributes:
+            for key, value in self._attributes.items():
+                handle.set(key, value)
+        self._start = self._tracer._clock()
+        return handle
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        handle = self._handle
+        if handle is not None:
+            if exc is not None and handle.status is None:
+                handle.status = getattr(exc, "code", exc_type.__name__)
+            self._tracer._finish(self._context, self._name, handle, self._start)
+        return False  # never swallow the block's exception
+
+
+def span_to_json(span: Span) -> dict:
+    return {
+        "trace": span.trace_id,
+        "span": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "start_ms": span.start_ms,
+        "duration_ms": span.duration_ms,
+        "status": span.status,
+        "attributes": span.attribute_dict(),
+    }
+
+
+def span_from_json(document: dict) -> Span:
+    """Rebuild a :class:`Span`; raises ``ValueError`` on a malformed document."""
+    if not isinstance(document, dict):
+        raise ValueError("span document must be a JSON object")
+    try:
+        attributes = document.get("attributes") or {}
+        if not isinstance(attributes, dict):
+            raise ValueError("span attributes must be a JSON object")
+        parent = document.get("parent")
+        if parent is not None and not isinstance(parent, str):
+            raise ValueError("span parent must be a string or null")
+        return Span(
+            trace_id=str(document["trace"]),
+            span_id=str(document["span"]),
+            parent_id=parent,
+            name=str(document["name"]),
+            start_ms=float(document["start_ms"]),
+            duration_ms=float(document["duration_ms"]),
+            status=str(document.get("status", "ok")),
+            attributes=tuple(
+                sorted((str(k), str(v)) for k, v in attributes.items())
+            ),
+        )
+    except (KeyError, TypeError) as error:
+        raise ValueError("malformed span document: %s" % error) from error
+
+
+# ---------------------------------------------------------------- histograms
+
+# Exponential-ish bounds spanning a cache hit (~50us) through a slow wire
+# batch (~10s); everything slower lands in the implicit +Inf bucket.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """A frozen histogram: cumulative math lives here, mutation in Histogram.
+
+    ``counts`` has one entry per bound plus the final +Inf bucket.
+    ``count``/``sum``/``max_value`` are exact — only percentiles are
+    bucket-resolution estimates.
+    """
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]
+    count: int
+    sum: float
+    max_value: float
+
+    def percentile(self, q: float) -> float:
+        """Estimate the q-quantile (0 < q <= 1) by bucket interpolation.
+
+        The rank is nearest-rank over the exact count; within the chosen
+        bucket the estimate interpolates linearly between its bounds.
+        The top (+Inf) bucket and the overall estimate are clamped to the
+        exact observed max, so the estimate never invents a latency
+        larger than anything that happened.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.999999))
+        cumulative = 0
+        lower = 0.0
+        for i, bucket_count in enumerate(self.counts):
+            upper = self.bounds[i] if i < len(self.bounds) else self.max_value
+            if bucket_count:
+                cumulative += bucket_count
+                if cumulative >= rank:
+                    # Position of the rank inside this bucket.
+                    into = rank - (cumulative - bucket_count)
+                    estimate = lower + (upper - lower) * into / bucket_count
+                    return min(estimate, self.max_value)
+            lower = self.bounds[i] if i < len(self.bounds) else lower
+        return self.max_value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class Histogram:
+    """Fixed-bucket latency accumulator; every observation always counts.
+
+    Replaces the first-50k-wins sample lists: memory is bounded by the
+    bucket count, not the traffic volume, so a year-long run's p99 still
+    reflects the last request.  Thread-safe.
+    """
+
+    __slots__ = ("bounds", "_counts", "_count", "_sum", "_max", "_lock")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a sorted non-empty sequence")
+        self.bounds = tuple(float(b) for b in bounds)
+        self._counts = [0] * (len(self.bounds) + 1)  # + the +Inf bucket
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        # Linear scan beats bisect for ~18 buckets when most latencies
+        # land in the first few; both are trivially cheap next to a pairing.
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    def snapshot(self) -> HistogramSnapshot:
+        with self._lock:
+            return HistogramSnapshot(
+                bounds=self.bounds,
+                counts=tuple(self._counts),
+                count=self._count,
+                sum=self._sum,
+                max_value=self._max,
+            )
+
+
+# ------------------------------------------------------------------- events
+
+
+class EventLog:
+    """A bounded ring of structured events with an injectable sink.
+
+    :meth:`emit` builds one JSON-compatible dict per event (``ts`` plus
+    whatever the caller passes), keeps the newest ``max_events`` in
+    memory, and forwards each to ``sink`` when one is installed — a
+    callable taking the event dict, e.g. :func:`jsonl_sink`.  A sink
+    failure is counted, never raised: telemetry must not take down
+    serving.  Thread-safe.
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[dict], None] | None = None,
+        max_events: int = 4096,
+        clock: Callable[[], float] = time.time,
+    ):
+        if max_events < 1:
+            raise ValueError("max_events must be positive")
+        self.max_events = max_events
+        self.sink = sink
+        self._clock = clock
+        self._lock = threading.Lock()
+        # A maxlen deque IS the bounded ring: append evicts the oldest
+        # event in C, with no key bookkeeping on the emit hot path.
+        self._events: deque[dict] = deque(maxlen=max_events)
+        self._sequence = 0
+        self.emitted = 0
+        self.sink_errors = 0
+
+    def emit(self, kind: str, **fields: Any) -> dict:
+        """Record one event; returns the event dict that was stored."""
+        event = {"ts": self._clock(), "kind": kind}
+        for key, value in fields.items():
+            if value is not None:
+                event[key] = value
+        with self._lock:
+            event["seq"] = self._sequence
+            self._events.append(event)
+            self._sequence += 1
+            self.emitted += 1
+            sink = self.sink
+        if sink is not None:
+            try:
+                sink(event)
+            except Exception:  # noqa: BLE001 - telemetry never kills serving
+                with self._lock:
+                    self.sink_errors += 1
+        return event
+
+    def tail(self, n: int | None = None) -> list[dict]:
+        """The newest ``n`` events (all retained when ``n`` is None), oldest first."""
+        with self._lock:
+            events = list(self._events)
+        return events if n is None else events[-n:]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+def jsonl_sink(stream) -> Callable[[dict], None]:
+    """A sink writing one compact JSON line per event to ``stream``.
+
+    The write is flushed per event so a crash loses at most the event in
+    flight — the property an audit trail needs from its transport.
+    """
+
+    lock = threading.Lock()
+
+    def write(event: dict) -> None:
+        line = json.dumps(event, sort_keys=True, default=str)
+        with lock:
+            stream.write(line + "\n")
+            stream.flush()
+
+    return write
+
+
+# -------------------------------------------------------- prometheus render
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a Prometheus label value (backslash, quote, newline)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, bool):  # guard: bool is an int subclass
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == float("inf"):
+        return "+Inf"
+    return "%.10g" % value
+
+
+def _labels(pairs: list[tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    return "{%s}" % ",".join(
+        '%s="%s"' % (name, escape_label_value(value)) for name, value in pairs
+    )
+
+
+class _Family:
+    """One exposition family: HELP/TYPE header plus its samples."""
+
+    def __init__(self, name: str, kind: str, help_text: str):
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.samples: list[str] = []
+
+    def add(self, labels: list[tuple[str, str]], value, suffix: str = "") -> None:
+        self.samples.append(
+            "%s%s%s %s" % (self.name, suffix, _labels(labels), _fmt_value(value))
+        )
+
+    def render(self) -> list[str]:
+        if not self.samples:
+            return []
+        return [
+            "# HELP %s %s" % (self.name, self.help_text),
+            "# TYPE %s %s" % (self.name, self.kind),
+        ] + self.samples
+
+
+def render_prometheus(snapshots: dict[str, Any]) -> str:
+    """Render gateway metrics snapshots as Prometheus text exposition.
+
+    ``snapshots`` maps a scheme id to that fleet's
+    :class:`~repro.service.metrics.MetricsSnapshot` (duck-typed: this
+    module never imports the metrics module).  Each family is emitted
+    once with every fleet's samples under a ``scheme`` label, which is
+    what lets one scrape of a multi-scheme server stay a valid document.
+    """
+    families = [
+        _Family("repro_gateway_requests_total", "counter",
+                "Requests admitted or refused since process start."),
+        _Family("repro_gateway_served_total", "counter",
+                "Requests served successfully."),
+        _Family("repro_gateway_rejected_total", "counter",
+                "Requests rejected by policy (not rate limiting)."),
+        _Family("repro_gateway_rate_limited_total", "counter",
+                "Requests refused by the per-tenant token bucket."),
+        _Family("repro_gateway_resizes_total", "counter",
+                "Fleet resize operations."),
+        _Family("repro_gateway_keys_migrated_total", "counter",
+                "Proxy keys moved by resize migrations."),
+        _Family("repro_gateway_uptime_seconds", "gauge",
+                "Seconds since the metrics accumulator started."),
+        _Family("repro_gateway_shard_requests_total", "counter",
+                "Served requests per shard."),
+        _Family("repro_gateway_outcomes_total", "counter",
+                "Request outcomes per operation and stable outcome code."),
+        _Family("repro_gateway_tenant_outcomes_total", "counter",
+                "Request outcomes per tenant (bounded cardinality)."),
+        _Family("repro_gateway_cache_hits_total", "counter", "Cache hits."),
+        _Family("repro_gateway_cache_misses_total", "counter", "Cache misses."),
+        _Family("repro_gateway_cache_evictions_total", "counter", "Cache evictions."),
+        _Family("repro_gateway_cache_invalidations_total", "counter",
+                "Cache invalidations."),
+        _Family("repro_gateway_cache_size", "gauge", "Current cache entries."),
+        _Family("repro_gateway_cache_capacity", "gauge", "Cache capacity."),
+    ]
+    (requests, served, rejected, rate_limited, resizes, migrated, uptime,
+     shard_requests, outcomes, tenant_outcomes, cache_hits, cache_misses,
+     cache_evictions, cache_invalidations, cache_size, cache_capacity) = families
+    latency = _Family(
+        "repro_gateway_latency_ms", "histogram",
+        "Request latency in milliseconds per operation.",
+    )
+
+    for scheme_id in sorted(snapshots):
+        snapshot = snapshots[scheme_id]
+        base = [("scheme", scheme_id)]
+        requests.add(base, snapshot.requests_total)
+        served.add(base, snapshot.served)
+        rejected.add(base, snapshot.rejected)
+        rate_limited.add(base, snapshot.rate_limited)
+        resizes.add(base, snapshot.resizes)
+        migrated.add(base, snapshot.keys_migrated)
+        uptime.add(base, snapshot.elapsed_s)
+        for shard in sorted(snapshot.shard_requests):
+            shard_requests.add(
+                base + [("shard", shard)], snapshot.shard_requests[shard]
+            )
+        for (op, outcome) in sorted(getattr(snapshot, "outcomes", {}) or {}):
+            outcomes.add(
+                base + [("op", op), ("outcome", outcome)],
+                snapshot.outcomes[(op, outcome)],
+            )
+        for (tenant, outcome) in sorted(getattr(snapshot, "tenant_outcomes", {}) or {}):
+            tenant_outcomes.add(
+                base + [("tenant", tenant), ("outcome", outcome)],
+                snapshot.tenant_outcomes[(tenant, outcome)],
+            )
+        for name in sorted(snapshot.caches):
+            stats = snapshot.caches[name]
+            labels = base + [("cache", name)]
+            cache_hits.add(labels, stats.hits)
+            cache_misses.add(labels, stats.misses)
+            cache_evictions.add(labels, stats.evictions)
+            cache_invalidations.add(labels, stats.invalidations)
+            cache_size.add(labels, stats.size)
+            cache_capacity.add(labels, stats.capacity)
+        for op in sorted(getattr(snapshot, "histograms", {}) or {}):
+            hist = snapshot.histograms[op]
+            op_labels = base + [("op", op)]
+            cumulative = 0
+            for i, bucket_count in enumerate(hist.counts):
+                cumulative += bucket_count
+                bound = hist.bounds[i] if i < len(hist.bounds) else float("inf")
+                latency.add(
+                    op_labels + [("le", _fmt_value(bound))], cumulative, "_bucket"
+                )
+            latency.add(op_labels, hist.sum, "_sum")
+            latency.add(op_labels, hist.count, "_count")
+
+    lines: list[str] = []
+    for family in families + [latency]:
+        lines.extend(family.render())
+    return "\n".join(lines) + "\n"

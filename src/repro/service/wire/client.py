@@ -63,6 +63,13 @@ from repro.service.gateway import (
     RevokeResponse,
 )
 from repro.service.metrics import MetricsSnapshot
+from repro.service.telemetry import (
+    TRACE_HEADER,
+    Span,
+    TraceContext,
+    Tracer,
+    span_from_json,
+)
 from repro.service.wire.codec import (
     ReEncryptBatchRequest,
     ReEncryptBatchResponse,
@@ -116,6 +123,7 @@ class RemoteGateway:
         timeout: float = 30.0,
         negotiate: bool = True,
         pool_size: int = 1,
+        trace_requests: bool = True,
     ):
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
@@ -124,6 +132,14 @@ class RemoteGateway:
         self.group = self.backend.group
         self.timeout = timeout
         self.pool_size = pool_size
+        # Client-side tracing: each typed operation generates a fresh
+        # TraceContext, sends it as the X-Repro-Trace header, and records
+        # a local wire-round-trip span.  last_trace holds the most recent
+        # context so a caller can fetch the server-side trace by id.
+        self.trace_requests = trace_requests
+        self.tracer: Tracer | None = Tracer() if trace_requests else None
+        self.last_trace: TraceContext | None = None
+        self.last_trace_echo: str | None = None
         self.connections_opened = 0
         self.connections_closed = 0
         self.peak_connections = 0
@@ -204,7 +220,12 @@ class RemoteGateway:
         self._slots.release()
 
     def _raw_request(
-        self, method: str, path: str, data: bytes | None, replayable: bool = True
+        self,
+        method: str,
+        path: str,
+        data: bytes | None,
+        replayable: bool = True,
+        trace: TraceContext | None = None,
     ) -> tuple[int, bytes]:
         """One HTTP exchange on a pooled connection, status + body.
 
@@ -222,6 +243,8 @@ class RemoteGateway:
         way.
         """
         headers = {"Content-Type": "application/json"}
+        if trace is not None:
+            headers[TRACE_HEADER] = trace.to_header()
         last_error: Exception | None = None
         for attempt in (0, 1) if replayable else (0,):
             try:
@@ -248,6 +271,10 @@ class RemoteGateway:
             # The server asked to close (error paths do); honor it so the
             # next checkout dials fresh instead of failing.
             self._checkin(conn, discard=response.will_close)
+            # The server echoes the trace header; keep the latest echo so
+            # callers (and the loopback CI leg) can assert the id made the
+            # full client -> server -> response round trip.
+            self.last_trace_echo = response.getheader(TRACE_HEADER)
             return response.status, body
         raise WireTransportError(
             "cannot reach %s%s: %s" % (self.url, path, last_error)
@@ -336,7 +363,18 @@ class RemoteGateway:
         data = (
             to_wire(self.backend, message).encode("utf-8") if message is not None else None
         )
-        status, body = self._raw_request(method, path, data, replayable=replayable)
+        trace = TraceContext.generate() if self.trace_requests else None
+        if trace is not None:
+            self.last_trace = trace
+            with self.tracer.span(trace, "wire-round-trip", {"op": op}) as span:
+                # The header carries the round-trip span's own context, so
+                # the server-side spans nest under it in the merged trace.
+                status, body = self._raw_request(
+                    method, path, data, replayable=replayable, trace=span.context
+                )
+                span.set("status", status)
+        else:
+            status, body = self._raw_request(method, path, data, replayable=replayable)
         text = body.decode("utf-8", errors="replace")
         if status >= 400:
             # The body should be a wire error; reconstruct and raise the
@@ -434,6 +472,43 @@ class RemoteGateway:
 
     def snapshot(self) -> MetricsSnapshot:
         return self._call("GET", "metrics", None, MetricsSnapshot)
+
+    def metrics_text(self) -> str:
+        """The server's Prometheus exposition (all hosted schemes)."""
+        status, body = self._raw_request("GET", "/v1/metrics?format=prometheus", None)
+        if status != 200:
+            raise WireTransportError("HTTP %d from /v1/metrics?format=prometheus" % status)
+        return body.decode("utf-8")
+
+    def fetch_trace(self, trace_id: str) -> list[Span]:
+        """Retrieve one server-side trace by id (scheme-neutral endpoint).
+
+        Raises :class:`~repro.service.gateway.EntryMissingError` when the
+        server's bounded ring no longer (or never) held the id.
+        """
+        path = "/v1/trace/%s" % trace_id
+        status, body = self._raw_request("GET", path, None)
+        text = body.decode("utf-8", errors="replace")
+        if status >= 400:
+            try:
+                decoded = from_wire(self.backend, text)
+            except GatewayError:
+                raise WireTransportError(
+                    "HTTP %d from %s with undecodable body" % (status, path)
+                ) from None
+            if isinstance(decoded, GatewayError):
+                raise decoded from None
+            raise WireTransportError(
+                "HTTP %d from %s carried a non-error message" % (status, path)
+            )
+        document = self._parse_json(body, path)
+        spans = document.get("spans")
+        if not isinstance(spans, list):
+            raise WireTransportError("%s body lacks a spans list" % path)
+        try:
+            return [span_from_json(span) for span in spans]
+        except ValueError as error:
+            raise WireTransportError("malformed span in %s: %s" % (path, error)) from error
 
     def close(self) -> None:
         """Release every idle pooled connection (the pool refills on use)."""

@@ -62,6 +62,7 @@ from repro.service.gateway import (
     StoreUnavailableError,
 )
 from repro.service.metrics import LatencySummary, MetricsSnapshot
+from repro.service.telemetry import HistogramSnapshot
 
 __all__ = [
     "WIRE_FORMAT",
@@ -493,6 +494,58 @@ def _dec_cache_stats(body: dict) -> CacheStats:
     )
 
 
+def _enc_histogram(histogram: HistogramSnapshot) -> dict:
+    return {
+        "bounds": list(histogram.bounds),
+        "counts": list(histogram.counts),
+        "count": histogram.count,
+        "sum": histogram.sum,
+        "max": histogram.max_value,
+    }
+
+
+def _dec_histogram(body: dict) -> HistogramSnapshot:
+    bounds = _get(body, "bounds", list)
+    counts = _get(body, "counts", list)
+    if not all(isinstance(b, (int, float)) and not isinstance(b, bool) for b in bounds):
+        raise InvalidRequestError("histogram bounds must be numbers")
+    if not all(isinstance(c, int) and not isinstance(c, bool) for c in counts):
+        raise InvalidRequestError("histogram counts must be integers")
+    if len(counts) != len(bounds) + 1:
+        raise InvalidRequestError("histogram needs len(bounds) + 1 buckets")
+    return HistogramSnapshot(
+        bounds=tuple(float(b) for b in bounds),
+        counts=tuple(counts),
+        count=_get(body, "count", int),
+        sum=float(_get(body, "sum", (int, float))),
+        max_value=float(_get(body, "max", (int, float))),
+    )
+
+
+def _enc_outcomes(outcomes: dict) -> list:
+    # (label, outcome) tuple keys are not JSON object keys; flatten to rows.
+    return [
+        [label, outcome, count]
+        for (label, outcome), count in sorted(outcomes.items())
+    ]
+
+
+def _dec_outcomes(rows: list, what: str) -> dict:
+    outcomes = {}
+    for row in rows:
+        if (
+            not isinstance(row, list)
+            or len(row) != 3
+            or not isinstance(row[0], str)
+            or not isinstance(row[1], str)
+            or not isinstance(row[2], int)
+            or isinstance(row[2], bool)
+        ):
+            raise InvalidRequestError("%s rows must be [label, outcome, count]" % what)
+        outcomes[(row[0], row[1])] = row[2]
+    return outcomes
+
+
 def _enc_metrics_snapshot(backend: PreBackend, msg: MetricsSnapshot) -> dict:
     return {
         "requests_total": msg.requests_total,
@@ -505,6 +558,12 @@ def _enc_metrics_snapshot(backend: PreBackend, msg: MetricsSnapshot) -> dict:
         "caches": {name: _enc_cache_stats(stats) for name, stats in msg.caches.items()},
         "resizes": msg.resizes,
         "keys_migrated": msg.keys_migrated,
+        "histograms": {
+            kind: _enc_histogram(histogram)
+            for kind, histogram in msg.histograms.items()
+        },
+        "outcomes": _enc_outcomes(msg.outcomes),
+        "tenant_outcomes": _enc_outcomes(msg.tenant_outcomes),
     }
 
 
@@ -525,6 +584,19 @@ def _dec_metrics_snapshot(backend: PreBackend, body: dict) -> MetricsSnapshot:
         if not isinstance(stats, dict):
             raise InvalidRequestError("cache stats must be JSON objects")
         caches[name] = _dec_cache_stats(stats)
+    # Telemetry fields are optional on decode: a pre-telemetry peer's
+    # snapshot (no histograms/outcomes) still decodes, with empty maps.
+    histograms = {}
+    for kind, histogram in (_get(body, "histograms", dict, optional=True) or {}).items():
+        if not isinstance(histogram, dict):
+            raise InvalidRequestError("histograms must be JSON objects")
+        histograms[kind] = _dec_histogram(histogram)
+    outcomes = _dec_outcomes(
+        _get(body, "outcomes", list, optional=True) or [], "outcomes"
+    )
+    tenant_outcomes = _dec_outcomes(
+        _get(body, "tenant_outcomes", list, optional=True) or [], "tenant_outcomes"
+    )
     return MetricsSnapshot(
         requests_total=_get(body, "requests_total", int),
         served=_get(body, "served", int),
@@ -536,6 +608,9 @@ def _dec_metrics_snapshot(backend: PreBackend, body: dict) -> MetricsSnapshot:
         caches=caches,
         resizes=_get(body, "resizes", int),
         keys_migrated=_get(body, "keys_migrated", int),
+        histograms=histograms,
+        outcomes=outcomes,
+        tenant_outcomes=tenant_outcomes,
     )
 
 

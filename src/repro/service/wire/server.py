@@ -50,18 +50,29 @@ from __future__ import annotations
 
 import json
 import threading
+import traceback
+from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Sequence
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.api import PreBackend, resolve_backend
 from repro.pairing.group import PairingGroup
 from repro.service.gateway import (
+    EntryMissingError,
     FetchRequest,
     GatewayError,
     GrantRequest,
     InvalidRequestError,
     ReEncryptRequest,
     RevokeRequest,
+)
+from repro.service.telemetry import (
+    TRACE_HEADER,
+    EventLog,
+    TraceContext,
+    render_prometheus,
+    span_to_json,
 )
 from repro.service.wire.codec import (
     ReEncryptBatchRequest,
@@ -73,7 +84,9 @@ from repro.service.wire.codec import (
     to_wire,
 )
 
-__all__ = ["GatewayHttpServer", "STATUS_BY_CODE"]
+__all__ = ["GatewayHttpServer", "STATUS_BY_CODE", "PROMETHEUS_CONTENT_TYPE"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 # Taxonomy code -> HTTP status.  Codes not listed map to 500.
 STATUS_BY_CODE = {
@@ -110,21 +123,44 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
     disable_nagle_algorithm = True
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
-        pass  # the gateway's audit log is the record of requests, not stderr
+        # Not stderr (operators never see a daemon's stderr) and not a
+        # silent pass (PR 6): every line the stdlib would have printed
+        # becomes a structured event in the server's bounded event log.
+        log = getattr(self.server, "wire_event_log", None)
+        if log is not None:
+            log.emit(
+                "http-log",
+                client=self.client_address[0],
+                message=format % args,
+            )
 
     # ------------------------------------------------------------- plumbing
 
-    def _send_json(self, status: int, payload: str, close: bool = False) -> None:
-        data = payload.encode("utf-8")
+    def _send_payload(
+        self, status: int, data: bytes, content_type: str, close: bool = False
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        # Echo the request's trace header so the caller can correlate the
+        # response (and any retrieved trace) with the id it generated.
+        trace_echo = getattr(self, "_trace_echo", None)
+        if trace_echo:
+            self.send_header(TRACE_HEADER, trace_echo)
         if close:
             # Also flips self.close_connection in the base class, so the
             # keep-alive loop ends after this response.
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(data)
+
+    def _send_json(self, status: int, payload: str, close: bool = False) -> None:
+        self._send_payload(
+            status, payload.encode("utf-8"), "application/json", close=close
+        )
+
+    def _send_text(self, status: int, payload: str, content_type: str) -> None:
+        self._send_payload(status, payload.encode("utf-8"), content_type)
 
     def _send_gateway_error(
         self, error: GatewayError, backend: PreBackend | None = None, close: bool = False
@@ -183,13 +219,50 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         gateway, backend = hosts[self.server.wire_single]
         return rest, gateway, backend
 
+    def _send_prometheus(self, hosts: dict) -> None:
+        snapshots = {
+            scheme_id: fleet.snapshot() for scheme_id, (fleet, _backend) in hosts.items()
+        }
+        self._send_text(200, render_prometheus(snapshots), PROMETHEUS_CONTENT_TYPE)
+
+    def _send_trace(self, trace_id: str) -> None:
+        """Scheme-neutral trace retrieval: search every hosted fleet's ring."""
+        for scheme_id in self.server.wire_scheme_ids:
+            fleet, _backend = self.server.wire_hosts[scheme_id]
+            tracer = getattr(fleet, "tracer", None)
+            if tracer is None:
+                continue
+            spans = tracer.trace(trace_id)
+            if spans:
+                self._send_json(
+                    200,
+                    json.dumps(
+                        {
+                            "trace": trace_id,
+                            "scheme": scheme_id,
+                            "spans": [span_to_json(span) for span in spans],
+                        },
+                        sort_keys=True,
+                    ),
+                )
+                return
+        self._send_json(
+            404,
+            neutral_error_to_wire(EntryMissingError("no trace %r" % trace_id)),
+        )
+
     # ------------------------------------------------------------ endpoints
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
-        if self.path == "/v1/health":
+        self._trace_echo = self.headers.get(TRACE_HEADER)
+        parts = urlsplit(self.path)
+        base = parts.path
+        query = parse_qs(parts.query)
+        out_format = (query.get("format") or [""])[0]
+        if base == "/v1/health":
             self._send_json(200, json.dumps({"status": "ok"}))
             return
-        if self.path == "/v1/schemes":
+        if base == "/v1/schemes":
             self._send_json(
                 200,
                 json.dumps(
@@ -203,10 +276,19 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 ),
             )
             return
+        if base.startswith("/v1/trace/"):
+            self._send_trace(base[len("/v1/trace/"):])
+            return
+        if base == "/v1/metrics" and out_format == "prometheus":
+            # One scrape covers every hosted fleet (scheme is a label), so
+            # the unprefixed spelling stays meaningful on a multi-scheme
+            # server even though the JSON spelling would be ambiguous.
+            self._send_prometheus(self.server.wire_hosts)
+            return
         try:
-            op, gateway, backend = self._resolve(self.path)
+            op, gateway, backend = self._resolve(base)
             if op not in _GET_OPS:
-                raise _UnknownEndpoint(self.path)
+                raise _UnknownEndpoint(base)
         except _UnknownEndpoint as error:
             self._send_unknown_endpoint(error.path)
             return
@@ -214,11 +296,72 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             self._send_gateway_error(error)
             return
         if op == "metrics":
-            self._send_json(200, to_wire(backend, gateway.snapshot()))
+            if out_format == "prometheus":
+                self._send_prometheus({backend.scheme_id: (gateway, backend)})
+            else:
+                self._send_json(200, to_wire(backend, gateway.snapshot()))
         else:  # op == "scheme"
             self._send_json(200, json.dumps(scheme_document(backend), sort_keys=True))
 
+    def _dispatch(self, op: str, gateway, backend: PreBackend, raw: bytes, trace):
+        """Decode, execute and encode one operation under optional spans.
+
+        ``trace`` is the request's parsed :class:`TraceContext` (or None);
+        it is only forwarded to gateways that actually expose a telemetry
+        surface — bare gateway-like test doubles keep their old call
+        signatures.
+        """
+        tracer = getattr(gateway, "tracer", None)
+        traced = tracer is not None and trace is not None
+        root = tracer.span(trace, "http:%s" % op) if traced else nullcontext(None)
+        with root as http_span:
+            sub = http_span.context if http_span is not None else None
+            with (
+                tracer.span(sub, "decode", {"bytes": len(raw)})
+                if traced
+                else nullcontext()
+            ):
+                if op == "grant":
+                    request = from_wire(backend, raw, expect=GrantRequest)
+                elif op == "revoke":
+                    request = from_wire(backend, raw, expect=RevokeRequest)
+                elif op == "reencrypt":
+                    request = from_wire(
+                        backend, raw, expect=(ReEncryptRequest, ReEncryptBatchRequest)
+                    )
+                elif op == "fetch":
+                    request = from_wire(backend, raw, expect=FetchRequest)
+                else:  # op == "resize"
+                    request = from_wire(backend, raw, expect=ResizeRequest)
+            kwargs = {"trace": sub} if traced else {}
+            if op == "grant":
+                response = gateway.grant(request, **kwargs)
+            elif op == "revoke":
+                response = gateway.revoke(request, **kwargs)
+            elif op == "reencrypt":
+                if isinstance(request, ReEncryptBatchRequest):
+                    response = ReEncryptBatchResponse(
+                        responses=tuple(
+                            gateway.reencrypt_batch(list(request.requests), **kwargs)
+                        )
+                    )
+                else:
+                    response = gateway.reencrypt(request, **kwargs)
+            elif op == "fetch":
+                response = gateway.fetch(request, **kwargs)
+            else:  # op == "resize"
+                response = gateway.resize(
+                    request.shard_count, tenant=request.tenant, **kwargs
+                )
+            with (
+                tracer.span(sub, "encode") if traced else nullcontext()
+            ):
+                payload = to_wire(backend, response)
+        return payload
+
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
+        self._trace_echo = self.headers.get(TRACE_HEADER)
+        trace = TraceContext.from_header(self._trace_echo)
         try:
             raw = self._read_body()
         except InvalidRequestError as error:
@@ -227,10 +370,11 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             # letting unread body bytes masquerade as the next request.
             self._send_gateway_error(error, close=True)
             return
+        base = urlsplit(self.path).path
         try:
-            op, gateway, backend = self._resolve(self.path)
+            op, gateway, backend = self._resolve(base)
             if op not in _POST_OPS:
-                raise _UnknownEndpoint(self.path)
+                raise _UnknownEndpoint(base)
         except _UnknownEndpoint as error:
             self._send_unknown_endpoint(error.path)
             return
@@ -238,36 +382,48 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             self._send_gateway_error(error)
             return
         try:
-            if op == "grant":
-                request = from_wire(backend, raw, expect=GrantRequest)
-                response = gateway.grant(request)
-            elif op == "revoke":
-                request = from_wire(backend, raw, expect=RevokeRequest)
-                response = gateway.revoke(request)
-            elif op == "reencrypt":
-                request = from_wire(
-                    backend, raw, expect=(ReEncryptRequest, ReEncryptBatchRequest)
-                )
-                if isinstance(request, ReEncryptBatchRequest):
-                    response = ReEncryptBatchResponse(
-                        responses=tuple(gateway.reencrypt_batch(list(request.requests)))
-                    )
-                else:
-                    response = gateway.reencrypt(request)
-            elif op == "fetch":
-                request = from_wire(backend, raw, expect=FetchRequest)
-                response = gateway.fetch(request)
-            else:  # op == "resize"
-                request = from_wire(backend, raw, expect=ResizeRequest)
-                response = gateway.resize(request.shard_count, tenant=request.tenant)
+            payload = self._dispatch(op, gateway, backend, raw, trace)
         except GatewayError as error:
             self._send_gateway_error(error, backend)
         except Exception as error:  # noqa: BLE001 - wire boundary
             # Nothing library-internal may leak as a stack trace; the
-            # closed taxonomy's base code is the catch-all.
+            # closed taxonomy's base code is the catch-all — but the full
+            # detail lands in the structured event log, where an operator
+            # can actually find it (PR 6: these used to vanish).
+            log = getattr(self.server, "wire_event_log", None)
+            if log is not None:
+                log.emit(
+                    "server-error",
+                    scheme=backend.scheme_id,
+                    op=op,
+                    error=str(error),
+                    error_type=type(error).__name__,
+                    trace=trace.trace_id if trace is not None else None,
+                    traceback=traceback.format_exc(limit=8),
+                )
             self._send_gateway_error(GatewayError("internal error: %s" % error), backend)
         else:
-            self._send_json(200, to_wire(backend, response))
+            self._send_json(200, payload)
+
+
+class _EventedThreadingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer whose per-connection crashes become events.
+
+    The stdlib prints a traceback to stderr and drops the connection;
+    here the traceback also lands in the structured event log so a
+    dropped connection is diagnosable after the fact.
+    """
+
+    wire_event_log: EventLog | None = None
+
+    def handle_error(self, request, client_address) -> None:  # noqa: D102
+        log = self.wire_event_log
+        if log is not None:
+            log.emit(
+                "connection-error",
+                client=str(client_address),
+                traceback=traceback.format_exc(limit=8),
+            )
 
 
 class GatewayHttpServer:
@@ -294,6 +450,7 @@ class GatewayHttpServer:
         host: str = "127.0.0.1",
         port: int = 0,
         gateways: Sequence | None = None,
+        event_log: EventLog | None = None,
     ):
         if gateways is None:
             if gateway is None:
@@ -327,11 +484,17 @@ class GatewayHttpServer:
         self.gateway = gateways[0]
         self.backend = self.hosts[self.scheme_ids[0]][1]
         self.group = self.backend.group
-        self._httpd = ThreadingHTTPServer((host, port), _GatewayRequestHandler)
+        # The server-level event stream: HTTP access lines, handler
+        # crashes and connection errors.  Injectable so tests (and the
+        # CLI's --event-log) choose the sink; shared with the hosted
+        # gateways by the CLI so one JSONL stream tells the whole story.
+        self.event_log = event_log if event_log is not None else EventLog()
+        self._httpd = _EventedThreadingHTTPServer((host, port), _GatewayRequestHandler)
         self._httpd.daemon_threads = True
         self._httpd.wire_hosts = self.hosts
         self._httpd.wire_scheme_ids = list(self.scheme_ids)
         self._httpd.wire_single = self.scheme_ids[0] if len(self.scheme_ids) == 1 else None
+        self._httpd.wire_event_log = self.event_log
         self._thread: threading.Thread | None = None
 
     @property

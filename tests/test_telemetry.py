@@ -1,0 +1,646 @@
+"""Tests for :mod:`repro.service.telemetry` and its end-to-end threading.
+
+Unit coverage for the three primitives (trace contexts + tracer ring,
+fixed-bucket histograms, bounded event log), then integration:
+
+* the gateway records named per-stage spans when a request carries a
+  :class:`TraceContext`, and failed stages carry the taxonomy code;
+* a request through :class:`RemoteGateway` against a live
+  :class:`GatewayHttpServer` yields a retrievable server-side trace whose
+  id matches the ``X-Repro-Trace`` header the client generated;
+* the wire server's previously-silenced ``log_message`` lines and
+  handler crashes now land in the structured event log;
+* the 50k sample-list truncation bias is gone — a regression test that
+  fails on the old first-50k-wins implementation.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.service.driver import DELEGATEE_DOMAIN, build_setting
+from repro.service.gateway import (
+    DelegationNotFoundError,
+    EntryMissingError,
+    FetchRequest,
+    GatewayError,
+    GrantRequest,
+    ReEncryptRequest,
+    ReEncryptionGateway,
+    StoreUnavailableError,
+)
+from repro.service.metrics import GatewayMetrics
+from repro.service.telemetry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    EventLog,
+    Histogram,
+    Span,
+    TraceContext,
+    Tracer,
+    jsonl_sink,
+    span_from_json,
+    span_to_json,
+)
+from repro.service.wire import GatewayHttpServer, RemoteGateway
+
+
+# ------------------------------------------------------------ trace contexts
+
+
+class TestTraceContext:
+    def test_generate_shape(self):
+        context = TraceContext.generate()
+        assert len(context.trace_id) == 32
+        assert len(context.span_id) == 16
+        assert set(context.trace_id) <= set("0123456789abcdef")
+        assert set(context.span_id) <= set("0123456789abcdef")
+
+    def test_generate_is_random(self):
+        a, b = TraceContext.generate(), TraceContext.generate()
+        assert a.trace_id != b.trace_id
+
+    def test_child_keeps_trace_changes_span(self):
+        parent = TraceContext.generate()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+
+    def test_header_round_trip(self):
+        context = TraceContext.generate()
+        parsed = TraceContext.from_header(context.to_header())
+        assert parsed == context
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            "",
+            "not-a-trace",
+            "deadbeef",  # no separator into two parts of the right length
+            "g" * 32 + "-" + "a" * 16,  # non-hex trace id
+            "a" * 32 + "-" + "z" * 16,  # non-hex span id
+            "a" * 31 + "-" + "b" * 16,  # short trace id
+            "a" * 32 + "-" + "b" * 15,  # short span id
+            "a" * 32 + "-" + "b" * 16 + "-extra",
+            12345,
+        ],
+    )
+    def test_malformed_headers_parse_to_none(self, value):
+        assert TraceContext.from_header(value) is None
+
+    def test_header_parse_strips_whitespace(self):
+        context = TraceContext.generate()
+        assert TraceContext.from_header("  %s \n" % context.to_header()) == context
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTracer:
+    def test_span_records_name_parent_and_duration(self):
+        clock = _FakeClock()
+        tracer = Tracer(clock=clock)
+        root = TraceContext.generate()
+        with tracer.span(root, "work", {"op": "test"}) as handle:
+            clock.now += 0.005
+            handle.set("shard", "shard-01")
+        (span,) = tracer.trace(root.trace_id)
+        assert span.name == "work"
+        assert span.parent_id == root.span_id
+        assert span.span_id == handle.context.span_id
+        assert span.status == "ok"
+        assert span.duration_ms == pytest.approx(5.0)
+        assert span.attribute_dict() == {"op": "test", "shard": "shard-01"}
+
+    def test_none_context_is_a_noop(self):
+        tracer = Tracer()
+        with tracer.span(None, "work") as handle:
+            assert handle is None
+        assert tracer.spans_recorded == 0
+
+    def test_nested_spans_parent_through_handle_context(self):
+        tracer = Tracer()
+        root = TraceContext.generate()
+        with tracer.span(root, "outer") as outer:
+            with tracer.span(outer.context, "inner"):
+                pass
+        inner, outer_span = tracer.trace(root.trace_id)
+        assert inner.name == "inner"
+        assert inner.parent_id == outer_span.span_id
+
+    def test_escaping_exception_sets_status_from_code(self):
+        tracer = Tracer()
+        root = TraceContext.generate()
+        with pytest.raises(DelegationNotFoundError):
+            with tracer.span(root, "shard-crypto"):
+                raise DelegationNotFoundError("no key")
+        (span,) = tracer.trace(root.trace_id)
+        assert span.status == DelegationNotFoundError.code == "no-delegation"
+
+    def test_exception_without_code_uses_class_name(self):
+        tracer = Tracer()
+        root = TraceContext.generate()
+        with pytest.raises(RuntimeError):
+            with tracer.span(root, "work"):
+                raise RuntimeError("boom")
+        (span,) = tracer.trace(root.trace_id)
+        assert span.status == "RuntimeError"
+
+    def test_explicit_status_wins_over_exception(self):
+        tracer = Tracer()
+        root = TraceContext.generate()
+        with pytest.raises(RuntimeError):
+            with tracer.span(root, "work") as handle:
+                handle.status = "custom"
+                raise RuntimeError("boom")
+        (span,) = tracer.trace(root.trace_id)
+        assert span.status == "custom"
+
+    def test_ring_evicts_oldest_trace(self):
+        tracer = Tracer(max_traces=2)
+        contexts = [TraceContext.generate() for _ in range(3)]
+        for context in contexts:
+            with tracer.span(context, "work"):
+                pass
+        assert len(tracer) == 2
+        assert tracer.trace(contexts[0].trace_id) == []
+        assert tracer.trace_ids() == [contexts[1].trace_id, contexts[2].trace_id]
+        assert tracer.traces_evicted == 1
+
+    def test_span_cap_drops_later_spans_not_memory(self):
+        tracer = Tracer(max_spans_per_trace=3)
+        root = TraceContext.generate()
+        for _ in range(5):
+            with tracer.span(root, "work"):
+                pass
+        assert len(tracer.trace(root.trace_id)) == 3
+        assert tracer.spans_dropped == 2
+        assert tracer.spans_recorded == 3
+
+    def test_bounds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(max_traces=0)
+        with pytest.raises(ValueError):
+            Tracer(max_spans_per_trace=0)
+
+
+class TestSpanJson:
+    def test_round_trip(self):
+        span = Span(
+            trace_id="a" * 32,
+            span_id="b" * 16,
+            parent_id="c" * 16,
+            name="shard-crypto",
+            start_ms=12.5,
+            duration_ms=3.25,
+            status="no-delegation",
+            attributes=(("op", "reencrypt"), ("shard", "shard-01")),
+        )
+        assert span_from_json(span_to_json(span)) == span
+
+    def test_root_span_keeps_null_parent(self):
+        span = Span(
+            trace_id="a" * 32, span_id="b" * 16, parent_id=None,
+            name="wire-round-trip", start_ms=0.0, duration_ms=1.0,
+        )
+        assert span_from_json(span_to_json(span)).parent_id is None
+
+    @pytest.mark.parametrize(
+        "document",
+        [
+            "not a dict",
+            {},
+            {"trace": "t", "span": "s"},  # missing name/timings
+            {"trace": "t", "span": "s", "name": "n", "start_ms": "x",
+             "duration_ms": 1.0},
+            {"trace": "t", "span": "s", "name": "n", "start_ms": 0.0,
+             "duration_ms": 1.0, "attributes": ["not", "a", "dict"]},
+            {"trace": "t", "span": "s", "name": "n", "start_ms": 0.0,
+             "duration_ms": 1.0, "parent": 7},
+        ],
+    )
+    def test_malformed_documents_raise_value_error(self, document):
+        with pytest.raises(ValueError):
+            span_from_json(document)
+
+
+# --------------------------------------------------------------- histograms
+
+
+class TestHistogram:
+    def test_exact_count_sum_max(self):
+        histogram = Histogram()
+        for value in (0.04, 0.7, 30.0, 30.0, 20000.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot.count == 5
+        assert snapshot.sum == pytest.approx(0.04 + 0.7 + 30.0 + 30.0 + 20000.0)
+        assert snapshot.max_value == 20000.0
+
+    def test_bucket_assignment_including_inf(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        # <=1.0: {0.5, 1.0}; <=10.0: {5.0, 10.0}; +Inf: {11.0}
+        assert snapshot.counts == (2, 2, 1)
+        assert len(snapshot.counts) == len(snapshot.bounds) + 1
+
+    def test_percentile_interpolates_within_bucket(self):
+        histogram = Histogram(bounds=(10.0, 20.0))
+        for _ in range(4):
+            histogram.observe(15.0)
+        snapshot = histogram.snapshot()
+        # All four observations sit in the (10, 20] bucket: the p50 rank
+        # (2 of 4) interpolates to 10 + 10 * 2/4 = 15.
+        assert snapshot.percentile(0.50) == pytest.approx(15.0)
+
+    def test_percentile_clamped_to_observed_max(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.observe(0.25)
+        snapshot = histogram.snapshot()
+        assert snapshot.percentile(0.99) <= snapshot.max_value
+
+    def test_inf_bucket_percentile_uses_max_not_infinity(self):
+        histogram = Histogram(bounds=(1.0,))
+        for _ in range(10):
+            histogram.observe(50.0)  # all land in +Inf
+        snapshot = histogram.snapshot()
+        assert snapshot.percentile(0.99) == 50.0
+
+    def test_empty_percentile_and_mean_are_zero(self):
+        snapshot = Histogram().snapshot()
+        assert snapshot.count == 0
+        assert snapshot.percentile(0.99) == 0.0
+        assert snapshot.mean == 0.0
+
+    def test_mean_is_exact(self):
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.snapshot().mean == pytest.approx(2.0)
+
+    def test_default_bounds_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_MS) == sorted(DEFAULT_LATENCY_BUCKETS_MS)
+
+    @pytest.mark.parametrize("bounds", [(), (2.0, 1.0)])
+    def test_invalid_bounds_rejected(self, bounds):
+        with pytest.raises(ValueError):
+            Histogram(bounds=bounds)
+
+
+class TestTruncationRegression:
+    def test_every_observation_past_50k_still_counts(self):
+        """The old sample lists kept the first 50_000 observations and
+        silently dropped the rest, so a long run's percentiles and max froze
+        on startup traffic.  Histograms must count every observation."""
+        metrics = GatewayMetrics()
+        for _ in range(50_000):
+            metrics.observe("reencrypt", 1.0)
+        # The 50_001st observation is 100x slower than everything before
+        # it; the old code dropped it, freezing max_ms at 1.0.
+        metrics.observe("reencrypt", 100.0)
+        snapshot = metrics.snapshot()
+        summary = snapshot.latency["reencrypt"]
+        assert summary.count == 50_001
+        assert summary.max_ms == 100.0
+        assert snapshot.histograms["reencrypt"].count == 50_001
+
+
+# ------------------------------------------------------------- event log
+
+
+class TestEventLog:
+    def test_emit_stamps_ts_kind_seq(self):
+        log = EventLog(clock=lambda: 1234.5)
+        event = log.emit("audit", tenant="alice", outcome="ok")
+        assert event["ts"] == 1234.5
+        assert event["kind"] == "audit"
+        assert event["seq"] == 0
+        assert event["tenant"] == "alice"
+        assert log.emit("audit")["seq"] == 1
+
+    def test_none_fields_are_dropped(self):
+        log = EventLog()
+        event = log.emit("audit", shard=None, outcome="ok")
+        assert "shard" not in event
+        assert event["outcome"] == "ok"
+
+    def test_ring_is_bounded(self):
+        log = EventLog(max_events=3)
+        for i in range(5):
+            log.emit("tick", i=i)
+        events = log.tail()
+        assert len(log) == len(events) == 3
+        assert [event["i"] for event in events] == [2, 3, 4]
+        assert log.emitted == 5
+
+    def test_tail_n_returns_newest(self):
+        log = EventLog()
+        for i in range(4):
+            log.emit("tick", i=i)
+        assert [event["i"] for event in log.tail(2)] == [2, 3]
+
+    def test_sink_receives_every_event(self):
+        seen = []
+        log = EventLog(sink=seen.append)
+        log.emit("audit", outcome="ok")
+        assert len(seen) == 1 and seen[0]["kind"] == "audit"
+
+    def test_sink_failure_is_counted_never_raised(self):
+        def broken(_event):
+            raise IOError("disk full")
+
+        log = EventLog(sink=broken)
+        log.emit("audit")  # must not raise
+        log.emit("audit")
+        assert log.sink_errors == 2
+        assert len(log) == 2  # the ring still kept both
+
+    def test_max_events_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(max_events=0)
+
+    def test_jsonl_sink_writes_one_parseable_line_per_event(self):
+        stream = io.StringIO()
+        log = EventLog(sink=jsonl_sink(stream))
+        log.emit("audit", tenant="alice")
+        log.emit("server-error", error="boom")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["kind"] == "audit"
+        assert parsed[1]["error"] == "boom"
+
+    def test_jsonl_sink_stringifies_unserializable_values(self):
+        stream = io.StringIO()
+        sink = jsonl_sink(stream)
+        sink({"kind": "odd", "value": object()})
+        assert json.loads(stream.getvalue())["kind"] == "odd"
+
+
+# ----------------------------------------------------- gateway integration
+
+
+@pytest.fixture()
+def traced_gateway(pre_setting, rng):
+    scheme, _kgc1, kgc2, alice, _bob = pre_setting
+    gateway = ReEncryptionGateway(scheme, shard_count=2)
+    proxy_key = scheme.pextract(alice, "bob", "labs", kgc2.params, rng)
+    gateway.grant(GrantRequest(tenant="alice", proxy_key=proxy_key))
+    yield scheme, gateway, alice
+    gateway.close()
+
+
+class TestGatewayTracing:
+    def test_reencrypt_records_named_stage_spans(
+        self, traced_gateway, pre_setting, group, rng
+    ):
+        scheme, gateway, alice = traced_gateway
+        _scheme, kgc1, *_rest = pre_setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, "labs", rng)
+        trace = TraceContext.generate()
+        gateway.reencrypt(
+            ReEncryptRequest(
+                tenant="alice", ciphertext=ciphertext,
+                delegatee_domain=DELEGATEE_DOMAIN, delegatee="bob",
+            ),
+            trace=trace,
+        )
+        spans = gateway.tracer.trace(trace.trace_id)
+        names = {span.name for span in spans}
+        assert {"admission", "cache-lookup", "route", "shard-crypto"} <= names
+        assert all(span.trace_id == trace.trace_id for span in spans)
+        assert all(span.status == "ok" for span in spans)
+
+    def test_failed_stage_carries_taxonomy_code(
+        self, traced_gateway, pre_setting, group, rng
+    ):
+        scheme, gateway, alice = traced_gateway
+        _scheme, kgc1, *_rest = pre_setting
+        message = group.random_gt(rng)
+        # "notes" was never granted, so the shard lookup fails inside the
+        # shard-crypto span.
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, "notes", rng)
+        trace = TraceContext.generate()
+        with pytest.raises(DelegationNotFoundError):
+            gateway.reencrypt(
+                ReEncryptRequest(
+                    tenant="alice", ciphertext=ciphertext,
+                    delegatee_domain=DELEGATEE_DOMAIN, delegatee="bob",
+                ),
+                trace=trace,
+            )
+        by_name = {span.name: span for span in gateway.tracer.trace(trace.trace_id)}
+        assert by_name["shard-crypto"].status == "no-delegation"
+        assert by_name["admission"].status == "ok"
+
+    def test_audit_events_carry_the_trace_id(
+        self, traced_gateway, pre_setting, group, rng
+    ):
+        scheme, gateway, alice = traced_gateway
+        _scheme, kgc1, *_rest = pre_setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, "labs", rng)
+        trace = TraceContext.generate()
+        gateway.reencrypt(
+            ReEncryptRequest(
+                tenant="alice", ciphertext=ciphertext,
+                delegatee_domain=DELEGATEE_DOMAIN, delegatee="bob",
+            ),
+            trace=trace,
+        )
+        audits = [e for e in gateway.event_log.tail() if e["kind"] == "audit"]
+        assert audits, "the audit writer must feed the event log"
+        assert audits[-1]["trace"] == trace.trace_id
+        assert audits[-1]["outcome"] == "ok"
+
+    def test_untraced_calls_record_nothing(
+        self, traced_gateway, pre_setting, group, rng
+    ):
+        scheme, gateway, alice = traced_gateway
+        _scheme, kgc1, *_rest = pre_setting
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, "labs", rng)
+        before = gateway.tracer.spans_recorded
+        gateway.reencrypt(
+            ReEncryptRequest(
+                tenant="alice", ciphertext=ciphertext,
+                delegatee_domain=DELEGATEE_DOMAIN, delegatee="bob",
+            )
+        )
+        assert gateway.tracer.spans_recorded == before
+
+    def test_telemetry_off_disables_tracer_and_event_log(self, pre_setting):
+        scheme, *_rest = pre_setting
+        gateway = ReEncryptionGateway(scheme, shard_count=2, telemetry=False)
+        try:
+            assert gateway.tracer is None
+            assert gateway.event_log is None
+            # A trace passed anyway is a harmless no-op (the fetch still
+            # fails on the missing store, not on telemetry).
+            with pytest.raises(StoreUnavailableError):
+                gateway.fetch(
+                    FetchRequest(tenant="t", patient="p"),
+                    trace=TraceContext.generate(),
+                )
+        finally:
+            gateway.close()
+
+
+# -------------------------------------------------------- wire integration
+
+
+@pytest.fixture()
+def telemetry_loopback():
+    setting = build_setting(
+        group_name="TOY",
+        shard_count=2,
+        n_patients=2,
+        n_delegatees=2,
+        n_types=2,
+        ciphertexts_per_pair=1,
+        seed="telemetry-loopback",
+    )
+    with GatewayHttpServer(setting.gateway, setting.group) as server:
+        client = RemoteGateway(server.url, setting.group)
+        yield setting, server, client
+        client.close()
+    setting.gateway.close()
+
+
+def _one_request(setting):
+    (patient, _type_label), entries = sorted(setting.pool.items())[0]
+    ciphertext, _message = entries[0]
+    return ReEncryptRequest(
+        tenant=patient,
+        ciphertext=ciphertext,
+        delegatee_domain=DELEGATEE_DOMAIN,
+        delegatee=setting.delegatees[0],
+    )
+
+
+class TestWireTelemetry:
+    def test_trace_id_round_trips_through_the_header(self, telemetry_loopback):
+        setting, _server, client = telemetry_loopback
+        client.reencrypt(_one_request(setting))
+        assert client.last_trace is not None
+        echo = TraceContext.from_header(client.last_trace_echo)
+        # The echoed header is the wire-round-trip span's child context:
+        # same trace id as the root the client generated.
+        assert echo is not None
+        assert echo.trace_id == client.last_trace.trace_id
+
+    def test_server_trace_holds_at_least_four_named_stage_spans(
+        self, telemetry_loopback
+    ):
+        setting, server, client = telemetry_loopback
+        client.reencrypt(_one_request(setting))
+        trace_id = client.last_trace.trace_id
+        spans = server.gateway.tracer.trace(trace_id)
+        names = {span.name for span in spans}
+        assert len(spans) >= 4
+        assert {"http:reencrypt", "admission", "route", "shard-crypto"} <= names
+        assert all(span.trace_id == trace_id for span in spans)
+
+    def test_fetch_trace_returns_the_server_spans(self, telemetry_loopback):
+        setting, _server, client = telemetry_loopback
+        client.reencrypt(_one_request(setting))
+        trace_id = client.last_trace.trace_id
+        spans = client.fetch_trace(trace_id)
+        assert len(spans) >= 4
+        assert all(isinstance(span, Span) for span in spans)
+        assert {span.name for span in spans} >= {"http:reencrypt", "shard-crypto"}
+
+    def test_server_spans_nest_under_the_client_round_trip_span(
+        self, telemetry_loopback
+    ):
+        setting, server, client = telemetry_loopback
+        client.reencrypt(_one_request(setting))
+        trace_id = client.last_trace.trace_id
+        (client_span,) = [
+            span for span in client.tracer.trace(trace_id)
+            if span.name == "wire-round-trip"
+        ]
+        server_spans = server.gateway.tracer.trace(trace_id)
+        roots = [span for span in server_spans if span.name == "http:reencrypt"]
+        assert roots and roots[0].parent_id == client_span.span_id
+
+    def test_unknown_trace_is_entry_not_found(self, telemetry_loopback):
+        _setting, _server, client = telemetry_loopback
+        with pytest.raises(EntryMissingError):
+            client.fetch_trace("f" * 32)
+
+    def test_trace_requests_off_sends_no_header(self, telemetry_loopback):
+        setting, server, _client = telemetry_loopback
+        quiet = RemoteGateway(server.url, setting.group, trace_requests=False)
+        try:
+            quiet.reencrypt(_one_request(setting))
+            assert quiet.tracer is None
+            assert quiet.last_trace is None
+            assert quiet.last_trace_echo is None
+        finally:
+            quiet.close()
+
+    def test_http_log_lines_become_events(self, telemetry_loopback):
+        setting, server, client = telemetry_loopback
+        client.reencrypt(_one_request(setting))
+        kinds = {event["kind"] for event in server.event_log.tail()}
+        assert "http-log" in kinds
+
+    def test_metrics_text_serves_prometheus(self, telemetry_loopback):
+        setting, _server, client = telemetry_loopback
+        client.reencrypt(_one_request(setting))
+        text = client.metrics_text()
+        assert "# TYPE repro_gateway_served_total counter" in text
+        assert "repro_gateway_latency_ms_bucket" in text
+
+
+class _ExplodingGateway:
+    """A gateway whose every op crashes with a non-taxonomy error."""
+
+    def reencrypt(self, request):
+        raise RuntimeError("shard fleet on fire")
+
+    def snapshot(self):
+        raise RuntimeError("metrics on fire")
+
+
+class TestServerErrorEvents:
+    def test_forced_500_emits_a_server_error_event(self, pre_setting, group):
+        scheme, kgc1, _kgc2, alice, _bob = pre_setting
+        from repro.math.drbg import HmacDrbg
+
+        rng = HmacDrbg("exploding-gateway")
+        message = group.random_gt(rng)
+        ciphertext = scheme.encrypt(kgc1.params, alice, message, "labs", rng)
+        with GatewayHttpServer(_ExplodingGateway(), group) as server:
+            client = RemoteGateway(server.url, group, negotiate=False)
+            # The crash surfaces to the caller as the neutral base-class
+            # wire error (HTTP 500), never the raw RuntimeError text alone.
+            with pytest.raises(GatewayError, match="internal error"):
+                client.reencrypt(
+                    ReEncryptRequest(
+                        tenant="t", ciphertext=ciphertext,
+                        delegatee_domain=DELEGATEE_DOMAIN, delegatee="bob",
+                    )
+                )
+            client.close()
+            errors = [
+                event for event in server.event_log.tail()
+                if event["kind"] == "server-error"
+            ]
+        assert errors, "a handler crash must land in the event log"
+        event = errors[-1]
+        assert event["error_type"] == "RuntimeError"
+        assert "shard fleet on fire" in event["error"]
+        assert "traceback" in event
