@@ -44,6 +44,7 @@ from repro.service.driver import (
     build_scheme_setting,
     build_setting,
     drive_scheme_requests,
+    resolve_remote_group,
 )
 from repro.service.gateway import GrantRequest, ReEncryptionGateway, ReEncryptRequest
 from repro.service.wire import GatewayHttpServer, RemoteGateway
@@ -287,6 +288,8 @@ def test_e13_one_process_hosts_two_scheme_fleets():
     settings = {}
     proc, url = _spawn_server(scheme_ids)
     try:
+        # A multi-scheme server hosts each fleet on its own derived pairing
+        # group (the single-group hosting fix); probe for the right one.
         settings = {
             scheme_id: build_scheme_setting(
                 scheme_id=scheme_id,
@@ -297,6 +300,7 @@ def test_e13_one_process_hosts_two_scheme_fleets():
                 n_types=2,
                 ciphertexts_per_pair=2,
                 seed="e13-multihost-" + scheme_id,
+                group=resolve_remote_group(url, scheme_id, "TOY"),
             )
             for scheme_id in scheme_ids
         }

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from pathlib import Path
 
@@ -303,6 +304,20 @@ def _cmd_serve(args) -> int:
         )
         return 2
     args.scheme = scheme_ids[0]
+    if args.fleet is not None:
+        if args.http is None:
+            print("error: --fleet requires --http", file=sys.stderr)
+            return 2
+        if len(scheme_ids) > 1:
+            print(
+                "error: --fleet hosts one scheme per routing process",
+                file=sys.stderr,
+            )
+            return 2
+        if args.fleet < 1:
+            print("error: --fleet must be positive", file=sys.stderr)
+            return 2
+        return _serve_fleet(args)
     if args.http is not None:
         return _serve_http(args, scheme_ids)
     if args.connect is not None:
@@ -434,7 +449,17 @@ def _serve_http(args, scheme_ids: list[str]) -> int:
     from repro.service.telemetry import EventLog, jsonl_sink
     from repro.service.wire import GatewayHttpServer
 
-    group = PairingGroup.shared(args.group)
+    # One hosted scheme keeps the historical shared group (existing
+    # clients negotiate against its name); several schemes each get a
+    # deterministically derived group of the same size, so no two fleets
+    # in one process ever share group parameters (or moduli).
+    if len(scheme_ids) == 1:
+        groups = {scheme_ids[0]: PairingGroup.shared(args.group)}
+    else:
+        groups = {
+            scheme_id: PairingGroup.for_scheme(args.group, scheme_id)
+            for scheme_id in scheme_ids
+        }
     state_dirs = _state_dirs_for(args.state_dir, scheme_ids)
     # One event log shared by every fleet and the HTTP layer: with
     # --event-log PATH each event is also appended as one JSON line, so a
@@ -450,7 +475,7 @@ def _serve_http(args, scheme_ids: list[str]) -> int:
         for scheme_id, state_dir in zip(scheme_ids, state_dirs):
             gateways.append(
                 ReEncryptionGateway(
-                    create_backend(scheme_id, group),
+                    create_backend(scheme_id, groups[scheme_id]),
                     shard_count=args.shards,
                     rate_per_s=args.rate,
                     workers=args.workers,
@@ -467,17 +492,20 @@ def _serve_http(args, scheme_ids: list[str]) -> int:
         if event_stream is not None:
             event_stream.close()
         raise
+    shard_label = "shard %s, " % args.shard if args.shard else ""
     print(
-        "gateway listening on %s (schemes %s, group %s, %d shards, %d keys loaded)"
+        "gateway listening on %s (%sschemes %s, group %s, %d shards, %d keys loaded)"
         % (
             server.url,
+            shard_label,
             "+".join(scheme_ids),
-            args.group,
+            args.group if len(scheme_ids) == 1 else "%s (per-scheme derived)" % args.group,
             args.shards,
             sum(gateway.key_count() for gateway in gateways),
         ),
         flush=True,
     )
+    _install_sigterm_interrupt()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -486,6 +514,88 @@ def _serve_http(args, scheme_ids: list[str]) -> int:
         server.close()
         for gateway in gateways:
             gateway.close()
+        if event_stream is not None:
+            event_stream.close()
+    return 0
+
+
+def _install_sigterm_interrupt() -> None:
+    """Make SIGTERM run the same clean-shutdown path as Ctrl-C.
+
+    The long-running serve loops release their resources (worker
+    subprocesses, durable logs, event streams) in ``finally`` blocks
+    reached via ``KeyboardInterrupt``; without this, ``kill``/systemd
+    stop the routing process but orphan the fleet's shard workers.
+    """
+
+    def handler(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, handler)
+    except ValueError:  # not in the main thread (embedded use)
+        pass
+
+
+def _serve_fleet(args) -> int:
+    """Run the multi-process fleet: worker shards plus the routing tier.
+
+    Spawns ``--fleet N`` single-shard worker processes (each a full
+    ``serve --http 0 --shards 1`` gateway server, durable under
+    ``--state-dir/<shard>/``), then serves a
+    :class:`~repro.service.fleet.FleetGateway` routing tier over them on
+    ``--http PORT``.  Clients connect to the routing tier exactly as
+    they would to a single-process server; resizes migrate keys between
+    worker processes without stopping traffic.
+    """
+    from repro.service.fleet import FleetGateway, FleetSupervisor
+    from repro.service.telemetry import EventLog, jsonl_sink
+    from repro.service.wire import GatewayHttpServer
+
+    event_stream = None
+    if args.event_log is not None:
+        event_stream = Path(args.event_log).open("a", encoding="utf-8")
+        event_log = EventLog(sink=jsonl_sink(event_stream))
+    else:
+        event_log = EventLog()
+    supervisor = None
+    gateway = None
+    try:
+        supervisor = FleetSupervisor(
+            args.scheme,
+            shard_count=args.fleet,
+            state_root=args.state_dir,
+            group_name=args.group,
+            host=args.host,
+            rate_per_s=args.rate,
+            pool_size=max(args.pool_size, 2),
+            event_log=event_log,
+        )
+        gateway = FleetGateway(supervisor, event_log=event_log)
+        server = GatewayHttpServer(
+            gateways=[gateway], host=args.host, port=args.http, event_log=event_log
+        )
+    except BaseException:
+        if gateway is not None:
+            gateway.close()
+        elif supervisor is not None:
+            supervisor.close()
+        if event_stream is not None:
+            event_stream.close()
+        raise
+    print(
+        "fleet gateway listening on %s (scheme %s, group %s, %d shard processes)"
+        % (server.url, args.scheme, args.group, args.fleet),
+        flush=True,
+    )
+    _install_sigterm_interrupt()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        gateway.close()
         if event_stream is not None:
             event_stream.close()
     return 0
@@ -577,6 +687,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--event-log", default=None, metavar="PATH",
                    help="with --http: append every structured event (audit, "
                         "http access, server errors) as one JSON line to PATH")
+    p.add_argument("--fleet", type=int, default=None, metavar="N",
+                   help="with --http: spawn N single-shard worker processes "
+                        "and serve a routing gateway over them (multi-process "
+                        "fleet mode); --state-dir gives each worker a durable "
+                        "subdirectory")
+    p.add_argument("--shard", default=None, metavar="NAME",
+                   help="worker mode: label this process as fleet shard NAME "
+                        "(set by the fleet supervisor; informational)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("trace", help="fetch and render a gateway trace by id")

@@ -48,6 +48,35 @@ class PairingGroup:
             cls._shared[key] = cls(key)
         return cls._shared[key]
 
+    @classmethod
+    def for_scheme(cls, base_name: str, scheme_id: str) -> "PairingGroup":
+        """A per-scheme group: the size of ``base_name``, a distinct modulus.
+
+        A multi-scheme server must not run every hosted scheme on one
+        pairing group — shared group parameters couple schemes that the
+        paper treats as independent deployments, and a cross-scheme
+        element would deserialize cleanly instead of failing.  The
+        derived parameters are *deterministic* (an HMAC-DRBG seeded from
+        the base name and scheme id drives the prime search), so every
+        process — server or client — independently computes the same
+        group, and they are cached process-wide like :meth:`shared`.
+
+        Named ``"<BASE>:<scheme-id>"`` so wire negotiation (which
+        compares group names) distinguishes them from the shared base.
+        """
+        from repro.ec.params import generate_parameters
+        from repro.math.drbg import HmacDrbg
+
+        key = "%s:%s" % (base_name.upper(), scheme_id)
+        if key not in cls._shared:
+            base = get_params(base_name)
+            rng = HmacDrbg("per-scheme-group|%s|%s" % (base_name.upper(), scheme_id))
+            params = generate_parameters(
+                base.q.bit_length(), base.p.bit_length(), rng=rng, name=key
+            )
+            cls._shared[key] = cls(params)
+        return cls._shared[key]
+
     # ------------------------------------------------------------- sampling
 
     def random_scalar(self, rng: RandomSource | None = None) -> int:

@@ -18,11 +18,28 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["StoredRecord", "EncryptedPhrStore", "FilePhrStore", "EntryNotFoundError"]
+__all__ = [
+    "StoredRecord",
+    "EncryptedPhrStore",
+    "FilePhrStore",
+    "EntryNotFoundError",
+    "StoreSchemeMismatchError",
+]
 
 
 class EntryNotFoundError(KeyError):
     """No stored ciphertext matches the requested entry."""
+
+
+class StoreSchemeMismatchError(ValueError):
+    """The on-disk store was sealed by a different scheme's backend.
+
+    Ciphertext blobs are opaque bytes, so nothing else would catch a
+    ``green/ateniese-fo`` fleet opening a ``tipre/v1`` store — the
+    mismatch would surface only later, as undecodable garbage handed to
+    a delegatee.  The index header stamps the sealing scheme so the
+    open fails immediately and namedly instead.
+    """
 
 
 @dataclass(frozen=True)
@@ -87,7 +104,8 @@ class FilePhrStore:
 
     Layout under ``root``::
 
-        index.json                   {"version": 2,
+        index.json                   {"version": 3,
+                                      "scheme": "tipre/v1" | None,
                                       "entries": {"patient|entry_id":
                                                   {"category": ..., "size": ...}}}
         blobs/<patient>/<entry_id>.bin
@@ -96,16 +114,32 @@ class FilePhrStore:
     then rename).  Blob sizes live in the index so ``size_bytes`` never
     stats the filesystem, and an in-memory per-patient map makes
     ``entries_for`` read only the blobs it returns instead of scanning
-    every index key.  Version-1 indexes (a flat ``{"patient|entry_id":
-    "category"}`` map) are migrated on open by statting each blob once.
-    The interface matches :class:`EncryptedPhrStore`, so proxies work with
+    every index key.
+
+    ``scheme_id`` seals the store to one scheme: blobs are opaque bytes,
+    so without the stamp a store written by one backend would open
+    cleanly under another and only fail much later, on deserialization.
+    Passing a scheme id stamps new stores and verifies existing ones
+    (raising :class:`StoreSchemeMismatchError` on a cross-scheme open);
+    passing ``None`` adopts whatever the store already records.
+
+    Older indexes migrate in place on open: version 1 (a flat
+    ``{"patient|entry_id": "category"}`` map) stats each blob once;
+    version 2 (no ``scheme`` field) adopts the opener's scheme id.  The
+    interface matches :class:`EncryptedPhrStore`, so proxies work with
     either backend.
     """
 
-    INDEX_VERSION = 2
+    INDEX_VERSION = 3
 
-    def __init__(self, root: str | Path, name: str = "phr-file-store"):
+    def __init__(
+        self,
+        root: str | Path,
+        name: str = "phr-file-store",
+        scheme_id: str | None = None,
+    ):
         self.name = name
+        self.scheme_id = scheme_id
         self._root = Path(root)
         self._blob_dir = self._root / "blobs"
         self._blob_dir.mkdir(parents=True, exist_ok=True)
@@ -118,15 +152,45 @@ class FilePhrStore:
             self._load_index(json.loads(self._index_path.read_text()))
 
     def _load_index(self, raw: dict) -> None:
-        if raw.get("version") == self.INDEX_VERSION:
+        version = raw.get("version")
+        if version == self.INDEX_VERSION:
+            stored_scheme = raw.get("scheme")
+            if stored_scheme is not None and self.scheme_id is not None:
+                if stored_scheme != self.scheme_id:
+                    raise StoreSchemeMismatchError(
+                        "store %s was sealed by scheme %r; this backend speaks %r"
+                        % (self._root, stored_scheme, self.scheme_id)
+                    )
+            elif stored_scheme is not None:
+                # Opener did not declare a scheme: adopt the stored one.
+                self.scheme_id = stored_scheme
+            elif self.scheme_id is not None:
+                # Unsealed store opened by a declared backend: seal it now.
+                self._index = raw["entries"]
+                self._rebuild_patient_map()
+                self._flush_index()
+                return
             self._index = raw["entries"]
+        elif version == 2:
+            # Version-2 had entries-with-sizes but no scheme stamp; adopt
+            # the opener's scheme (or stay unsealed) and rewrite in place.
+            self._index = raw["entries"]
+            self._rebuild_patient_map()
+            self._flush_index()
+            return
         else:
             # Version-1 flat format: migrate, statting each blob exactly once.
             self._index = {
                 key: {"category": category, "size": self._blob_path(*key.split("|", 1)).stat().st_size}
                 for key, category in raw.items()
             }
+            self._rebuild_patient_map()
             self._flush_index()
+            return
+        self._rebuild_patient_map()
+
+    def _rebuild_patient_map(self) -> None:
+        self._by_patient = {}
         for key in self._index:
             patient, entry_id = key.split("|", 1)
             self._by_patient.setdefault(patient, {})[entry_id] = key
@@ -146,7 +210,14 @@ class FilePhrStore:
     def _flush_index(self) -> None:
         tmp = self._index_path.with_suffix(".json.tmp")
         tmp.write_text(
-            json.dumps({"version": self.INDEX_VERSION, "entries": self._index}, sort_keys=True)
+            json.dumps(
+                {
+                    "version": self.INDEX_VERSION,
+                    "scheme": self.scheme_id,
+                    "entries": self._index,
+                },
+                sort_keys=True,
+            )
         )
         tmp.replace(self._index_path)
 

@@ -58,9 +58,12 @@ class PhrSystem:
             if self.store_root is None:
                 store = EncryptedPhrStore(name="store-%s" % category.label)
             else:
+                from repro.core.api import TIPRE_SCHEME_ID
+
                 store = FilePhrStore(
                     Path(self.store_root) / category.label,
                     name="store-%s" % category.label,
+                    scheme_id=TIPRE_SCHEME_ID,
                 )
             self._proxies[category.label] = CategoryProxy(
                 category=category.label, group=self.group, scheme=self._scheme, store=store

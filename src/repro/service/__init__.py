@@ -26,7 +26,12 @@ request-serving system:
 * :mod:`repro.service.wire` — the HTTP/JSON wire protocol
   (:class:`~repro.service.wire.server.GatewayHttpServer` and
   :class:`~repro.service.wire.client.RemoteGateway`) that makes the
-  gateway a real remote process.
+  gateway a real remote process;
+* :mod:`repro.service.fleet` — the wire protocol at the shard boundary:
+  a :class:`~repro.service.fleet.FleetSupervisor` of independent shard
+  *processes* behind a :class:`~repro.service.fleet.FleetGateway`
+  routing tier, with health-checked failover and traffic-continuing
+  resize migration.
 """
 
 from repro.service.batch import BatchGroup, BatchItemError, ReEncryptBatcher
@@ -38,9 +43,11 @@ from repro.service.driver import (
     build_scheme_setting,
     build_setting,
     drive_scheme_requests,
+    resolve_remote_group,
     run_demo,
     run_scheme_demo,
 )
+from repro.service.fleet import FleetGateway, FleetSupervisor, StaticFleet
 from repro.service.gateway import (
     AuditEvent,
     DelegationNotFoundError,
@@ -102,6 +109,8 @@ __all__ = [
     "EventLog",
     "FetchRequest",
     "FetchResponse",
+    "FleetGateway",
+    "FleetSupervisor",
     "GatewayError",
     "GatewayHttpServer",
     "GatewayMetrics",
@@ -126,6 +135,7 @@ __all__ = [
     "SchemeDemoSetting",
     "SchemeMismatchError",
     "ShardPool",
+    "StaticFleet",
     "ShardRouter",
     "Span",
     "StoreUnavailableError",
@@ -139,6 +149,7 @@ __all__ = [
     "drive_scheme_requests",
     "jsonl_sink",
     "render_prometheus",
+    "resolve_remote_group",
     "run_demo",
     "run_scheme_demo",
     "scheme_state_subdir",

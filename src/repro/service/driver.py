@@ -47,6 +47,7 @@ __all__ = [
     "run_remote_demo",
     "build_scheme_setting",
     "drive_scheme_requests",
+    "resolve_remote_group",
     "run_scheme_demo",
     "run_remote_scheme_demo",
 ]
@@ -117,9 +118,16 @@ def build_setting(
     scheme: TypeAndIdentityPre | None = None,
     workers: int = 0,
     state_dir: str | None = None,
+    group: PairingGroup | None = None,
 ) -> DemoSetting:
-    """Stand up KGCs, users, grants and a ciphertext pool behind a gateway."""
-    group = scheme.group if scheme is not None else PairingGroup.shared(group_name)
+    """Stand up KGCs, users, grants and a ciphertext pool behind a gateway.
+
+    ``group`` overrides the ``group_name`` lookup — the remote drivers
+    pass the group a multi-scheme server actually hosts the scheme on
+    (which may be a per-scheme derived group, not the shared base).
+    """
+    if group is None:
+        group = scheme.group if scheme is not None else PairingGroup.shared(group_name)
     rng = HmacDrbg(seed)
     registry = KgcRegistry(group, rng)
     kgc1 = registry.create(DELEGATOR_DOMAIN)
@@ -339,6 +347,46 @@ def run_demo(
         setting.gateway.close()
 
 
+def resolve_remote_group(
+    url: str, scheme_id: str, base_name: str = "TOY", timeout: float = 10.0
+) -> PairingGroup:
+    """The pairing group a remote server hosts ``scheme_id`` on.
+
+    A multi-scheme server runs every hosted scheme on its own derived
+    group (``"<BASE>:<scheme>"``) rather than the shared base; a
+    single-scheme server keeps the shared base.  This probe reads the
+    server's ``/v1/schemes`` document and returns the matching local
+    group, so a ``--connect`` client builds its delegation universe on
+    the parameters the server will actually accept.  A server that does
+    not host the scheme (or cannot be probed) yields the shared base —
+    the client's normal negotiation then raises the canonical error.
+    """
+    from repro.service.wire.client import RemoteGateway, WireTransportError
+
+    base = PairingGroup.shared(base_name)
+    try:
+        probe = RemoteGateway(
+            url, base, timeout=timeout, negotiate=False, trace_requests=False
+        )
+        try:
+            entries = probe.schemes_info()
+        finally:
+            probe.close()
+    except WireTransportError:
+        return base
+    derived_name = "%s:%s" % (base_name.upper(), scheme_id)
+    for entry in entries:
+        if not isinstance(entry, dict) or entry.get("scheme") != scheme_id:
+            continue
+        hosted_group = entry.get("group")
+        if hosted_group == base.params.name:
+            return base
+        if hosted_group == derived_name:
+            return PairingGroup.for_scheme(base_name, scheme_id)
+        break
+    return base
+
+
 def run_remote_demo(
     url: str,
     group_name: str = "TOY",
@@ -360,7 +408,8 @@ def run_remote_demo(
     """
     from repro.service.wire.client import RemoteGateway
 
-    setting = build_setting(group_name=group_name, seed=seed)
+    group = resolve_remote_group(url, TIPRE_SCHEME_ID, group_name)
+    setting = build_setting(group_name=group_name, seed=seed, group=group)
     try:
         with RemoteGateway(url, setting.group, pool_size=pool_size) as remote:
             _grant_all_remote(setting.gateway, remote)
@@ -427,15 +476,18 @@ def build_scheme_setting(
     rate_per_s: float | None = None,
     workers: int = 0,
     state_dir: str | None = None,
+    group: PairingGroup | None = None,
 ) -> SchemeDemoSetting:
     """Stand up parties, grants and a ciphertext pool for any backend.
 
     The same shape as :func:`build_setting` — patients delegating typed
     records to readers behind a sharded gateway — but every scheme
     operation goes through the registered backend, so the identical
-    workload exercises ``tipre/v1`` and every baseline alike.
+    workload exercises ``tipre/v1`` and every baseline alike.  ``group``
+    overrides the ``group_name`` lookup (see :func:`build_setting`).
     """
-    group = PairingGroup.shared(group_name)
+    if group is None:
+        group = PairingGroup.shared(group_name)
     backend = create_backend(scheme_id, group)
     rng = HmacDrbg(seed)
     backend.setup(rng)
@@ -592,8 +644,9 @@ def run_remote_scheme_demo(
     """
     from repro.service.wire.client import RemoteGateway
 
+    group = resolve_remote_group(url, scheme_id, group_name)
     setting = build_scheme_setting(
-        scheme_id=scheme_id, group_name=group_name, seed=seed
+        scheme_id=scheme_id, group_name=group_name, seed=seed, group=group
     )
     try:
         with RemoteGateway(url, setting.backend, pool_size=pool_size) as remote:

@@ -185,6 +185,10 @@ class RevokeRequest:
     delegatee_domain: str
     delegatee: str
     type_label: str
+    # Client-generated idempotency id: a wire server deduplicates
+    # retried revokes carrying the same id, so a connection drop never
+    # loses the outcome.  In-process callers leave it None.
+    request_id: str | None = None
 
 
 @dataclass(frozen=True)
@@ -978,6 +982,18 @@ class ReEncryptionGateway:
     def key_count(self) -> int:
         """Total installed keys across all shards."""
         return sum(shard.key_count() for shard in self._shards.values())
+
+    def list_keys(self) -> list[ProxyKey]:
+        """Every installed proxy key, shard order (the wire export surface).
+
+        A point-in-time enumeration, lock-free like the driver's table
+        walks: a concurrent grant or revoke may or may not be reflected.
+        The fleet tier streams these during resize migration.
+        """
+        keys: list[ProxyKey] = []
+        for name in sorted(self._shards):
+            keys.extend(list(self._shards[name].table))
+        return keys
 
     def shard_key_counts(self) -> dict[str, int]:
         return {name: shard.key_count() for name, shard in self._shards.items()}

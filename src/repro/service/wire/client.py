@@ -19,10 +19,12 @@ socket, and the pool never holds more than ``pool_size`` live
 connections (checkout blocks when all are in flight).  Each connection
 is re-established transparently when the server drops it — an idle
 timeout, a restart.  A request that dies mid-flight is retried once on
-a fresh connection when replaying it is sound — grants are idempotent
-installs, transformations and fetches are deterministic reads — while
-revoke and resize (whose replay against mutated state would mis-report
-the outcome) fail fast instead.  :attr:`connections_opened` counts
+a fresh connection: grants are idempotent installs, transformations and
+fetches are deterministic reads, and revoke/resize — whose naive replay
+against mutated state would mis-report the outcome — carry a
+client-generated ``request_id`` the server's idempotency window dedups,
+returning the recorded first outcome instead of re-executing.
+:attr:`connections_opened` counts
 dials and :attr:`peak_connections` the high-water mark of simultaneous
 checkouts, so benchmarks can *assert* reuse and boundedness rather than
 assume them.
@@ -42,9 +44,11 @@ from __future__ import annotations
 
 import http.client
 import json
+import secrets
 import socket
 import threading
 import urllib.parse
+from dataclasses import replace
 from typing import Sequence
 
 from repro.core.api import PreBackend, resolve_backend
@@ -71,6 +75,9 @@ from repro.service.telemetry import (
     span_from_json,
 )
 from repro.service.wire.codec import (
+    ERROR_TYPES,
+    KeyExportRequest,
+    KeyExportResponse,
     ReEncryptBatchRequest,
     ReEncryptBatchResponse,
     ResizeRequest,
@@ -97,7 +104,21 @@ class SchemeMismatchError(GatewayError):
     code = "scheme-mismatch"
 
 
+# A fleet's routing tier raises these codes *server-side* (a shard
+# process it cannot reach, a mis-negotiated shard); registering them in
+# the codec's taxonomy lets end clients re-raise the typed class instead
+# of the GatewayError catch-all.  Both ends always import this module,
+# so registration here avoids a codec -> client import cycle.
+ERROR_TYPES.setdefault(WireTransportError.code, WireTransportError)
+ERROR_TYPES.setdefault(SchemeMismatchError.code, SchemeMismatchError)
+
+
 _RETRYABLE = (ConnectionError, http.client.HTTPException, TimeoutError, OSError)
+
+
+def _new_request_id() -> str:
+    """A client-generated idempotency id for revoke/resize retries."""
+    return secrets.token_hex(16)
 
 
 class RemoteGateway:
@@ -234,13 +255,13 @@ class RemoteGateway:
         dialed one: the reconnect-on-drop path a long-lived client needs
         when the server restarts or reaps idle connections.  Grants
         (idempotent installs), transformations and fetches
-        (deterministic reads) and the GET endpoints are safe to replay;
-        revoke and resize are NOT (a drop after the server acted would
-        replay against the mutated state and mis-report the outcome).
-        Those are instead sent once, on a fresh dial, and then fail fast
-        as :class:`WireTransportError`, leaving the decision to the
-        caller; only a server that really died mid-request surfaces that
-        way.
+        (deterministic reads) and the GET endpoints replay as-is; revoke
+        and resize replay under the client-generated ``request_id`` in
+        their body, which the server's idempotency window dedups so a
+        drop after the server acted returns the recorded first outcome
+        rather than re-executing against mutated state.  Callers that
+        genuinely must not replay pass ``replayable=False`` and get a
+        fail-fast :class:`WireTransportError` instead.
         """
         headers = {"Content-Type": "application/json"}
         if trace is not None:
@@ -356,13 +377,27 @@ class RemoteGateway:
     # ------------------------------------------------------------- plumbing
 
     def _round_trip(
-        self, method: str, op: str, message: object | None, replayable: bool = True
+        self,
+        method: str,
+        op: str,
+        message: object | None,
+        replayable: bool = True,
+        trace: TraceContext | None = None,
     ):
         self._ensure_negotiated()
         path = "%s/%s" % (self._prefix, op)
         data = (
             to_wire(self.backend, message).encode("utf-8") if message is not None else None
         )
+        if trace is not None:
+            # Caller-supplied context (a routing tier propagating its own
+            # trace): send it verbatim so the remote spans parent under
+            # the caller's span instead of a fresh local root.
+            status, body = self._raw_request(
+                method, path, data, replayable=replayable, trace=trace
+            )
+            text = body.decode("utf-8", errors="replace")
+            return self._decode_round_trip(status, text, path)
         trace = TraceContext.generate() if self.trace_requests else None
         if trace is not None:
             self.last_trace = trace
@@ -376,6 +411,9 @@ class RemoteGateway:
         else:
             status, body = self._raw_request(method, path, data, replayable=replayable)
         text = body.decode("utf-8", errors="replace")
+        return self._decode_round_trip(status, text, path)
+
+    def _decode_round_trip(self, status: int, text: str, path: str):
         if status >= 400:
             # The body should be a wire error; reconstruct and raise the
             # taxonomy class the in-process gateway would have raised.
@@ -407,8 +445,11 @@ class RemoteGateway:
         message: object | None,
         expect: type,
         replayable: bool = True,
+        trace: TraceContext | None = None,
     ):
-        decoded = self._round_trip(method, op, message, replayable=replayable)
+        decoded = self._round_trip(
+            method, op, message, replayable=replayable, trace=trace
+        )
         if not isinstance(decoded, expect):
             raise WireTransportError(
                 "%s returned %s, expected %s"
@@ -439,34 +480,76 @@ class RemoteGateway:
             return entries
         return [self._get_json("/v1/scheme")]
 
-    def grant(self, request: GrantRequest) -> GrantResponse:
-        return self._call("POST", "grant", request, GrantResponse)
+    def grant(
+        self, request: GrantRequest, trace: TraceContext | None = None
+    ) -> GrantResponse:
+        return self._call("POST", "grant", request, GrantResponse, trace=trace)
 
-    def revoke(self, request: RevokeRequest) -> RevokeResponse:
-        # Not replayed on a connection drop: a retry after the server
-        # already removed the key would report removed=False for a
-        # revocation that happened.
-        return self._call("POST", "revoke", request, RevokeResponse, replayable=False)
+    def revoke(
+        self, request: RevokeRequest, trace: TraceContext | None = None
+    ) -> RevokeResponse:
+        # Replayed under a client-generated request id: the server's
+        # idempotency window recognises the retry of a request whose
+        # response died on the wire and returns the recorded outcome, so
+        # a replay never reports removed=False for a revocation that
+        # happened.
+        if request.request_id is None:
+            request = replace(request, request_id=_new_request_id())
+        return self._call(
+            "POST", "revoke", request, RevokeResponse, replayable=True, trace=trace
+        )
 
-    def reencrypt(self, request: ReEncryptRequest) -> ReEncryptResponse:
-        return self._call("POST", "reencrypt", request, ReEncryptResponse)
+    def reencrypt(
+        self, request: ReEncryptRequest, trace: TraceContext | None = None
+    ) -> ReEncryptResponse:
+        return self._call("POST", "reencrypt", request, ReEncryptResponse, trace=trace)
 
     def reencrypt_batch(
-        self, requests: Sequence[ReEncryptRequest]
+        self,
+        requests: Sequence[ReEncryptRequest],
+        trace: TraceContext | None = None,
     ) -> list[ReEncryptResponse]:
         """One POST for the whole batch; order matches submission order."""
         message = ReEncryptBatchRequest(requests=tuple(requests))
-        response = self._call("POST", "reencrypt", message, ReEncryptBatchResponse)
+        response = self._call(
+            "POST", "reencrypt", message, ReEncryptBatchResponse, trace=trace
+        )
         return list(response.responses)
 
-    def fetch(self, request: FetchRequest) -> FetchResponse:
-        return self._call("POST", "fetch", request, FetchResponse)
+    def fetch(
+        self, request: FetchRequest, trace: TraceContext | None = None
+    ) -> FetchResponse:
+        return self._call("POST", "fetch", request, FetchResponse, trace=trace)
 
-    def resize(self, shard_count: int, tenant: str = "admin") -> ResizeReport:
-        # Not replayed: a second resize against an already-resized fleet
-        # would run (and report) a spurious zero-move migration.
-        message = ResizeRequest(tenant=tenant, shard_count=shard_count)
-        return self._call("POST", "resize", message, ResizeReport, replayable=False)
+    def resize(
+        self,
+        shard_count: int,
+        tenant: str = "admin",
+        trace: TraceContext | None = None,
+    ) -> ResizeReport:
+        # Replayed under a request id, like revoke: the server dedups the
+        # retry so a dropped response cannot trigger a second (spurious
+        # zero-move) migration.
+        message = ResizeRequest(
+            tenant=tenant, shard_count=shard_count, request_id=_new_request_id()
+        )
+        return self._call(
+            "POST", "resize", message, ResizeReport, replayable=True, trace=trace
+        )
+
+    def list_keys(
+        self, tenant: str = "admin", trace: TraceContext | None = None
+    ) -> list:
+        """Every proxy key the remote gateway holds (all shards).
+
+        The fleet's routing tier uses this during resize migration to
+        enumerate a shard process's keys over the wire.
+        """
+        message = KeyExportRequest(tenant=tenant)
+        response = self._call(
+            "POST", "export", message, KeyExportResponse, trace=trace
+        )
+        return list(response.keys)
 
     # --------------------------------------------------------- observability
 

@@ -70,6 +70,8 @@ __all__ = [
     "ReEncryptBatchRequest",
     "ReEncryptBatchResponse",
     "ResizeRequest",
+    "KeyExportRequest",
+    "KeyExportResponse",
     "to_wire",
     "from_wire",
     "scheme_document",
@@ -109,10 +111,34 @@ class ReEncryptBatchResponse:
 
 @dataclass(frozen=True)
 class ResizeRequest:
-    """Admin request: rebalance the fleet to ``shard_count`` shards."""
+    """Admin request: rebalance the fleet to ``shard_count`` shards.
+
+    ``request_id`` is the client-generated idempotency id — a server
+    holding the id in its dedup window replays the recorded response
+    instead of running a second migration, which is what makes resize
+    safely retryable after a connection drop.
+    """
 
     tenant: str
     shard_count: int
+    request_id: str | None = None
+
+
+@dataclass(frozen=True)
+class KeyExportRequest:
+    """Admin request: enumerate every installed proxy key.
+
+    The fleet tier's resize migration streams keys off a shard process
+    with this; it is a read (replayable) and deliberately carries no
+    filter — consistent-hash ownership is the caller's business.
+    """
+
+    tenant: str
+
+
+@dataclass(frozen=True)
+class KeyExportResponse:
+    keys: tuple  # scheme-native proxy keys
 
 
 # --------------------------------------------------------- scheme documents
@@ -252,7 +278,7 @@ def _dec_grant_response(backend: PreBackend, body: dict) -> GrantResponse:
 
 
 def _enc_revoke_request(backend: PreBackend, msg: RevokeRequest) -> dict:
-    return {
+    body = {
         "tenant": msg.tenant,
         "delegator_domain": msg.delegator_domain,
         "delegator": msg.delegator,
@@ -260,6 +286,11 @@ def _enc_revoke_request(backend: PreBackend, msg: RevokeRequest) -> dict:
         "delegatee": msg.delegatee,
         "type_label": msg.type_label,
     }
+    # Omitted when unset: a request without an idempotency id stays
+    # byte-identical to what pre-dedup clients always sent.
+    if msg.request_id is not None:
+        body["request_id"] = msg.request_id
+    return body
 
 
 def _dec_revoke_request(backend: PreBackend, body: dict) -> RevokeRequest:
@@ -270,6 +301,7 @@ def _dec_revoke_request(backend: PreBackend, body: dict) -> RevokeRequest:
         delegatee_domain=_get(body, "delegatee_domain", str),
         delegatee=_get(body, "delegatee", str),
         type_label=_get(body, "type_label", str),
+        request_id=_get(body, "request_id", str, optional=True),
     )
 
 
@@ -411,14 +443,47 @@ def _dec_fetch_response(backend: PreBackend, body: dict) -> FetchResponse:
 
 
 def _enc_resize_request(backend: PreBackend, msg: ResizeRequest) -> dict:
-    return {"tenant": msg.tenant, "shard_count": msg.shard_count}
+    body = {"tenant": msg.tenant, "shard_count": msg.shard_count}
+    if msg.request_id is not None:
+        body["request_id"] = msg.request_id
+    return body
 
 
 def _dec_resize_request(backend: PreBackend, body: dict) -> ResizeRequest:
     return ResizeRequest(
         tenant=_get(body, "tenant", str),
         shard_count=_get(body, "shard_count", int),
+        request_id=_get(body, "request_id", str, optional=True),
     )
+
+
+def _enc_key_export_request(backend: PreBackend, msg: KeyExportRequest) -> dict:
+    return {"tenant": msg.tenant}
+
+
+def _dec_key_export_request(backend: PreBackend, body: dict) -> KeyExportRequest:
+    return KeyExportRequest(tenant=_get(body, "tenant", str))
+
+
+def _enc_key_export_response(backend: PreBackend, msg: KeyExportResponse) -> dict:
+    return {
+        "keys": [
+            _element_to_json(backend, backend.serialize_proxy_key(key), "proxy-key")
+            for key in msg.keys
+        ]
+    }
+
+
+def _dec_key_export_response(backend: PreBackend, body: dict) -> KeyExportResponse:
+    items = _get(body, "keys", list)
+    keys = []
+    for position, item in enumerate(items):
+        if not isinstance(item, dict):
+            raise InvalidRequestError("exported keys must be JSON objects")
+        name = "keys[%d]" % position
+        blob = _element_from_json(backend, {name: item}, name)
+        keys.append(_decode_element(backend.deserialize_proxy_key, blob, name))
+    return KeyExportResponse(keys=tuple(keys))
 
 
 def _enc_resize_report(backend: PreBackend, msg: ResizeReport) -> dict:
@@ -651,6 +716,16 @@ _CODECS: dict[type, tuple[str, Callable, Callable]] = {
     FetchResponse: ("fetch-response", _enc_fetch_response, _dec_fetch_response),
     ResizeRequest: ("resize-request", _enc_resize_request, _dec_resize_request),
     ResizeReport: ("resize-report", _enc_resize_report, _dec_resize_report),
+    KeyExportRequest: (
+        "key-export-request",
+        _enc_key_export_request,
+        _dec_key_export_request,
+    ),
+    KeyExportResponse: (
+        "key-export-response",
+        _enc_key_export_response,
+        _dec_key_export_response,
+    ),
     MetricsSnapshot: ("metrics-snapshot", _enc_metrics_snapshot, _dec_metrics_snapshot),
 }
 

@@ -51,6 +51,7 @@ from __future__ import annotations
 import json
 import threading
 import traceback
+from collections import OrderedDict
 from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Sequence
@@ -75,6 +76,8 @@ from repro.service.telemetry import (
     span_to_json,
 )
 from repro.service.wire.codec import (
+    KeyExportRequest,
+    KeyExportResponse,
     ReEncryptBatchRequest,
     ReEncryptBatchResponse,
     ResizeRequest,
@@ -84,7 +87,12 @@ from repro.service.wire.codec import (
     to_wire,
 )
 
-__all__ = ["GatewayHttpServer", "STATUS_BY_CODE", "PROMETHEUS_CONTENT_TYPE"]
+__all__ = [
+    "GatewayHttpServer",
+    "IdempotencyWindow",
+    "STATUS_BY_CODE",
+    "PROMETHEUS_CONTENT_TYPE",
+]
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -95,14 +103,82 @@ STATUS_BY_CODE = {
     "entry-not-found": 404,
     "invalid-request": 400,
     "no-store": 503,
+    # A routing tier that cannot reach a shard process is the server
+    # being (partially) unavailable, not the request being wrong.
+    "wire-transport": 503,
 }
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024  # refuse absurd Content-Length up front
 
 # The per-fleet operation names (the last path segment after the scheme
 # prefix, or the whole tail for the legacy unprefixed family).
-_POST_OPS = frozenset({"grant", "revoke", "reencrypt", "fetch", "resize"})
+_POST_OPS = frozenset({"grant", "revoke", "reencrypt", "fetch", "resize", "export"})
 _GET_OPS = frozenset({"metrics", "scheme"})
+
+# Mutations whose wire replay must be deduplicated by client request id.
+_IDEMPOTENT_OPS = frozenset({"revoke", "resize"})
+
+
+class IdempotencyWindow:
+    """A bounded single-flight LRU of completed mutation responses.
+
+    Revoke and resize are not blind replays: rerunning one against the
+    state its first run produced mis-reports the outcome (``removed``
+    flips to False, a second migration moves zero keys).  So the server
+    remembers, per ``(scheme, op, request_id)``, the encoded response of
+    the execution that completed — a retry carrying the same id gets
+    that response verbatim instead of a second execution.
+
+    :meth:`claim` is also a single-flight gate: while one thread
+    executes a key, a duplicate blocks until the executor finishes (or
+    its wait times out and it takes over), so the drop-retry race — the
+    retry arriving while the original request is still running — cannot
+    execute twice either.  Failed executions are never recorded; their
+    retry executes for real.
+    """
+
+    def __init__(self, capacity: int = 4096, wait_timeout: float = 30.0):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.wait_timeout = wait_timeout
+        self.hits = 0
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, str] = OrderedDict()
+        self._inflight: dict[tuple, threading.Event] = {}
+
+    def claim(self, key: tuple) -> str | None:
+        """The recorded response, or None once the caller owns execution."""
+        while True:
+            with self._lock:
+                payload = self._entries.get(key)
+                if payload is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return payload
+                event = self._inflight.get(key)
+                if event is None:
+                    self._inflight[key] = threading.Event()
+                    return None
+            if not event.wait(self.wait_timeout):
+                with self._lock:
+                    # The executor is stuck or died without completing;
+                    # take over if nobody else already has.
+                    if self._inflight.get(key) is event:
+                        self._inflight[key] = threading.Event()
+                        return None
+
+    def complete(self, key: tuple, payload: str | None) -> None:
+        """Record a successful payload (or release the claim on failure)."""
+        with self._lock:
+            if payload is not None:
+                self._entries[key] = payload
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
 
 
 class _UnknownEndpoint(Exception):
@@ -331,32 +407,56 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                     )
                 elif op == "fetch":
                     request = from_wire(backend, raw, expect=FetchRequest)
+                elif op == "export":
+                    request = from_wire(backend, raw, expect=KeyExportRequest)
                 else:  # op == "resize"
                     request = from_wire(backend, raw, expect=ResizeRequest)
-            kwargs = {"trace": sub} if traced else {}
-            if op == "grant":
-                response = gateway.grant(request, **kwargs)
-            elif op == "revoke":
-                response = gateway.revoke(request, **kwargs)
-            elif op == "reencrypt":
-                if isinstance(request, ReEncryptBatchRequest):
-                    response = ReEncryptBatchResponse(
-                        responses=tuple(
-                            gateway.reencrypt_batch(list(request.requests), **kwargs)
+            # Revoke/resize retries carry a client-generated request id;
+            # a duplicate gets the recorded response, never a re-execution.
+            dedup = getattr(self.server, "wire_dedup", None)
+            dedup_key = None
+            if dedup is not None and op in _IDEMPOTENT_OPS:
+                request_id = getattr(request, "request_id", None)
+                if request_id:
+                    dedup_key = (backend.scheme_id, op, request_id)
+                    cached = dedup.claim(dedup_key)
+                    if cached is not None:
+                        if http_span is not None:
+                            http_span.set("idempotent_replay", True)
+                        return cached
+            try:
+                kwargs = {"trace": sub} if traced else {}
+                if op == "grant":
+                    response = gateway.grant(request, **kwargs)
+                elif op == "revoke":
+                    response = gateway.revoke(request, **kwargs)
+                elif op == "reencrypt":
+                    if isinstance(request, ReEncryptBatchRequest):
+                        response = ReEncryptBatchResponse(
+                            responses=tuple(
+                                gateway.reencrypt_batch(list(request.requests), **kwargs)
+                            )
                         )
+                    else:
+                        response = gateway.reencrypt(request, **kwargs)
+                elif op == "fetch":
+                    response = gateway.fetch(request, **kwargs)
+                elif op == "export":
+                    response = KeyExportResponse(keys=tuple(gateway.list_keys()))
+                else:  # op == "resize"
+                    response = gateway.resize(
+                        request.shard_count, tenant=request.tenant, **kwargs
                     )
-                else:
-                    response = gateway.reencrypt(request, **kwargs)
-            elif op == "fetch":
-                response = gateway.fetch(request, **kwargs)
-            else:  # op == "resize"
-                response = gateway.resize(
-                    request.shard_count, tenant=request.tenant, **kwargs
-                )
-            with (
-                tracer.span(sub, "encode") if traced else nullcontext()
-            ):
-                payload = to_wire(backend, response)
+                with (
+                    tracer.span(sub, "encode") if traced else nullcontext()
+                ):
+                    payload = to_wire(backend, response)
+            except BaseException:
+                if dedup_key is not None:
+                    dedup.complete(dedup_key, None)
+                raise
+            if dedup_key is not None:
+                dedup.complete(dedup_key, payload)
         return payload
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
@@ -489,12 +589,16 @@ class GatewayHttpServer:
         # CLI's --event-log) choose the sink; shared with the hosted
         # gateways by the CLI so one JSONL stream tells the whole story.
         self.event_log = event_log if event_log is not None else EventLog()
+        # One dedup window per server (scheme id is part of the key), so
+        # retried revoke/resize replays are answered from the record.
+        self.dedup = IdempotencyWindow()
         self._httpd = _EventedThreadingHTTPServer((host, port), _GatewayRequestHandler)
         self._httpd.daemon_threads = True
         self._httpd.wire_hosts = self.hosts
         self._httpd.wire_scheme_ids = list(self.scheme_ids)
         self._httpd.wire_single = self.scheme_ids[0] if len(self.scheme_ids) == 1 else None
         self._httpd.wire_event_log = self.event_log
+        self._httpd.wire_dedup = self.dedup
         self._thread: threading.Thread | None = None
 
     @property

@@ -177,6 +177,15 @@ class TestServe:
                      "--requests", "1"]) == 2
         assert "--http" in capsys.readouterr().err
 
+    def test_serve_fleet_usage_errors(self, capsys):
+        assert main(["serve", "--fleet", "2", "--requests", "1"]) == 2
+        assert "--http" in capsys.readouterr().err
+        assert main(["serve", "--http", "0", "--fleet", "2",
+                     "--scheme", "tipre/v1", "--scheme", "afgh/v1"]) == 2
+        assert "one scheme" in capsys.readouterr().err
+        assert main(["serve", "--http", "0", "--fleet", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
     def test_state_dir_layout_transitions_never_hide_keys(self, tmp_path):
         """single->multi refuses on root logs; multi->single adopts the
         per-scheme subdirectory instead of opening an empty root fleet."""

@@ -4,7 +4,11 @@ import pytest
 
 from repro.math.drbg import HmacDrbg
 from repro.phr.generator import PhrGenerator
-from repro.phr.store import EntryNotFoundError, FilePhrStore
+from repro.phr.store import (
+    EntryNotFoundError,
+    FilePhrStore,
+    StoreSchemeMismatchError,
+)
 
 
 @pytest.fixture()
@@ -161,3 +165,64 @@ class TestIndexV2:
         second = FilePhrStore(tmp_path / "store")
         assert second.size_bytes() == 3
         assert second.entries_for("alice")[0].blob == b"xyz"
+
+
+class TestSchemeSealing:
+    def test_stamp_round_trips(self, tmp_path):
+        """A declared scheme is written to disk and accepted on reopen."""
+        import json
+
+        first = FilePhrStore(tmp_path / "store", scheme_id="tipre/v1")
+        first.put("alice", "labs", "e1", b"x")
+        header = json.loads((tmp_path / "store" / "index.json").read_text())
+        assert header["version"] == FilePhrStore.INDEX_VERSION
+        assert header["scheme"] == "tipre/v1"
+        second = FilePhrStore(tmp_path / "store", scheme_id="tipre/v1")
+        assert second.get("alice", "e1").blob == b"x"
+
+    def test_cross_scheme_open_raises(self, tmp_path):
+        first = FilePhrStore(tmp_path / "store", scheme_id="tipre/v1")
+        first.put("alice", "labs", "e1", b"x")
+        with pytest.raises(StoreSchemeMismatchError, match="tipre/v1"):
+            FilePhrStore(tmp_path / "store", scheme_id="green/ateniese-fo")
+
+    def test_undeclared_opener_adopts_stored_scheme(self, tmp_path):
+        first = FilePhrStore(tmp_path / "store", scheme_id="tipre/v1")
+        first.put("alice", "labs", "e1", b"x")
+        second = FilePhrStore(tmp_path / "store")
+        assert second.scheme_id == "tipre/v1"
+        assert second.get("alice", "e1").blob == b"x"
+
+    def test_unsealed_store_sealed_by_declared_opener(self, tmp_path):
+        """An unsealed (scheme=None) store is stamped in place on open."""
+        import json
+
+        FilePhrStore(tmp_path / "store").put("alice", "labs", "e1", b"x")
+        sealer = FilePhrStore(tmp_path / "store", scheme_id="tipre/v1")
+        assert sealer.scheme_id == "tipre/v1"
+        header = json.loads((tmp_path / "store" / "index.json").read_text())
+        assert header["scheme"] == "tipre/v1"
+        # From now on the wrong scheme is rejected.
+        with pytest.raises(StoreSchemeMismatchError):
+            FilePhrStore(tmp_path / "store", scheme_id="green/ateniese-fo")
+
+    def test_v2_index_migrates_in_place(self, tmp_path):
+        """A pre-sealing v2 index upgrades to v3, adopting the opener."""
+        import json
+
+        root = tmp_path / "store"
+        blob_dir = root / "blobs" / "alice"
+        blob_dir.mkdir(parents=True)
+        (blob_dir / "e1.bin").write_bytes(b"four")
+        (root / "index.json").write_text(
+            json.dumps(
+                {"version": 2, "entries": {"alice|e1": {"category": "labs", "size": 4}}}
+            )
+        )
+
+        store = FilePhrStore(root, scheme_id="tipre/v1")
+        assert store.get("alice", "e1").blob == b"four"
+        upgraded = json.loads((root / "index.json").read_text())
+        assert upgraded["version"] == FilePhrStore.INDEX_VERSION
+        assert upgraded["scheme"] == "tipre/v1"
+        assert upgraded["entries"]["alice|e1"] == {"category": "labs", "size": 4}

@@ -265,6 +265,73 @@ class TestServerConstruction:
             gateway.close()
 
 
+class TestPerSchemeGroups:
+    """Regression: multi-scheme hosting must not share one pairing group.
+
+    ``serve --http --scheme A --scheme B`` used to build every fleet on
+    the same ``PairingGroup.shared(base)``, silently collapsing the
+    schemes' algebra onto one modulus.  Each hosted scheme now gets a
+    deterministically derived group of its own.
+    """
+
+    def test_derived_groups_have_distinct_moduli(self):
+        from repro.pairing.group import PairingGroup
+
+        base = PairingGroup.shared("TOY")
+        tipre = PairingGroup.for_scheme("TOY", "tipre/v1")
+        afgh = PairingGroup.for_scheme("TOY", "afgh/v1")
+        moduli = {base.params.p, tipre.params.p, afgh.params.p}
+        assert len(moduli) == 3, "per-scheme groups must not share a modulus"
+        orders = {base.params.q, tipre.params.q, afgh.params.q}
+        assert len(orders) == 3
+        # Same security level as the base, and stable across calls.
+        assert tipre.params.q.bit_length() == base.params.q.bit_length()
+        assert PairingGroup.for_scheme("TOY", "tipre/v1") is tipre
+        assert tipre.params.name == "TOY:tipre/v1"
+
+    def test_schemes_endpoint_reports_the_derived_groups(self):
+        from repro.pairing.group import PairingGroup
+        from repro.service.driver import resolve_remote_group
+
+        gateways = [
+            ReEncryptionGateway(
+                create_backend(scheme_id, PairingGroup.for_scheme("TOY", scheme_id)),
+                shard_count=1,
+            )
+            for scheme_id in HOSTED
+        ]
+        try:
+            with GatewayHttpServer(gateways=gateways) as server:
+                status, body = _raw(server.url, "/v1/schemes")
+                assert status == 200
+                by_scheme = {
+                    doc["scheme"]: doc["group"]
+                    for doc in json.loads(body)["schemes"]
+                }
+                assert by_scheme == {
+                    scheme_id: "TOY:" + scheme_id for scheme_id in HOSTED
+                }
+                # Clients discover the right group and negotiate cleanly.
+                for scheme_id in HOSTED:
+                    resolved = resolve_remote_group(server.url, scheme_id, "TOY")
+                    assert resolved is PairingGroup.for_scheme("TOY", scheme_id)
+                    client = RemoteGateway(
+                        server.url, create_backend(scheme_id, resolved)
+                    )
+                    assert client.scheme_info()["scheme"] == scheme_id
+                    client.close()
+                # A client on the shared base group is refused up front.
+                mismatched = RemoteGateway(
+                    server.url,
+                    create_backend("tipre/v1", PairingGroup.shared("TOY")),
+                )
+                with pytest.raises(SchemeMismatchError, match="on TOY"):
+                    mismatched.snapshot()
+        finally:
+            for gateway in gateways:
+                gateway.close()
+
+
 class TestPerSchemeDurableState:
     def test_scheme_state_subdir_is_filesystem_safe(self, tmp_path):
         path = scheme_state_subdir(tmp_path, "green-ateniese/v1")
