@@ -17,16 +17,23 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.report import print_table
+from repro.bench.report import print_table, record_bench_snapshot
 from repro.bench.timing import measure
 from repro.core.epochs import EpochSchedule, TemporalPre
 from repro.core.scheme import TypeAndIdentityPre
 from repro.ec.scalarmult import FixedBaseTable, wnaf_mul
 from repro.ibe.kgc import KgcRegistry
 from repro.ibe.threshold import ThresholdKgc
+from repro.math import backend as int_backend
 from repro.math.drbg import HmacDrbg
 from repro.pairing.group import PairingGroup
-from repro.pairing.tate import multi_tate_pairing, tate_pairing
+from repro.pairing.miller import MillerPrecomp
+from repro.pairing.tate import (
+    multi_tate_pairing,
+    tate_pairing,
+    tate_pairing_affine,
+    tate_pairing_batch,
+)
 
 GROUP_NAME = "SS256"
 
@@ -38,7 +45,9 @@ def test_e8_scalar_mult_ablation(benchmark):
     base = group.params.random_point(rng)
     table = FixedBaseTable(group.generator, group.order.bit_length())
 
-    schoolbook = measure("schoolbook", lambda: [base * s for s in scalars], repeats=3)
+    schoolbook = measure(
+        "schoolbook", lambda: [base.mul_schoolbook(s) for s in scalars], repeats=3
+    )
     wnaf = measure("wnaf", lambda: [wnaf_mul(base, s) for s in scalars], repeats=3)
     fixed = measure("fixed-base", lambda: [table.mul(s) for s in scalars], repeats=3)
     print_table(
@@ -98,6 +107,122 @@ def test_e8_threshold_extraction(benchmark, threshold, servers):
     benchmark.group = "E8 threshold extract"
     benchmark.name = "%d-of-%d" % (threshold, servers)
     benchmark.pedantic(extract, rounds=5, iterations=1)
+
+
+def test_e8_substrate_speedup_gate():
+    """The substrate rewrite's contract, enforced: the fast paths are
+    bit-identical to the affine/schoolbook reference AND actually fast.
+
+    Gate: >=2x on scalar multiplication (Jacobian vs schoolbook affine),
+    >=3x on the pairing (Miller precomp / batch vs the affine loop).
+    Measured headroom is ~10x on both, so the gate only trips on a real
+    regression, not on scheduler noise.
+    """
+    group = PairingGroup.shared(GROUP_NAME)
+    params = group.params
+    rng = HmacDrbg("e8-gate")
+    scalars = [group.random_scalar(rng) for _ in range(4)]
+    base = params.random_point(rng)
+    fixed = params.random_point(rng)
+    others = [params.random_point(rng) for _ in range(4)]
+    precomp = MillerPrecomp(params, fixed)
+
+    # -- correctness first: every fast path must reproduce the reference.
+    for s in scalars:
+        reference = base.mul_schoolbook(s)
+        assert base * s == reference
+        assert wnaf_mul(base, s) == reference
+    for other in others:
+        reference = tate_pairing_affine(params, fixed, other)
+        assert tate_pairing(params, fixed, other) == reference
+        assert tate_pairing(params, fixed, other, precomp=precomp) == reference
+    batch = tate_pairing_batch(params, fixed, others)
+    for other, combined in zip(others, batch):
+        assert combined == tate_pairing_affine(params, fixed, other)
+
+    # -- then speed.
+    mul_ref = measure(
+        "mul/schoolbook", lambda: [base.mul_schoolbook(s) for s in scalars], repeats=3
+    )
+    mul_jac = measure("mul/jacobian", lambda: [base * s for s in scalars], repeats=3)
+    mul_wnaf = measure(
+        "mul/wnaf", lambda: [wnaf_mul(base, s) for s in scalars], repeats=3
+    )
+    pair_ref = measure(
+        "pair/affine",
+        lambda: [tate_pairing_affine(params, fixed, o) for o in others],
+        repeats=3,
+    )
+    pair_fast = measure(
+        "pair/jacobian",
+        lambda: [tate_pairing(params, fixed, o) for o in others],
+        repeats=3,
+    )
+    pair_pre = measure(
+        "pair/precomp",
+        lambda: [tate_pairing(params, fixed, o, precomp=precomp) for o in others],
+        repeats=3,
+    )
+    pair_batch = measure(
+        "pair/batch", lambda: tate_pairing_batch(params, fixed, others), repeats=3
+    )
+
+    mul_speedup = mul_ref.median_ms / mul_jac.median_ms
+    wnaf_speedup = mul_ref.median_ms / mul_wnaf.median_ms
+    pair_speedup = pair_ref.median_ms / pair_fast.median_ms
+    pre_speedup = pair_ref.median_ms / pair_pre.median_ms
+    batch_speedup = pair_ref.median_ms / pair_batch.median_ms
+
+    print_table(
+        "E8 gate: substrate speedups on %s (backend=%s)"
+        % (GROUP_NAME, int_backend.backend_name()),
+        ["path", "median ms", "speedup vs reference"],
+        [
+            ["scalar mult: schoolbook (ref)", "%.2f" % mul_ref.median_ms, "1.0x"],
+            ["scalar mult: jacobian", "%.2f" % mul_jac.median_ms, "%.1fx" % mul_speedup],
+            ["scalar mult: wnaf", "%.2f" % mul_wnaf.median_ms, "%.1fx" % wnaf_speedup],
+            ["pairing: affine (ref)", "%.2f" % pair_ref.median_ms, "1.0x"],
+            ["pairing: jacobian", "%.2f" % pair_fast.median_ms, "%.1fx" % pair_speedup],
+            ["pairing: precomp", "%.2f" % pair_pre.median_ms, "%.1fx" % pre_speedup],
+            ["pairing: batch", "%.2f" % pair_batch.median_ms, "%.1fx" % batch_speedup],
+        ],
+    )
+
+    record_bench_snapshot(
+        "E8",
+        {
+            "experiment": "E8 substrate speedup gate",
+            "group": GROUP_NAME,
+            "int_backend": int_backend.backend_name(),
+            "workload": {
+                "scalar_mults": len(scalars),
+                "pairings": len(others),
+            },
+            "median_ms": {
+                "scalar_mult_schoolbook": round(mul_ref.median_ms, 3),
+                "scalar_mult_jacobian": round(mul_jac.median_ms, 3),
+                "scalar_mult_wnaf": round(mul_wnaf.median_ms, 3),
+                "pairing_affine": round(pair_ref.median_ms, 3),
+                "pairing_jacobian": round(pair_fast.median_ms, 3),
+                "pairing_precomp": round(pair_pre.median_ms, 3),
+                "pairing_batch": round(pair_batch.median_ms, 3),
+            },
+            "speedup_vs_reference": {
+                "scalar_mult_jacobian": round(mul_speedup, 2),
+                "scalar_mult_wnaf": round(wnaf_speedup, 2),
+                "pairing_jacobian": round(pair_speedup, 2),
+                "pairing_precomp": round(pre_speedup, 2),
+                "pairing_batch": round(batch_speedup, 2),
+            },
+            "gate": {"scalar_mult_min": 2.0, "pairing_min": 3.0},
+        },
+    )
+
+    assert mul_speedup >= 2.0, "Jacobian scalar mult regressed: %.2fx" % mul_speedup
+    assert wnaf_speedup >= 2.0, "wNAF scalar mult regressed: %.2fx" % wnaf_speedup
+    assert pair_speedup >= 3.0, "Jacobian pairing regressed: %.2fx" % pair_speedup
+    assert pre_speedup >= 3.0, "precomp pairing regressed: %.2fx" % pre_speedup
+    assert batch_speedup >= 3.0, "batch pairing regressed: %.2fx" % batch_speedup
 
 
 def test_e8_epoch_grant_cost(benchmark):

@@ -243,6 +243,17 @@ class PreBackend(ABC):
     def reencrypt(self, ciphertext, proxy_key):
         """The proxy transformation; must work with party-free state."""
 
+    def reencrypt_batch(self, ciphertexts, proxy_key):
+        """Transform many ciphertexts under ONE proxy key.
+
+        The default is the per-item loop; pairing-based backends override
+        it to share the Miller-loop precomputation for the fixed
+        re-encryption-key point and batch the final-exponentiation
+        inversions.  Results must be item-for-item identical to calling
+        :meth:`reencrypt` in order.
+        """
+        return [self.reencrypt(ciphertext, proxy_key) for ciphertext in ciphertexts]
+
     @abstractmethod
     def decrypt_original(self, ciphertext, domain: str, identity: str) -> Any:
         """Delegator-side decryption."""

@@ -272,6 +272,30 @@ class ProxyService:
         self._sequence += 1
         return result
 
+    def reencrypt_many_with_key(
+        self, ciphertexts: list[TypedCiphertext], key: ProxyKey
+    ) -> list[ReEncryptedCiphertext]:
+        """Transform a batch sharing one resolved key (one log entry each).
+
+        Routes through the backend's batched transformation so
+        pairing-based schemes amortise the Miller precomputation for the
+        re-encryption-key point across the whole group.  On failure no log
+        entries are appended (the backend validates every guard before
+        transforming).
+        """
+        results = self.backend.reencrypt_batch(ciphertexts, key)
+        for ciphertext in ciphertexts:
+            self._log.append(
+                ReEncryptionLogEntry(
+                    delegator=ciphertext.identity,
+                    delegatee=key.delegatee,
+                    type_label=ciphertext.type_label,
+                    sequence=self._sequence,
+                )
+            )
+            self._sequence += 1
+        return results
+
     @property
     def log(self) -> list[ReEncryptionLogEntry]:
         """The transformation log (copy; bounded to ``max_log_entries``)."""

@@ -190,6 +190,46 @@ class TypeAndIdentityPre:
             encrypted_blind=proxy_key.encrypted_blind,
         )
 
+    def preenc_batch(
+        self,
+        ciphertexts: list[TypedCiphertext],
+        proxy_key: ProxyKey,
+        unchecked: bool = False,
+    ) -> list[ReEncryptedCiphertext]:
+        """``Preenc`` over many ciphertexts sharing ONE proxy key.
+
+        Every ciphertext in a delegation group pairs against the same
+        ``rk`` point, so the Miller-loop precomputation for ``rk`` is paid
+        once and the final exponentiations share a batch inversion
+        (:meth:`PairingGroup.pair_batch`).  Results are bit-identical to
+        calling :meth:`preenc` per item — the pairing is symmetric, so
+        ``e(c1, rk) == e(rk, c1)`` exactly.
+        """
+        if not unchecked:
+            for ciphertext in ciphertexts:
+                if proxy_key.matches(ciphertext):
+                    continue
+                if proxy_key.type_label != ciphertext.type_label:
+                    raise TypeMismatchError(
+                        "proxy key is for type %r, ciphertext has type %r"
+                        % (proxy_key.type_label, ciphertext.type_label)
+                    )
+                raise DelegationError("proxy key does not match the ciphertext's delegator")
+        masks = self.group.pair_batch(proxy_key.rk_point, [c.c1 for c in ciphertexts])
+        return [
+            ReEncryptedCiphertext(
+                delegator_domain=proxy_key.delegator_domain,
+                delegator=proxy_key.delegator,
+                delegatee_domain=proxy_key.delegatee_domain,
+                delegatee=proxy_key.delegatee,
+                type_label=ciphertext.type_label,
+                c1=ciphertext.c1,
+                c2=self.group.gt_mul(ciphertext.c2, mask),
+                encrypted_blind=proxy_key.encrypted_blind,
+            )
+            for ciphertext, mask in zip(ciphertexts, masks)
+        ]
+
     # ------------------------------------------------- delegatee decryption
 
     def decrypt_reencrypted(

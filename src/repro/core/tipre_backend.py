@@ -129,6 +129,11 @@ class TipreBackend(KgcPartyMixin, PreBackend):
     def reencrypt(self, ciphertext: TypedCiphertext, proxy_key: ProxyKey) -> ReEncryptedCiphertext:
         return self.scheme.preenc(ciphertext, proxy_key)
 
+    def reencrypt_batch(
+        self, ciphertexts: list[TypedCiphertext], proxy_key: ProxyKey
+    ) -> list[ReEncryptedCiphertext]:
+        return self.scheme.preenc_batch(ciphertexts, proxy_key)
+
     def decrypt_original(self, ciphertext: TypedCiphertext, domain: str, identity: str):
         return self.scheme.decrypt(ciphertext, self._key(domain, identity))
 

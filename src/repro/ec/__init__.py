@@ -1,12 +1,19 @@
 """Elliptic-curve substrate: curves, points, and type-A pairing parameters."""
 
 from repro.ec.curve import EllipticCurve, Point
+from repro.ec.jacobian import batch_normalize, jac_scalar_mul
+from repro.ec.scalarmult import FixedBaseTable, wnaf_mul, wnaf_mul_affine
 from repro.ec.params import available_parameter_sets, generate_parameters, get_params
 from repro.ec.supersingular import SupersingularCurve
 
 __all__ = [
     "EllipticCurve",
     "Point",
+    "FixedBaseTable",
+    "wnaf_mul",
+    "wnaf_mul_affine",
+    "batch_normalize",
+    "jac_scalar_mul",
     "SupersingularCurve",
     "get_params",
     "generate_parameters",

@@ -1,4 +1,4 @@
-"""Short Weierstrass elliptic curves ``y^2 = x^3 + a*x + b`` in affine form.
+"""Short Weierstrass elliptic curves ``y^2 = x^3 + a*x + b``.
 
 The implementation is generic over the coefficient field: the same
 :class:`EllipticCurve` works over F_p (the base group G1 lives there) and
@@ -6,12 +6,19 @@ over F_{p^2} (where the distortion map sends points for pairing
 evaluation).  Points are immutable; the identity is represented explicitly
 by :attr:`Point.infinity`.
 
-Affine arithmetic with one field inversion per addition is deliberately
-chosen over Jacobian coordinates: the Miller loop needs the line slopes
-anyway, and correctness is far easier to audit.
+Single additions stay affine (one field inversion each — the Miller loop
+needs the slopes anyway and the code is easy to audit), but scalar
+multiplication over prime fields routes through the inversion-free
+Jacobian kernels in :mod:`repro.ec.jacobian` and normalises once at the
+end.  :meth:`Point.mul_schoolbook` keeps the affine double-and-add ladder
+as the conformance reference; property tests assert both paths produce
+bit-identical points.
 """
 
 from __future__ import annotations
+
+from repro.ec import jacobian as _jac
+from repro.math.fields import PrimeField
 
 __all__ = ["EllipticCurve", "Point"]
 
@@ -139,6 +146,31 @@ class Point:
             return NotImplemented
         if scalar < 0:
             return (-self) * (-scalar)
+        if isinstance(self.curve.field, PrimeField):
+            return self._mul_jacobian(scalar)
+        return self.mul_schoolbook(scalar)
+
+    __rmul__ = __mul__
+
+    def _mul_jacobian(self, scalar: int) -> "Point":
+        """Inversion-free ladder for prime-field curves (one final modinv)."""
+        if scalar == 0 or self.is_infinity():
+            return self.curve.infinity()
+        field = self.curve.field
+        affine = _jac.jac_scalar_mul(
+            self.x.value, self.y.value, scalar, self.curve.a.value, field.p
+        )
+        if affine is None:
+            return self.curve.infinity()
+        return Point(self.curve, field(affine[0]), field(affine[1]))
+
+    def mul_schoolbook(self, scalar: int) -> "Point":
+        """Affine double-and-add: the conformance reference for every
+        optimised multiplication path (Jacobian, wNAF, fixed-base)."""
+        if not isinstance(scalar, int):
+            raise TypeError("scalar must be an int")
+        if scalar < 0:
+            return (-self).mul_schoolbook(-scalar)
         result = self.curve.infinity()
         addend = self
         while scalar:
@@ -147,8 +179,6 @@ class Point:
             addend = addend._double()
             scalar >>= 1
         return result
-
-    __rmul__ = __mul__
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, Point):

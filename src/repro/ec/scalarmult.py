@@ -1,8 +1,8 @@
 """Optimised scalar multiplication: wNAF and fixed-base windowing.
 
-The schoolbook double-and-add in :class:`~repro.ec.curve.Point` is the
-reference implementation; this module provides two classic speedups used
-by the :class:`~repro.pairing.group.PairingGroup` facade:
+The affine double-and-add in :meth:`repro.ec.curve.Point.mul_schoolbook`
+is the reference implementation; this module provides two classic
+speedups used by the :class:`~repro.pairing.group.PairingGroup` facade:
 
 * **wNAF (width-w non-adjacent form)** for arbitrary points: fewer adds
   because the signed digit encoding has ~1/(w+1) density and negation is
@@ -11,15 +11,23 @@ by the :class:`~repro.pairing.group.PairingGroup` facade:
   and KGC public keys): a one-time table of size ``2^w * ceil(bits/w)``
   turns every subsequent multiplication into pure additions.
 
-Both are verified against the schoolbook ladder by property tests; the
+Both run on the inversion-free Jacobian kernels from
+:mod:`repro.ec.jacobian` for prime-field curves: the odd-multiple /
+window tables are normalised with one Montgomery batch inversion, the
+main loop performs no inversions at all, and a single ``modinv``
+normalises the result.  :func:`wnaf_mul_affine` keeps the affine wNAF
+ladder as a conformance reference (and is the fallback for extension
+fields).  All paths are verified bit-identical by property tests; the
 E1-extension benchmark (``bench_e8_substrate.py``) prices the gain.
 """
 
 from __future__ import annotations
 
+from repro.ec import jacobian as _jac
 from repro.ec.curve import Point
+from repro.math.fields import PrimeField
 
-__all__ = ["wnaf_mul", "FixedBaseTable", "wnaf_digits"]
+__all__ = ["wnaf_mul", "wnaf_mul_affine", "FixedBaseTable", "wnaf_digits"]
 
 _DEFAULT_WIDTH = 4
 
@@ -51,10 +59,10 @@ def wnaf_digits(scalar: int, width: int = _DEFAULT_WIDTH) -> list[int]:
     return digits
 
 
-def wnaf_mul(point: Point, scalar: int, width: int = _DEFAULT_WIDTH) -> Point:
-    """Scalar multiplication via wNAF; agrees with ``point * scalar``."""
+def wnaf_mul_affine(point: Point, scalar: int, width: int = _DEFAULT_WIDTH) -> Point:
+    """Affine-coordinate wNAF: the conformance reference for :func:`wnaf_mul`."""
     if scalar < 0:
-        return wnaf_mul(-point, -scalar, width)
+        return wnaf_mul_affine(-point, -scalar, width)
     if scalar == 0 or point.is_infinity():
         return point.curve.infinity()
     # Precompute the odd multiples P, 3P, ..., (2^(w-1) - 1)P: 2^(w-2) points.
@@ -73,12 +81,58 @@ def wnaf_mul(point: Point, scalar: int, width: int = _DEFAULT_WIDTH) -> Point:
     return result
 
 
+def wnaf_mul(point: Point, scalar: int, width: int = _DEFAULT_WIDTH) -> Point:
+    """Scalar multiplication via wNAF; agrees with ``point * scalar``.
+
+    Prime-field curves run in Jacobian coordinates: the odd-multiple
+    table is normalised with one batch inversion, the digit loop is
+    inversion-free, and one final ``modinv`` produces the affine result.
+    """
+    if scalar < 0:
+        return wnaf_mul(-point, -scalar, width)
+    if scalar == 0 or point.is_infinity():
+        return point.curve.infinity()
+    field = point.curve.field
+    if not isinstance(field, PrimeField):
+        return wnaf_mul_affine(point, scalar, width)
+    if width < 2:
+        raise ValueError("window width must be at least 2")
+    p = field.p
+    a = point.curve.a.value
+    x0, y0 = point.x.value, point.y.value
+    # Odd multiples P, 3P, ... in Jacobian form, one shared normalisation.
+    count = max(1, 1 << (width - 2))
+    chain = [(x0, y0, 1)]
+    if count > 1:
+        double_pt = _jac.jac_double((x0, y0, 1), a, p)
+        current = chain[0]
+        for _ in range(count - 1):
+            current = _jac.jac_add(current, double_pt, a, p)
+            chain.append(current)
+    odd_multiples = _jac.batch_normalize(chain, p)
+    acc = _jac.JAC_INFINITY
+    for digit in reversed(wnaf_digits(scalar, width)):
+        acc = _jac.jac_double(acc, a, p)
+        if digit:
+            entry = odd_multiples[(abs(digit) - 1) // 2]
+            if entry is not None:
+                ey = entry[1] if digit > 0 else (-entry[1]) % p
+                acc = _jac.jac_add_mixed(acc, entry[0], ey, a, p)
+    affine = _jac.jac_normalize(acc, p)
+    if affine is None:
+        return point.curve.infinity()
+    return Point(point.curve, field(affine[0]), field(affine[1]))
+
+
 class FixedBaseTable:
     """Precomputed windowed table for one fixed base point.
 
     With window width ``w`` and a maximum scalar of ``bits`` bits the table
-    stores ``ceil(bits / w)`` rows of ``2^w`` points; a multiplication then
-    needs only one addition per row (no doublings at all).
+    stores ``ceil(bits / w)`` rows of ``2^w`` points.  Construction runs in
+    Jacobian coordinates and normalises the whole table with a single batch
+    inversion; a multiplication is then one mixed addition per row (no
+    doublings) plus one final normalisation — a single ``modinv`` per
+    multiply instead of one per row.
     """
 
     def __init__(self, base: Point, bits: int, width: int = _DEFAULT_WIDTH):
@@ -89,16 +143,37 @@ class FixedBaseTable:
         self.base = base
         self.width = width
         self.bits = bits
-        self._rows: list[list[Point]] = []
-        row_base = base
-        for _ in range((bits + width - 1) // width):
-            row = [base.curve.infinity()]
-            for _ in range((1 << width) - 1):
-                row.append(row[-1] + row_base)
-            self._rows.append(row)
-            # Advance the row base by 2^width doublings.
-            for _ in range(width):
-                row_base = row_base.double()
+        self._prime = isinstance(base.curve.field, PrimeField)
+        rows = (bits + width - 1) // width
+        if self._prime:
+            p = base.curve.field.p
+            a = base.curve.a.value
+            row_base = (base.x.value, base.y.value, 1)
+            chain: list = []
+            for _ in range(rows):
+                current = _jac.JAC_INFINITY
+                for _ in range((1 << width) - 1):
+                    current = _jac.jac_add(current, row_base, a, p)
+                    chain.append(current)
+                # Advance the row base by 2^width doublings.
+                for _ in range(width):
+                    row_base = _jac.jac_double(row_base, a, p)
+            normalized = _jac.batch_normalize(chain, p)
+            per_row = (1 << width) - 1
+            self._rows = [
+                [None] + normalized[i * per_row : (i + 1) * per_row]
+                for i in range(rows)
+            ]
+        else:
+            self._rows = []
+            row_base = base
+            for _ in range(rows):
+                row = [base.curve.infinity()]
+                for _ in range((1 << width) - 1):
+                    row.append(row[-1] + row_base)
+                self._rows.append(row)
+                for _ in range(width):
+                    row_base = row_base.double()
 
     def mul(self, scalar: int) -> Point:
         """Multiply the fixed base by ``scalar`` (reduced into range)."""
@@ -107,12 +182,27 @@ class FixedBaseTable:
         if scalar.bit_length() > self.bits:
             raise ValueError("scalar exceeds the table's %d-bit capacity" % self.bits)
         mask = (1 << self.width) - 1
-        result = self.base.curve.infinity()
+        curve = self.base.curve
+        if not self._prime:
+            result = curve.infinity()
+            for row in self._rows:
+                result = result + row[scalar & mask]
+                scalar >>= self.width
+            return result
+        field = curve.field
+        p = field.p
+        a = curve.a.value
+        acc = _jac.JAC_INFINITY
         for row in self._rows:
-            result = result + row[scalar & mask]
+            entry = row[scalar & mask]
+            if entry is not None:
+                acc = _jac.jac_add_mixed(acc, entry[0], entry[1], a, p)
             scalar >>= self.width
-        return result
+        affine = _jac.jac_normalize(acc, p)
+        if affine is None:
+            return curve.infinity()
+        return Point(curve, field(affine[0]), field(affine[1]))
 
     def table_size(self) -> int:
-        """Number of precomputed points held."""
+        """Number of precomputed entries held (identity slots included)."""
         return sum(len(row) for row in self._rows)

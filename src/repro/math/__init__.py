@@ -9,9 +9,17 @@ Everything the elliptic-curve and pairing layers need, built from scratch:
 * :mod:`repro.math.drbg` -- seedable HMAC-DRBG and an OS-entropy source.
 """
 
+from repro.math.backend import (
+    IntBackend,
+    active_backend,
+    available_backends,
+    backend_name,
+    set_int_backend,
+)
 from repro.math.drbg import HmacDrbg, RandomSource, SystemRandomSource, system_random
 from repro.math.fields import Fp2Element, FpElement, PrimeField, QuadraticExtField
 from repro.math.ntheory import (
+    batch_modinv,
     bytes_to_int,
     crt,
     egcd,
@@ -36,6 +44,12 @@ __all__ = [
     "Fp2Element",
     "egcd",
     "modinv",
+    "batch_modinv",
+    "IntBackend",
+    "active_backend",
+    "available_backends",
+    "backend_name",
+    "set_int_backend",
     "jacobi_symbol",
     "legendre_symbol",
     "is_quadratic_residue",

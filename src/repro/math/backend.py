@@ -1,0 +1,179 @@
+"""Pluggable bigint backend: pure-python by default, gmpy2 when available.
+
+Every hot operation in the substrate bottoms out in three primitives —
+modular inversion, modular exponentiation and plain big-integer
+multiplication.  CPython's own integers handle the last one well, but
+``gmpy2.mpz`` (GMP) is several times faster on the first two at pairing
+sizes.  This module abstracts the choice behind an :class:`IntBackend`
+so the rest of the stack is backend-agnostic:
+
+* ``PythonIntBackend`` — plain ``int`` + extended Euclid; always present
+  and the reference implementation.
+* ``Gmpy2IntBackend`` — wraps field characteristics as ``gmpy2.mpz`` so
+  ordinary ``%``/``*`` arithmetic propagates mpz through the whole field
+  layer, and routes inversion/exponentiation through GMP.
+
+The trick that keeps the integration surface tiny: only the *modulus*
+(``PrimeField.p``) is wrapped.  ``int % mpz`` and ``int * mpz`` return
+``mpz``, so every derived value inherits the fast type without any other
+code changing.  ``hash(mpz(n)) == hash(n)`` keeps dict/set semantics, and
+serialisation boundaries convert with ``int(...)`` explicitly.
+
+Selection: the ``REPRO_INT_BACKEND`` environment variable (``python``,
+``gmpy2`` or ``auto``; default ``auto`` = gmpy2 when importable).  Tests
+and benchmarks can switch at runtime with :func:`set_int_backend`; the
+cross-path property suite asserts both backends produce bit-identical
+golden vectors.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "IntBackend",
+    "PythonIntBackend",
+    "Gmpy2IntBackend",
+    "active_backend",
+    "set_int_backend",
+    "available_backends",
+    "backend_name",
+]
+
+_ENV_VAR = "REPRO_INT_BACKEND"
+
+
+class IntBackend:
+    """The protocol every bigint backend implements."""
+
+    name = "abstract"
+
+    def wrap(self, value):
+        """Convert ``value`` into the backend's native integer type."""
+        raise NotImplementedError
+
+    def modinv(self, a, m):
+        """Inverse of ``a`` modulo ``m``; ZeroDivisionError when none exists."""
+        raise NotImplementedError
+
+    def powmod(self, base, exponent, modulus):
+        """``base ** exponent % modulus`` for non-negative exponents."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "%s()" % type(self).__name__
+
+
+class PythonIntBackend(IntBackend):
+    """Plain CPython integers; the always-available reference backend."""
+
+    name = "python"
+
+    def wrap(self, value):
+        return int(value)
+
+    def modinv(self, a, m):
+        a %= m
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse modulo %d" % m)
+        old_r, r = a, m
+        old_s, s = 1, 0
+        while r != 0:
+            q = old_r // r
+            old_r, r = r, old_r - q * r
+            old_s, s = s, old_s - q * s
+        if old_r not in (1, -1):
+            raise ZeroDivisionError("%d is not invertible modulo %d" % (a, m))
+        if old_r == -1:
+            old_s = -old_s
+        return old_s % m
+
+    def powmod(self, base, exponent, modulus):
+        return pow(base, exponent, modulus)
+
+
+class Gmpy2IntBackend(IntBackend):
+    """GMP-accelerated integers via ``gmpy2``; optional."""
+
+    name = "gmpy2"
+
+    def __init__(self):
+        import gmpy2  # raises ImportError when the wheel is absent
+
+        self._gmpy2 = gmpy2
+        self._mpz = gmpy2.mpz
+
+    def wrap(self, value):
+        return self._mpz(value)
+
+    def modinv(self, a, m):
+        a %= m
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse modulo %d" % m)
+        try:
+            return self._gmpy2.invert(a, m)
+        except ZeroDivisionError:
+            raise ZeroDivisionError("%d is not invertible modulo %d" % (a, m)) from None
+
+    def powmod(self, base, exponent, modulus):
+        return self._gmpy2.powmod(base, exponent, modulus)
+
+
+_PYTHON = PythonIntBackend()
+_ACTIVE: IntBackend | None = None
+
+
+def _gmpy2_importable() -> bool:
+    try:
+        import gmpy2  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def available_backends() -> list[str]:
+    """Names of the backends importable in this interpreter."""
+    names = ["python"]
+    if _gmpy2_importable():
+        names.append("gmpy2")
+    return names
+
+
+def _resolve(name: str | None) -> IntBackend:
+    choice = (name or os.environ.get(_ENV_VAR, "auto")).strip().lower()
+    if choice in ("", "auto"):
+        choice = "gmpy2" if _gmpy2_importable() else "python"
+    if choice == "python":
+        return _PYTHON
+    if choice == "gmpy2":
+        try:
+            return Gmpy2IntBackend()
+        except ImportError:
+            raise RuntimeError(
+                "REPRO_INT_BACKEND=gmpy2 requested but gmpy2 is not importable"
+            ) from None
+    raise ValueError("unknown int backend %r (expected python, gmpy2 or auto)" % choice)
+
+
+def active_backend() -> IntBackend:
+    """The process-wide backend (resolved lazily from the environment)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = _resolve(None)
+    return _ACTIVE
+
+
+def set_int_backend(name: str | None) -> IntBackend:
+    """Select a backend at runtime (``None`` re-resolves from the env var).
+
+    Existing field/curve objects keep the integer type they were built
+    with; callers that need a clean switch (the cross-path tests)
+    construct fresh parameter objects afterwards.
+    """
+    global _ACTIVE
+    _ACTIVE = _resolve(name) if name is not None else None
+    return active_backend()
+
+
+def backend_name() -> str:
+    return active_backend().name

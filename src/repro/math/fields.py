@@ -9,20 +9,27 @@ objects; arithmetic between elements of different fields raises
 
 from __future__ import annotations
 
+from repro.math import backend as _backend
 from repro.math.ntheory import is_quadratic_residue, modinv, sqrt_mod
 
 __all__ = ["PrimeField", "FpElement", "QuadraticExtField", "Fp2Element"]
 
 
 class PrimeField:
-    """The prime field F_p.  Acts as a factory for :class:`FpElement`."""
+    """The prime field F_p.  Acts as a factory for :class:`FpElement`.
+
+    The characteristic is wrapped by the active
+    :class:`~repro.math.backend.IntBackend`; because ``int op backend_int``
+    returns the backend type, every reduction mod ``p`` downstream inherits
+    the accelerated representation with no further changes.
+    """
 
     __slots__ = ("p",)
 
     def __init__(self, p: int):
         if p < 2:
             raise ValueError("field characteristic must be at least 2")
-        self.p = p
+        self.p = _backend.active_backend().wrap(p)
 
     def __call__(self, value: int) -> "FpElement":
         return FpElement(self, value % self.p)
@@ -118,7 +125,10 @@ class FpElement:
     def __pow__(self, exponent: int):
         if exponent < 0:
             return self.inverse() ** (-exponent)
-        return FpElement(self.field, pow(self.value, exponent, self.field.p))
+        return FpElement(
+            self.field,
+            _backend.active_backend().powmod(self.value, exponent, self.field.p),
+        )
 
     def inverse(self) -> "FpElement":
         return FpElement(self.field, modinv(self.value, self.field.p))
@@ -150,7 +160,8 @@ class FpElement:
         return hash((self.field.p, self.value))
 
     def __int__(self) -> int:
-        return self.value
+        # int() (not a bare return) so backend values (mpz) stay valid here.
+        return int(self.value)
 
     def __repr__(self) -> str:
         return "Fp(%d)" % self.value

@@ -1,16 +1,21 @@
 """Elementary number theory used by the field, curve and pairing layers.
 
-Everything here operates on plain Python integers.  The functions are the
-classical textbook algorithms (extended Euclid, Legendre/Jacobi symbols,
-Tonelli--Shanks square roots, the Chinese Remainder Theorem) implemented
-explicitly so the whole stack is auditable without external dependencies.
+The functions are the classical textbook algorithms (extended Euclid,
+Legendre/Jacobi symbols, Tonelli--Shanks square roots, the Chinese
+Remainder Theorem) implemented explicitly so the whole stack is auditable
+without external dependencies.  Modular inversion and exponentiation
+route through :mod:`repro.math.backend`, so a GMP-backed interpreter
+accelerates every caller transparently.
 """
 
 from __future__ import annotations
 
+from repro.math import backend as _backend
+
 __all__ = [
     "egcd",
     "modinv",
+    "batch_modinv",
     "jacobi_symbol",
     "legendre_symbol",
     "is_quadratic_residue",
@@ -43,16 +48,38 @@ def modinv(a: int, m: int) -> int:
 
     Raises :class:`ZeroDivisionError` when ``gcd(a, m) != 1`` so that callers
     treat a non-invertible element the same way they would treat ``1/0``.
+    Dispatched through the active :class:`~repro.math.backend.IntBackend`.
     """
-    a %= m
-    if a == 0:
-        raise ZeroDivisionError("0 has no inverse modulo %d" % m)
-    g, x, _ = egcd(a, m)
-    if g not in (1, -1):
-        raise ZeroDivisionError("%d is not invertible modulo %d" % (a, m))
-    if g == -1:
-        x = -x
-    return x % m
+    return _backend.active_backend().modinv(a, m)
+
+
+def batch_modinv(values: list[int], m: int) -> list[int]:
+    """Invert every element of ``values`` modulo ``m`` with ONE inversion.
+
+    Montgomery's trick: multiply prefix products forward, invert the total
+    once, then peel inverses off backwards.  Cost is ``3(n-1)`` field
+    multiplications plus a single :func:`modinv` — the building block for
+    Jacobian-point normalisation and Miller-loop precomputation, where the
+    naive path would pay one extended-Euclid per element.
+
+    Raises :class:`ZeroDivisionError` if *any* element is non-invertible
+    (callers filter zeros first when they are expected).
+    """
+    n = len(values)
+    if n == 0:
+        return []
+    prefix = [0] * n
+    acc = 1
+    for i, v in enumerate(values):
+        acc = acc * v % m
+        prefix[i] = acc
+    inv = modinv(acc, m)
+    out = [0] * n
+    for i in range(n - 1, 0, -1):
+        out[i] = prefix[i - 1] * inv % m
+        inv = inv * values[i] % m
+    out[0] = inv % m
+    return out
 
 
 def jacobi_symbol(a: int, n: int) -> int:
@@ -103,7 +130,7 @@ def sqrt_mod(a: int, p: int) -> int:
     if not is_quadratic_residue(a, p):
         raise ValueError("%d is not a quadratic residue modulo %d" % (a, p))
     if p % 4 == 3:
-        return pow(a, (p + 1) // 4, p)
+        return _backend.active_backend().powmod(a, (p + 1) // 4, p)
     # Tonelli--Shanks: write p - 1 = q * 2^s with q odd.
     q, s = p - 1, 0
     while q % 2 == 0:
@@ -163,7 +190,8 @@ def int_to_bytes(n: int, length: int | None = None) -> bytes:
         raise ValueError("cannot serialise negative integer %d" % n)
     if length is None:
         length = bit_length_bytes(n)
-    return n.to_bytes(length, "big")
+    # int() first: backend types (gmpy2.mpz) may not expose to_bytes.
+    return int(n).to_bytes(length, "big")
 
 
 def bytes_to_int(data: bytes) -> int:

@@ -1,6 +1,23 @@
 """Pairing layer: Miller loop, reduced Tate pairing, and the group facade."""
 
 from repro.pairing.group import PairingGroup
-from repro.pairing.tate import miller_loop, multi_tate_pairing, tate_pairing
+from repro.pairing.miller import MillerPrecomp
+from repro.pairing.tate import (
+    miller_loop,
+    miller_loop_affine,
+    multi_tate_pairing,
+    tate_pairing,
+    tate_pairing_affine,
+    tate_pairing_batch,
+)
 
-__all__ = ["PairingGroup", "tate_pairing", "multi_tate_pairing", "miller_loop"]
+__all__ = [
+    "PairingGroup",
+    "MillerPrecomp",
+    "tate_pairing",
+    "tate_pairing_affine",
+    "tate_pairing_batch",
+    "multi_tate_pairing",
+    "miller_loop",
+    "miller_loop_affine",
+]

@@ -14,6 +14,7 @@ raw curve classes.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 
 from repro.bench.counters import record_operation
 from repro.ec.curve import Point
@@ -23,9 +24,17 @@ from repro.ec.supersingular import SupersingularCurve
 from repro.math.drbg import RandomSource, system_random
 from repro.math.fields import Fp2Element
 from repro.math.ntheory import bytes_to_int
-from repro.pairing.tate import multi_tate_pairing, tate_pairing
+from repro.pairing.miller import MillerPrecomp
+from repro.pairing.tate import multi_tate_pairing, tate_pairing, tate_pairing_batch
 
 __all__ = ["PairingGroup"]
+
+# Bounds for the per-group Miller-precomputation cache: enough for every
+# long-lived point a deployment pairs against (generator, KGC/party public
+# keys, re-encryption-key points) without letting one-shot ciphertext
+# points grow it without limit.
+_PRECOMP_CACHE_SIZE = 128
+_PRECOMP_SEEN_LIMIT = 4096
 
 
 class PairingGroup:
@@ -39,6 +48,12 @@ class PairingGroup:
         self.params = params
         self.order = params.q
         self.generator = params.generator
+        # Miller-loop precomputations for repeatedly-paired points, the
+        # pairing analogue of the fixed-base scalar table: keyed by affine
+        # coordinates, LRU-bounded, promoted on the second sighting so
+        # one-shot ciphertext points never pollute the cache.
+        self._pair_precomps: OrderedDict[tuple[int, int], MillerPrecomp] = OrderedDict()
+        self._pair_seen: dict[tuple[int, int], int] = {}
 
     @classmethod
     def shared(cls, name: str) -> "PairingGroup":
@@ -180,13 +195,106 @@ class PairingGroup:
     def gt_identity(self) -> Fp2Element:
         return self.params.gt_identity()
 
+    # ------------------------------------------------ pairing + precomp cache
+
+    @staticmethod
+    def _point_key(point: Point) -> tuple[int, int]:
+        return (int(point.x), int(point.y))
+
+    def _cached_precomp(self, key: tuple[int, int]) -> MillerPrecomp | None:
+        pre = self._pair_precomps.get(key)
+        if pre is not None:
+            self._pair_precomps.move_to_end(key)
+        return pre
+
+    def _store_precomp(self, key: tuple[int, int], pre: MillerPrecomp) -> None:
+        self._pair_precomps[key] = pre
+        self._pair_precomps.move_to_end(key)
+        while len(self._pair_precomps) > _PRECOMP_CACHE_SIZE:
+            self._pair_precomps.popitem(last=False)
+
+    def _note_seen(self, key: tuple[int, int]) -> bool:
+        """Count a cache miss; True once the point deserves a cached precomp."""
+        if len(self._pair_seen) >= _PRECOMP_SEEN_LIMIT:
+            self._pair_seen.clear()
+        count = self._pair_seen.get(key, 0) + 1
+        self._pair_seen[key] = count
+        return count >= 2
+
+    def precompute_pairing(self, point: Point) -> MillerPrecomp:
+        """Build (or fetch) and cache the Miller precomputation for ``point``.
+
+        Schemes call this eagerly for long-lived points (public keys,
+        re-encryption keys); ordinary :meth:`pair` calls promote any point
+        seen twice automatically.
+        """
+        key = self._point_key(point)
+        pre = self._cached_precomp(key)
+        if pre is None:
+            pre = MillerPrecomp(self.params, point)
+            self._store_precomp(key, pre)
+        return pre
+
     def pair(self, left: Point, right: Point) -> Fp2Element:
-        """The symmetric pairing e: G1 x G1 -> GT (recorded inside)."""
+        """The symmetric pairing e: G1 x G1 -> GT (recorded inside).
+
+        Either argument may hit the precomputation cache — the pairing is
+        symmetric, so a cached right argument evaluates with the operands
+        swapped.  A point paired for the second time is promoted into the
+        cache; the first sighting stays ephemeral.
+        """
+        if left.is_infinity() or right.is_infinity():
+            return tate_pairing(self.params, left, right)
+        key_l = self._point_key(left)
+        pre = self._cached_precomp(key_l)
+        if pre is not None:
+            return tate_pairing(self.params, left, right, precomp=pre)
+        key_r = self._point_key(right)
+        pre = self._cached_precomp(key_r)
+        if pre is not None:
+            return tate_pairing(self.params, right, left, precomp=pre)
+        if self._note_seen(key_r):
+            return tate_pairing(self.params, right, left, precomp=self.precompute_pairing(right))
+        if self._note_seen(key_l):
+            return tate_pairing(self.params, left, right, precomp=self.precompute_pairing(left))
         return tate_pairing(self.params, left, right)
 
+    def pair_batch(self, fixed: Point, points: list[Point]) -> list[Fp2Element]:
+        """``[e(fixed, Q) for Q in points]`` sharing one Miller precomputation.
+
+        The workhorse behind batched re-encryption: every ciphertext in a
+        delegation group pairs against the same re-encryption-key point, so
+        the chain walk is paid once (and cached for the next batch) and the
+        final exponentiations share one batch inversion.
+        """
+        if not points:
+            return []
+        if fixed.is_infinity():
+            return tate_pairing_batch(self.params, fixed, points)
+        return tate_pairing_batch(
+            self.params, fixed, points, precomp=self.precompute_pairing(fixed)
+        )
+
     def multi_pair(self, pairs: list[tuple[Point, Point]]) -> Fp2Element:
-        """``prod_i e(P_i, Q_i)`` sharing one final exponentiation."""
-        return multi_tate_pairing(self.params, pairs)
+        """``prod_i e(P_i, Q_i)`` sharing one final exponentiation.
+
+        Cached precomputations are used where available (on either side of
+        a pair, via symmetry) but never built speculatively here.
+        """
+        arranged: list[tuple[Point, Point]] = []
+        precomps: list[MillerPrecomp | None] = []
+        for left, right in pairs:
+            if not left.is_infinity() and not right.is_infinity():
+                pre = self._cached_precomp(self._point_key(left))
+                if pre is None:
+                    swapped = self._cached_precomp(self._point_key(right))
+                    if swapped is not None:
+                        left, right, pre = right, left, swapped
+            else:
+                pre = None
+            arranged.append((left, right))
+            precomps.append(pre)
+        return multi_tate_pairing(self.params, arranged, precomps=precomps)
 
     # -------------------------------------------------------- serialization
 
@@ -213,7 +321,8 @@ class PairingGroup:
 
     def serialize_gt(self, element: Fp2Element) -> bytes:
         size = (self.params.p.bit_length() + 7) // 8
-        return element.a.to_bytes(size, "big") + element.b.to_bytes(size, "big")
+        # int() conversions keep this valid when the backend stores mpz.
+        return int(element.a).to_bytes(size, "big") + int(element.b).to_bytes(size, "big")
 
     def deserialize_gt(self, data: bytes) -> Fp2Element:
         size = (self.params.p.bit_length() + 7) // 8

@@ -16,8 +16,17 @@ Miller function.  Two classic optimisations apply on this curve:
   ``conj(f) / f`` (one conjugation + one inversion) before the remaining
   ``(p+1)/q`` power.
 
-The Miller loop walks base-field points (all slopes are in F_p) and only the
-line *values* live in F_{p^2}, which keeps the loop fast in pure Python.
+The default path runs on :class:`~repro.pairing.miller.MillerPrecomp`:
+the doubling/addition chain for the first argument is computed in
+Jacobian coordinates and folded into per-step line coefficients with two
+batch inversions, after which evaluating at any ``Q`` is inversion-free.
+Callers with a repeatedly-used first argument (the
+:class:`~repro.pairing.group.PairingGroup` cache) pass ``precomp=`` and
+skip even that; :func:`tate_pairing_batch` additionally shares the
+Frobenius-step inversion across a whole batch of second arguments.  The
+original affine Miller loop is kept as :func:`miller_loop_affine` /
+:func:`tate_pairing_affine` — the conformance reference the property
+suite and the E8 benchmark compare against.
 """
 
 from __future__ import annotations
@@ -27,8 +36,25 @@ from repro.ec.curve import Point
 from repro.ec.supersingular import SupersingularCurve
 from repro.math.fields import Fp2Element
 from repro.math.ntheory import modinv
+from repro.pairing.miller import (
+    MillerPrecomp,
+    final_exponentiation_batch,
+    final_exponentiation_raw,
+    fp2_mul_raw,
+)
 
-__all__ = ["tate_pairing", "miller_loop", "multi_tate_pairing"]
+__all__ = [
+    "tate_pairing",
+    "tate_pairing_affine",
+    "tate_pairing_batch",
+    "miller_loop",
+    "miller_loop_affine",
+    "multi_tate_pairing",
+]
+
+
+# --------------------------------------------------------------------------
+# Affine reference path (the seed implementation, kept for conformance).
 
 
 def _line_value(params: SupersingularCurve, t: Point, s: Point, xq: int, yq: int) -> Fp2Element | None:
@@ -55,8 +81,8 @@ def _line_value(params: SupersingularCurve, t: Point, s: Point, xq: int, yq: int
     return Fp2Element(params.ext_field, real, yq)
 
 
-def miller_loop(params: SupersingularCurve, point: Point, xq: int, yq: int) -> Fp2Element:
-    """Compute the Miller function value ``f_{q,P}(phi(Q))`` (no final exp)."""
+def miller_loop_affine(params: SupersingularCurve, point: Point, xq: int, yq: int) -> Fp2Element:
+    """``f_{q,P}(phi(Q))`` by the affine textbook loop (reference path)."""
     ext = params.ext_field
     f = ext.one()
     t = point
@@ -75,29 +101,61 @@ def miller_loop(params: SupersingularCurve, point: Point, xq: int, yq: int) -> F
     return f
 
 
-def tate_pairing(params: SupersingularCurve, p_point: Point, q_point: Point) -> Fp2Element:
+def tate_pairing_affine(params: SupersingularCurve, p_point: Point, q_point: Point) -> Fp2Element:
+    """``e(P, Q)`` via the affine reference Miller loop (recorded)."""
+    record_operation("pairing")
+    if p_point.is_infinity() or q_point.is_infinity():
+        return params.gt_identity()
+    if p_point.curve != params.curve or q_point.curve != params.curve:
+        raise ValueError("pairing inputs must be base-curve points")
+    f = miller_loop_affine(params, p_point, int(q_point.x), int(q_point.y))
+    return _final_exponentiation(params, f)
+
+
+def _final_exponentiation(params: SupersingularCurve, f: Fp2Element) -> Fp2Element:
+    """``f^((p^2-1)/q)``: Frobenius for the (p-1) part, then the cofactor."""
+    fa, fb = final_exponentiation_raw(params, f.a, f.b)
+    return Fp2Element(params.ext_field, fa, fb)
+
+
+# --------------------------------------------------------------------------
+# Default path: Jacobian-chain Miller precomputation.
+
+
+def miller_loop(params: SupersingularCurve, point: Point, xq: int, yq: int) -> Fp2Element:
+    """Compute the Miller function value ``f_{q,P}(phi(Q))`` (no final exp)."""
+    return MillerPrecomp(params, point).evaluate(xq, yq)
+
+
+def tate_pairing(
+    params: SupersingularCurve,
+    p_point: Point,
+    q_point: Point,
+    precomp: MillerPrecomp | None = None,
+) -> Fp2Element:
     """The symmetric reduced Tate pairing ``e(P, Q)`` with values in GT.
 
     Both inputs must lie in the order-``q`` subgroup of ``E(F_p)``.  Returns
-    the GT identity when either input is the point at infinity.
+    the GT identity when either input is the point at infinity.  Passing a
+    :class:`MillerPrecomp` built for ``p_point`` skips the chain walk (the
+    pairing is symmetric, so callers may swap arguments to hit one).
     """
     record_operation("pairing")
     if p_point.is_infinity() or q_point.is_infinity():
         return params.gt_identity()
     if p_point.curve != params.curve or q_point.curve != params.curve:
         raise ValueError("pairing inputs must be base-curve points")
-    f = miller_loop(params, p_point, int(q_point.x), int(q_point.y))
-    return _final_exponentiation(params, f)
-
-
-def _final_exponentiation(params: SupersingularCurve, f: Fp2Element) -> Fp2Element:
-    """``f^((p^2-1)/q)``: Frobenius for the (p-1) part, then the cofactor."""
-    f = f.conjugate() * f.inverse()
-    return f ** ((params.p + 1) // params.q)
+    if precomp is None:
+        precomp = MillerPrecomp(params, p_point)
+    fa, fb = precomp.evaluate_raw(q_point.x.value, q_point.y.value)
+    fa, fb = final_exponentiation_raw(params, fa, fb)
+    return Fp2Element(params.ext_field, fa, fb)
 
 
 def multi_tate_pairing(
-    params: SupersingularCurve, pairs: list[tuple[Point, Point]]
+    params: SupersingularCurve,
+    pairs: list[tuple[Point, Point]],
+    precomps: list[MillerPrecomp | None] | None = None,
 ) -> Fp2Element:
     """The product of pairings ``prod_i e(P_i, Q_i)`` with one final exponentiation.
 
@@ -106,11 +164,15 @@ def multi_tate_pairing(
     the (expensive) final exponentiation, which is then paid once instead
     of once per pair.  Identity inputs contribute a factor 1.  Recorded as
     a single ``pairing`` plus one ``pairing_extra`` per additional pair so
-    the E1/E8 cost accounting stays honest.
+    the E1/E8 cost accounting stays honest.  ``precomps`` optionally
+    supplies a :class:`MillerPrecomp` per pair (aligned with ``pairs``,
+    ``None`` entries are built on the fly).
     """
+    if precomps is None:
+        precomps = [None] * len(pairs)
     live = [
-        (p, q)
-        for p, q in pairs
+        (p, q, pre)
+        for (p, q), pre in zip(pairs, precomps)
         if not p.is_infinity() and not q.is_infinity()
     ]
     if not live:
@@ -118,9 +180,61 @@ def multi_tate_pairing(
     record_operation("pairing")
     if len(live) > 1:
         record_operation("pairing_extra", len(live) - 1)
-    product = params.ext_field.one()
-    for p_point, q_point in live:
+    p_mod = params.base_field.p
+    fa, fb = 1, 0
+    first = True
+    for p_point, q_point, pre in live:
         if p_point.curve != params.curve or q_point.curve != params.curve:
             raise ValueError("pairing inputs must be base-curve points")
-        product = product * miller_loop(params, p_point, int(q_point.x), int(q_point.y))
-    return _final_exponentiation(params, product)
+        if pre is None:
+            pre = MillerPrecomp(params, p_point)
+        ga, gb = pre.evaluate_raw(q_point.x.value, q_point.y.value)
+        if first:
+            fa, fb = ga, gb
+            first = False
+        else:
+            fa, fb = fp2_mul_raw(fa, fb, ga, gb, p_mod)
+    fa, fb = final_exponentiation_raw(params, fa, fb)
+    return Fp2Element(params.ext_field, fa, fb)
+
+
+def tate_pairing_batch(
+    params: SupersingularCurve,
+    fixed: Point,
+    points: list[Point],
+    precomp: MillerPrecomp | None = None,
+) -> list[Fp2Element]:
+    """``[e(fixed, Q) for Q in points]`` sharing one Miller precomputation.
+
+    The chain walk for ``fixed`` is paid once for the whole batch and the
+    Frobenius-step inversions of the final exponentiations are folded into
+    a single batch inversion; each entry still gets its own cofactor power
+    (the results are independent GT elements, unlike
+    :func:`multi_tate_pairing`'s single product).  Recorded as one
+    ``pairing`` per live entry — each result is a full pairing to callers
+    even though the batch amortises most of the work.
+    """
+    if not points:
+        return []
+    identity = params.gt_identity()
+    if fixed.is_infinity():
+        record_operation("pairing", len(points))
+        return [identity] * len(points)
+    if fixed.curve != params.curve:
+        raise ValueError("pairing inputs must be base-curve points")
+    record_operation("pairing", len(points))
+    if precomp is None:
+        precomp = MillerPrecomp(params, fixed)
+    live_index = []
+    raw_values = []
+    for i, q_point in enumerate(points):
+        if q_point.is_infinity():
+            continue
+        if q_point.curve != params.curve:
+            raise ValueError("pairing inputs must be base-curve points")
+        live_index.append(i)
+        raw_values.append(precomp.evaluate_raw(q_point.x.value, q_point.y.value))
+    out = [identity] * len(points)
+    for i, (fa, fb) in zip(live_index, final_exponentiation_batch(params, raw_values)):
+        out[i] = Fp2Element(params.ext_field, fa, fb)
+    return out

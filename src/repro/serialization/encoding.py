@@ -40,6 +40,7 @@ class Writer:
     def write_int(self, value: int) -> "Writer":
         if value < 0:
             raise EncodingError("negative integers are not encodable")
+        value = int(value)  # accept bigint-backend values (gmpy2.mpz)
         length = max(1, (value.bit_length() + 7) // 8)
         return self.write_bytes(value.to_bytes(length, "big"))
 

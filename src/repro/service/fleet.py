@@ -130,6 +130,10 @@ class FleetSupervisor:
         pool_size: int = 4,
         spawn_timeout: float = 60.0,
         event_log: EventLog | None = None,
+        backoff_base: float = 0.5,
+        backoff_max: float = 30.0,
+        crash_loop_threshold: int = 5,
+        crash_loop_window: float = 60.0,
     ):
         from repro.pairing.group import PairingGroup
 
@@ -142,13 +146,22 @@ class FleetSupervisor:
         self.rate_per_s = rate_per_s
         self.pool_size = pool_size
         self.spawn_timeout = spawn_timeout
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.crash_loop_threshold = crash_loop_threshold
+        self.crash_loop_window = crash_loop_window
         self.state_root = Path(state_root) if state_root is not None else None
         self.events = event_log if event_log is not None else EventLog()
         self._workers: dict[str, _Worker] = {}
         self._clients: dict[str, RemoteGateway] = {}
         self._lock = threading.RLock()
         self._reviving: set[str] = set()
+        self._failures: dict[str, list[float]] = {}
+        self._broken: set[str] = set()
         self._closed = False
+        # Injectable for the kill-loop regression tests.
+        self._clock = time.monotonic
+        self._sleep = time.sleep
         if shard_count:
             self.ensure_started(["shard-%02d" % i for i in range(shard_count)])
 
@@ -222,6 +235,10 @@ class FleetSupervisor:
             with self._lock:
                 if self._closed:
                     raise WireTransportError("fleet supervisor is closed")
+                # Explicit operator action: close the crash-loop breaker
+                # and start fresh failure accounting for this shard.
+                self._broken.discard(name)
+                self._failures.pop(name, None)
                 if name in self._workers and self._workers[name].process.poll() is None:
                     continue
             worker = self._spawn(name)
@@ -289,6 +306,16 @@ class FleetSupervisor:
         The caller's request still fails — restart happens off the
         request path so an unreachable shard costs one timeout, not a
         supervised respawn per request.
+
+        Repeated failures inside ``crash_loop_window`` back off
+        exponentially (``backoff_base * 2^(n-1)``, capped at
+        ``backoff_max``; the first failure respawns immediately).  Once
+        ``crash_loop_threshold`` failures accumulate in the window the
+        breaker opens: the shard is left down, a ``shard-crash-loop``
+        event is emitted, and no further respawns run until an operator
+        calls :meth:`reset_breaker` (or :meth:`ensure_started` for the
+        shard).  A crashing binary otherwise turns the supervisor into a
+        fork bomb that steals CPU from every healthy shard.
         """
         with self._lock:
             worker = self._workers.get(name)
@@ -299,10 +326,40 @@ class FleetSupervisor:
                 or name in self._reviving
             ):
                 return name in self._reviving
+            if name in self._broken:
+                return False
+            now = self._clock()
+            recent = [
+                stamp
+                for stamp in self._failures.get(name, [])
+                if now - stamp < self.crash_loop_window
+            ]
+            recent.append(now)
+            self._failures[name] = recent
+            if len(recent) >= self.crash_loop_threshold:
+                self._broken.add(name)
+                self.events.emit(
+                    "shard-crash-loop",
+                    shard=name,
+                    failures=len(recent),
+                    window_s=self.crash_loop_window,
+                )
+                return False
+            delay = 0.0
+            if len(recent) > 1:
+                delay = min(
+                    self.backoff_base * (2 ** (len(recent) - 2)), self.backoff_max
+                )
             self._reviving.add(name)
 
         def revive() -> None:
             try:
+                if delay > 0:
+                    self.events.emit("shard-respawn-backoff", shard=name, delay_s=delay)
+                    self._sleep(delay)
+                with self._lock:
+                    if self._closed or name in self._broken:
+                        return
                 self.restart(name)
             except Exception as error:  # noqa: BLE001 - supervisor boundary
                 self.events.emit("shard-restart-failed", shard=name, error=str(error))
@@ -314,6 +371,22 @@ class FleetSupervisor:
             target=revive, name="fleet-revive-%s" % name, daemon=True
         ).start()
         return True
+
+    def is_broken(self, name: str) -> bool:
+        """True when the crash-loop breaker is open for ``name``."""
+        with self._lock:
+            return name in self._broken
+
+    def reset_breaker(self, name: str) -> None:
+        """Close the crash-loop breaker and forget the failure history.
+
+        Does not restart the shard by itself — call :meth:`restart` or
+        :meth:`ensure_started` afterwards (the latter clears the breaker
+        automatically for the names it spawns).
+        """
+        with self._lock:
+            self._broken.discard(name)
+            self._failures.pop(name, None)
 
     def kill(self, name: str) -> None:
         """SIGKILL one worker (crash-recovery tests); no cleanup runs."""
@@ -528,11 +601,18 @@ class FleetGateway:
         event_log: EventLog | None = None,
         clock: Callable[[], float] = time.monotonic,
         telemetry: bool = True,
+        migration_chunk_size: int = 64,
     ):
+        if migration_chunk_size < 1:
+            raise ValueError("migration_chunk_size must be positive")
         self.fleet = fleet
         self.backend: PreBackend = fleet.backend
         self.store = store
         self.clock = clock
+        self.migration_chunk_size = migration_chunk_size
+        # Wire-call accounting of the most recent resize migration:
+        # {"export_calls", "grant_calls", "grant_keys", "revoke_calls"}.
+        self.last_migration_stats: dict[str, int] | None = None
         self.metrics = GatewayMetrics(clock=clock)
         self.events = event_log if event_log is not None else EventLog()
         self.tracer: Tracer | None = (
@@ -840,6 +920,12 @@ class FleetGateway:
         if shard_count < 1:
             raise InvalidRequestError("shard_count must be positive")
         with self._resize_lock:
+            self.last_migration_stats = {
+                "export_calls": 0,
+                "grant_calls": 0,
+                "grant_keys": 0,
+                "revoke_calls": 0,
+            }
             start = self.clock()
             old_names = self._router.shards
             new_names = ["shard-%02d" % i for i in range(shard_count)]
@@ -888,6 +974,9 @@ class FleetGateway:
         keys = self._shard_call(
             "export", name, lambda client, t: client.list_keys(trace=t), trace
         )
+        stats = self.last_migration_stats
+        if stats is not None:
+            stats["export_calls"] += 1
         misplaced = []
         for key in keys:
             owner = migration.new_router.shard_for(
@@ -897,78 +986,110 @@ class FleetGateway:
                 misplaced.append(key)
         return misplaced
 
+    def _by_new_owner(
+        self, migration: _Migration, keys: list[ProxyKey]
+    ) -> dict[str, list[ProxyKey]]:
+        """Group misplaced keys by the shard the new ring homes them on."""
+        grouped: dict[str, list[ProxyKey]] = {}
+        for key in keys:
+            owner = migration.new_router.shard_for(
+                key.delegator_domain, key.delegator, key.type_label
+            )
+            grouped.setdefault(owner, []).append(key)
+        return grouped
+
+    def _grant_chunk(self, owner: str, keys: list[ProxyKey], tenant: str, trace):
+        """Install a chunk of re-homed keys with one wire round trip."""
+        self._shard_call(
+            "grant",
+            owner,
+            lambda client, t, keys=keys: client.grant_batch(
+                [GrantRequest(tenant=tenant, proxy_key=key) for key in keys],
+                trace=t,
+            ),
+            trace,
+        )
+        stats = self.last_migration_stats
+        if stats is not None:
+            stats["grant_calls"] += 1
+            stats["grant_keys"] += len(keys)
+
     def _copy_sweep(
         self, migration: _Migration, old_names: list[str], tenant: str, trace
     ) -> int:
         moved = 0
+        chunk_size = self.migration_chunk_size
         for name in old_names:
-            for key in self._misplaced(name, migration, trace):
-                index = ProxyKeyTable.index_of(key)
-                owner = migration.new_router.shard_for(
-                    key.delegator_domain, key.delegator, key.type_label
-                )
-                with self._migration_mutex:
-                    if index in migration.overrides:
-                        continue  # a live write already placed the latest truth
-                    migration.copied.add(index)
-                    self._shard_call(
-                        "grant",
-                        owner,
-                        lambda client, t, key=key: client.grant(
-                            GrantRequest(tenant=tenant, proxy_key=key), trace=t
-                        ),
-                        trace,
-                    )
-                    moved += 1
+            grouped = self._by_new_owner(
+                migration, self._misplaced(name, migration, trace)
+            )
+            for owner, keys in grouped.items():
+                for at in range(0, len(keys), chunk_size):
+                    with self._migration_mutex:
+                        chunk = []
+                        for key in keys[at : at + chunk_size]:
+                            index = ProxyKeyTable.index_of(key)
+                            if index in migration.overrides:
+                                # A live write already placed the latest truth.
+                                continue
+                            migration.copied.add(index)
+                            chunk.append(key)
+                        if chunk:
+                            self._grant_chunk(owner, chunk, tenant, trace)
+                            moved += len(chunk)
         return moved
 
     def _cleanup_sweep(
         self, migration: _Migration, old_names: list[str], tenant: str, trace
     ) -> int:
         moved = 0
+        chunk_size = self.migration_chunk_size
         for name in old_names:
-            for key in self._misplaced(name, migration, trace):
-                index = ProxyKeyTable.index_of(key)
-                owner = migration.new_router.shard_for(
-                    key.delegator_domain, key.delegator, key.type_label
-                )
-                with self._migration_mutex:
-                    if (
-                        index not in migration.overrides
-                        and index not in migration.copied
-                    ):
-                        # Landed on the old owner after the copy sweep's
-                        # enumeration passed it: re-home before revoking.
-                        migration.copied.add(index)
-                        self._shard_call(
-                            "grant",
-                            owner,
-                            lambda client, t, key=key: client.grant(
-                                GrantRequest(tenant=tenant, proxy_key=key), trace=t
-                            ),
-                            trace,
-                        )
-                        moved += 1
-                    if index in migration.overrides:
-                        # The live write already reached both generations
-                        # (a dual-applied revoke must stay revoked).
-                        continue
-                    self._shard_call(
-                        "revoke",
-                        name,
-                        lambda client, t, index=index: client.revoke(
-                            RevokeRequest(
-                                tenant=tenant,
-                                delegator_domain=index[0],
-                                delegator=index[1],
-                                delegatee_domain=index[2],
-                                delegatee=index[3],
-                                type_label=index[4],
-                            ),
-                            trace=t,
-                        ),
-                        trace,
-                    )
+            grouped = self._by_new_owner(
+                migration, self._misplaced(name, migration, trace)
+            )
+            for owner, keys in grouped.items():
+                for at in range(0, len(keys), chunk_size):
+                    with self._migration_mutex:
+                        chunk = []
+                        revokes = []
+                        for key in keys[at : at + chunk_size]:
+                            index = ProxyKeyTable.index_of(key)
+                            if index in migration.overrides:
+                                # The live write already reached both
+                                # generations (a dual-applied revoke must
+                                # stay revoked).
+                                continue
+                            if index not in migration.copied:
+                                # Landed on the old owner after the copy
+                                # sweep's enumeration passed it: re-home
+                                # before revoking.
+                                migration.copied.add(index)
+                                chunk.append(key)
+                            revokes.append(index)
+                        if chunk:
+                            self._grant_chunk(owner, chunk, tenant, trace)
+                            moved += len(chunk)
+                        for index in revokes:
+                            self._shard_call(
+                                "revoke",
+                                name,
+                                lambda client, t, index=index: client.revoke(
+                                    RevokeRequest(
+                                        tenant=tenant,
+                                        delegator_domain=index[0],
+                                        delegator=index[1],
+                                        delegatee_domain=index[2],
+                                        delegatee=index[3],
+                                        type_label=index[4],
+                                    ),
+                                    trace=t,
+                                ),
+                                trace,
+                            )
+                            stats = self.last_migration_stats
+                            if stats is not None:
+                                stats["revoke_calls"] += 1
         return moved
 
     # ---------------------------------------------------------- observability

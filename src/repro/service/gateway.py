@@ -790,6 +790,11 @@ class ReEncryptionGateway:
                     except NoProxyKeyError as error:
                         # Revoked between the guard and this task.
                         raise BatchItemError(group.positions[0], error) from error
+                    miss_positions: list[int] = []
+                    miss_ciphertexts = []
+                    miss_keys = []
+                    pending: dict = {}
+                    duplicates: list[tuple[int, int]] = []
                     for position, ciphertext in zip(group.positions, group.ciphertexts):
                         shard_names[position] = shard_name
                         result_key = (ciphertext, key.delegatee_domain, key.delegatee)
@@ -802,12 +807,46 @@ class ReEncryptionGateway:
                             hit_flags[position] = True
                             results[position] = cached
                             continue
-                        try:
-                            results[position] = shard.reencrypt_with_key(ciphertext, key)
-                        except Exception as error:  # noqa: BLE001 - rewrapped
-                            raise BatchItemError(position, error) from error
+                        if self._cache_results and result_key in pending:
+                            # Duplicate within this batch: served by the first
+                            # occurrence's computation, reported as a hit
+                            # (matching the per-item loop's put-then-get order).
+                            hit_flags[position] = True
+                            duplicates.append((position, pending[result_key]))
+                            continue
                         if self._cache_results:
-                            self._result_cache.put(result_key, results[position])
+                            pending[result_key] = len(miss_positions)
+                        miss_positions.append(position)
+                        miss_ciphertexts.append(ciphertext)
+                        miss_keys.append(result_key)
+                    if not miss_positions:
+                        return
+                    # One batched transformation for the whole group: the
+                    # backend amortises the pairing precomputation across
+                    # every ciphertext sharing this proxy key.
+                    try:
+                        transformed = shard.reencrypt_many_with_key(miss_ciphertexts, key)
+                    except Exception:  # noqa: BLE001 - replayed for attribution
+                        # The batch failed as a unit; replay item-by-item so
+                        # the error is pinned to a position (the ops are
+                        # deterministic, so survivors produce the same
+                        # results the batch would have).
+                        transformed = []
+                        for position, ciphertext in zip(miss_positions, miss_ciphertexts):
+                            try:
+                                transformed.append(
+                                    shard.reencrypt_with_key(ciphertext, key)
+                                )
+                            except Exception as error:  # noqa: BLE001 - rewrapped
+                                raise BatchItemError(position, error) from error
+                    for position, result_key, result in zip(
+                        miss_positions, miss_keys, transformed
+                    ):
+                        results[position] = result
+                        if self._cache_results:
+                            self._result_cache.put(result_key, result)
+                    for position, miss_index in duplicates:
+                        results[position] = transformed[miss_index]
 
             return run
 

@@ -20,6 +20,8 @@ from repro.service.wire.client import RemoteGateway, SchemeMismatchError, WireTr
 from repro.service.wire.codec import (
     ERROR_TYPES,
     WIRE_FORMAT,
+    GrantBatchRequest,
+    GrantBatchResponse,
     ReEncryptBatchRequest,
     ReEncryptBatchResponse,
     ResizeRequest,
@@ -33,6 +35,8 @@ from repro.service.wire.server import STATUS_BY_CODE, GatewayHttpServer
 __all__ = [
     "ERROR_TYPES",
     "GatewayHttpServer",
+    "GrantBatchRequest",
+    "GrantBatchResponse",
     "ReEncryptBatchRequest",
     "ReEncryptBatchResponse",
     "RemoteGateway",

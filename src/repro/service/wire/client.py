@@ -76,6 +76,8 @@ from repro.service.telemetry import (
 )
 from repro.service.wire.codec import (
     ERROR_TYPES,
+    GrantBatchRequest,
+    GrantBatchResponse,
     KeyExportRequest,
     KeyExportResponse,
     ReEncryptBatchRequest,
@@ -485,6 +487,22 @@ class RemoteGateway:
     ) -> GrantResponse:
         return self._call("POST", "grant", request, GrantResponse, trace=trace)
 
+    def grant_batch(
+        self,
+        requests: Sequence[GrantRequest],
+        trace: TraceContext | None = None,
+    ) -> list[GrantResponse]:
+        """Install many proxy keys in one wire round-trip.
+
+        The fleet's resize migration ships each chunk of re-homed keys
+        this way instead of paying one HTTP request per key.
+        """
+        message = GrantBatchRequest(requests=tuple(requests))
+        response = self._call(
+            "POST", "grant", message, GrantBatchResponse, trace=trace
+        )
+        return list(response.responses)
+
     def revoke(
         self, request: RevokeRequest, trace: TraceContext | None = None
     ) -> RevokeResponse:
@@ -562,6 +580,22 @@ class RemoteGateway:
         if status != 200:
             raise WireTransportError("HTTP %d from /v1/metrics?format=prometheus" % status)
         return body.decode("utf-8")
+
+    def events_tail(self, n: int | None = None) -> list[dict]:
+        """The newest ``n`` structured server events, oldest first.
+
+        Scheme-neutral endpoint; ``n=None`` retrieves everything the
+        server's bounded event ring still holds.
+        """
+        path = "/v1/events" if n is None else "/v1/events?tail=%d" % n
+        status, body = self._raw_request("GET", path, None)
+        if status != 200:
+            raise WireTransportError("HTTP %d from %s" % (status, path))
+        document = self._parse_json(body, path)
+        events = document.get("events")
+        if not isinstance(events, list):
+            raise WireTransportError("%s body lacks an events list" % path)
+        return events
 
     def fetch_trace(self, trace_id: str) -> list[Span]:
         """Retrieve one server-side trace by id (scheme-neutral endpoint).

@@ -67,6 +67,8 @@ from repro.service.telemetry import HistogramSnapshot
 __all__ = [
     "WIRE_FORMAT",
     "ERROR_TYPES",
+    "GrantBatchRequest",
+    "GrantBatchResponse",
     "ReEncryptBatchRequest",
     "ReEncryptBatchResponse",
     "ResizeRequest",
@@ -95,6 +97,22 @@ ERROR_TYPES: dict[str, type] = {
 
 
 # ------------------------------------------------------- wire-only wrappers
+
+
+@dataclass(frozen=True)
+class GrantBatchRequest:
+    """A sequence of :class:`GrantRequest` shipped as one message.
+
+    The fleet resize migration re-homes whole chunks of proxy keys at
+    once with this instead of paying one HTTP round-trip per key.
+    """
+
+    requests: tuple[GrantRequest, ...]
+
+
+@dataclass(frozen=True)
+class GrantBatchResponse:
+    responses: tuple[GrantResponse, ...]
 
 
 @dataclass(frozen=True)
@@ -275,6 +293,34 @@ def _enc_grant_response(backend: PreBackend, msg: GrantResponse) -> dict:
 
 def _dec_grant_response(backend: PreBackend, body: dict) -> GrantResponse:
     return GrantResponse(shard=_get(body, "shard", str))
+
+
+def _enc_grant_batch_request(backend: PreBackend, msg: GrantBatchRequest) -> dict:
+    return {"requests": [_enc_grant_request(backend, r) for r in msg.requests]}
+
+
+def _dec_grant_batch_request(backend: PreBackend, body: dict) -> GrantBatchRequest:
+    items = _get(body, "requests", list)
+    decoded = []
+    for item in items:
+        if not isinstance(item, dict):
+            raise InvalidRequestError("batch items must be JSON objects")
+        decoded.append(_dec_grant_request(backend, item))
+    return GrantBatchRequest(requests=tuple(decoded))
+
+
+def _enc_grant_batch_response(backend: PreBackend, msg: GrantBatchResponse) -> dict:
+    return {"responses": [_enc_grant_response(backend, r) for r in msg.responses]}
+
+
+def _dec_grant_batch_response(backend: PreBackend, body: dict) -> GrantBatchResponse:
+    items = _get(body, "responses", list)
+    decoded = []
+    for item in items:
+        if not isinstance(item, dict):
+            raise InvalidRequestError("batch items must be JSON objects")
+        decoded.append(_dec_grant_response(backend, item))
+    return GrantBatchResponse(responses=tuple(decoded))
 
 
 def _enc_revoke_request(backend: PreBackend, msg: RevokeRequest) -> dict:
@@ -694,6 +740,16 @@ def _dec_error(backend: PreBackend, body: dict) -> GatewayError:
 _CODECS: dict[type, tuple[str, Callable, Callable]] = {
     GrantRequest: ("grant-request", _enc_grant_request, _dec_grant_request),
     GrantResponse: ("grant-response", _enc_grant_response, _dec_grant_response),
+    GrantBatchRequest: (
+        "grant-batch-request",
+        _enc_grant_batch_request,
+        _dec_grant_batch_request,
+    ),
+    GrantBatchResponse: (
+        "grant-batch-response",
+        _enc_grant_batch_response,
+        _dec_grant_batch_response,
+    ),
     RevokeRequest: ("revoke-request", _enc_revoke_request, _dec_revoke_request),
     RevokeResponse: ("revoke-response", _enc_revoke_response, _dec_revoke_response),
     ReEncryptRequest: ("reencrypt-request", _enc_reencrypt_request, _dec_reencrypt_request),

@@ -21,6 +21,7 @@ where ``{scheme}`` is the backend's wire-stable id (slash included:
 
     GET  /v1/schemes               every hosted fleet's scheme document
     GET  /v1/health                liveness probe (no gateway call)
+    GET  /v1/events?tail=N         newest N structured server events
 
 and the *legacy unprefixed* family (``/v1/grant``, ``/v1/reencrypt``,
 ``/v1/scheme``, ...) keeps working verbatim whenever the server hosts
@@ -76,6 +77,8 @@ from repro.service.telemetry import (
     span_to_json,
 )
 from repro.service.wire.codec import (
+    GrantBatchRequest,
+    GrantBatchResponse,
     KeyExportRequest,
     KeyExportResponse,
     ReEncryptBatchRequest,
@@ -327,6 +330,36 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             neutral_error_to_wire(EntryMissingError("no trace %r" % trace_id)),
         )
 
+    def _send_events(self, tail: str) -> None:
+        """Scheme-neutral event retrieval: the newest ``tail`` entries of
+        the server's structured event log, oldest first."""
+        log = getattr(self.server, "wire_event_log", None)
+        if log is None:
+            self._send_json(
+                404,
+                neutral_error_to_wire(
+                    EntryMissingError("this server keeps no event log")
+                ),
+            )
+            return
+        count: int | None = None
+        if tail:
+            try:
+                count = int(tail)
+            except ValueError:
+                count = -1
+            if count < 1:
+                self._send_json(
+                    400,
+                    neutral_error_to_wire(
+                        InvalidRequestError("tail must be a positive integer")
+                    ),
+                )
+                return
+        self._send_json(
+            200, json.dumps({"events": log.tail(count)}, sort_keys=True)
+        )
+
     # ------------------------------------------------------------ endpoints
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
@@ -354,6 +387,9 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             return
         if base.startswith("/v1/trace/"):
             self._send_trace(base[len("/v1/trace/"):])
+            return
+        if base == "/v1/events":
+            self._send_events((query.get("tail") or [""])[0])
             return
         if base == "/v1/metrics" and out_format == "prometheus":
             # One scrape covers every hosted fleet (scheme is a label), so
@@ -398,7 +434,9 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 else nullcontext()
             ):
                 if op == "grant":
-                    request = from_wire(backend, raw, expect=GrantRequest)
+                    request = from_wire(
+                        backend, raw, expect=(GrantRequest, GrantBatchRequest)
+                    )
                 elif op == "revoke":
                     request = from_wire(backend, raw, expect=RevokeRequest)
                 elif op == "reencrypt":
@@ -427,7 +465,15 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             try:
                 kwargs = {"trace": sub} if traced else {}
                 if op == "grant":
-                    response = gateway.grant(request, **kwargs)
+                    if isinstance(request, GrantBatchRequest):
+                        response = GrantBatchResponse(
+                            responses=tuple(
+                                gateway.grant(item, **kwargs)
+                                for item in request.requests
+                            )
+                        )
+                    else:
+                        response = gateway.grant(request, **kwargs)
                 elif op == "revoke":
                     response = gateway.revoke(request, **kwargs)
                 elif op == "reencrypt":

@@ -576,6 +576,18 @@ class TestFleetResizeUnderLoad:
             assert served[0] > 0, "no traffic overlapped the resize"
             assert report.new_shard_count == 3
             assert report.shards_added == ("shard-02",)
+            # The migration batches its grant stream: every re-homed key
+            # travelled inside a chunked grant_batch call — at most one
+            # per (old shard, new owner) pair here, since the chunk size
+            # far exceeds the key count — never one wire call per key.
+            stats = gateway.last_migration_stats
+            assert stats is not None
+            assert stats["grant_keys"] == report.keys_moved
+            assert stats["grant_calls"] <= 2 * 2  # 2 old shards x 2 foreign owners
+            if report.keys_moved > 4:
+                assert stats["grant_calls"] < report.keys_moved
+            assert stats["revoke_calls"] == report.keys_moved
+            assert stats["export_calls"] == 4  # 2 sweeps x 2 old shards
             assert gateway.shard_names == ["shard-00", "shard-01", "shard-02"]
             # The fleet still holds exactly the granted keys, each on the
             # shard the new ring owns it to.
@@ -596,3 +608,167 @@ class TestFleetResizeUnderLoad:
         finally:
             gateway.close()
             setting.gateway.close()
+
+# ------------------------------------------- crash-loop breaker (no processes)
+
+
+class _DeadProcess:
+    """A process handle that is already dead (``poll()`` -> exit code 1)."""
+
+    pid = 4242
+
+    def poll(self):
+        return 1
+
+    def wait(self, timeout=None):
+        return 1
+
+    def terminate(self):
+        pass
+
+    def kill(self):
+        pass
+
+
+class TestCrashLoopBreaker:
+    """A worker whose binary dies on every spawn must not fork-bomb the
+    supervisor: respawns back off exponentially and the breaker opens at
+    the crash-loop threshold.  Runs against a stubbed dead worker with an
+    injected clock, so no real processes and no real sleeping."""
+
+    def _supervisor(self, **overrides) -> FleetSupervisor:
+        from repro.service.fleet import _Worker
+
+        options = dict(
+            backoff_base=0.5,
+            backoff_max=4.0,
+            crash_loop_threshold=5,
+            crash_loop_window=60.0,
+        )
+        options.update(overrides)
+        supervisor = FleetSupervisor(
+            "tipre/v1", shard_count=0, group_name="TOY", **options
+        )
+        supervisor._workers["shard-00"] = _Worker(
+            name="shard-00",
+            url="http://127.0.0.1:1/",
+            process=_DeadProcess(),
+            state_dir=None,
+        )
+        return supervisor
+
+    @staticmethod
+    def _drain(supervisor: FleetSupervisor) -> None:
+        deadline = time.monotonic() + 10
+        while supervisor._reviving:
+            assert time.monotonic() < deadline, "revive thread never finished"
+            time.sleep(0.005)
+
+    def _wire_up(self, supervisor: FleetSupervisor):
+        """Deterministic clock, recorded sleeps, always-failing restarts."""
+        now = [0.0]
+        delays: list[float] = []
+        attempts: list[str] = []
+        supervisor._clock = lambda: now[0]
+
+        def fake_sleep(seconds: float) -> None:
+            delays.append(seconds)
+            now[0] += seconds
+
+        def failing_restart(name: str) -> None:
+            attempts.append(name)
+            raise WireTransportError("worker binary crashes on start")
+
+        supervisor._sleep = fake_sleep
+        supervisor.restart = failing_restart
+        return now, delays, attempts
+
+    def test_kill_loop_backs_off_then_opens_the_breaker(self):
+        supervisor = self._supervisor()
+        now, delays, attempts = self._wire_up(supervisor)
+        try:
+            for _ in range(4):
+                assert supervisor.note_failure("shard-00") is True
+                self._drain(supervisor)
+                now[0] += 0.1
+            # First respawn is immediate, the next three back off 2x each.
+            assert delays == [0.5, 1.0, 2.0]
+            assert attempts == ["shard-00"] * 4
+            # The fifth failure inside the window opens the breaker: no
+            # revival starts, the shard stays down.
+            assert supervisor.note_failure("shard-00") is False
+            self._drain(supervisor)
+            assert supervisor.is_broken("shard-00")
+            assert len(attempts) == 4
+            events = supervisor.events.tail()
+            kinds = [event["kind"] for event in events]
+            assert "shard-crash-loop" in kinds
+            assert [
+                event["delay_s"]
+                for event in events
+                if event["kind"] == "shard-respawn-backoff"
+            ] == [0.5, 1.0, 2.0]
+            loop_event = next(e for e in events if e["kind"] == "shard-crash-loop")
+            assert loop_event["failures"] == 5
+            # Open breaker short-circuits every later failure report.
+            assert supervisor.note_failure("shard-00") is False
+            self._drain(supervisor)
+            assert len(attempts) == 4
+        finally:
+            supervisor.close()
+
+    def test_backoff_cap_and_window_expiry(self):
+        supervisor = self._supervisor(backoff_max=1.0, crash_loop_threshold=9)
+        now, delays, attempts = self._wire_up(supervisor)
+        try:
+            for _ in range(5):
+                assert supervisor.note_failure("shard-00") is True
+                self._drain(supervisor)
+                now[0] += 0.1
+            assert delays == [0.5, 1.0, 1.0, 1.0]  # capped at backoff_max
+            # Failures older than the window age out: after a quiet spell
+            # the next failure respawns immediately again.
+            now[0] += supervisor.crash_loop_window + 1
+            assert supervisor.note_failure("shard-00") is True
+            self._drain(supervisor)
+            assert delays == [0.5, 1.0, 1.0, 1.0]  # no new backoff sleep
+        finally:
+            supervisor.close()
+
+    def test_reset_breaker_and_ensure_started_close_the_loop(self):
+        from repro.service.fleet import _Worker
+
+        supervisor = self._supervisor(crash_loop_threshold=2)
+        now, delays, attempts = self._wire_up(supervisor)
+        try:
+            assert supervisor.note_failure("shard-00") is True
+            self._drain(supervisor)
+            assert supervisor.note_failure("shard-00") is False
+            assert supervisor.is_broken("shard-00")
+            # Operator intervention: the breaker closes and the failure
+            # history is forgotten, so the next respawn is immediate.
+            supervisor.reset_breaker("shard-00")
+            assert not supervisor.is_broken("shard-00")
+            assert supervisor.note_failure("shard-00") is True
+            self._drain(supervisor)
+            assert delays == []  # every attempt here was first-in-window
+            assert len(attempts) == 2
+            # ensure_started also clears the breaker for the names it spawns.
+            supervisor._broken.add("shard-00")
+            spawned: list[str] = []
+
+            def fake_spawn(name: str) -> _Worker:
+                spawned.append(name)
+                return _Worker(
+                    name=name,
+                    url="http://127.0.0.1:1/",
+                    process=_DeadProcess(),
+                    state_dir=None,
+                )
+
+            supervisor._spawn = fake_spawn
+            supervisor.ensure_started(["shard-00"])
+            assert spawned == ["shard-00"]
+            assert not supervisor.is_broken("shard-00")
+        finally:
+            supervisor.close()

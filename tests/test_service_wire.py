@@ -41,6 +41,8 @@ from repro.service.metrics import GatewayMetrics
 from repro.service.wire import (
     ERROR_TYPES,
     GatewayHttpServer,
+    GrantBatchRequest,
+    GrantBatchResponse,
     ReEncryptBatchRequest,
     ReEncryptBatchResponse,
     RemoteGateway,
@@ -76,6 +78,20 @@ class TestCodecRoundTrips:
 
     def test_grant_response(self, group):
         _round_trip(group, GrantResponse(shard="shard-01"), GrantResponse)
+
+    def test_grant_batch(self, group, pre_objects):
+        _scheme, proxy_key, *_rest = pre_objects
+        request = GrantRequest(tenant="t", proxy_key=proxy_key)
+        _round_trip(
+            group, GrantBatchRequest(requests=(request, request)), GrantBatchRequest
+        )
+        _round_trip(
+            group,
+            GrantBatchResponse(
+                responses=(GrantResponse(shard="shard-00"), GrantResponse(shard="shard-02"))
+            ),
+            GrantBatchResponse,
+        )
 
     def test_revoke_request_and_response(self, group):
         _round_trip(
@@ -414,6 +430,52 @@ class TestLoopback:
         after = client.snapshot().served
         assert after == before + 1
 
+    def test_grant_batch_over_wire_installs_every_key(self, loopback):
+        setting, _server, client = loopback
+        gateway = setting.gateway
+        keys = [
+            key
+            for name in gateway.shard_names
+            for key in gateway.shard_named(name).table
+        ][:3]
+        assert keys, "seeded gateway has no proxy keys"
+        for key in keys:
+            removed = client.revoke(
+                RevokeRequest(
+                    tenant="t",
+                    delegator_domain=key.delegator_domain,
+                    delegator=key.delegator,
+                    delegatee_domain=key.delegatee_domain,
+                    delegatee=key.delegatee,
+                    type_label=key.type_label,
+                )
+            )
+            assert removed.removed
+        responses = client.grant_batch(
+            [GrantRequest(tenant="t", proxy_key=key) for key in keys]
+        )
+        assert len(responses) == len(keys)
+        for key, response in zip(keys, responses):
+            local = gateway.grant(GrantRequest(tenant="t", proxy_key=key))
+            assert response.shard == local.shard
+
+    def test_events_tail_over_wire(self, loopback):
+        setting, server, client = loopback
+        client.reencrypt(_request_stream(setting)[0])
+        events = client.events_tail()
+        assert events, "server kept no events"
+        assert all("kind" in event and "ts" in event for event in events)
+        # The GET itself is logged, so compare on sequence, not equality.
+        newest = client.events_tail(2)
+        assert len(newest) == 2
+        assert newest[0]["seq"] + 1 == newest[1]["seq"]
+        assert newest[-1]["seq"] >= events[-1]["seq"]
+        # Malformed tail values are a 400, not a server error.
+        status, _body = _raw_get(server.url, "/v1/events?tail=zero")
+        assert status == 400
+        status, _body = _raw_get(server.url, "/v1/events?tail=0")
+        assert status == 400
+
     def test_resize_over_wire_moves_keys_and_keeps_serving(self, loopback):
         setting, _server, client = loopback
         total = setting.gateway.key_count()
@@ -421,6 +483,14 @@ class TestLoopback:
         assert report.new_shard_count == 5
         assert setting.gateway.key_count() == total
         assert client.reencrypt(_request_stream(setting)[0]).ciphertext is not None
+
+
+def _raw_get(url: str, path: str):
+    try:
+        with urllib.request.urlopen(url + path, timeout=10.0) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
 
 
 def _raw_post(url: str, path: str, data: bytes):
