@@ -24,6 +24,8 @@ subcommands mirror the scheme's algorithms:
                gives a --connect client a bounded keep-alive
                connection pool for concurrent callers
     schemes    list every registered scheme backend and its capabilities
+    tenants    manage the tenant credential file a --tenant-config server
+               verifies signed requests against (init/add/rotate/revoke/list)
     trace      fetch a distributed trace from a --http gateway by id and
                render it as a per-span waterfall (server stages included)
 
@@ -273,6 +275,64 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_tenants(args) -> int:
+    """Manage a gateway tenant credential file (see repro.service.auth)."""
+    from repro.bench.report import print_table
+    from repro.service.auth import TenantCredentialStore
+
+    path = Path(args.config)
+    if args.tenants_command == "init":
+        TenantCredentialStore.initialize(path)
+        print("created empty tenant config %s" % path)
+        return 0
+    store = TenantCredentialStore(path)
+    if args.tenants_command == "add":
+        credential = store.add(
+            args.name,
+            secret=args.secret,
+            roles=tuple(args.role) if args.role else ("client",),
+            rate_per_s=args.rate,
+            burst=args.burst,
+            max_batch=args.max_batch,
+            quota=args.quota,
+        )
+        print(
+            "added tenant %r (roles: %s)"
+            % (credential.tenant, ", ".join(credential.roles))
+        )
+        if args.secret is None:
+            # Printed exactly once: the file holds it, but the operator
+            # needs it now to configure the client side.
+            print("secret: %s" % credential.secret)
+        return 0
+    if args.tenants_command == "rotate":
+        credential = store.rotate(args.name, secret=args.secret)
+        print("rotated secret for tenant %r" % args.name)
+        if args.secret is None:
+            print("secret: %s" % credential.secret)
+        return 0
+    if args.tenants_command == "revoke":
+        store.revoke(args.name)
+        print("revoked tenant %r" % args.name)
+        return 0
+    rows = [
+        [
+            credential.tenant,
+            ", ".join(credential.roles),
+            "-" if credential.rate_per_s is None else "%g/s" % credential.rate_per_s,
+            "-" if credential.max_batch is None else str(credential.max_batch),
+            "-" if credential.quota is None else str(credential.quota),
+        ]
+        for credential in store.tenants()
+    ]
+    print_table(
+        "tenants in %s" % path,
+        ["tenant", "roles", "rate", "max-batch", "quota"],
+        rows,
+    )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.bench.report import print_table
     from repro.core.api import TIPRE_SCHEME_ID, available_schemes
@@ -331,6 +391,9 @@ def _cmd_serve(args) -> int:
                 ("--state-dir", args.state_dir is not None),
                 ("--host", args.host != "127.0.0.1"),
                 ("--event-log", args.event_log is not None),
+                ("--tls-cert", args.tls_cert is not None),
+                ("--tls-key", args.tls_key is not None),
+                ("--tenant-config", args.tenant_config is not None),
             )
             if is_set
         ]
@@ -340,6 +403,12 @@ def _cmd_serve(args) -> int:
                 "client; ignored" % ", ".join(ignored),
                 file=sys.stderr,
             )
+        if (args.auth_tenant is None) != (args.auth_secret is None):
+            print(
+                "error: --auth-tenant and --auth-secret must be given together",
+                file=sys.stderr,
+            )
+            return 2
         if args.scheme == TIPRE_SCHEME_ID:
             report = run_remote_demo(
                 args.connect,
@@ -348,6 +417,10 @@ def _cmd_serve(args) -> int:
                 seed=args.seed or "gateway-demo",
                 batch_size=args.batch,
                 pool_size=args.pool_size,
+                tenant=args.auth_tenant,
+                secret=args.auth_secret,
+                tls_ca=args.tls_ca,
+                trace_requests=args.trace_sample,
             )
         else:
             report = run_remote_scheme_demo(
@@ -358,6 +431,10 @@ def _cmd_serve(args) -> int:
                 seed=args.seed or "gateway-demo",
                 batch_size=args.batch,
                 pool_size=args.pool_size,
+                tenant=args.auth_tenant,
+                secret=args.auth_secret,
+                tls_ca=args.tls_ca,
+                trace_requests=args.trace_sample,
             )
         print_table(
             "remote gateway %s: %d requests" % (args.connect, args.requests),
@@ -449,6 +526,7 @@ def _serve_http(args, scheme_ids: list[str]) -> int:
     from repro.service.telemetry import EventLog, jsonl_sink
     from repro.service.wire import GatewayHttpServer
 
+    tls, verifier, policy = _security_from_args(args)
     # One hosted scheme keeps the historical shared group (existing
     # clients negotiate against its name); several schemes each get a
     # deterministically derived group of the same size, so no two fleets
@@ -481,10 +559,17 @@ def _serve_http(args, scheme_ids: list[str]) -> int:
                     workers=args.workers,
                     state_dir=state_dir,
                     event_log=event_log,
+                    policy=policy,
                 )
             )
         server = GatewayHttpServer(
-            gateways=gateways, host=args.host, port=args.http, event_log=event_log
+            gateways=gateways,
+            host=args.host,
+            port=args.http,
+            event_log=event_log,
+            tls=tls,
+            auth=verifier,
+            trace_sample=args.trace_sample,
         )
     except BaseException:
         for gateway in gateways:
@@ -517,6 +602,33 @@ def _serve_http(args, scheme_ids: list[str]) -> int:
         if event_stream is not None:
             event_stream.close()
     return 0
+
+
+def _security_from_args(args):
+    """TLS context, request verifier and policy engine from serve flags.
+
+    All three are None when the corresponding flag is absent, so a bare
+    ``serve --http`` stays the historical anonymous plaintext server.
+    """
+    from repro.service.auth import (
+        PolicyEngine,
+        RequestVerifier,
+        TenantCredentialStore,
+        server_context,
+    )
+
+    tls = None
+    if args.tls_cert is not None:
+        tls = server_context(args.tls_cert, args.tls_key)
+    elif args.tls_key is not None:
+        raise ValueError("--tls-key given without --tls-cert")
+    verifier = None
+    policy = None
+    if args.tenant_config is not None:
+        store = TenantCredentialStore(args.tenant_config)
+        verifier = RequestVerifier(store)
+        policy = PolicyEngine(store)
+    return tls, verifier, policy
 
 
 def _install_sigterm_interrupt() -> None:
@@ -561,6 +673,7 @@ def _serve_fleet(args) -> int:
     supervisor = None
     gateway = None
     try:
+        tls, verifier, _policy = _security_from_args(args)
         supervisor = FleetSupervisor(
             args.scheme,
             shard_count=args.fleet,
@@ -570,10 +683,22 @@ def _serve_fleet(args) -> int:
             rate_per_s=args.rate,
             pool_size=max(args.pool_size, 2),
             event_log=event_log,
+            # The worker links inherit the routing tier's security
+            # posture: same cert for intra-fleet TLS, and per-worker
+            # HMAC credentials whenever end clients must sign too.
+            tls_cert=args.tls_cert,
+            tls_key=args.tls_key,
+            worker_auth=args.tenant_config is not None,
         )
         gateway = FleetGateway(supervisor, event_log=event_log)
         server = GatewayHttpServer(
-            gateways=[gateway], host=args.host, port=args.http, event_log=event_log
+            gateways=[gateway],
+            host=args.host,
+            port=args.http,
+            event_log=event_log,
+            tls=tls,
+            auth=verifier,
+            trace_sample=args.trace_sample,
         )
     except BaseException:
         if gateway is not None:
@@ -695,7 +820,63 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard", default=None, metavar="NAME",
                    help="worker mode: label this process as fleet shard NAME "
                         "(set by the fleet supervisor; informational)")
+    p.add_argument("--tls-cert", default=None, metavar="PEM",
+                   help="with --http: terminate TLS with this certificate "
+                        "(generate a dev cert with tools/gen_dev_cert.py)")
+    p.add_argument("--tls-key", default=None, metavar="PEM",
+                   help="private key for --tls-cert (omit when the cert file "
+                        "bundles the key)")
+    p.add_argument("--tls-ca", default=None, metavar="PEM",
+                   help="with --connect: CA bundle that must have signed the "
+                        "server certificate (pin the dev cert file itself)")
+    p.add_argument("--tenant-config", default=None, metavar="PATH",
+                   help="with --http: require HMAC-signed requests, verified "
+                        "against this credential file (manage it with "
+                        "`repro-pre tenants`); per-tenant rate/quota/role "
+                        "policy from the same file is enforced")
+    p.add_argument("--auth-tenant", default=None, metavar="NAME",
+                   help="with --connect: sign requests as this tenant")
+    p.add_argument("--auth-secret", default=None, metavar="HEX",
+                   help="with --connect: the tenant's signing secret")
+    p.add_argument("--trace-sample", type=float, default=1.0, metavar="FRACTION",
+                   help="head-sample traces at this rate (server-side with "
+                        "--http, client-side with --connect); metrics still "
+                        "count every request (default 1.0)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("tenants", help="manage a gateway tenant credential file")
+    tsub = p.add_subparsers(dest="tenants_command", required=True)
+    tp = tsub.add_parser("init", help="create an empty tenant config file")
+    tp.add_argument("--config", required=True, metavar="PATH")
+    tp.set_defaults(func=_cmd_tenants)
+    tp = tsub.add_parser("add", help="register a tenant (prints the secret)")
+    tp.add_argument("name")
+    tp.add_argument("--config", required=True, metavar="PATH")
+    tp.add_argument("--secret", default=None,
+                    help="signing secret (generated when omitted)")
+    tp.add_argument("--role", action="append", default=None,
+                    help="role for the tenant (repeatable; default client)")
+    tp.add_argument("--rate", type=float, default=None,
+                    help="per-tenant requests/second cap")
+    tp.add_argument("--burst", type=float, default=None,
+                    help="token-bucket burst for --rate (default: the rate)")
+    tp.add_argument("--max-batch", type=int, default=None, dest="max_batch",
+                    help="largest accepted re-encryption batch")
+    tp.add_argument("--quota", type=int, default=None,
+                    help="lifetime request quota")
+    tp.set_defaults(func=_cmd_tenants)
+    tp = tsub.add_parser("rotate", help="replace a tenant's signing secret")
+    tp.add_argument("name")
+    tp.add_argument("--config", required=True, metavar="PATH")
+    tp.add_argument("--secret", default=None)
+    tp.set_defaults(func=_cmd_tenants)
+    tp = tsub.add_parser("revoke", help="remove a tenant")
+    tp.add_argument("name")
+    tp.add_argument("--config", required=True, metavar="PATH")
+    tp.set_defaults(func=_cmd_tenants)
+    tp = tsub.add_parser("list", help="list tenants, roles and limits")
+    tp.add_argument("--config", required=True, metavar="PATH")
+    tp.set_defaults(func=_cmd_tenants)
 
     p = sub.add_parser("trace", help="fetch and render a gateway trace by id")
     p.add_argument("trace_id", help="32-hex trace id (the X-Repro-Trace prefix, "

@@ -19,6 +19,7 @@ import hashlib
 from dataclasses import dataclass, field
 
 from repro.ec.curve import EllipticCurve, Point
+from repro.ec.jacobian import jac_scalar_mul
 from repro.math.fields import Fp2Element, PrimeField, QuadraticExtField
 from repro.math.ntheory import bytes_to_int
 
@@ -99,9 +100,22 @@ class SupersingularCurve:
             candidate = self.curve.lift_x(x, y_parity=digest[-1] & 1)
             if candidate is None:
                 continue
-            point = candidate * self.h
-            if not point.is_infinity():
-                return point
+            # Cofactor clear on raw coordinates via the Jacobian ladder,
+            # skipping the Point/FpElement wrappers the generic __mul__
+            # would rebuild per doubling.  jac_scalar_mul is the same
+            # routine Point.__mul__ dispatches to on prime-field curves
+            # (a = 1 for y^2 = x^3 + x), so the result is bit-identical;
+            # tests pin golden vectors across parameter sets.
+            cleared = jac_scalar_mul(
+                int(candidate.x), int(candidate.y), self.h, 1, self.p
+            )
+            if cleared is None:  # candidate's order divides the cofactor
+                continue
+            return Point(
+                self.curve,
+                self.base_field(cleared[0]),
+                self.base_field(cleared[1]),
+            )
         raise RuntimeError("hash_to_group failed after %d tries" % _HASH_TO_POINT_TRIES)
 
     # ------------------------------------------------------------- distortion

@@ -1,0 +1,276 @@
+"""Per-tenant credentials, roles and policy limits, backed by one JSON file.
+
+The file is the deployment's source of truth (checked into a secrets
+manager, mounted into containers); the store reads it lazily and
+re-reads it whenever the file changes on disk, so ``repro-pre tenants
+rotate`` against a live server takes effect on the next request without
+a restart.  A half-written or corrupt file never takes down a running
+server: reload failures keep the last good snapshot.
+
+File format (``"version": 1``)::
+
+    {
+      "version": 1,
+      "roles": {"admin": ["*"], "client": ["grant", "revoke", ...]},
+      "tenants": {
+        "clinic-a": {"secret": "...", "roles": ["client"],
+                      "rate_per_s": 50.0, "burst": 100.0,
+                      "max_batch": 64, "quota": 100000}
+      }
+    }
+
+All mutations (`add`/`rotate`/`revoke`) rewrite the file atomically
+(tempfile + ``os.replace``) so a concurrent reader sees either the old
+or the new document, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "DEFAULT_ROLES",
+    "TenantCredential",
+    "TenantCredentialStore",
+]
+
+# Built-in role vocabulary; a config file's "roles" map extends/overrides
+# it.  "*" grants every operation (including resize/export, the
+# operator-only surface).
+DEFAULT_ROLES: dict[str, tuple[str, ...]] = {
+    "admin": ("*",),
+    "client": ("grant", "revoke", "reencrypt", "fetch"),
+}
+
+
+@dataclass(frozen=True)
+class TenantCredential:
+    """One tenant's secret, roles and per-tenant policy limits."""
+
+    tenant: str
+    secret: str
+    roles: tuple[str, ...] = ("client",)
+    rate_per_s: float | None = None
+    burst: float | None = None
+    max_batch: int | None = None
+    quota: int | None = None
+
+    def to_document(self) -> dict:
+        doc: dict = {"secret": self.secret, "roles": list(self.roles)}
+        for key in ("rate_per_s", "burst", "max_batch", "quota"):
+            value = getattr(self, key)
+            if value is not None:
+                doc[key] = value
+        return doc
+
+    @classmethod
+    def from_document(cls, tenant: str, doc: dict) -> "TenantCredential":
+        if not isinstance(doc, dict) or not isinstance(doc.get("secret"), str):
+            raise ValueError("tenant %r entry needs a string 'secret'" % tenant)
+        roles = doc.get("roles", ["client"])
+        if not isinstance(roles, list) or not all(isinstance(r, str) for r in roles):
+            raise ValueError("tenant %r roles must be a list of strings" % tenant)
+        def _num(key):
+            value = doc.get(key)
+            if value is not None and not isinstance(value, (int, float)):
+                raise ValueError("tenant %r field %r must be numeric" % (tenant, key))
+            return value
+        max_batch = _num("max_batch")
+        quota = _num("quota")
+        return cls(
+            tenant=tenant,
+            secret=doc["secret"],
+            roles=tuple(roles),
+            rate_per_s=_num("rate_per_s"),
+            burst=_num("burst"),
+            max_batch=int(max_batch) if max_batch is not None else None,
+            quota=int(quota) if quota is not None else None,
+        )
+
+
+def _parse_document(raw: str) -> tuple[dict[str, TenantCredential], dict[str, tuple[str, ...]]]:
+    document = json.loads(raw)
+    if not isinstance(document, dict) or document.get("version") != 1:
+        raise ValueError("tenant config must be a JSON object with \"version\": 1")
+    tenants_doc = document.get("tenants", {})
+    if not isinstance(tenants_doc, dict):
+        raise ValueError("\"tenants\" must be an object")
+    tenants = {
+        name: TenantCredential.from_document(name, entry)
+        for name, entry in tenants_doc.items()
+    }
+    roles = dict(DEFAULT_ROLES)
+    roles_doc = document.get("roles", {})
+    if not isinstance(roles_doc, dict):
+        raise ValueError("\"roles\" must be an object")
+    for role, ops in roles_doc.items():
+        if not isinstance(ops, list) or not all(isinstance(op, str) for op in ops):
+            raise ValueError("role %r must map to a list of operation names" % role)
+        roles[role] = tuple(ops)
+    return tenants, roles
+
+
+class TenantCredentialStore:
+    """The tenant registry: lazy-reloading reads, atomic writes."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._tenants: dict[str, TenantCredential] = {}
+        self._roles: dict[str, tuple[str, ...]] = dict(DEFAULT_ROLES)
+        self._stamp: tuple[float, int] | None = None
+        self._reload(initial=True)
+
+    # ------------------------------------------------------------------ reads
+
+    def _reload(self, initial: bool = False) -> None:
+        try:
+            stat = self.path.stat()
+        except OSError:
+            if initial:
+                raise
+            return
+        stamp = (stat.st_mtime, stat.st_size)
+        if stamp == self._stamp:
+            return
+        try:
+            tenants, roles = _parse_document(self.path.read_text("utf-8"))
+        except (OSError, ValueError, json.JSONDecodeError):
+            if initial:
+                raise
+            # Keep serving the last good snapshot; a later rewrite (new
+            # mtime/size) retries the parse.
+            self._stamp = stamp
+            return
+        self._tenants = tenants
+        self._roles = roles
+        self._stamp = stamp
+
+    def lookup(self, tenant: str) -> TenantCredential | None:
+        with self._lock:
+            self._reload()
+            return self._tenants.get(tenant)
+
+    def tenants(self) -> list[TenantCredential]:
+        with self._lock:
+            self._reload()
+            return sorted(self._tenants.values(), key=lambda c: c.tenant)
+
+    def allowed_ops(self, credential: TenantCredential) -> frozenset[str]:
+        """The union of operations the credential's roles grant."""
+        with self._lock:
+            self._reload()
+            ops: set[str] = set()
+            for role in credential.roles:
+                ops.update(self._roles.get(role, ()))
+        return frozenset(ops)
+
+    def allows(self, credential: TenantCredential, op: str) -> bool:
+        ops = self.allowed_ops(credential)
+        return "*" in ops or op in ops
+
+    # ----------------------------------------------------------------- writes
+
+    @classmethod
+    def initialize(cls, path: str | Path) -> "TenantCredentialStore":
+        """Create an empty v1 config file (refusing to clobber one)."""
+        path = Path(path)
+        if path.exists():
+            raise FileExistsError("tenant config %s already exists" % path)
+        cls._write_document(path, {})
+        return cls(path)
+
+    @staticmethod
+    def _write_document(path: Path, tenants: dict[str, TenantCredential]) -> None:
+        document = {
+            "version": 1,
+            "tenants": {name: cred.to_document() for name, cred in sorted(tenants.items())},
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name + ".")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _mutate(self, fn) -> TenantCredential | None:
+        with self._lock:
+            self._reload()
+            tenants = dict(self._tenants)
+            result = fn(tenants)
+            self._write_document(self.path, tenants)
+            self._tenants = tenants
+            stat = self.path.stat()
+            self._stamp = (stat.st_mtime, stat.st_size)
+            return result
+
+    def add(
+        self,
+        tenant: str,
+        secret: str | None = None,
+        roles: tuple[str, ...] = ("client",),
+        rate_per_s: float | None = None,
+        burst: float | None = None,
+        max_batch: int | None = None,
+        quota: int | None = None,
+    ) -> TenantCredential:
+        """Register a tenant (generating a secret when none is given)."""
+
+        def apply(tenants: dict[str, TenantCredential]) -> TenantCredential:
+            if tenant in tenants:
+                raise ValueError("tenant %r already exists (rotate instead?)" % tenant)
+            credential = TenantCredential(
+                tenant=tenant,
+                secret=secret if secret is not None else secrets.token_hex(32),
+                roles=tuple(roles),
+                rate_per_s=rate_per_s,
+                burst=burst,
+                max_batch=max_batch,
+                quota=quota,
+            )
+            tenants[tenant] = credential
+            return credential
+
+        return self._mutate(apply)
+
+    def rotate(self, tenant: str, secret: str | None = None) -> TenantCredential:
+        """Replace a tenant's secret, keeping roles and limits."""
+
+        def apply(tenants: dict[str, TenantCredential]) -> TenantCredential:
+            if tenant not in tenants:
+                raise KeyError("unknown tenant %r" % tenant)
+            old = tenants[tenant]
+            credential = TenantCredential(
+                tenant=tenant,
+                secret=secret if secret is not None else secrets.token_hex(32),
+                roles=old.roles,
+                rate_per_s=old.rate_per_s,
+                burst=old.burst,
+                max_batch=old.max_batch,
+                quota=old.quota,
+            )
+            tenants[tenant] = credential
+            return credential
+
+        return self._mutate(apply)
+
+    def revoke(self, tenant: str) -> None:
+        def apply(tenants: dict[str, TenantCredential]) -> None:
+            if tenant not in tenants:
+                raise KeyError("unknown tenant %r" % tenant)
+            del tenants[tenant]
+
+        self._mutate(apply)

@@ -1,0 +1,82 @@
+"""Per-tenant admission policy on top of the credential store.
+
+The gateway's built-in limiter is one global ``TokenBucket`` with the
+same rate for every tenant; this engine replaces those hard-coded
+defaults with the limits each tenant's credential declares (rate, burst,
+total-request quota, max batch size).  The contract with
+:meth:`ReEncryptionGateway._admit` is three-valued:
+
+* the tenant has per-tenant limits and they admit -> ``True`` (the
+  global limiter is skipped — a tenant with its own budget is never
+  charged against the shared one);
+* the limits deny -> :class:`RateLimitedError` /
+  :class:`QuotaExceededError` (same taxonomy the wire already maps);
+* the tenant is unknown or declares no limits -> ``False`` and the
+  gateway falls through to its global bucket, so anonymous mode and
+  unconfigured tenants behave exactly as before.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.service.gateway import QuotaExceededError, RateLimitedError, TokenBucket
+
+__all__ = ["PolicyEngine"]
+
+
+class PolicyEngine:
+    """Admission decisions driven by per-tenant credentials."""
+
+    def __init__(self, store, clock=time.monotonic):
+        self.store = store
+        self._clock = clock
+        self._lock = threading.Lock()
+        # tenant -> (rate, burst, bucket); rebuilt when the credential's
+        # limits change (e.g. the config file was edited under us).
+        self._buckets: dict[str, tuple[float, float, TokenBucket]] = {}
+        self._spent: dict[str, int] = {}
+
+    def _bucket(self, tenant: str, rate_per_s: float, burst: float) -> TokenBucket:
+        with self._lock:
+            cached = self._buckets.get(tenant)
+            if cached is not None and cached[0] == rate_per_s and cached[1] == burst:
+                return cached[2]
+            bucket = TokenBucket(rate_per_s, burst, clock=self._clock)
+            self._buckets[tenant] = (rate_per_s, burst, bucket)
+            return bucket
+
+    def admit(self, tenant: str, op: str, cost: float = 1.0) -> bool:
+        """Apply the tenant's own limits; see the module docstring contract."""
+        credential = self.store.lookup(tenant)
+        if credential is None:
+            return False
+        decided = False
+        if credential.quota is not None:
+            decided = True
+            with self._lock:
+                spent = self._spent.get(tenant, 0)
+                if spent + cost > credential.quota:
+                    raise QuotaExceededError(
+                        "tenant %r exhausted its quota of %d requests"
+                        % (tenant, credential.quota)
+                    )
+                self._spent[tenant] = spent + int(cost)
+        if credential.rate_per_s is not None:
+            decided = True
+            burst = credential.burst if credential.burst is not None else credential.rate_per_s
+            if not self._bucket(tenant, credential.rate_per_s, burst).allow(tenant, cost):
+                raise RateLimitedError(
+                    "tenant %r exceeded its configured rate of %.3g/s"
+                    % (tenant, credential.rate_per_s)
+                )
+        return decided
+
+    def max_batch(self, tenant: str) -> int | None:
+        credential = self.store.lookup(tenant)
+        return credential.max_batch if credential is not None else None
+
+    def quota_spent(self, tenant: str) -> int:
+        with self._lock:
+            return self._spent.get(tenant, 0)

@@ -1,0 +1,35 @@
+"""TLS contexts for the gateway wire, on stdlib ``ssl`` only.
+
+Two helpers, one per side.  The server loads a cert/key pair
+(``serve --tls-cert/--tls-key``); the client either trusts the system
+store (bare ``https://`` URLs) or pins a specific CA file
+(``--tls-ca``), which is how tests, CI and the fleet's shard links trust
+the self-signed development certificate from ``tools/gen_dev_cert.py``
+without touching system trust.  Hostname checking stays on in both
+client modes — the dev certificate carries ``DNS:localhost`` and
+``IP:127.0.0.1`` SANs so loopback deployments verify cleanly.
+"""
+
+from __future__ import annotations
+
+import ssl
+
+__all__ = ["server_context", "client_context"]
+
+
+def server_context(certfile: str, keyfile: str | None = None) -> ssl.SSLContext:
+    """A server-side context serving ``certfile`` (+ ``keyfile``)."""
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.minimum_version = ssl.TLSVersion.TLSv1_2
+    context.load_cert_chain(certfile, keyfile)
+    return context
+
+
+def client_context(cafile: str | None = None) -> ssl.SSLContext:
+    """A verifying client-side context, optionally pinned to one CA file."""
+    if cafile is None:
+        return ssl.create_default_context()
+    context = ssl.create_default_context(cafile=cafile)
+    context.check_hostname = True
+    context.verify_mode = ssl.CERT_REQUIRED
+    return context

@@ -348,7 +348,11 @@ def run_demo(
 
 
 def resolve_remote_group(
-    url: str, scheme_id: str, base_name: str = "TOY", timeout: float = 10.0
+    url: str,
+    scheme_id: str,
+    base_name: str = "TOY",
+    timeout: float = 10.0,
+    tls_ca: str | None = None,
 ) -> PairingGroup:
     """The pairing group a remote server hosts ``scheme_id`` on.
 
@@ -366,7 +370,12 @@ def resolve_remote_group(
     base = PairingGroup.shared(base_name)
     try:
         probe = RemoteGateway(
-            url, base, timeout=timeout, negotiate=False, trace_requests=False
+            url,
+            base,
+            timeout=timeout,
+            negotiate=False,
+            trace_requests=False,
+            tls_ca=tls_ca,
         )
         try:
             entries = probe.schemes_info()
@@ -394,6 +403,10 @@ def run_remote_demo(
     seed: str = "gateway-demo",
     batch_size: int = 0,
     pool_size: int = 1,
+    tenant: str | None = None,
+    secret: str | None = None,
+    tls_ca: str | None = None,
+    trace_requests: bool | float = True,
 ) -> DemoReport:
     """Drive a *remote* gateway over HTTP with the same seeded workload.
 
@@ -408,10 +421,18 @@ def run_remote_demo(
     """
     from repro.service.wire.client import RemoteGateway
 
-    group = resolve_remote_group(url, TIPRE_SCHEME_ID, group_name)
+    group = resolve_remote_group(url, TIPRE_SCHEME_ID, group_name, tls_ca=tls_ca)
     setting = build_setting(group_name=group_name, seed=seed, group=group)
     try:
-        with RemoteGateway(url, setting.group, pool_size=pool_size) as remote:
+        with RemoteGateway(
+            url,
+            setting.group,
+            pool_size=pool_size,
+            tenant=tenant,
+            secret=secret,
+            tls_ca=tls_ca,
+            trace_requests=trace_requests,
+        ) as remote:
             _grant_all_remote(setting.gateway, remote)
             verified = drive_requests(
                 setting,
@@ -632,6 +653,10 @@ def run_remote_scheme_demo(
     seed: str = "gateway-demo",
     batch_size: int = 0,
     pool_size: int = 1,
+    tenant: str | None = None,
+    secret: str | None = None,
+    tls_ca: str | None = None,
+    trace_requests: bool | float = True,
 ) -> DemoReport:
     """Drive a *remote* gateway running any scheme over HTTP.
 
@@ -644,12 +669,20 @@ def run_remote_scheme_demo(
     """
     from repro.service.wire.client import RemoteGateway
 
-    group = resolve_remote_group(url, scheme_id, group_name)
+    group = resolve_remote_group(url, scheme_id, group_name, tls_ca=tls_ca)
     setting = build_scheme_setting(
         scheme_id=scheme_id, group_name=group_name, seed=seed, group=group
     )
     try:
-        with RemoteGateway(url, setting.backend, pool_size=pool_size) as remote:
+        with RemoteGateway(
+            url,
+            setting.backend,
+            pool_size=pool_size,
+            tenant=tenant,
+            secret=secret,
+            tls_ca=tls_ca,
+            trace_requests=trace_requests,
+        ) as remote:
             _grant_all_remote(setting.gateway, remote)
             verified = drive_scheme_requests(
                 setting,

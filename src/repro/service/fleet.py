@@ -40,9 +40,11 @@ from __future__ import annotations
 
 import os
 import re
+import secrets
 import shutil
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 from collections import deque
@@ -69,6 +71,7 @@ from repro.service.gateway import (
     RevokeResponse,
     StoreUnavailableError,
 )
+from repro.service.auth.credentials import TenantCredentialStore
 from repro.service.metrics import GatewayMetrics, MetricsSnapshot, merge_snapshots
 from repro.service.router import ShardRouter
 from repro.service.telemetry import EventLog, Span, TraceContext, Tracer
@@ -76,7 +79,12 @@ from repro.service.wire.client import RemoteGateway, WireTransportError
 
 __all__ = ["FleetSupervisor", "StaticFleet", "FleetGateway"]
 
-_BANNER = re.compile(r"listening on (http://\S+)")
+_BANNER = re.compile(r"listening on (https?://\S+)")
+
+# The routing tier's identity on its shard workers when per-worker HMAC
+# credentials are enabled.  "admin" because the router drives the full
+# surface (export during resize migration, not just the client ops).
+ROUTER_TENANT = "fleet-router"
 
 KeyIndex = tuple[str, str, str, str, str]
 
@@ -134,6 +142,9 @@ class FleetSupervisor:
         backoff_max: float = 30.0,
         crash_loop_threshold: int = 5,
         crash_loop_window: float = 60.0,
+        tls_cert: str | Path | None = None,
+        tls_key: str | Path | None = None,
+        worker_auth: bool = False,
     ):
         from repro.pairing.group import PairingGroup
 
@@ -151,6 +162,21 @@ class FleetSupervisor:
         self.crash_loop_threshold = crash_loop_threshold
         self.crash_loop_window = crash_loop_window
         self.state_root = Path(state_root) if state_root is not None else None
+        # Worker links: when tls_cert/tls_key are given the shard servers
+        # terminate TLS and the supervisor's clients pin the cert file as
+        # their CA (the dev self-signed cert is its own CA).  worker_auth
+        # gives each worker its own tenants.json carrying one
+        # supervisor-generated secret for ROUTER_TENANT, so a process that
+        # finds a worker's ephemeral port still cannot speak to it.
+        self.tls_cert = Path(tls_cert) if tls_cert is not None else None
+        self.tls_key = Path(tls_key) if tls_key is not None else None
+        if self.tls_key is not None and self.tls_cert is None:
+            raise ValueError("tls_key given without tls_cert")
+        self.worker_auth = worker_auth
+        self._secrets: dict[str, str] = {}
+        self._auth_root: Path | None = None
+        if worker_auth:
+            self._auth_root = Path(tempfile.mkdtemp(prefix="repro-fleet-auth-"))
         self.events = event_log if event_log is not None else EventLog()
         self._workers: dict[str, _Worker] = {}
         self._clients: dict[str, RemoteGateway] = {}
@@ -190,12 +216,38 @@ class FleetSupervisor:
             command += ["--state-dir", str(self.state_root / name)]
         if self.rate_per_s is not None:
             command += ["--rate", str(self.rate_per_s)]
+        if self.tls_cert is not None:
+            command += ["--tls-cert", str(self.tls_cert)]
+            if self.tls_key is not None:
+                command += ["--tls-key", str(self.tls_key)]
+        if self.worker_auth:
+            command += ["--tenant-config", str(self._credential_path(name))]
         return command
+
+    def _credential_path(self, name: str) -> Path:
+        assert self._auth_root is not None
+        return self._auth_root / name / "tenants.json"
+
+    def _write_worker_credentials(self, name: str) -> None:
+        """(Re)write one worker's tenants.json before it spawns.
+
+        The secret is minted once per worker *name* and reused across
+        restarts, so the cached signing client stays valid over a
+        supervisor-driven respawn.
+        """
+        secret = self._secrets.setdefault(name, secrets.token_hex(32))
+        path = self._credential_path(name)
+        if path.exists():
+            path.unlink()
+        store = TenantCredentialStore.initialize(path)
+        store.add(ROUTER_TENANT, secret=secret, roles=("admin",))
 
     def _spawn(self, name: str) -> _Worker:
         state_dir = self.state_root / name if self.state_root is not None else None
         if state_dir is not None:
             state_dir.mkdir(parents=True, exist_ok=True)
+        if self.worker_auth:
+            self._write_worker_credentials(name)
         process = subprocess.Popen(
             self._worker_command(name),
             stdout=subprocess.PIPE,
@@ -269,6 +321,9 @@ class FleetSupervisor:
                 worker.process.wait()
             if worker.state_dir is not None:
                 shutil.rmtree(worker.state_dir, ignore_errors=True)
+            if self._auth_root is not None:
+                shutil.rmtree(self._auth_root / name, ignore_errors=True)
+                self._secrets.pop(name, None)
             self.events.emit("shard-retired", shard=name)
 
     def restart(self, name: str) -> None:
@@ -413,6 +468,8 @@ class FleetSupervisor:
             except subprocess.TimeoutExpired:
                 worker.process.kill()
                 worker.process.wait()
+        if self._auth_root is not None:
+            shutil.rmtree(self._auth_root, ignore_errors=True)
 
     # --------------------------------------------------------------- clients
 
@@ -448,6 +505,9 @@ class FleetSupervisor:
                 self.backend,
                 pool_size=self.pool_size,
                 trace_requests=False,
+                tenant=ROUTER_TENANT if self.worker_auth else None,
+                secret=self._secrets.get(name) if self.worker_auth else None,
+                tls_ca=str(self.tls_cert) if self.tls_cert is not None else None,
             )
             self._clients[name] = client
             return client
@@ -468,12 +528,18 @@ class StaticFleet:
         endpoints: dict[str, str],
         pool_size: int = 2,
         event_log: EventLog | None = None,
+        tenant: str | None = None,
+        secret: str | None = None,
+        tls_ca: str | None = None,
     ):
         if not endpoints:
             raise ValueError("need at least one endpoint")
         self.backend = resolve_backend(context)
         self.pool_size = pool_size
         self.events = event_log if event_log is not None else EventLog()
+        self.tenant = tenant
+        self._secret = secret
+        self.tls_ca = tls_ca
         self._endpoints = dict(endpoints)
         self._clients: dict[str, RemoteGateway] = {}
         self._lock = threading.Lock()
@@ -495,7 +561,13 @@ class StaticFleet:
                 if url is None:
                     raise WireTransportError("no shard named %r" % name)
                 client = self._clients[name] = RemoteGateway(
-                    url, self.backend, pool_size=self.pool_size, trace_requests=False
+                    url,
+                    self.backend,
+                    pool_size=self.pool_size,
+                    trace_requests=False,
+                    tenant=self.tenant,
+                    secret=self._secret,
+                    tls_ca=self.tls_ca,
                 )
             return client
 

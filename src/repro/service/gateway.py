@@ -61,6 +61,7 @@ __all__ = [
     "EntryMissingError",
     "InvalidRequestError",
     "StoreUnavailableError",
+    "QuotaExceededError",
     "TokenBucket",
     "GrantRequest",
     "GrantResponse",
@@ -113,6 +114,12 @@ class StoreUnavailableError(GatewayError):
     """A fetch arrived but the gateway was built without a PHR store."""
 
     code = "no-store"
+
+
+class QuotaExceededError(GatewayError):
+    """The tenant spent its configured total-request quota."""
+
+    code = "quota-exceeded"
 
 
 # ------------------------------------------------------------------ rate limit
@@ -298,6 +305,12 @@ class ReEncryptionGateway:
     telemetry: bool = True
     tracer: Tracer | None = None
     event_log: EventLog | None = None
+    # Per-tenant admission policy (duck-typed
+    # :class:`repro.service.auth.policy.PolicyEngine`; the auth package
+    # imports this module, so the reverse import stays structural-only).
+    # ``admit(tenant, op, cost)`` returning True replaces the global
+    # limiter for that tenant; False falls through to it.
+    policy: object | None = None
     backend: PreBackend = field(init=False, repr=False)
     _shards: dict[str, ProxyService] = field(init=False)
     _router: ShardRouter = field(init=False)
@@ -444,7 +457,11 @@ class ReEncryptionGateway:
 
     @contextmanager
     def _owned_shard(
-        self, delegator_domain: str, delegator: str, type_label: str
+        self,
+        delegator_domain: str,
+        delegator: str,
+        type_label: str,
+        tenant: str | None = None,
     ) -> Iterator[tuple[str, ProxyService]]:
         """Lock and yield the shard that owns a route key — resize-proof.
 
@@ -453,7 +470,12 @@ class ReEncryptionGateway:
         the assignment *under* the lock and retries until route and lock
         agree.  Only one shard lock is ever held at a time, which keeps
         the lock order compatible with resize's sorted whole-fleet sweep.
+
+        With ``tenant`` the time spent waiting for the lock lands in the
+        per-tenant queue-time histogram — the fairness signal that shows
+        one hot tenant making everyone else wait.
         """
+        queued_at = self.clock() if tenant is not None else 0.0
         while True:
             name = self._route(delegator_domain, delegator, type_label)
             lock = self._pool.lock_object(name)
@@ -468,6 +490,10 @@ class ReEncryptionGateway:
                     and name in self._shards
                     and self._route(delegator_domain, delegator, type_label) == name
                 ):
+                    if tenant is not None:
+                        self.metrics.observe_queue(
+                            tenant, (self.clock() - queued_at) * 1000
+                        )
                     yield name, self._shards[name]
                     return
 
@@ -524,6 +550,23 @@ class ReEncryptionGateway:
         trace: TraceContext | None = None,
     ) -> None:
         with self._span(trace, "admission", tenant=tenant, op=action) as span:
+            if self.policy is not None:
+                try:
+                    if self.policy.admit(tenant, action, cost):
+                        return  # tenant-specific limits admitted the request
+                except GatewayError as error:
+                    if span is not None:
+                        span.status = error.code
+                    self.metrics.observe_rejection(
+                        rate_limited=isinstance(error, RateLimitedError),
+                        op=action,
+                        tenant=tenant,
+                        code=error.code,
+                    )
+                    self._record_audit(
+                        tenant, action, error.code, "cost=%g" % cost, trace=trace
+                    )
+                    raise
             if self._limiter is not None and not self._limiter.allow(tenant, cost):
                 if span is not None:
                     span.status = RateLimitedError.code
@@ -580,7 +623,7 @@ class ReEncryptionGateway:
                 span.set("shard", route)
         with self._span(trace, "shard-install") as span:
             with self._owned_shard(
-                key.delegator_domain, key.delegator, key.type_label
+                key.delegator_domain, key.delegator, key.type_label, tenant=request.tenant
             ) as (shard_name, shard):
                 shard.install_key(key)
                 # Invalidate under the lock, after the install: cache writes
@@ -616,7 +659,10 @@ class ReEncryptionGateway:
         )
         with self._span(trace, "shard-revoke") as span:
             with self._owned_shard(
-                request.delegator_domain, request.delegator, request.type_label
+                request.delegator_domain,
+                request.delegator,
+                request.type_label,
+                tenant=request.tenant,
             ) as (shard_name, shard):
                 removed = shard.revoke_key(*index)
                 self._invalidate_delegation(index)
@@ -681,7 +727,10 @@ class ReEncryptionGateway:
                 span.set("shard", route)
         with self._span(trace, "shard-crypto") as span:
             with self._owned_shard(
-                ciphertext.domain, ciphertext.identity, ciphertext.type_label
+                ciphertext.domain,
+                ciphertext.identity,
+                ciphertext.type_label,
+                tenant=request.tenant,
             ) as (shard_name, shard):
                 if span is not None:
                     span.set("shard", shard_name)
@@ -738,6 +787,25 @@ class ReEncryptionGateway:
         """
         if not requests:
             raise InvalidRequestError("empty batch")
+        if self.policy is not None:
+            limit = self.policy.max_batch(requests[0].tenant)
+            if limit is not None and len(requests) > limit:
+                self.metrics.observe_rejection(
+                    op="reencrypt-batch",
+                    tenant=requests[0].tenant,
+                    code=InvalidRequestError.code,
+                )
+                self._record_audit(
+                    requests[0].tenant,
+                    "reencrypt-batch",
+                    InvalidRequestError.code,
+                    "batch=%d max=%d" % (len(requests), limit),
+                    trace=trace,
+                )
+                raise InvalidRequestError(
+                    "batch of %d exceeds tenant %r max batch size %d"
+                    % (len(requests), requests[0].tenant, limit)
+                )
         with self._span(trace, "admission", items=len(requests)):
             for request in requests:
                 self._admit(request.tenant, "reencrypt-batch")
@@ -783,7 +851,10 @@ class ReEncryptionGateway:
         def group_task(group) -> Callable[[], None]:
             def run() -> None:
                 with self._owned_shard(
-                    group.group_key[0], group.group_key[1], group.group_key[4]
+                    group.group_key[0],
+                    group.group_key[1],
+                    group.group_key[4],
+                    tenant=requests[group.positions[0]].tenant,
                 ) as (shard_name, shard):
                     try:
                         key = self._resolve_key(group.group_key, shard)

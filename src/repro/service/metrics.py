@@ -92,6 +92,10 @@ class MetricsSnapshot:
     histograms: dict[str, HistogramSnapshot] = field(default_factory=dict)
     outcomes: dict[tuple[str, str], int] = field(default_factory=dict)
     tenant_outcomes: dict[tuple[str, str], int] = field(default_factory=dict)
+    # Fairness signals (PR 9): per-tenant shard-lock queue time, and
+    # authentication failures by taxonomy code.
+    tenant_queue_ms: dict[str, HistogramSnapshot] = field(default_factory=dict)
+    auth_failures: dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -156,8 +160,10 @@ def merge_snapshots(parts: dict[str, MetricsSnapshot]) -> MetricsSnapshot:
     shard_requests: dict[str, int] = {}
     caches: dict[str, CacheStats] = {}
     histogram_parts: dict[str, list[HistogramSnapshot]] = {}
+    queue_parts: dict[str, list[HistogramSnapshot]] = {}
     outcomes: Counter = Counter()
     tenant_outcomes: Counter = Counter()
+    auth_failures: Counter = Counter()
     for label in sorted(parts):
         part = parts[label]
         requests_total += part.requests_total
@@ -172,12 +178,19 @@ def merge_snapshots(parts: dict[str, MetricsSnapshot]) -> MetricsSnapshot:
             caches["%s/%s" % (label, name)] = stats
         for kind, histogram in part.histograms.items():
             histogram_parts.setdefault(kind, []).append(histogram)
+        for tenant, histogram in part.tenant_queue_ms.items():
+            queue_parts.setdefault(tenant, []).append(histogram)
         outcomes.update(part.outcomes)
         tenant_outcomes.update(part.tenant_outcomes)
+        auth_failures.update(part.auth_failures)
     histograms: dict[str, HistogramSnapshot] = {}
     for kind, group in histogram_parts.items():
         mergeable = [h for h in group if h.bounds == group[0].bounds]
         histograms[kind] = merge_histogram_snapshots(mergeable)
+    tenant_queue_ms: dict[str, HistogramSnapshot] = {}
+    for tenant, group in queue_parts.items():
+        mergeable = [h for h in group if h.bounds == group[0].bounds]
+        tenant_queue_ms[tenant] = merge_histogram_snapshots(mergeable)
     return MetricsSnapshot(
         requests_total=requests_total,
         served=served,
@@ -195,6 +208,8 @@ def merge_snapshots(parts: dict[str, MetricsSnapshot]) -> MetricsSnapshot:
         histograms=histograms,
         outcomes=dict(outcomes),
         tenant_outcomes=dict(tenant_outcomes),
+        tenant_queue_ms=tenant_queue_ms,
+        auth_failures=dict(auth_failures),
     )
 
 
@@ -218,6 +233,8 @@ class GatewayMetrics:
     _histograms: dict[str, Histogram] = field(default_factory=dict)
     _outcomes: Counter = field(default_factory=Counter)
     _tenant_outcomes: Counter = field(default_factory=Counter)
+    _tenant_queue: dict[str, Histogram] = field(default_factory=dict)
+    _auth_failures: Counter = field(default_factory=Counter)
     _tenant_labels: set = field(default_factory=set)
     _started_at: float = field(init=False)
     _lock: threading.Lock = field(init=False, repr=False)
@@ -277,6 +294,40 @@ class GatewayMetrics:
             if tenant is not None:
                 self._tenant_outcomes[(self._tenant_label(tenant), outcome)] += 1
 
+    def observe_queue(self, tenant: str, wait_ms: float) -> None:
+        """Record how long one request waited for its shard lock.
+
+        The fairness histogram: a hot tenant monopolising a shard shows
+        up as queue-time growth in *other* tenants' distributions.
+        """
+        with self._lock:
+            label = self._tenant_label(tenant)
+            histogram = self._tenant_queue.get(label)
+            if histogram is None:
+                histogram = self._tenant_queue[label] = Histogram()
+            histogram.observe(wait_ms)
+
+    def observe_auth_failure(
+        self,
+        code: str,
+        op: str | None = None,
+        tenant: str | None = None,
+    ) -> None:
+        """Record one authentication/authorization rejection.
+
+        Counts into the ordinary rejection totals (the invariant
+        ``requests_total == served + rejected + rate_limited`` holds)
+        plus a by-code counter for the Prometheus exposition.
+        """
+        with self._lock:
+            self.requests_total += 1
+            self.rejected += 1
+            self._auth_failures[code] += 1
+            if op is not None:
+                self._outcomes[(op, code)] += 1
+            if tenant is not None:
+                self._tenant_outcomes[(self._tenant_label(tenant), code)] += 1
+
     def observe_resize(self, keys_migrated: int) -> None:
         """Record one fleet resize and how many keys it moved."""
         with self._lock:
@@ -306,4 +357,9 @@ class GatewayMetrics:
                 histograms=histograms,
                 outcomes=dict(self._outcomes),
                 tenant_outcomes=dict(self._tenant_outcomes),
+                tenant_queue_ms={
+                    tenant: histogram.snapshot()
+                    for tenant, histogram in self._tenant_queue.items()
+                },
+                auth_failures=dict(self._auth_failures),
             )

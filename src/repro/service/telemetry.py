@@ -646,13 +646,20 @@ def render_prometheus(snapshots: dict[str, Any]) -> str:
                 "Cache invalidations."),
         _Family("repro_gateway_cache_size", "gauge", "Current cache entries."),
         _Family("repro_gateway_cache_capacity", "gauge", "Cache capacity."),
+        _Family("repro_gateway_auth_failures_total", "counter",
+                "Authentication/authorization rejections by taxonomy code."),
     ]
     (requests, served, rejected, rate_limited, resizes, migrated, uptime,
      shard_requests, outcomes, tenant_outcomes, cache_hits, cache_misses,
-     cache_evictions, cache_invalidations, cache_size, cache_capacity) = families
+     cache_evictions, cache_invalidations, cache_size, cache_capacity,
+     auth_failures) = families
     latency = _Family(
         "repro_gateway_latency_ms", "histogram",
         "Request latency in milliseconds per operation.",
+    )
+    tenant_queue = _Family(
+        "repro_gateway_tenant_queue_ms", "histogram",
+        "Shard-lock queue time in milliseconds per tenant (fairness).",
     )
 
     for scheme_id in sorted(snapshots):
@@ -700,8 +707,24 @@ def render_prometheus(snapshots: dict[str, Any]) -> str:
                 )
             latency.add(op_labels, hist.sum, "_sum")
             latency.add(op_labels, hist.count, "_count")
+        for code in sorted(getattr(snapshot, "auth_failures", {}) or {}):
+            auth_failures.add(
+                base + [("code", code)], snapshot.auth_failures[code]
+            )
+        for tenant in sorted(getattr(snapshot, "tenant_queue_ms", {}) or {}):
+            hist = snapshot.tenant_queue_ms[tenant]
+            tenant_labels = base + [("tenant", tenant)]
+            cumulative = 0
+            for i, bucket_count in enumerate(hist.counts):
+                cumulative += bucket_count
+                bound = hist.bounds[i] if i < len(hist.bounds) else float("inf")
+                tenant_queue.add(
+                    tenant_labels + [("le", _fmt_value(bound))], cumulative, "_bucket"
+                )
+            tenant_queue.add(tenant_labels, hist.sum, "_sum")
+            tenant_queue.add(tenant_labels, hist.count, "_count")
 
     lines: list[str] = []
-    for family in families + [latency]:
+    for family in families + [latency, tenant_queue]:
         lines.extend(family.render())
     return "\n".join(lines) + "\n"

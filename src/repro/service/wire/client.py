@@ -36,14 +36,22 @@ scheme-id-prefixed routes (``/v1/{scheme}/reencrypt``, ...); a server
 without the endpoint is a legacy single-scheme process, checked via
 ``GET /v1/scheme`` and spoken to on the unprefixed routes.  A server
 running only other schemes raises :class:`SchemeMismatchError` before
-any element envelope crosses the wire.  TLS and auth remain named
-follow-ups in the roadmap, not accidental omissions.
+any element envelope crosses the wire.
+
+Security: an ``https://`` url performs real TLS with certificate
+verification — ``tls_ca`` pins a private CA (the dev self-signed cert)
+instead of the system trust store.  ``tenant``/``secret`` attach an
+HMAC-SHA256 request signature (``X-Repro-Auth``) to every POST; each
+transport attempt is signed afresh with its own nonce, so the server's
+replay window never mistakes a legitimate retry for an attack while the
+idempotency ids keep the retry semantics intact.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import secrets
 import socket
 import threading
@@ -53,6 +61,8 @@ from typing import Sequence
 
 from repro.core.api import PreBackend, resolve_backend
 from repro.pairing.group import PairingGroup
+from repro.service.auth.signing import AUTH_HEADER, RequestSigner
+from repro.service.auth.tls import client_context
 from repro.service.gateway import (
     FetchRequest,
     FetchResponse,
@@ -137,6 +147,17 @@ class RemoteGateway:
     concurrent callers serialize on the single pooled connection; raise
     ``pool_size`` toward the expected number of concurrent threads so
     each can hold a connection of its own.
+
+    ``trace_requests`` accepts a sampling fraction as well as the
+    historical booleans: ``0.1`` traces roughly one request in ten
+    (head sampling — the decision is made before the request leaves, so
+    an unsampled request carries no trace header at all), ``True`` is
+    ``1.0`` and ``False`` is ``0.0``.  Metrics are unaffected: the
+    server counts every request whether or not it carried a trace.
+
+    ``tenant``/``secret`` (both or neither) sign every POST with the
+    ``repro-auth/v1`` HMAC scheme; ``tls_ca`` pins a CA bundle for
+    ``https://`` urls in place of the system trust store.
     """
 
     def __init__(
@@ -146,21 +167,34 @@ class RemoteGateway:
         timeout: float = 30.0,
         negotiate: bool = True,
         pool_size: int = 1,
-        trace_requests: bool = True,
+        trace_requests: bool | float = True,
+        tenant: str | None = None,
+        secret: str | None = None,
+        tls_ca: str | None = None,
     ):
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
+        if (tenant is None) != (secret is None):
+            raise ValueError("tenant and secret must be given together")
         self.url = url.rstrip("/")
         self.backend = resolve_backend(context)
         self.group = self.backend.group
         self.timeout = timeout
         self.pool_size = pool_size
+        self.tenant = tenant
+        self._signer = RequestSigner(tenant, secret) if tenant is not None else None
         # Client-side tracing: each typed operation generates a fresh
         # TraceContext, sends it as the X-Repro-Trace header, and records
         # a local wire-round-trip span.  last_trace holds the most recent
         # context so a caller can fetch the server-side trace by id.
+        fraction = float(trace_requests)
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("trace_requests must be a bool or a fraction in [0, 1]")
         self.trace_requests = trace_requests
-        self.tracer: Tracer | None = Tracer() if trace_requests else None
+        self._trace_fraction = fraction
+        # Deterministically seeded so tests can predict sampled counts.
+        self._trace_rng = random.Random(0xC11E27)
+        self.tracer: Tracer | None = Tracer() if fraction > 0.0 else None
         self.last_trace: TraceContext | None = None
         self.last_trace_echo: str | None = None
         self.connections_opened = 0
@@ -182,12 +216,20 @@ class RemoteGateway:
         self._conn_class = (
             http.client.HTTPSConnection if parts.scheme == "https" else http.client.HTTPConnection
         )
+        # Built even when tls_ca is None so https:// verifies against the
+        # system trust store rather than silently skipping verification.
+        self._tls_context = client_context(tls_ca) if parts.scheme == "https" else None
         self._netloc = parts.netloc
 
     # ---------------------------------------------------- connection pool
 
     def _dial(self) -> http.client.HTTPConnection:
-        conn = self._conn_class(self._netloc, timeout=self.timeout)
+        if self._tls_context is not None:
+            conn = self._conn_class(
+                self._netloc, timeout=self.timeout, context=self._tls_context
+            )
+        else:
+            conn = self._conn_class(self._netloc, timeout=self.timeout)
         conn.connect()
         # A reused connection interleaves small request/response
         # writes; without TCP_NODELAY, Nagle + delayed ACK add ~40ms
@@ -270,6 +312,11 @@ class RemoteGateway:
             headers[TRACE_HEADER] = trace.to_header()
         last_error: Exception | None = None
         for attempt in (0, 1) if replayable else (0,):
+            if self._signer is not None:
+                # Each attempt is its own signed request — a fresh nonce
+                # keeps the server's replay window from rejecting the
+                # legitimate retry of a request whose response was lost.
+                headers[AUTH_HEADER] = self._signer.header(method, path, data or b"")
             try:
                 conn = self._checkout(fresh=(not replayable) or attempt > 0)
             except _RETRYABLE as error:
@@ -378,6 +425,14 @@ class RemoteGateway:
 
     # ------------------------------------------------------------- plumbing
 
+    def _sample_trace(self) -> bool:
+        """Head-sampling decision for one client-originated request."""
+        if self._trace_fraction >= 1.0:
+            return True
+        if self._trace_fraction <= 0.0:
+            return False
+        return self._trace_rng.random() < self._trace_fraction
+
     def _round_trip(
         self,
         method: str,
@@ -400,7 +455,7 @@ class RemoteGateway:
             )
             text = body.decode("utf-8", errors="replace")
             return self._decode_round_trip(status, text, path)
-        trace = TraceContext.generate() if self.trace_requests else None
+        trace = TraceContext.generate() if self._sample_trace() else None
         if trace is not None:
             self.last_trace = trace
             with self.tracer.span(trace, "wire-round-trip", {"op": op}) as span:

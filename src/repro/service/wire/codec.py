@@ -61,6 +61,16 @@ from repro.service.gateway import (
     ResizeReport,
     StoreUnavailableError,
 )
+from repro.service.auth.errors import (
+    AuthenticationError,
+    AuthRequiredError,
+    BadSignatureError,
+    ForbiddenError,
+    ReplayedNonceError,
+    StaleTimestampError,
+    UnknownTenantError,
+)
+from repro.service.gateway import QuotaExceededError
 from repro.service.metrics import LatencySummary, MetricsSnapshot
 from repro.service.telemetry import HistogramSnapshot
 
@@ -92,6 +102,14 @@ ERROR_TYPES: dict[str, type] = {
         EntryMissingError,
         InvalidRequestError,
         StoreUnavailableError,
+        QuotaExceededError,
+        AuthenticationError,
+        AuthRequiredError,
+        UnknownTenantError,
+        BadSignatureError,
+        StaleTimestampError,
+        ReplayedNonceError,
+        ForbiddenError,
     )
 }
 
@@ -675,6 +693,11 @@ def _enc_metrics_snapshot(backend: PreBackend, msg: MetricsSnapshot) -> dict:
         },
         "outcomes": _enc_outcomes(msg.outcomes),
         "tenant_outcomes": _enc_outcomes(msg.tenant_outcomes),
+        "tenant_queue_ms": {
+            tenant: _enc_histogram(histogram)
+            for tenant, histogram in msg.tenant_queue_ms.items()
+        },
+        "auth_failures": dict(msg.auth_failures),
     }
 
 
@@ -708,6 +731,19 @@ def _dec_metrics_snapshot(backend: PreBackend, body: dict) -> MetricsSnapshot:
     tenant_outcomes = _dec_outcomes(
         _get(body, "tenant_outcomes", list, optional=True) or [], "tenant_outcomes"
     )
+    tenant_queue_ms = {}
+    for tenant, histogram in (
+        _get(body, "tenant_queue_ms", dict, optional=True) or {}
+    ).items():
+        if not isinstance(histogram, dict):
+            raise InvalidRequestError("tenant_queue_ms must map tenant -> histogram")
+        tenant_queue_ms[tenant] = _dec_histogram(histogram)
+    auth_failures = _get(body, "auth_failures", dict, optional=True) or {}
+    if not all(
+        isinstance(k, str) and isinstance(v, int) and not isinstance(v, bool)
+        for k, v in auth_failures.items()
+    ):
+        raise InvalidRequestError("auth_failures must map code -> int")
     return MetricsSnapshot(
         requests_total=_get(body, "requests_total", int),
         served=_get(body, "served", int),
@@ -722,6 +758,8 @@ def _dec_metrics_snapshot(backend: PreBackend, body: dict) -> MetricsSnapshot:
         histograms=histograms,
         outcomes=outcomes,
         tenant_outcomes=tenant_outcomes,
+        tenant_queue_ms=tenant_queue_ms,
+        auth_failures=dict(auth_failures),
     )
 
 

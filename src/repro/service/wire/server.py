@@ -49,7 +49,9 @@ handler thread.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import random
 import threading
 import traceback
 from collections import OrderedDict
@@ -69,6 +71,8 @@ from repro.service.gateway import (
     ReEncryptRequest,
     RevokeRequest,
 )
+from repro.service.auth.errors import ForbiddenError
+from repro.service.auth.signing import AUTH_HEADER
 from repro.service.telemetry import (
     TRACE_HEADER,
     EventLog,
@@ -102,6 +106,7 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 # Taxonomy code -> HTTP status.  Codes not listed map to 500.
 STATUS_BY_CODE = {
     "rate-limited": 429,
+    "quota-exceeded": 429,
     "no-delegation": 404,
     "entry-not-found": 404,
     "invalid-request": 400,
@@ -109,6 +114,15 @@ STATUS_BY_CODE = {
     # A routing tier that cannot reach a shard process is the server
     # being (partially) unavailable, not the request being wrong.
     "wire-transport": 503,
+    # Authentication failures (who are you?) are 401; an authenticated
+    # tenant whose roles refuse the operation is 403.
+    "auth-failed": 401,
+    "auth-required": 401,
+    "auth-unknown-tenant": 401,
+    "auth-bad-signature": 401,
+    "auth-stale-timestamp": 401,
+    "auth-replay": 401,
+    "auth-forbidden": 403,
 }
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024  # refuse absurd Content-Length up front
@@ -415,13 +429,78 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         else:  # op == "scheme"
             self._send_json(200, json.dumps(scheme_document(backend), sort_keys=True))
 
-    def _dispatch(self, op: str, gateway, backend: PreBackend, raw: bytes, trace):
+    def _authenticate(self, op: str, base: str, raw: bytes, gateway, backend):
+        """Verify the request signature and the tenant's role for ``op``.
+
+        Returns the authenticated tenant name, or ``None`` when the
+        server runs without a credential store (anonymous mode — the
+        default, and bit-identical to the pre-auth wire).  Raises the
+        auth taxonomy errors; callers map them like any gateway error.
+        """
+        verifier = getattr(self.server, "wire_auth", None)
+        if verifier is None:
+            return None
+        credential = verifier.verify("POST", base, raw, self.headers.get(AUTH_HEADER))
+        if not verifier.store.allows(credential, op):
+            raise ForbiddenError(
+                "tenant %r (roles: %s) may not call %r"
+                % (credential.tenant, ", ".join(credential.roles) or "-", op)
+            )
+        return credential.tenant
+
+    def _auth_failure(self, op: str, gateway, backend, error: GatewayError) -> None:
+        """Record one auth rejection: metrics, structured event, error body."""
+        header = self.headers.get(AUTH_HEADER) or ""
+        tenant = None
+        for part in header.split(";"):
+            if part.startswith("tenant="):
+                tenant = part[len("tenant="):] or None
+                break
+        metrics = getattr(gateway, "metrics", None)
+        if metrics is not None and hasattr(metrics, "observe_auth_failure"):
+            metrics.observe_auth_failure(error.code, op=op, tenant=tenant)
+        log = getattr(self.server, "wire_event_log", None)
+        if log is not None:
+            log.emit(
+                "auth-failure",
+                scheme=backend.scheme_id,
+                op=op,
+                code=error.code,
+                tenant=tenant,
+                client=self.client_address[0],
+                detail=str(error),
+            )
+        self._send_gateway_error(error, backend)
+
+    @staticmethod
+    def _stamp_tenant(request, tenant: str):
+        """Rewrite the request's self-declared tenant to the verified one.
+
+        Quotas, rate limits, metrics and audit records must attribute to
+        the identity that *signed* the request, not whatever the body
+        claims — otherwise one tenant spends another's budget.
+        """
+        if isinstance(request, (GrantBatchRequest, ReEncryptBatchRequest)):
+            return dataclasses.replace(
+                request,
+                requests=tuple(
+                    dataclasses.replace(item, tenant=tenant)
+                    for item in request.requests
+                ),
+            )
+        return dataclasses.replace(request, tenant=tenant)
+
+    def _dispatch(
+        self, op: str, gateway, backend: PreBackend, raw: bytes, trace,
+        auth_tenant: str | None = None,
+    ):
         """Decode, execute and encode one operation under optional spans.
 
         ``trace`` is the request's parsed :class:`TraceContext` (or None);
         it is only forwarded to gateways that actually expose a telemetry
         surface — bare gateway-like test doubles keep their old call
-        signatures.
+        signatures.  ``auth_tenant`` (set only on authenticated servers)
+        overrides every decoded request's tenant field.
         """
         tracer = getattr(gateway, "tracer", None)
         traced = tracer is not None and trace is not None
@@ -449,6 +528,8 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                     request = from_wire(backend, raw, expect=KeyExportRequest)
                 else:  # op == "resize"
                     request = from_wire(backend, raw, expect=ResizeRequest)
+                if auth_tenant is not None:
+                    request = self._stamp_tenant(request, auth_tenant)
             # Revoke/resize retries carry a client-generated request id;
             # a duplicate gets the recorded response, never a re-execution.
             dedup = getattr(self.server, "wire_dedup", None)
@@ -508,6 +589,13 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
         self._trace_echo = self.headers.get(TRACE_HEADER)
         trace = TraceContext.from_header(self._trace_echo)
+        # Server-side head sampling: the echo header still round-trips
+        # (so the client's correlation id survives), but only the sampled
+        # fraction records spans.  Metrics count every request regardless.
+        sample = getattr(self.server, "wire_trace_sample", 1.0)
+        if trace is not None and sample < 1.0:
+            if self.server.wire_trace_rng.random() >= sample:
+                trace = None
         try:
             raw = self._read_body()
         except InvalidRequestError as error:
@@ -528,7 +616,14 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             self._send_gateway_error(error)
             return
         try:
-            payload = self._dispatch(op, gateway, backend, raw, trace)
+            auth_tenant = self._authenticate(op, base, raw, gateway, backend)
+        except GatewayError as error:
+            self._auth_failure(op, gateway, backend, error)
+            return
+        try:
+            payload = self._dispatch(
+                op, gateway, backend, raw, trace, auth_tenant=auth_tenant
+            )
         except GatewayError as error:
             self._send_gateway_error(error, backend)
         except Exception as error:  # noqa: BLE001 - wire boundary
@@ -597,7 +692,19 @@ class GatewayHttpServer:
         port: int = 0,
         gateways: Sequence | None = None,
         event_log: EventLog | None = None,
+        tls=None,
+        auth=None,
+        trace_sample: float = 1.0,
     ):
+        """``tls`` is a server-side :class:`ssl.SSLContext` (see
+        :func:`repro.service.auth.tls.server_context`); ``auth`` is a
+        :class:`~repro.service.auth.signing.RequestVerifier` — with one
+        installed every POST must carry a valid ``X-Repro-Auth``
+        signature, without one the wire stays anonymous.
+        ``trace_sample`` is the server-side head-sampling fraction for
+        incoming trace headers (1.0 records every traced request)."""
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ValueError("trace_sample must be in [0, 1]")
         if gateways is None:
             if gateway is None:
                 raise ValueError("pass a gateway (or a gateways sequence)")
@@ -645,6 +752,18 @@ class GatewayHttpServer:
         self._httpd.wire_single = self.scheme_ids[0] if len(self.scheme_ids) == 1 else None
         self._httpd.wire_event_log = self.event_log
         self._httpd.wire_dedup = self.dedup
+        self._httpd.wire_auth = auth
+        self._httpd.wire_trace_sample = float(trace_sample)
+        # Deterministic seed: sampling decisions are reproducible across
+        # runs, and tests can predict exact sampled counts.
+        self._httpd.wire_trace_rng = random.Random(0x5EED)
+        self.auth = auth
+        self._url_scheme = "http"
+        if tls is not None:
+            # Wrapping the *listening* socket makes every accepted
+            # connection TLS; the handshake completes during accept().
+            self._httpd.socket = tls.wrap_socket(self._httpd.socket, server_side=True)
+            self._url_scheme = "https"
         self._thread: threading.Thread | None = None
 
     @property
@@ -657,7 +776,7 @@ class GatewayHttpServer:
 
     @property
     def url(self) -> str:
-        return "http://%s:%d" % (self.host, self.port)
+        return "%s://%s:%d" % (self._url_scheme, self.host, self.port)
 
     def start(self) -> "GatewayHttpServer":
         """Run the accept loop in a daemon thread; returns self."""

@@ -1,0 +1,98 @@
+"""Golden vectors for hash_to_group's cofactor clear.
+
+hash_to_group now clears the cofactor through the raw-coordinate
+Jacobian ladder (:func:`repro.ec.jacobian.jac_scalar_mul`) instead of
+the generic ``Point * int`` path.  The vectors below were captured from
+the implementation *before* that change, so they prove the rewrite is
+bit-identical — any drift here would silently re-map every identity
+hash in every deployed delegation universe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ec.params import get_params
+
+# (group, label) -> (x, y) of hash_to_group(label), captured pre-rewrite.
+GOLDEN = {
+    ("TOY", "golden-a"): (0xF08AE1400B7E17BAF25F8, 0x4D0072A759EEA142F3FC53),
+    ("TOY", "golden-b"): (0x6B3ECB274EA78139B2ABD3, 0x2E240F191D6A3BD51CF979),
+    ("TOY", "tenant:alice"): (0x1DAF0AB4462AF7318C89A3, 0x3CEE15249FC3410285482B),
+    ("SS256", "golden-a"): (
+        0x1C765BE20B54C96D4A8C968BE91CCA41F4310FF16CC8AF0548D09C4A2E160242,
+        0x5D030ABBC2925E509F95012F61668A61CF9B3D35535CF347A93FA0704FC4E601,
+    ),
+    ("SS256", "golden-b"): (
+        0x8EC8F247D960FCF1F94129D518C0001CD1EFB5450ECDED29B11C8EE1A0F37D9C,
+        0x3540D5239B938C355147A51A3266777CFB6EDFD950494E35036A71BB3DC0165B,
+    ),
+    ("SS256", "tenant:alice"): (
+        0x8E135B50FE5F439FC7CB745D9FF9C1FF3370AC830879A86CC16844BB3AF4F929,
+        0x181F1931CF8DCE39EA19918B08D16215EC85EE3ED4C3F33D8905638BBB4CE927,
+    ),
+    ("SS512", "golden-a"): (
+        0x8047A7F1981FEF41EA4F10B77E794BE3AA25CB4E3882CCA10E282D0FB2574CD3DA7884C653A66859DD542798967301F6B0150A2375166759691B97C5E79857B5,
+        0x810AD5A1B6323989F8B32E5D727DF62E64B87A7284E2F7463E37A26AACA08C7DB05AA1B2D1904AC5846E06D9D71F6330DE6A7261B412A7CEF28E26425FD26D3,
+    ),
+    ("SS512", "golden-b"): (
+        0xB964236BC3C2C5CF70830B45132FB0FAF03A73FE01E469268205E382822D20C218D5182C4653F0DD76B69909B4970E08C9F56A2EA7B2CC3EAB04E1A27BF06F73,
+        0xACFFA94DDDCE210605C6483652BC54C243CFE6E21CCE6F1BF485AA0A86E6FBA54390F631110446007121D8A05A3753418BF613109DF51AEB08889D5E61909F92,
+    ),
+    ("SS512", "tenant:alice"): (
+        0x70A1353D44089CD493DF51C074AC2EBAC1B09F3D1FC86FC7A4688CF4F40883A9BF434AF4A6667E1803938812686EE9F122CE5972F0F7617FDFFA84D013B9B3C5,
+        0xAAA7F8113253C24780F6F1AA847EB9E44C407EA367FC14208442E0CB82649E35D9837FF29B6BF57D665991BD21BD260146AE1A180062FAA6C451A613E898C918,
+    ),
+}
+
+
+@pytest.mark.parametrize(
+    "group_name,label", sorted(GOLDEN), ids=lambda v: str(v)
+)
+def test_hash_to_group_matches_golden_vector(group_name, label):
+    curve = get_params(group_name)
+    point = curve.hash_to_group(label)
+    expected_x, expected_y = GOLDEN[(group_name, label)]
+    assert (int(point.x), int(point.y)) == (expected_x, expected_y)
+
+
+@pytest.mark.parametrize("group_name", sorted({g for g, _ in GOLDEN}))
+def test_hash_to_group_lands_in_subgroup(group_name):
+    curve = get_params(group_name)
+    point = curve.hash_to_group("subgroup-probe")
+    assert curve.is_in_subgroup(point)
+    assert not point.is_infinity()
+
+
+def test_hash_to_group_agrees_with_generic_point_mul():
+    """The direct jac_scalar_mul call equals candidate * h on Points."""
+    curve = get_params("TOY")
+    import hashlib
+
+    from repro.math.ntheory import bytes_to_int
+
+    data = b"cross-check"
+    p_bytes = (curve.p.bit_length() + 7) // 8
+    for counter in range(64):
+        digest = b""
+        block = 0
+        while len(digest) < p_bytes + 8:
+            digest += hashlib.sha256(
+                b"repro-h2p"
+                + counter.to_bytes(2, "big")
+                + block.to_bytes(2, "big")
+                + data
+            ).digest()
+            block += 1
+        x = curve.base_field(bytes_to_int(digest[: p_bytes + 8]))
+        candidate = curve.curve.lift_x(x, y_parity=digest[-1] & 1)
+        if candidate is None:
+            continue
+        via_point = candidate * curve.h
+        via_hash = curve.hash_to_group(data)
+        assert (int(via_point.x), int(via_point.y)) == (
+            int(via_hash.x),
+            int(via_hash.y),
+        )
+        return
+    pytest.fail("no liftable candidate found for cross-check data")

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Generate a self-signed localhost certificate for gateway TLS testing.
+
+Writes ``dev-cert.pem`` (certificate) and ``dev-key.pem`` (private key)
+into the output directory.  The certificate carries
+``subjectAltName = DNS:localhost, IP:127.0.0.1`` so a client pinning it
+as its CA (``--tls-ca dev-cert.pem``) passes hostname verification
+against either spelling of the loopback.
+
+Usage::
+
+    python tools/gen_dev_cert.py [--out DIR] [--days N]
+    repro-pre serve --http 8443 --tls-cert DIR/dev-cert.pem \
+        --tls-key DIR/dev-key.pem
+
+Two implementations, picked at runtime: the ``cryptography`` package
+when importable, else the ``openssl`` binary via subprocess.  CI images
+without ``cryptography`` take the second path; neither is an extra
+install on the supported environments.  Dev-only: a real deployment
+terminates TLS with certificates from its own PKI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import subprocess
+import sys
+from pathlib import Path
+
+SAN = "DNS:localhost,IP:127.0.0.1"
+SUBJECT = "/CN=localhost"
+
+
+def _generate_with_cryptography(cert_path: Path, key_path: Path, days: int) -> None:
+    from cryptography import x509
+    from cryptography.hazmat.primitives import hashes, serialization
+    from cryptography.hazmat.primitives.asymmetric import ec
+    from cryptography.x509.oid import NameOID
+    import ipaddress
+
+    key = ec.generate_private_key(ec.SECP256R1())
+    name = x509.Name([x509.NameAttribute(NameOID.COMMON_NAME, "localhost")])
+    now = datetime.datetime.now(datetime.timezone.utc)
+    certificate = (
+        x509.CertificateBuilder()
+        .subject_name(name)
+        .issuer_name(name)
+        .public_key(key.public_key())
+        .serial_number(x509.random_serial_number())
+        .not_valid_before(now - datetime.timedelta(minutes=5))
+        .not_valid_after(now + datetime.timedelta(days=days))
+        .add_extension(
+            x509.SubjectAlternativeName(
+                [
+                    x509.DNSName("localhost"),
+                    x509.IPAddress(ipaddress.IPv4Address("127.0.0.1")),
+                ]
+            ),
+            critical=False,
+        )
+        .add_extension(
+            x509.BasicConstraints(ca=True, path_length=None), critical=True
+        )
+        .sign(key, hashes.SHA256())
+    )
+    key_path.write_bytes(
+        key.private_bytes(
+            serialization.Encoding.PEM,
+            serialization.PrivateFormat.PKCS8,
+            serialization.NoEncryption(),
+        )
+    )
+    cert_path.write_bytes(certificate.public_bytes(serialization.Encoding.PEM))
+
+
+def _generate_with_openssl(cert_path: Path, key_path: Path, days: int) -> None:
+    subprocess.run(
+        [
+            "openssl",
+            "req",
+            "-x509",
+            "-newkey",
+            "ec",
+            "-pkeyopt",
+            "ec_paramgen_curve:prime256v1",
+            "-keyout",
+            str(key_path),
+            "-out",
+            str(cert_path),
+            "-days",
+            str(days),
+            "-nodes",
+            "-subj",
+            SUBJECT,
+            "-addext",
+            "subjectAltName=%s" % SAN,
+        ],
+        check=True,
+        capture_output=True,
+    )
+
+
+def generate(out_dir: Path, days: int = 30) -> tuple[Path, Path]:
+    """Write dev-cert.pem/dev-key.pem into ``out_dir``; returns the paths."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    cert_path = out_dir / "dev-cert.pem"
+    key_path = out_dir / "dev-key.pem"
+    try:
+        import cryptography  # noqa: F401
+
+        _generate_with_cryptography(cert_path, key_path, days)
+    except ImportError:
+        _generate_with_openssl(cert_path, key_path, days)
+    return cert_path, key_path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=".", help="output directory (default .)")
+    parser.add_argument("--days", type=int, default=30, help="validity in days")
+    args = parser.parse_args(argv)
+    cert_path, key_path = generate(Path(args.out), days=args.days)
+    print("wrote %s and %s (SAN %s)" % (cert_path, key_path, SAN))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
