@@ -707,8 +707,168 @@ def test_e13_tls_hmac_overhead_within_budget(tmp_path):
     _maybe_record()
 
 
+# --------------------------------------------- mux-vs-pool curve (PR 10)
+
+CURVE_CLIENTS = (1, 8, 64, 512)
+CURVE_REQUESTS = 1024
+MUX_AHEAD_AT = 64  # the concurrency level where mux must pull ahead
+
+
+def _curve_stream(setting):
+    """1024 requests cycled over the 96 distinct granted routes."""
+    base = [
+        request for partition in _thread_partitions(setting) for request in partition
+    ]
+    stream = []
+    while len(stream) < CURVE_REQUESTS:
+        stream.extend(base[: CURVE_REQUESTS - len(stream)])
+    return stream
+
+
+def _drive_curve_clients(client, stream, n_clients):
+    """Split the stream across n_clients barrier-started threads sharing
+    one client object; returns the wall clock of the concurrent phase."""
+    chunks = [stream[i::n_clients] for i in range(n_clients)]
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+    start_line = threading.Barrier(n_clients + 1)
+    finish_line = threading.Barrier(n_clients + 1)
+
+    def worker(requests):
+        try:
+            start_line.wait(timeout=120)
+            for request in requests:
+                client.reencrypt(request)
+            finish_line.wait(timeout=600)
+        except BaseException as error:  # noqa: BLE001 - reported to the bench
+            with lock:
+                errors.append(error)
+            # Break both barriers so the run fails with the real error
+            # instead of deadlocking the remaining workers.
+            start_line.abort()
+            finish_line.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(chunk,), daemon=True)
+        for chunk in chunks
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        start_line.wait(timeout=120)
+        start = time.perf_counter()
+        finish_line.wait(timeout=600)
+    except threading.BrokenBarrierError:
+        assert not errors, errors
+        raise
+    elapsed_s = time.perf_counter() - start
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, errors
+    return elapsed_s
+
+
+def test_e13_mux_connection_curve():
+    """Leg 5 (PR 10): connections-vs-throughput for the pooled threaded
+    wire against the framed mux wire.
+
+    The same warm-cache reencrypt stream is pushed by 1, 8, 64 and 512
+    concurrent client threads.  The threaded stack pays one socket (and
+    one server handler thread) per concurrent client; the mux stack
+    multiplexes every thread over a single framed connection.  At low
+    concurrency the two are equivalent; once connection setup and
+    per-connection threads dominate (>= 64 clients) the mux side must be
+    ahead.  Responses stay on warm gateway caches so the leg measures
+    transport structure, not scheme math.
+    """
+    from repro.service.wire import AsyncGatewayServer, MuxRemoteGateway
+
+    setting = _setting()
+    group = setting.group
+    stream = _curve_stream(setting)
+    # Warm every distinct route once in-process: both transports then
+    # serve pure cache hits out of the same gateway object.
+    seen = set()
+    for request in stream:
+        key = id(request)
+        if key not in seen:
+            seen.add(key)
+            setting.gateway.reencrypt(request)
+
+    curve = {}
+    rows = []
+    for n_clients in CURVE_CLIENTS:
+        with GatewayHttpServer(setting.gateway, group) as server:
+            pooled = RemoteGateway(
+                server.url, group, pool_size=n_clients, trace_requests=False
+            )
+            threaded_s = _drive_curve_clients(pooled, stream, n_clients)
+            dials = pooled.connections_opened
+            pooled.close()
+
+        with AsyncGatewayServer(setting.gateway, group, max_streams=1024) as server:
+            mux = MuxRemoteGateway(server.url, group, trace_requests=False)
+            mux_s = _drive_curve_clients(mux, stream, n_clients)
+            peak_streams = mux.peak_streams
+            assert mux.connections_opened == 1
+            mux.close()
+
+        curve[n_clients] = {
+            "threaded_s": threaded_s,
+            "mux_s": mux_s,
+            "threaded_dials": dials,
+            "mux_peak_streams": peak_streams,
+        }
+        rows.append(
+            [
+                str(n_clients),
+                "%.0f" % (CURVE_REQUESTS / threaded_s),
+                str(dials),
+                "%.0f" % (CURVE_REQUESTS / mux_s),
+                str(peak_streams),
+                "%.2fx" % (threaded_s / mux_s),
+            ]
+        )
+    setting.gateway.close()
+
+    print_table(
+        "E13: connections vs throughput, %d warm reencrypts per point"
+        % CURVE_REQUESTS,
+        ["clients", "pool req/s", "dials", "mux req/s", "peak streams", "mux gain"],
+        rows,
+    )
+
+    # The acceptance anchor: one multiplexed socket overtakes the
+    # connection pool once per-connection overhead dominates.
+    for n_clients in CURVE_CLIENTS:
+        if n_clients < MUX_AHEAD_AT:
+            continue
+        point = curve[n_clients]
+        assert point["mux_s"] < point["threaded_s"], (
+            "mux (%.1fms) behind the pool (%.1fms) at %d clients"
+            % (point["mux_s"] * 1000, point["threaded_s"] * 1000, n_clients)
+        )
+
+    _SNAPSHOT["mux_connection_curve"] = {
+        "requests_per_point": CURVE_REQUESTS,
+        "mux_ahead_at": MUX_AHEAD_AT,
+        "points": {
+            str(n_clients): {
+                "threaded_req_s": round(CURVE_REQUESTS / point["threaded_s"], 1),
+                "mux_req_s": round(CURVE_REQUESTS / point["mux_s"], 1),
+                "threaded_dials": point["threaded_dials"],
+                "mux_peak_streams": point["mux_peak_streams"],
+                "mux_gain": round(point["threaded_s"] / point["mux_s"], 3),
+            }
+            for n_clients, point in curve.items()
+        },
+    }
+    _maybe_record()
+
+
 def _maybe_record():
-    if {"adversarial_isolation", "tls_hmac_overhead"} <= set(_SNAPSHOT):
+    required = {"adversarial_isolation", "tls_hmac_overhead", "mux_connection_curve"}
+    if required <= set(_SNAPSHOT):
         from repro.bench.report import record_bench_snapshot
 
         record_bench_snapshot(

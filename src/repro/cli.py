@@ -524,8 +524,9 @@ def _serve_http(args, scheme_ids: list[str]) -> int:
     from repro.pairing.group import PairingGroup
     from repro.service.gateway import ReEncryptionGateway
     from repro.service.telemetry import EventLog, jsonl_sink
-    from repro.service.wire import GatewayHttpServer
+    from repro.service.wire import AsyncGatewayServer, GatewayHttpServer
 
+    server_class = AsyncGatewayServer if args.async_wire else GatewayHttpServer
     tls, verifier, policy = _security_from_args(args)
     # One hosted scheme keeps the historical shared group (existing
     # clients negotiate against its name); several schemes each get a
@@ -562,7 +563,7 @@ def _serve_http(args, scheme_ids: list[str]) -> int:
                     policy=policy,
                 )
             )
-        server = GatewayHttpServer(
+        server = server_class(
             gateways=gateways,
             host=args.host,
             port=args.http,
@@ -571,6 +572,10 @@ def _serve_http(args, scheme_ids: list[str]) -> int:
             auth=verifier,
             trace_sample=args.trace_sample,
         )
+        if args.async_wire:
+            # The asyncio server binds inside start(); the banner below
+            # must print the real (possibly ephemeral) port.
+            server.start()
     except BaseException:
         for gateway in gateways:
             gateway.close()
@@ -662,8 +667,9 @@ def _serve_fleet(args) -> int:
     """
     from repro.service.fleet import FleetGateway, FleetSupervisor
     from repro.service.telemetry import EventLog, jsonl_sink
-    from repro.service.wire import GatewayHttpServer
+    from repro.service.wire import AsyncGatewayServer, GatewayHttpServer
 
+    server_class = AsyncGatewayServer if args.async_wire else GatewayHttpServer
     event_stream = None
     if args.event_log is not None:
         event_stream = Path(args.event_log).open("a", encoding="utf-8")
@@ -689,9 +695,12 @@ def _serve_fleet(args) -> int:
             tls_cert=args.tls_cert,
             tls_key=args.tls_key,
             worker_auth=args.tenant_config is not None,
+            # Async fleets dial their workers over mux links too: one
+            # multiplexed socket per worker instead of a pool.
+            async_workers=args.async_wire,
         )
         gateway = FleetGateway(supervisor, event_log=event_log)
-        server = GatewayHttpServer(
+        server = server_class(
             gateways=[gateway],
             host=args.host,
             port=args.http,
@@ -700,6 +709,8 @@ def _serve_fleet(args) -> int:
             auth=verifier,
             trace_sample=args.trace_sample,
         )
+        if args.async_wire:
+            server.start()
     except BaseException:
         if gateway is not None:
             gateway.close()
@@ -803,9 +814,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         "instead of driving the synthetic workload")
     p.add_argument("--host", default="127.0.0.1",
                    help="bind address for --http (default 127.0.0.1)")
+    p.add_argument("--async", dest="async_wire", action="store_true",
+                   help="with --http: serve on the asyncio event-loop stack "
+                        "(mux framing + HTTP/1.1 on one port) instead of the "
+                        "thread-per-connection server; prints a mux:// URL "
+                        "that --connect auto-negotiates")
     p.add_argument("--connect", default=None, metavar="URL",
                    help="drive the synthetic workload against a remote "
-                        "gateway, e.g. http://127.0.0.1:8080")
+                        "gateway, e.g. http://127.0.0.1:8080 (mux://host:port "
+                        "selects the multiplexed framed transport of an "
+                        "--async server)")
     p.add_argument("--pool-size", type=int, default=1,
                    help="keep-alive connection pool size for the --connect "
                         "client (default 1: the single persistent connection)")

@@ -365,11 +365,12 @@ def resolve_remote_group(
     not host the scheme (or cannot be probed) yields the shared base —
     the client's normal negotiation then raises the canonical error.
     """
-    from repro.service.wire.client import RemoteGateway, WireTransportError
+    from repro.service.wire.aio_client import connect_gateway
+    from repro.service.wire.client import WireTransportError
 
     base = PairingGroup.shared(base_name)
     try:
-        probe = RemoteGateway(
+        probe = connect_gateway(
             url,
             base,
             timeout=timeout,
@@ -419,12 +420,12 @@ def run_remote_demo(
     be a bare ``repro-pre serve --http`` process: it needs no prior state,
     only the same pairing group.
     """
-    from repro.service.wire.client import RemoteGateway
+    from repro.service.wire.aio_client import connect_gateway
 
     group = resolve_remote_group(url, TIPRE_SCHEME_ID, group_name, tls_ca=tls_ca)
     setting = build_setting(group_name=group_name, seed=seed, group=group)
     try:
-        with RemoteGateway(
+        with connect_gateway(
             url,
             setting.group,
             pool_size=pool_size,
@@ -667,14 +668,14 @@ def run_remote_scheme_demo(
     remote ``serve --http --scheme X`` process returns transformations
     the delegatee can actually open.
     """
-    from repro.service.wire.client import RemoteGateway
+    from repro.service.wire.aio_client import connect_gateway
 
     group = resolve_remote_group(url, scheme_id, group_name, tls_ca=tls_ca)
     setting = build_scheme_setting(
         scheme_id=scheme_id, group_name=group_name, seed=seed, group=group
     )
     try:
-        with RemoteGateway(
+        with connect_gateway(
             url,
             setting.backend,
             pool_size=pool_size,

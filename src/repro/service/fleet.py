@@ -75,11 +75,12 @@ from repro.service.auth.credentials import TenantCredentialStore
 from repro.service.metrics import GatewayMetrics, MetricsSnapshot, merge_snapshots
 from repro.service.router import ShardRouter
 from repro.service.telemetry import EventLog, Span, TraceContext, Tracer
+from repro.service.wire.aio_client import connect_gateway
 from repro.service.wire.client import RemoteGateway, WireTransportError
 
 __all__ = ["FleetSupervisor", "StaticFleet", "FleetGateway"]
 
-_BANNER = re.compile(r"listening on (https?://\S+)")
+_BANNER = re.compile(r"listening on ((?:https?|muxs?)://\S+)")
 
 # The routing tier's identity on its shard workers when per-worker HMAC
 # credentials are enabled.  "admin" because the router drives the full
@@ -145,6 +146,7 @@ class FleetSupervisor:
         tls_cert: str | Path | None = None,
         tls_key: str | Path | None = None,
         worker_auth: bool = False,
+        async_workers: bool = False,
     ):
         from repro.pairing.group import PairingGroup
 
@@ -173,6 +175,10 @@ class FleetSupervisor:
         if self.tls_key is not None and self.tls_cert is None:
             raise ValueError("tls_key given without tls_cert")
         self.worker_auth = worker_auth
+        # Async workers run the asyncio server and print a mux:// banner,
+        # so the supervisor's clients become framed mux links: one
+        # multiplexed socket per worker instead of a connection pool.
+        self.async_workers = async_workers
         self._secrets: dict[str, str] = {}
         self._auth_root: Path | None = None
         if worker_auth:
@@ -222,6 +228,8 @@ class FleetSupervisor:
                 command += ["--tls-key", str(self.tls_key)]
         if self.worker_auth:
             command += ["--tenant-config", str(self._credential_path(name))]
+        if self.async_workers:
+            command += ["--async"]
         return command
 
     def _credential_path(self, name: str) -> Path:
@@ -500,7 +508,7 @@ class FleetSupervisor:
             worker = self._workers.get(name)
             if worker is None:
                 raise WireTransportError("no shard named %r" % name)
-            client = RemoteGateway(
+            client = connect_gateway(
                 worker.url,
                 self.backend,
                 pool_size=self.pool_size,
@@ -560,7 +568,7 @@ class StaticFleet:
                 url = self._endpoints.get(name)
                 if url is None:
                     raise WireTransportError("no shard named %r" % name)
-                client = self._clients[name] = RemoteGateway(
+                client = self._clients[name] = connect_gateway(
                     url,
                     self.backend,
                     pool_size=self.pool_size,

@@ -24,7 +24,14 @@ from typing import Callable
 from repro.service.cache import CacheStats
 from repro.service.telemetry import Histogram, HistogramSnapshot, merge_histogram_snapshots
 
-__all__ = ["LatencySummary", "MetricsSnapshot", "GatewayMetrics", "merge_snapshots"]
+__all__ = [
+    "LatencySummary",
+    "MetricsSnapshot",
+    "GatewayMetrics",
+    "merge_snapshots",
+    "WireServerStats",
+    "WireStatsSnapshot",
+]
 
 # Distinct tenants tracked in the per-tenant outcome counters; traffic
 # from tenants past the cap is folded into one overflow label so a churn
@@ -362,4 +369,64 @@ class GatewayMetrics:
                     for tenant, histogram in self._tenant_queue.items()
                 },
                 auth_failures=dict(self._auth_failures),
+            )
+
+
+@dataclass(frozen=True)
+class WireStatsSnapshot:
+    """A wire server's connection/stream population at one instant."""
+
+    connections_open: int
+    connections_total: int
+    streams_in_flight: int
+    streams_total: int
+    streams_peak: int
+
+
+class WireServerStats:
+    """Thread-safe connection and in-flight-stream gauges for a wire server.
+
+    A *connection* is one accepted socket (HTTP keep-alive or mux); a
+    *stream* is one request in flight on any connection — on a mux link
+    many streams share a socket, which is exactly what these gauges make
+    visible (``streams_in_flight`` far above ``connections_open`` means
+    multiplexing is doing its job).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.connections_open = 0
+        self.connections_total = 0
+        self.streams_in_flight = 0
+        self.streams_total = 0
+        self.streams_peak = 0
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self.connections_open += 1
+            self.connections_total += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self.connections_open -= 1
+
+    def stream_started(self) -> None:
+        with self._lock:
+            self.streams_in_flight += 1
+            self.streams_total += 1
+            if self.streams_in_flight > self.streams_peak:
+                self.streams_peak = self.streams_in_flight
+
+    def stream_finished(self) -> None:
+        with self._lock:
+            self.streams_in_flight -= 1
+
+    def snapshot(self) -> WireStatsSnapshot:
+        with self._lock:
+            return WireStatsSnapshot(
+                connections_open=self.connections_open,
+                connections_total=self.connections_total,
+                streams_in_flight=self.streams_in_flight,
+                streams_total=self.streams_total,
+                streams_peak=self.streams_peak,
             )

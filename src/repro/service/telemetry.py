@@ -609,7 +609,7 @@ class _Family:
         ] + self.samples
 
 
-def render_prometheus(snapshots: dict[str, Any]) -> str:
+def render_prometheus(snapshots: dict[str, Any], wire: Any | None = None) -> str:
     """Render gateway metrics snapshots as Prometheus text exposition.
 
     ``snapshots`` maps a scheme id to that fleet's
@@ -617,6 +617,11 @@ def render_prometheus(snapshots: dict[str, Any]) -> str:
     module never imports the metrics module).  Each family is emitted
     once with every fleet's samples under a ``scheme`` label, which is
     what lets one scrape of a multi-scheme server stay a valid document.
+
+    ``wire`` is an optional
+    :class:`~repro.service.metrics.WireStatsSnapshot` (again duck-typed)
+    carrying the serving transport's connection/stream gauges — scheme-
+    neutral, since connections are shared by every hosted fleet.
     """
     families = [
         _Family("repro_gateway_requests_total", "counter",
@@ -724,7 +729,31 @@ def render_prometheus(snapshots: dict[str, Any]) -> str:
             tenant_queue.add(tenant_labels, hist.sum, "_sum")
             tenant_queue.add(tenant_labels, hist.count, "_count")
 
+    wire_families: list[_Family] = []
+    if wire is not None:
+        pairs = [
+            ("repro_wire_connections_open", "gauge",
+             "Wire connections currently accepted and not yet closed.",
+             wire.connections_open),
+            ("repro_wire_connections_total", "counter",
+             "Wire connections accepted since process start.",
+             wire.connections_total),
+            ("repro_wire_streams_in_flight", "gauge",
+             "Requests currently executing across all wire connections.",
+             wire.streams_in_flight),
+            ("repro_wire_streams_total", "counter",
+             "Requests started on the wire since process start.",
+             wire.streams_total),
+            ("repro_wire_streams_peak", "gauge",
+             "Highest concurrent in-flight request count observed.",
+             wire.streams_peak),
+        ]
+        for name, kind, help_text, value in pairs:
+            family = _Family(name, kind, help_text)
+            family.add([], value)
+            wire_families.append(family)
+
     lines: list[str] = []
-    for family in families + [latency, tenant_queue]:
+    for family in families + [latency, tenant_queue] + wire_families:
         lines.extend(family.render())
     return "\n".join(lines) + "\n"

@@ -1,30 +1,44 @@
 """HTTP/JSON wire protocol for the re-encryption gateway.
 
 The paper's proxy is a *server* patients and clinicians reach over a
-network; this package makes that literal.  Three layers:
+network; this package makes that literal.  Five layers:
 
 * :mod:`repro.service.wire.codec` — versioned JSON messages for every
   gateway request/response dataclass, reusing the canonical container
   serialization for group elements; malformed input is rejected with
-  the stable ``invalid-request`` code;
+  the stable ``invalid-request`` code — plus the length-prefixed mux
+  framing the async transport multiplexes those messages inside;
 * :mod:`repro.service.wire.server` — :class:`GatewayHttpServer`, one or
   several scheme fleets behind stdlib ``ThreadingHTTPServer``
   (scheme-id-prefixed routes, ``GET /v1/schemes`` enumeration) with the
   error taxonomy mapped to HTTP statuses;
 * :mod:`repro.service.wire.client` — :class:`RemoteGateway`, the same
   typed API as the in-process gateway, so drivers and benchmarks run
-  unchanged against either.
+  unchanged against either;
+* :mod:`repro.service.wire.aio_server` — :class:`AsyncGatewayServer`,
+  the asyncio escape from thread-per-connection: one event loop, both
+  mux framing and HTTP/1.1 on one port, gateway calls on a bounded
+  worker pool;
+* :mod:`repro.service.wire.aio_client` — :class:`MuxRemoteGateway`
+  (many in-flight requests over ONE socket) and the URL-dispatching
+  :func:`connect_gateway` factory.
 """
 
+from repro.service.wire.aio_client import MuxRemoteGateway, connect_gateway
+from repro.service.wire.aio_server import AsyncGatewayServer
 from repro.service.wire.client import RemoteGateway, SchemeMismatchError, WireTransportError
 from repro.service.wire.codec import (
     ERROR_TYPES,
+    MUX_PROTOCOL,
     WIRE_FORMAT,
+    FrameProtocolError,
     GrantBatchRequest,
     GrantBatchResponse,
     ReEncryptBatchRequest,
     ReEncryptBatchResponse,
     ResizeRequest,
+    decode_frame_payload,
+    encode_frame,
     from_wire,
     neutral_error_to_wire,
     scheme_document,
@@ -34,9 +48,13 @@ from repro.service.wire.server import STATUS_BY_CODE, GatewayHttpServer
 
 __all__ = [
     "ERROR_TYPES",
+    "AsyncGatewayServer",
+    "FrameProtocolError",
     "GatewayHttpServer",
     "GrantBatchRequest",
     "GrantBatchResponse",
+    "MUX_PROTOCOL",
+    "MuxRemoteGateway",
     "ReEncryptBatchRequest",
     "ReEncryptBatchResponse",
     "RemoteGateway",
@@ -45,6 +63,9 @@ __all__ = [
     "STATUS_BY_CODE",
     "WIRE_FORMAT",
     "WireTransportError",
+    "connect_gateway",
+    "decode_frame_payload",
+    "encode_frame",
     "from_wire",
     "neutral_error_to_wire",
     "scheme_document",

@@ -193,7 +193,11 @@ class RemoteGateway:
         self.trace_requests = trace_requests
         self._trace_fraction = fraction
         # Deterministically seeded so tests can predict sampled counts.
+        # The lock serializes draws: concurrent unlocked calls would
+        # corrupt the Mersenne-Twister state and break the exact-count
+        # guarantee (and, rarely, the generator itself).
         self._trace_rng = random.Random(0xC11E27)
+        self._trace_rng_lock = threading.Lock()
         self.tracer: Tracer | None = Tracer() if fraction > 0.0 else None
         self.last_trace: TraceContext | None = None
         self.last_trace_echo: str | None = None
@@ -431,7 +435,8 @@ class RemoteGateway:
             return True
         if self._trace_fraction <= 0.0:
             return False
-        return self._trace_rng.random() < self._trace_fraction
+        with self._trace_rng_lock:
+            return self._trace_rng.random() < self._trace_fraction
 
     def _round_trip(
         self,

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import base64
 import json
+import struct
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -88,6 +89,16 @@ __all__ = [
     "from_wire",
     "scheme_document",
     "neutral_error_to_wire",
+    "MUX_PROTOCOL",
+    "MAX_FRAME_BYTES",
+    "FRAME_HEADER_LEN",
+    "FrameProtocolError",
+    "encode_frame",
+    "decode_frame_payload",
+    "frame_length",
+    "mux_hello",
+    "mux_request",
+    "mux_response",
 ]
 
 WIRE_FORMAT = "repro-gateway/v1"
@@ -902,3 +913,111 @@ def from_wire(
             % (" or ".join(cls.__name__ for cls in expected), kind)
         )
     return decoded
+
+
+# ----------------------------------------------------------- mux framing
+#
+# The multiplexed wire (``mux://``) carries the exact same JSON documents
+# as HTTP — a frame is a transport envelope, not a second codec.  Each
+# frame is a 4-byte big-endian length prefix followed by a UTF-8 JSON
+# payload; the first frame in each direction is a ``hello`` naming the
+# protocol, every later client frame is a ``request`` carrying an
+# integer ``id``, and the server answers each with a ``response`` tagged
+# with the same id (in whatever order executions finish — that id
+# correlation is what lets many requests share one socket).  The HTTP
+# body travels inside the frame as a JSON *string*, so the bytes a
+# client extracts are identical to what the threaded stack returns.
+#
+# The length prefix keeps its top byte zero (frames are capped well
+# below 2**24), which doubles as the protocol sniff: no HTTP method
+# starts with a NUL byte, so a server can serve both protocols on one
+# port by looking at the first octet of a connection.
+
+MUX_PROTOCOL = "repro-mux/v1"
+FRAME_HEADER_LEN = 4
+MAX_FRAME_BYTES = 16 * 1024 * 1024 - 1  # keeps the prefix's top byte 0x00
+
+
+class FrameProtocolError(Exception):
+    """The peer broke mux framing (bad prefix, oversize or non-JSON frame)."""
+
+
+def encode_frame(document: dict) -> bytes:
+    """One framed document: 4-byte big-endian length + compact JSON."""
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameProtocolError(
+            "frame payload of %d bytes exceeds the %d-byte cap"
+            % (len(payload), MAX_FRAME_BYTES)
+        )
+    return struct.pack(">I", len(payload)) + payload
+
+
+def frame_length(header: bytes) -> int:
+    """Decode a frame's length prefix, enforcing the size cap."""
+    if len(header) != FRAME_HEADER_LEN:
+        raise FrameProtocolError("truncated frame header (%d bytes)" % len(header))
+    (length,) = struct.unpack(">I", header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameProtocolError(
+            "frame of %d bytes exceeds the %d-byte cap" % (length, MAX_FRAME_BYTES)
+        )
+    return length
+
+
+def decode_frame_payload(payload: bytes) -> dict:
+    """Parse one frame payload into its JSON document."""
+    try:
+        document = json.loads(payload)
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise FrameProtocolError("malformed frame payload: %s" % error) from error
+    if not isinstance(document, dict):
+        raise FrameProtocolError("frame payload must be a JSON object")
+    return document
+
+
+def mux_hello(**extra) -> dict:
+    """The connection-opening handshake document (both directions)."""
+    document = {"mux": MUX_PROTOCOL, "type": "hello"}
+    document.update(extra)
+    return document
+
+
+def mux_request(
+    request_id: int,
+    method: str,
+    path: str,
+    body: str | None = None,
+    headers: dict | None = None,
+) -> dict:
+    """One in-flight request stream: the HTTP request, framed."""
+    document = {
+        "type": "request",
+        "id": request_id,
+        "method": method,
+        "path": path,
+        "body": body,
+    }
+    if headers:
+        document["headers"] = dict(headers)
+    return document
+
+
+def mux_response(
+    request_id: int,
+    status: int,
+    body: str,
+    content_type: str = "application/json",
+    trace: str | None = None,
+) -> dict:
+    """The server's answer to one request stream, correlated by id."""
+    document = {
+        "type": "response",
+        "id": request_id,
+        "status": status,
+        "body": body,
+        "content_type": content_type,
+    }
+    if trace is not None:
+        document["trace"] = trace
+    return document

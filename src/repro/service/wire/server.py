@@ -99,6 +99,7 @@ __all__ = [
     "IdempotencyWindow",
     "STATUS_BY_CODE",
     "PROMETHEUS_CONTENT_TYPE",
+    "build_host_map",
 ]
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -136,6 +137,44 @@ _GET_OPS = frozenset({"metrics", "scheme"})
 _IDEMPOTENT_OPS = frozenset({"revoke", "resize"})
 
 
+def build_host_map(gateway=None, group=None, gateways=None):
+    """Validate the hosted-fleet arguments into ``(hosts, scheme_ids)``.
+
+    Shared by the threaded and asyncio servers so both accept the exact
+    same ``gateway``/``group``/``gateways`` spellings: ``hosts`` maps
+    each scheme id to its ``(fleet, backend)`` pair, ``scheme_ids``
+    keeps the hosting order.
+    """
+    if gateways is None:
+        if gateway is None:
+            raise ValueError("pass a gateway (or a gateways sequence)")
+        gateways = [gateway]
+    elif gateway is not None:
+        raise ValueError("pass either gateway or gateways, not both")
+    gateways = list(gateways)
+    if not gateways:
+        raise ValueError("gateways must not be empty")
+    hosts: dict[str, tuple] = {}
+    scheme_ids: list[str] = []
+    for fleet in gateways:
+        # The wire speaks each gateway's own backend when it has one (an
+        # in-process ReEncryptionGateway always does); ``group`` is the
+        # legacy spelling and the fallback for bare gateway-like objects.
+        backend = getattr(fleet, "backend", None)
+        if backend is None:
+            if group is None:
+                raise ValueError("gateway has no backend; pass group or backend")
+            backend = resolve_backend(group)
+        if backend.scheme_id in hosts:
+            raise ValueError(
+                "scheme %r is already hosted; one fleet per scheme"
+                % backend.scheme_id
+            )
+        hosts[backend.scheme_id] = (fleet, backend)
+        scheme_ids.append(backend.scheme_id)
+    return hosts, scheme_ids
+
+
 class IdempotencyWindow:
     """A bounded single-flight LRU of completed mutation responses.
 
@@ -152,6 +191,13 @@ class IdempotencyWindow:
     retry arriving while the original request is still running — cannot
     execute twice either.  Failed executions are never recorded; their
     retry executes for real.
+
+    Each claim is stamped with an owner token.  When a waiter takes
+    over a stuck key, the original (slow, not dead) executor's
+    :meth:`complete` arrives holding a stale token: it must neither
+    record its payload nor release the taker's in-flight claim —
+    otherwise a third retry would see a free key and execute again
+    while the taker is still running.
     """
 
     def __init__(self, capacity: int = 4096, wait_timeout: float = 30.0):
@@ -160,42 +206,69 @@ class IdempotencyWindow:
         self.capacity = capacity
         self.wait_timeout = wait_timeout
         self.hits = 0
+        self.takeovers = 0
+        self.stale_completions = 0
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, str] = OrderedDict()
-        self._inflight: dict[tuple, threading.Event] = {}
+        self._inflight: dict[tuple, _InflightClaim] = {}
 
-    def claim(self, key: tuple) -> str | None:
-        """The recorded response, or None once the caller owns execution."""
+    def claim(self, key: tuple) -> "tuple[str | None, _InflightClaim | None]":
+        """``(recorded_response, None)``, or ``(None, token)`` once the
+        caller owns execution; the token must be passed to :meth:`complete`."""
         while True:
             with self._lock:
                 payload = self._entries.get(key)
                 if payload is not None:
                     self._entries.move_to_end(key)
                     self.hits += 1
-                    return payload
-                event = self._inflight.get(key)
-                if event is None:
-                    self._inflight[key] = threading.Event()
-                    return None
-            if not event.wait(self.wait_timeout):
+                    return payload, None
+                claim = self._inflight.get(key)
+                if claim is None:
+                    claim = _InflightClaim()
+                    self._inflight[key] = claim
+                    return None, claim
+            if not claim.event.wait(self.wait_timeout):
                 with self._lock:
                     # The executor is stuck or died without completing;
-                    # take over if nobody else already has.
-                    if self._inflight.get(key) is event:
-                        self._inflight[key] = threading.Event()
-                        return None
+                    # take over if nobody else already has.  The stale
+                    # owner's eventual complete() sees a token mismatch
+                    # and cannot clobber this fresh claim.
+                    if self._inflight.get(key) is claim:
+                        takeover = _InflightClaim()
+                        self._inflight[key] = takeover
+                        self.takeovers += 1
+                        return None, takeover
+                # Someone else already took over (or the executor just
+                # finished): loop and wait on whatever claim is current.
 
-    def complete(self, key: tuple, payload: str | None) -> None:
-        """Record a successful payload (or release the claim on failure)."""
+    def complete(self, key: tuple, token: "_InflightClaim", payload: str | None) -> None:
+        """Record a successful payload (or release the claim on failure).
+
+        A stale ``token`` — one whose claim was taken over while it ran —
+        records nothing and leaves the current owner's claim in place; it
+        only wakes threads still parked on the stale event so they re-queue
+        behind the current owner.
+        """
         with self._lock:
-            if payload is not None:
-                self._entries[key] = payload
-                self._entries.move_to_end(key)
-                while len(self._entries) > self.capacity:
-                    self._entries.popitem(last=False)
-            event = self._inflight.pop(key, None)
-        if event is not None:
-            event.set()
+            if self._inflight.get(key) is not token:
+                self.stale_completions += 1
+            else:
+                del self._inflight[key]
+                if payload is not None:
+                    self._entries[key] = payload
+                    self._entries.move_to_end(key)
+                    while len(self._entries) > self.capacity:
+                        self._entries.popitem(last=False)
+        token.event.set()
+
+
+class _InflightClaim:
+    """One in-flight execution's identity: its owner token and wake event."""
+
+    __slots__ = ("event",)
+
+    def __init__(self):
+        self.event = threading.Event()
 
 
 class _UnknownEndpoint(Exception):
@@ -374,10 +447,51 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             200, json.dumps({"events": log.tail(count)}, sort_keys=True)
         )
 
+    def _sanitized_trace_echo(self) -> str | None:
+        """The trace header to echo: re-serialized from the parse, or None.
+
+        Reflecting the raw client value would let a header with embedded
+        CR/LF split the keep-alive response stream; round-tripping through
+        :meth:`TraceContext.from_header` (strict hex ids) drops anything
+        malformed and re-serializes the rest from parts we generated.
+        """
+        trace = TraceContext.from_header(self.headers.get(TRACE_HEADER))
+        return trace.to_header() if trace is not None else None
+
+    def _authorize_observability(self, op: str) -> bool:
+        """Signature gate for GET observability routes on an auth server.
+
+        Metrics, events and traces expose tenant names, audit detail and
+        tracebacks — on a server with a verifier installed they demand a
+        valid signature like any POST (health and scheme discovery stay
+        open; they are what unauthenticated clients negotiate against).
+        Any valid tenant may read them: observability is not role-gated,
+        only authenticated.  Sends the 401 itself when the gate fails.
+        """
+        verifier = getattr(self.server, "wire_auth", None)
+        if verifier is None:
+            return True
+        try:
+            # The client signs the path it requests, query string included.
+            verifier.verify("GET", self.path, b"", self.headers.get(AUTH_HEADER))
+        except GatewayError as error:
+            log = getattr(self.server, "wire_event_log", None)
+            if log is not None:
+                log.emit(
+                    "auth-failure",
+                    op=op,
+                    code=error.code,
+                    client=self.client_address[0],
+                    detail=str(error),
+                )
+            self._send_gateway_error(error)
+            return False
+        return True
+
     # ------------------------------------------------------------ endpoints
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
-        self._trace_echo = self.headers.get(TRACE_HEADER)
+        self._trace_echo = self._sanitized_trace_echo()
         parts = urlsplit(self.path)
         base = parts.path
         query = parse_qs(parts.query)
@@ -400,16 +514,19 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             )
             return
         if base.startswith("/v1/trace/"):
-            self._send_trace(base[len("/v1/trace/"):])
+            if self._authorize_observability("trace"):
+                self._send_trace(base[len("/v1/trace/"):])
             return
         if base == "/v1/events":
-            self._send_events((query.get("tail") or [""])[0])
+            if self._authorize_observability("events"):
+                self._send_events((query.get("tail") or [""])[0])
             return
         if base == "/v1/metrics" and out_format == "prometheus":
             # One scrape covers every hosted fleet (scheme is a label), so
             # the unprefixed spelling stays meaningful on a multi-scheme
             # server even though the JSON spelling would be ambiguous.
-            self._send_prometheus(self.server.wire_hosts)
+            if self._authorize_observability("metrics"):
+                self._send_prometheus(self.server.wire_hosts)
             return
         try:
             op, gateway, backend = self._resolve(base)
@@ -422,6 +539,8 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             self._send_gateway_error(error)
             return
         if op == "metrics":
+            if not self._authorize_observability("metrics"):
+                return
             if out_format == "prometheus":
                 self._send_prometheus({backend.scheme_id: (gateway, backend)})
             else:
@@ -534,11 +653,12 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             # a duplicate gets the recorded response, never a re-execution.
             dedup = getattr(self.server, "wire_dedup", None)
             dedup_key = None
+            dedup_token = None
             if dedup is not None and op in _IDEMPOTENT_OPS:
                 request_id = getattr(request, "request_id", None)
                 if request_id:
                     dedup_key = (backend.scheme_id, op, request_id)
-                    cached = dedup.claim(dedup_key)
+                    cached, dedup_token = dedup.claim(dedup_key)
                     if cached is not None:
                         if http_span is not None:
                             http_span.set("idempotent_replay", True)
@@ -579,22 +699,27 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 ):
                     payload = to_wire(backend, response)
             except BaseException:
-                if dedup_key is not None:
-                    dedup.complete(dedup_key, None)
+                if dedup_token is not None:
+                    dedup.complete(dedup_key, dedup_token, None)
                 raise
-            if dedup_key is not None:
-                dedup.complete(dedup_key, payload)
+            if dedup_token is not None:
+                dedup.complete(dedup_key, dedup_token, payload)
         return payload
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
-        self._trace_echo = self.headers.get(TRACE_HEADER)
-        trace = TraceContext.from_header(self._trace_echo)
+        trace = TraceContext.from_header(self.headers.get(TRACE_HEADER))
+        self._trace_echo = trace.to_header() if trace is not None else None
         # Server-side head sampling: the echo header still round-trips
         # (so the client's correlation id survives), but only the sampled
         # fraction records spans.  Metrics count every request regardless.
         sample = getattr(self.server, "wire_trace_sample", 1.0)
         if trace is not None and sample < 1.0:
-            if self.server.wire_trace_rng.random() >= sample:
+            # One shared deterministic RNG across handler threads: the
+            # lock keeps its Mersenne-Twister state (and the exact
+            # sampled-count guarantee) intact under concurrency.
+            with self.server.wire_trace_rng_lock:
+                sampled = self.server.wire_trace_rng.random() < sample
+            if not sampled:
                 trace = None
         try:
             raw = self._read_body()
@@ -657,6 +782,12 @@ class _EventedThreadingHTTPServer(ThreadingHTTPServer):
 
     wire_event_log: EventLog | None = None
 
+    # The socketserver default backlog of 5 resets connections the moment
+    # a pooled client dials its sockets in one burst; listen deep enough
+    # that a fleet-sized pool (hundreds of connections) can connect while
+    # handler threads are still being spawned.
+    request_queue_size = 1024
+
     def handle_error(self, request, client_address) -> None:  # noqa: D102
         log = self.wire_event_log
         if log is not None:
@@ -705,36 +836,9 @@ class GatewayHttpServer:
         incoming trace headers (1.0 records every traced request)."""
         if not 0.0 <= trace_sample <= 1.0:
             raise ValueError("trace_sample must be in [0, 1]")
-        if gateways is None:
-            if gateway is None:
-                raise ValueError("pass a gateway (or a gateways sequence)")
-            gateways = [gateway]
-        elif gateway is not None:
-            raise ValueError("pass either gateway or gateways, not both")
-        gateways = list(gateways)
-        if not gateways:
-            raise ValueError("gateways must not be empty")
-        self.hosts: dict[str, tuple] = {}
-        self.scheme_ids: list[str] = []
-        for fleet in gateways:
-            # The wire speaks each gateway's own backend when it has one
-            # (an in-process ReEncryptionGateway always does); ``group``
-            # is the legacy spelling and the fallback for bare
-            # gateway-like objects.
-            backend = getattr(fleet, "backend", None)
-            if backend is None:
-                if group is None:
-                    raise ValueError("gateway has no backend; pass group or backend")
-                backend = resolve_backend(group)
-            if backend.scheme_id in self.hosts:
-                raise ValueError(
-                    "scheme %r is already hosted; one fleet per scheme"
-                    % backend.scheme_id
-                )
-            self.hosts[backend.scheme_id] = (fleet, backend)
-            self.scheme_ids.append(backend.scheme_id)
+        self.hosts, self.scheme_ids = build_host_map(gateway, group, gateways)
         # Single-scheme attribute surface, kept for existing callers.
-        self.gateway = gateways[0]
+        self.gateway = self.hosts[self.scheme_ids[0]][0]
         self.backend = self.hosts[self.scheme_ids[0]][1]
         self.group = self.backend.group
         # The server-level event stream: HTTP access lines, handler
@@ -755,8 +859,11 @@ class GatewayHttpServer:
         self._httpd.wire_auth = auth
         self._httpd.wire_trace_sample = float(trace_sample)
         # Deterministic seed: sampling decisions are reproducible across
-        # runs, and tests can predict exact sampled counts.
+        # runs, and tests can predict exact sampled counts.  The lock
+        # serializes handler threads' draws so the deterministic sequence
+        # (and the generator state itself) survives concurrency.
         self._httpd.wire_trace_rng = random.Random(0x5EED)
+        self._httpd.wire_trace_rng_lock = threading.Lock()
         self.auth = auth
         self._url_scheme = "http"
         if tls is not None:

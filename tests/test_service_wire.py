@@ -10,7 +10,12 @@ results and the same error taxonomy as in-process calls.
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import socket
+import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -37,7 +42,14 @@ from repro.service.gateway import (
     RevokeResponse,
     StoreUnavailableError,
 )
+from repro.service.auth import (
+    AUTH_HEADER,
+    RequestSigner,
+    RequestVerifier,
+    TenantCredentialStore,
+)
 from repro.service.metrics import GatewayMetrics
+from repro.service.telemetry import TRACE_HEADER, TraceContext
 from repro.service.wire import (
     ERROR_TYPES,
     GatewayHttpServer,
@@ -52,6 +64,7 @@ from repro.service.wire import (
     from_wire,
     to_wire,
 )
+from repro.service.wire.server import IdempotencyWindow
 
 
 @pytest.fixture()
@@ -617,3 +630,338 @@ class TestRemoteGatewayTransport:
             with pytest.raises(EntryMissingError):
                 client.fetch(FetchRequest(tenant="t", patient="p", entry_id="missing"))
         gateway.close()
+
+
+# ------------------------------------------------- wire-layer regressions
+
+
+class TestTraceEchoSanitization:
+    """The response echoes a *re-serialized* trace header, never raw bytes."""
+
+    def _get_with_trace(self, server, value: str):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=10.0)
+        try:
+            conn.request("GET", "/v1/health", headers={TRACE_HEADER: value})
+            response = conn.getresponse()
+            response.read()
+            return response.getheader(TRACE_HEADER)
+        finally:
+            conn.close()
+
+    def test_valid_trace_header_round_trips(self, loopback):
+        _setting, server, _client = loopback
+        trace = TraceContext.generate()
+        assert self._get_with_trace(server, trace.to_header()) == trace.to_header()
+
+    def test_malformed_trace_header_is_dropped_not_echoed(self, loopback):
+        _setting, server, _client = loopback
+        assert self._get_with_trace(server, "zz-not-a-trace-header") is None
+        assert self._get_with_trace(server, "A" * 48 + "-" + "B" * 16) is None
+
+    def test_folded_trace_header_cannot_inject_response_headers(self, loopback):
+        """Regression: echoing the raw client value let an obs-folded
+        trace header smuggle CR/LF (and so attacker-chosen headers) into
+        the response head; the strict re-parse drops it entirely."""
+        _setting, server, _client = loopback
+        trace = TraceContext.generate()
+        with socket.create_connection((server.host, server.port), timeout=10.0) as sock:
+            sock.sendall(
+                b"GET /v1/health HTTP/1.1\r\n"
+                b"Host: h\r\n"
+                + b"%s: %s\r\n" % (TRACE_HEADER.encode(), trace.to_header().encode())
+                + b" X-Evil: injected\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+        head = raw.split(b"\r\n\r\n", 1)[0]
+        assert b"X-Evil" not in head
+        assert b"injected" not in head
+
+
+@pytest.fixture()
+def observability_auth(tmp_path):
+    """An auth-enabled server whose GET observability must be signed."""
+    store = TenantCredentialStore.initialize(tmp_path / "tenants.json")
+    store.add("clinic-a", secret="a" * 64)
+    setting = build_setting(
+        group_name="TOY",
+        shard_count=2,
+        n_patients=1,
+        n_delegatees=1,
+        n_types=1,
+        ciphertexts_per_pair=1,
+        seed="wire-observability-auth",
+    )
+    server = GatewayHttpServer(
+        setting.gateway, setting.group, auth=RequestVerifier(store)
+    )
+    with server:
+        yield setting, server
+    setting.gateway.close()
+
+
+class TestObservabilityAuthGate:
+    """Regression: metrics/events/traces answered unauthenticated GETs on
+    auth-enabled servers, leaking tenant names, audit detail and
+    tracebacks to anyone who found the port."""
+
+    GATED = [
+        "/v1/events",
+        "/v1/metrics?format=prometheus",
+        "/v1/trace/" + "ab" * 16,
+        "/v1/tipre/v1/metrics",
+    ]
+
+    def _get(self, server, path: str, header: str | None = None):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=10.0)
+        try:
+            headers = {} if header is None else {AUTH_HEADER: header}
+            conn.request("GET", path, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def test_unsigned_observability_gets_are_401(self, observability_auth):
+        _setting, server = observability_auth
+        for path in self.GATED:
+            status, body = self._get(server, path)
+            assert status == 401, path
+            assert json.loads(body)["body"]["code"] == "auth-required"
+
+    def test_health_and_scheme_discovery_stay_open(self, observability_auth):
+        _setting, server = observability_auth
+        for path in ("/v1/health", "/v1/schemes", "/v1/tipre/v1/scheme"):
+            status, _body = self._get(server, path)
+            assert status == 200, path
+
+    def test_signed_observability_gets_pass(self, observability_auth):
+        _setting, server = observability_auth
+        signer = RequestSigner("clinic-a", "a" * 64)
+        status, body = self._get(
+            server, "/v1/events", signer.header("GET", "/v1/events", b"")
+        )
+        assert status == 200 and b"events" in body
+        status, body = self._get(
+            server,
+            "/v1/metrics?format=prometheus",
+            signer.header("GET", "/v1/metrics?format=prometheus", b""),
+        )
+        assert status == 200 and b"repro_gateway_requests_total" in body
+        # An authorized trace lookup that misses is 404, never 401.
+        path = "/v1/trace/" + "ab" * 16
+        status, body = self._get(server, path, signer.header("GET", path, b""))
+        assert status == 404
+        assert json.loads(body)["body"]["code"] == "entry-not-found"
+
+    def test_signed_client_reads_observability(self, observability_auth):
+        setting, server = observability_auth
+        client = RemoteGateway(
+            server.url, setting.group, tenant="clinic-a", secret="a" * 64
+        )
+        assert client.snapshot().requests_total >= 0
+        assert isinstance(client.events_tail(), list)
+        assert "repro_gateway_requests_total" in client.metrics_text()
+        client.close()
+
+
+class _ReentrancyProbeRng(random.Random):
+    """A drop-in RNG whose draws detect unserialized concurrent entry.
+
+    ``random()`` widens its critical section with a scheduler yield, the
+    way any multi-step pure-python generator (or a future PEP-703
+    free-threaded build) would.  If callers do not hold a lock around
+    the draw, overlapping entries are recorded in ``overlaps`` — which
+    is exactly the race the sampling lock exists to prevent.  The value
+    sequence stays that of ``random.Random(seed)``.
+    """
+
+    def __init__(self, seed):
+        super().__init__(seed)
+        self._inside = 0
+        self.overlaps = 0
+        self._probe_lock = threading.Lock()
+
+    def random(self):
+        with self._probe_lock:
+            self._inside += 1
+            if self._inside > 1:
+                self.overlaps += 1
+        try:
+            time.sleep(0.0005)  # hold the generator open across a yield
+            return super().random()
+        finally:
+            with self._probe_lock:
+                self._inside -= 1
+
+
+class TestTraceSamplingDeterminism:
+    """Regression: both sampling RNGs drew without a lock; concurrent
+    draws interleaved inside the generator, so the deterministic seeded
+    sequence (and its exact-count guarantee) could not be relied on.
+    Hammer both ends with a reentrancy-probing RNG: the probe records
+    unserialized entries, and the sampled counts must equal the
+    sequential reference exactly."""
+
+    def test_client_sampling_exact_count_under_threads(self, group):
+        client = RemoteGateway("http://127.0.0.1:9", group, trace_requests=0.5)
+        client._trace_rng = _ReentrancyProbeRng(0xC11E27)
+        draws_per_thread, n_threads = 100, 16
+        total = draws_per_thread * n_threads
+        reference = random.Random(0xC11E27)
+        expected = sum(reference.random() < 0.5 for _ in range(total))
+        counts = []
+        lock = threading.Lock()
+
+        def worker():
+            sampled = sum(client._sample_trace() for _ in range(draws_per_thread))
+            with lock:
+                counts.append(sampled)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert client._trace_rng.overlaps == 0, (
+            "%d sampling draws entered the RNG concurrently"
+            % client._trace_rng.overlaps
+        )
+        assert sum(counts) == expected
+
+    def test_server_sampling_exact_count_under_threads(self):
+        setting = build_setting(
+            group_name="TOY",
+            shard_count=2,
+            n_patients=1,
+            n_delegatees=1,
+            n_types=1,
+            ciphertexts_per_pair=1,
+            seed="wire-sampling",
+        )
+        with GatewayHttpServer(
+            setting.gateway, setting.group, trace_sample=0.5
+        ) as server:
+            probe = _ReentrancyProbeRng(0x5EED)
+            server._httpd.wire_trace_rng = probe
+            request = _request_stream(setting)[0]
+            body = to_wire(setting.group, request).encode("utf-8")
+            traces = [TraceContext.generate() for _ in range(96)]
+            errors = []
+
+            def worker(chunk):
+                conn = http.client.HTTPConnection(
+                    server.host, server.port, timeout=30.0
+                )
+                try:
+                    for trace in chunk:
+                        conn.request(
+                            "POST",
+                            "/v1/reencrypt",
+                            body=body,
+                            headers={
+                                "Content-Type": "application/json",
+                                TRACE_HEADER: trace.to_header(),
+                            },
+                        )
+                        response = conn.getresponse()
+                        response.read()
+                        if response.status != 200:
+                            errors.append(response.status)
+                finally:
+                    conn.close()
+
+            threads = [
+                threading.Thread(target=worker, args=(traces[i::16],))
+                for i in range(16)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert probe.overlaps == 0, (
+                "%d handler threads entered the sampling RNG concurrently"
+                % probe.overlaps
+            )
+            reference = random.Random(0x5EED)
+            expected = sum(reference.random() < 0.5 for _ in range(len(traces)))
+            sampled = sum(
+                1 for trace in traces if setting.gateway.tracer.trace(trace.trace_id)
+            )
+            assert sampled == expected
+        setting.gateway.close()
+
+
+class TestIdempotencyTakeover:
+    """Regression: a waiter that took over a stuck key raced the stale
+    executor's completion, which released the fresh claim and recorded
+    the stale payload — letting a third retry execute the mutation again."""
+
+    KEY = ("tipre/v1", "revoke", "req-1")
+
+    def test_stale_completion_neither_records_nor_releases(self):
+        window = IdempotencyWindow(wait_timeout=0.05)
+        cached, stale_owner = window.claim(self.KEY)
+        assert cached is None and stale_owner is not None
+
+        outcome = {}
+        done = threading.Event()
+
+        def taker():
+            outcome["claim"] = window.claim(self.KEY)  # times out, takes over
+            done.set()
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        assert done.wait(10.0)
+        thread.join(5.0)
+        cached2, fresh_owner = outcome["claim"]
+        assert cached2 is None
+        assert fresh_owner is not None and fresh_owner is not stale_owner
+        assert window.takeovers == 1
+
+        # The slow original finally finishes: its payload must not be
+        # recorded and the taker's in-flight claim must stay claimed.
+        window.complete(self.KEY, stale_owner, '"stale-payload"')
+        assert window.stale_completions == 1
+        assert self.KEY not in window._entries
+        assert window._inflight[self.KEY] is fresh_owner
+
+        # The taker's completion is the one a retry replays.
+        window.complete(self.KEY, fresh_owner, '"taker-payload"')
+        cached3, token3 = window.claim(self.KEY)
+        assert token3 is None and cached3 == '"taker-payload"'
+        assert window.hits == 1
+
+    def test_failed_execution_releases_without_recording(self):
+        window = IdempotencyWindow(wait_timeout=0.05)
+        _cached, owner = window.claim(self.KEY)
+        window.complete(self.KEY, owner, None)
+        cached, retry_owner = window.claim(self.KEY)
+        assert cached is None and retry_owner is not None
+        window.complete(self.KEY, retry_owner, '"second-try"')
+        assert window.claim(self.KEY) == ('"second-try"', None)
+
+    def test_duplicate_waits_for_first_execution(self):
+        window = IdempotencyWindow()
+        _cached, owner = window.claim(self.KEY)
+        got = {}
+        done = threading.Event()
+
+        def duplicate():
+            got["claim"] = window.claim(self.KEY)
+            done.set()
+
+        thread = threading.Thread(target=duplicate)
+        thread.start()
+        assert not done.wait(0.1), "duplicate executed during the first flight"
+        window.complete(self.KEY, owner, '"first-outcome"')
+        assert done.wait(10.0)
+        thread.join(5.0)
+        assert got["claim"] == ('"first-outcome"', None)

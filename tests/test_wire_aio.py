@@ -1,0 +1,572 @@
+"""Conformance tests for the asyncio wire stack against the threaded one.
+
+The threaded :class:`GatewayHttpServer` + pooled :class:`RemoteGateway`
+pair is the reference implementation; these tests stand all three stacks
+up over *identically seeded* gateways and assert the asyncio server
+(HTTP/1.1 mode and mux framing mode) answers byte-for-byte what the
+reference answers — success payloads and taxonomy error bodies alike.
+On top of the byte conformance: typed-client parity for every operation,
+auth and TLS variants, and the one-socket multiplexing bound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serialization.containers import serialize_reencrypted
+from repro.service.auth import (
+    AuthRequiredError,
+    BadSignatureError,
+    RequestVerifier,
+    TenantCredentialStore,
+    server_context,
+)
+from repro.service.driver import DELEGATEE_DOMAIN, build_setting, drive_requests
+from repro.service.gateway import (
+    DelegationNotFoundError,
+    FetchRequest,
+    GrantRequest,
+    RateLimitedError,
+    ReEncryptRequest,
+    RevokeRequest,
+    StoreUnavailableError,
+)
+from repro.service.telemetry import EventLog
+from repro.service.wire import (
+    AsyncGatewayServer,
+    GatewayHttpServer,
+    GrantBatchRequest,
+    MuxRemoteGateway,
+    ReEncryptBatchRequest,
+    RemoteGateway,
+    WireTransportError,
+    connect_gateway,
+    to_wire,
+)
+from repro.service.wire.codec import KeyExportRequest, ResizeRequest
+
+SEED = "aio-conformance"
+PREFIX = "/v1/tipre/v1"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _build():
+    return build_setting(
+        group_name="TOY",
+        shard_count=3,
+        n_patients=2,
+        n_delegatees=2,
+        n_types=2,
+        ciphertexts_per_pair=1,
+        seed=SEED,
+    )
+
+
+def _first_keys(gateway, count=2):
+    return [
+        key
+        for name in gateway.shard_names
+        for key in gateway.shard_named(name).table
+    ][:count]
+
+
+def _reencrypt_requests(setting, count=2):
+    requests = []
+    for (patient, _type_label), entries in sorted(setting.pool.items()):
+        ciphertext, _message = entries[0]
+        requests.append(
+            ReEncryptRequest(
+                tenant=patient,
+                ciphertext=ciphertext,
+                delegatee_domain=DELEGATEE_DOMAIN,
+                delegatee=setting.delegatees[0],
+            )
+        )
+    return requests[:count]
+
+
+def _op_sequence(setting):
+    """The scripted request stream every stack replays identically.
+
+    Covers every POST op, the GET surface, cache-hit repeats, batches,
+    and the negative paths whose error bodies must match byte-for-byte.
+    Fixed request ids keep revoke/resize payload bytes deterministic.
+    """
+    backend = setting.gateway.backend
+    key0, key1 = _first_keys(setting.gateway)
+    r0, r1 = _reencrypt_requests(setting)
+
+    def revoke_of(key, request_id):
+        return RevokeRequest(
+            tenant="t",
+            delegator_domain=key.delegator_domain,
+            delegator=key.delegator,
+            delegatee_domain=key.delegatee_domain,
+            delegatee=key.delegatee,
+            type_label=key.type_label,
+            request_id=request_id,
+        )
+
+    def wire(message):
+        return to_wire(backend, message).encode("utf-8")
+
+    return [
+        ("GET", "/v1/health", None),
+        ("GET", "/v1/schemes", None),
+        ("GET", PREFIX + "/scheme", None),
+        ("POST", PREFIX + "/revoke", wire(revoke_of(key0, "aa" * 16))),
+        ("POST", PREFIX + "/grant", wire(GrantRequest(tenant="t", proxy_key=key0))),
+        (
+            "POST",
+            PREFIX + "/grant",
+            wire(
+                GrantBatchRequest(
+                    requests=(
+                        GrantRequest(tenant="t", proxy_key=key0),
+                        GrantRequest(tenant="t", proxy_key=key1),
+                    )
+                )
+            ),
+        ),
+        ("POST", PREFIX + "/reencrypt", wire(r0)),
+        ("POST", PREFIX + "/reencrypt", wire(r0)),  # cache-hit flag parity
+        ("POST", PREFIX + "/reencrypt", wire(ReEncryptBatchRequest(requests=(r0, r1)))),
+        ("POST", PREFIX + "/export", wire(KeyExportRequest(tenant="admin"))),
+        ("POST", PREFIX + "/fetch", wire(FetchRequest(tenant="t", patient="p"))),
+        ("POST", PREFIX + "/reencrypt", b"{broken json"),
+        ("POST", PREFIX + "/grant", wire(r0)),  # wrong message type for endpoint
+        ("POST", "/v1/nonsense", b"{}"),
+        ("POST", PREFIX + "/revoke", wire(revoke_of(key0, "cc" * 16))),
+        ("POST", PREFIX + "/reencrypt", wire(r0)),  # revoked: error-path parity
+        ("POST", PREFIX + "/grant", wire(GrantRequest(tenant="t", proxy_key=key0))),
+    ]
+
+
+def _replay(client, sequence):
+    return [
+        client._raw_request(method, path, data) for method, path, data in sequence
+    ]
+
+
+@pytest.fixture()
+def three_stacks():
+    """Reference, asyncio-HTTP and asyncio-mux stacks over identical twins."""
+    settings_ = [_build() for _ in range(3)]
+    threaded = GatewayHttpServer(settings_[0].gateway, settings_[0].group).start()
+    aio_http = AsyncGatewayServer(settings_[1].gateway, settings_[1].group).start()
+    aio_mux = AsyncGatewayServer(settings_[2].gateway, settings_[2].group).start()
+    clients = [
+        RemoteGateway(threaded.url, settings_[0].group),
+        RemoteGateway(aio_http.http_url, settings_[1].group),
+        MuxRemoteGateway(aio_mux.url, settings_[2].group),
+    ]
+    try:
+        yield settings_, clients
+    finally:
+        for client in clients:
+            client.close()
+        for server in (threaded, aio_http, aio_mux):
+            server.close()
+        for setting in settings_:
+            setting.gateway.close()
+
+
+class TestCrossStackConformance:
+    def test_every_op_bit_identical_across_stacks(self, three_stacks):
+        """Same scripted stream -> same (status, body) bytes on all three."""
+        settings_, clients = three_stacks
+        transcripts = [
+            _replay(client, _op_sequence(setting))
+            for setting, client in zip(settings_, clients)
+        ]
+        reference = transcripts[0]
+        for transcript in transcripts[1:]:
+            assert transcript == reference
+        # Sanity: the script really exercised both outcomes.
+        statuses = [status for status, _body in reference]
+        assert 200 in statuses and 400 in statuses
+        assert 404 in statuses and 503 in statuses
+
+    def test_resize_parity_across_stacks(self, three_stacks):
+        """Resize moves identical keys everywhere; only timing may differ."""
+        settings_, clients = three_stacks
+        reports = []
+        for setting, client in zip(settings_, clients):
+            body = to_wire(
+                setting.gateway.backend,
+                ResizeRequest(tenant="admin", shard_count=5, request_id="bb" * 16),
+            ).encode("utf-8")
+            status, raw = client._raw_request("POST", PREFIX + "/resize", body)
+            assert status == 200
+            report = client._decode_round_trip(status, raw.decode("utf-8"), "/resize")
+            reports.append(dataclasses.replace(report, elapsed_ms=0.0))
+        assert reports[1] == reports[0]
+        assert reports[2] == reports[0]
+
+    def test_mux_taxonomy_matches_reference(self, three_stacks):
+        settings_, clients = three_stacks
+        for setting, client in zip(settings_, clients):
+            request = _reencrypt_requests(setting, 1)[0]
+            ciphertext = request.ciphertext
+            revoked = client.revoke(
+                RevokeRequest(
+                    tenant=request.tenant,
+                    delegator_domain=ciphertext.domain,
+                    delegator=ciphertext.identity,
+                    delegatee_domain=request.delegatee_domain,
+                    delegatee=request.delegatee,
+                    type_label=ciphertext.type_label,
+                )
+            )
+            assert revoked.removed
+            with pytest.raises(DelegationNotFoundError):
+                client.reencrypt(request)
+            with pytest.raises(StoreUnavailableError):
+                client.fetch(FetchRequest(tenant="t", patient="p"))
+
+
+# ----------------------------------------------------------- typed mux client
+
+
+@pytest.fixture()
+def mux_loopback():
+    setting = _build()
+    with AsyncGatewayServer(setting.gateway, setting.group) as server:
+        client = MuxRemoteGateway(server.url, setting.group)
+        try:
+            yield setting, server, client
+        finally:
+            client.close()
+    setting.gateway.close()
+
+
+class TestMuxTypedClient:
+    def test_reencrypt_bit_identical_to_in_process(self, mux_loopback):
+        setting, _server, client = mux_loopback
+        group, gateway = setting.group, setting.gateway
+        for request in _reencrypt_requests(setting):
+            wire = client.reencrypt(request)
+            local = gateway.reencrypt(request)
+            assert serialize_reencrypted(group, wire.ciphertext) == serialize_reencrypted(
+                group, local.ciphertext
+            )
+            assert wire.shard == local.shard
+
+    def test_batch_preserves_order(self, mux_loopback):
+        setting, _server, client = mux_loopback
+        requests = _reencrypt_requests(setting)
+        wire = client.reencrypt_batch(requests)
+        local = setting.gateway.reencrypt_batch(requests)
+        assert [r.ciphertext for r in wire] == [r.ciphertext for r in local]
+
+    def test_decrypted_plaintext_survives_the_mux(self, mux_loopback):
+        setting, _server, client = mux_loopback
+        (patient, _type_label), entries = sorted(setting.pool.items())[0]
+        ciphertext, message = entries[0]
+        delegatee = setting.delegatees[0]
+        response = client.reencrypt(
+            ReEncryptRequest(
+                tenant=patient,
+                ciphertext=ciphertext,
+                delegatee_domain=DELEGATEE_DOMAIN,
+                delegatee=delegatee,
+            )
+        )
+        recovered = setting.scheme.decrypt_reencrypted(
+            response.ciphertext, setting.delegatee_keys[delegatee]
+        )
+        assert recovered == message
+
+    def test_driver_runs_unchanged_over_mux(self, mux_loopback):
+        setting, _server, client = mux_loopback
+        verified = drive_requests(
+            setting, 16, seed="mux-drive", batch_size=4, gateway=client
+        )
+        assert verified > 0
+
+    def test_observability_surface_over_mux(self, mux_loopback):
+        setting, _server, client = mux_loopback
+        client.reencrypt(_reencrypt_requests(setting, 1)[0])
+        trace_id = client.last_trace.trace_id
+        assert client.snapshot().served >= 1
+        text = client.metrics_text()
+        assert "repro_wire_connections_open" in text
+        assert "repro_wire_streams_in_flight" in text
+        events = client.events_tail(2)
+        assert len(events) == 2
+        spans = client.fetch_trace(trace_id)
+        assert any(span.name == "http:reencrypt" for span in spans)
+
+    def test_rate_limit_maps_through_mux(self, mux_loopback):
+        setting, _server, client = mux_loopback
+        setting.gateway.set_rate_limit(1.0, burst=1.0)
+        try:
+            with pytest.raises(RateLimitedError):
+                for _ in range(5):
+                    client.reencrypt(_reencrypt_requests(setting, 1)[0])
+        finally:
+            setting.gateway.set_rate_limit(None)
+
+    def test_resize_and_export_over_mux(self, mux_loopback):
+        setting, _server, client = mux_loopback
+        total = setting.gateway.key_count()
+        report = client.resize(5)
+        assert report.new_shard_count == 5
+        assert setting.gateway.key_count() == total
+        assert len(client.list_keys()) == total
+
+    def test_unreachable_mux_server_is_wire_transport_error(self, group):
+        client = MuxRemoteGateway("mux://127.0.0.1:9", group, timeout=0.5)
+        with pytest.raises(WireTransportError):
+            client.snapshot()
+        client.close()
+
+    def test_url_validation(self, group):
+        with pytest.raises(ValueError, match="mux"):
+            MuxRemoteGateway("http://127.0.0.1:80", group)
+        with pytest.raises(ValueError, match="explicit port"):
+            MuxRemoteGateway("mux://127.0.0.1", group)
+
+
+class TestConnectGateway:
+    def test_url_scheme_dispatch(self, group):
+        mux = connect_gateway("mux://127.0.0.1:9", group, pool_size=8)
+        assert isinstance(mux, MuxRemoteGateway)
+        pooled = connect_gateway("http://127.0.0.1:9", group, pool_size=8)
+        assert isinstance(pooled, RemoteGateway)
+        assert not isinstance(pooled, MuxRemoteGateway)
+        assert pooled.pool_size == 8
+        with pytest.raises(ValueError):
+            connect_gateway("ftp://127.0.0.1:9", group)
+
+
+# ------------------------------------------------------------- multiplexing
+
+
+class TestMultiplexing:
+    def test_many_threads_one_socket(self, mux_loopback):
+        setting, server, client = mux_loopback
+        request = _reencrypt_requests(setting, 1)[0]
+        client.reencrypt(request)  # negotiate before the stampede
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(3):
+                    client.reencrypt(request)
+            except Exception as error:  # noqa: BLE001 - collected for assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(32)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert client.connections_opened == 1
+        # The server decrements its gauge a beat after the response hits
+        # the wire; give the event loop a moment to drain.
+        deadline = time.monotonic() + 5.0
+        stats = server.stats.snapshot()
+        while stats.streams_in_flight and time.monotonic() < deadline:
+            time.sleep(0.01)
+            stats = server.stats.snapshot()
+        assert stats.connections_total == 1
+        assert stats.streams_total >= 97  # negotiation + warm-up + 32 * 3
+        assert stats.streams_in_flight == 0
+        assert client.peak_streams <= server.max_streams
+
+    @settings(max_examples=5, deadline=None)
+    @given(n_threads=st.integers(min_value=2, max_value=12))
+    def test_stream_gauges_bounded_under_concurrency(self, mux_loopback, n_threads):
+        _setting, _server, client = mux_loopback
+        # The fixture (and its gauges) persists across hypothesis
+        # examples; reset the high-water mark so each example's bound
+        # reflects only its own thread count.
+        client.peak_streams = 0
+        results = []
+
+        def worker():
+            results.append(client.snapshot().requests_total)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == n_threads
+        assert client.connections_opened == 1
+        assert client.streams_in_flight == 0
+        assert 0 < client.peak_streams <= n_threads + 1
+
+
+# --------------------------------------------------------------- auth + TLS
+
+
+@pytest.fixture()
+def mux_auth_loopback(tmp_path):
+    store = TenantCredentialStore.initialize(tmp_path / "tenants.json")
+    store.add("clinic-a", secret="a" * 64)
+    setting = _build()
+    events = EventLog()
+    server = AsyncGatewayServer(
+        setting.gateway,
+        setting.group,
+        event_log=events,
+        auth=RequestVerifier(store),
+    )
+    with server:
+        yield setting, server, events
+    setting.gateway.close()
+
+
+class TestMuxAuth:
+    def test_signed_mux_client_succeeds(self, mux_auth_loopback):
+        setting, server, _events = mux_auth_loopback
+        client = MuxRemoteGateway(
+            server.url, setting.group, tenant="clinic-a", secret="a" * 64
+        )
+        response = client.reencrypt(_reencrypt_requests(setting, 1)[0])
+        assert response.shard
+        # GET observability is signature-gated; the signing client passes.
+        assert client.snapshot().served >= 1
+        assert client.events_tail(1)
+        client.close()
+
+    def test_unsigned_mux_request_rejected(self, mux_auth_loopback):
+        setting, server, events = mux_auth_loopback
+        client = MuxRemoteGateway(server.url, setting.group)
+        with pytest.raises(AuthRequiredError):
+            client.reencrypt(_reencrypt_requests(setting, 1)[0])
+        # GET observability decodes through the taxonomy on the snapshot
+        # path; events_tail surfaces the non-200 as a transport error.
+        with pytest.raises(AuthRequiredError):
+            client.snapshot()
+        with pytest.raises(WireTransportError):
+            client.events_tail()
+        client.close()
+        codes = [e["code"] for e in events.tail() if e["kind"] == "auth-failure"]
+        assert "auth-required" in codes
+
+    def test_bad_signature_rejected_over_mux(self, mux_auth_loopback):
+        setting, server, _events = mux_auth_loopback
+        client = MuxRemoteGateway(
+            server.url, setting.group, tenant="clinic-a", secret="wrong"
+        )
+        with pytest.raises(BadSignatureError):
+            client.reencrypt(_reencrypt_requests(setting, 1)[0])
+        client.close()
+
+    def test_auth_parity_with_threaded_stack(self, mux_auth_loopback, tmp_path):
+        """The same signed request stream decodes identically on both stacks."""
+        setting_mux, server, _events = mux_auth_loopback
+        store = TenantCredentialStore.initialize(tmp_path / "ref-tenants.json")
+        store.add("clinic-a", secret="a" * 64)
+        setting_ref = _build()
+        with GatewayHttpServer(
+            setting_ref.gateway, setting_ref.group, auth=RequestVerifier(store)
+        ) as reference:
+            ref_client = RemoteGateway(
+                reference.url, setting_ref.group, tenant="clinic-a", secret="a" * 64
+            )
+            mux_client = MuxRemoteGateway(
+                server.url, setting_mux.group, tenant="clinic-a", secret="a" * 64
+            )
+            ref = ref_client.reencrypt(_reencrypt_requests(setting_ref, 1)[0])
+            mux = mux_client.reencrypt(_reencrypt_requests(setting_mux, 1)[0])
+            assert serialize_reencrypted(
+                setting_ref.group, ref.ciphertext
+            ) == serialize_reencrypted(setting_mux.group, mux.ciphertext)
+            ref_client.close()
+            mux_client.close()
+        setting_ref.gateway.close()
+
+
+@pytest.fixture(scope="module")
+def dev_cert(tmp_path_factory):
+    out = tmp_path_factory.mktemp("aio-tls")
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import gen_dev_cert
+    finally:
+        sys.path.pop(0)
+    return gen_dev_cert.generate(out)
+
+
+class TestMuxTls:
+    def test_muxs_and_https_round_trip_with_pinned_ca(self, dev_cert):
+        cert_path, key_path = dev_cert
+        setting = _build()
+        server = AsyncGatewayServer(
+            setting.gateway,
+            setting.group,
+            tls=server_context(str(cert_path), str(key_path)),
+        )
+        with server:
+            assert server.url.startswith("muxs://")
+            assert server.http_url.startswith("https://")
+            mux_client = MuxRemoteGateway(
+                server.url, setting.group, tls_ca=str(cert_path)
+            )
+            http_client = RemoteGateway(
+                server.http_url, setting.group, tls_ca=str(cert_path)
+            )
+            request = _reencrypt_requests(setting, 1)[0]
+            over_mux = mux_client.reencrypt(request)
+            over_https = http_client.reencrypt(request)
+            assert serialize_reencrypted(
+                setting.group, over_mux.ciphertext
+            ) == serialize_reencrypted(setting.group, over_https.ciphertext)
+            mux_client.close()
+            http_client.close()
+        setting.gateway.close()
+
+    def test_wrong_ca_fails_clean_over_muxs(self, dev_cert, tmp_path):
+        cert_path, key_path = dev_cert
+        wrong_ca = tmp_path / "wrong-ca.pem"
+        import gen_dev_cert
+
+        other_cert, _other_key = gen_dev_cert.generate(tmp_path)
+        wrong_ca.write_bytes(other_cert.read_bytes())
+        setting = _build()
+        server = AsyncGatewayServer(
+            setting.gateway,
+            setting.group,
+            tls=server_context(str(cert_path), str(key_path)),
+        )
+        with server:
+            client = MuxRemoteGateway(
+                server.url, setting.group, tls_ca=str(wrong_ca), timeout=5.0
+            )
+            with pytest.raises(WireTransportError):
+                client.scheme_info()
+            client.close()
+        setting.gateway.close()
+
+
+# ----------------------------------------------------------------- fleet
+
+
+class TestAsyncFleet:
+    def test_async_workers_speak_mux(self):
+        from repro.service.fleet import FleetSupervisor
+
+        supervisor = FleetSupervisor(
+            "tipre/v1", shard_count=1, group_name="TOY", async_workers=True
+        )
+        try:
+            name = supervisor.names[0]
+            assert supervisor.url_of(name).startswith("mux://")
+            client = supervisor.client(name)
+            assert isinstance(client, MuxRemoteGateway)
+            assert [e["scheme"] for e in client.schemes_info()] == ["tipre/v1"]
+        finally:
+            supervisor.close()
